@@ -1,0 +1,142 @@
+// Ablation benchmarks for the design choices DESIGN.md §6 calls out:
+// the §3.1.2 speed factor, the fairness threshold extremes, the
+// statistics-grid resolution rule, and the Lira-Grid / Uniform Δ
+// strategy ablations at a fixed operating point.
+package lira_test
+
+import (
+	"testing"
+
+	"lira"
+)
+
+// BenchmarkAblationSpeedFactor compares the containment error with the
+// speed factor on and off. Regions with fast nodes generate more updates
+// per node; modeling that (§3.1.2) should not hurt and typically helps.
+func BenchmarkAblationSpeedFactor(b *testing.B) {
+	env := benchSetup(b)
+	cfg := benchSweep().Base
+	b.ResetTimer()
+	var withSpeed, withoutSpeed float64
+	for i := 0; i < b.N; i++ {
+		cfg.UseSpeed = true
+		res, err := lira.Run(env, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		withSpeed = res.Metrics.MeanContainment
+		cfg.UseSpeed = false
+		res, err = lira.Run(env, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		withoutSpeed = res.Metrics.MeanContainment
+	}
+	b.ReportMetric(withSpeed, "EC(speed-on)")
+	b.ReportMetric(withoutSpeed, "EC(speed-off)")
+}
+
+// BenchmarkAblationFairnessExtremes compares the two degenerate fairness
+// settings: Δ⇔ = Δ⊣ − Δ⊢ (unconstrained, the original formulation) vs a
+// tight Δ⇔ = 10 m.
+func BenchmarkAblationFairnessExtremes(b *testing.B) {
+	env := benchSetup(b)
+	cfg := benchSweep().Base
+	b.ResetTimer()
+	var loose, tight float64
+	for i := 0; i < b.N; i++ {
+		cfg.Fairness = 95
+		res, err := lira.Run(env, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loose = res.Metrics.MeanPosition
+		cfg.Fairness = 10
+		res, err = lira.Run(env, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tight = res.Metrics.MeanPosition
+	}
+	b.ReportMetric(loose, "EP(Δ⇔=95)")
+	b.ReportMetric(tight, "EP(Δ⇔=10)")
+}
+
+// BenchmarkAblationAlphaRule compares the paper's α = 2^⌊log₂(10√l)⌋ rule
+// against a deliberately coarse statistics grid, isolating the value of
+// grid resolution for GRIDREDUCE.
+func BenchmarkAblationAlphaRule(b *testing.B) {
+	env := benchSetup(b)
+	cfg := benchSweep().Base
+	b.ResetTimer()
+	var ruled, coarse float64
+	for i := 0; i < b.N; i++ {
+		cfg.Alpha = 0 // paper's rule
+		res, err := lira.Run(env, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ruled = res.Metrics.MeanContainment
+		cfg.Alpha = 16
+		res, err = lira.Run(env, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coarse = res.Metrics.MeanContainment
+	}
+	b.ReportMetric(ruled, "EC(alpha=rule)")
+	b.ReportMetric(coarse, "EC(alpha=16)")
+}
+
+// BenchmarkAblationReAdaptation compares a single warmup-time adaptation
+// against periodic re-adaptation during measurement.
+func BenchmarkAblationReAdaptation(b *testing.B) {
+	env := benchSetup(b)
+	cfg := benchSweep().Base
+	b.ResetTimer()
+	var once, periodic float64
+	for i := 0; i < b.N; i++ {
+		cfg.ReAdaptEvery = 0
+		res, err := lira.Run(env, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once = res.Metrics.MeanContainment
+		cfg.ReAdaptEvery = 100
+		res, err = lira.Run(env, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		periodic = res.Metrics.MeanContainment
+	}
+	b.ReportMetric(once, "EC(adapt-once)")
+	b.ReportMetric(periodic, "EC(re-adapt)")
+}
+
+// BenchmarkAblationQueryProtection measures the query-protective
+// drill-down extension (DESIGN.md §5a): the containment error of LIRA
+// with and without reserving splits for at-risk queries, under the Random
+// query distribution where the sacrifice artifact is strongest.
+func BenchmarkAblationQueryProtection(b *testing.B) {
+	env := benchSetup(b)
+	cfg := benchSweep().Base
+	cfg.QueryDist = lira.Random
+	b.ResetTimer()
+	var plain, protected float64
+	for i := 0; i < b.N; i++ {
+		cfg.ProtectQueries = 0
+		res, err := lira.Run(env, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain = res.Metrics.MeanContainment
+		cfg.ProtectQueries = 0.5
+		res, err = lira.Run(env, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		protected = res.Metrics.MeanContainment
+	}
+	b.ReportMetric(plain, "EC(paper-exact)")
+	b.ReportMetric(protected, "EC(protect=0.5)")
+}

@@ -1,0 +1,341 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§4), one benchmark per experiment. Each iteration computes
+// the full experiment at a reduced scale (the cmd/lirabench tool runs the
+// larger sweeps); key reproduced quantities are attached as custom
+// benchmark metrics so `go test -bench` output doubles as a summary of the
+// reproduction.
+package lira_test
+
+import (
+	"sync"
+	"testing"
+
+	"lira"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *lira.Env
+	benchErr  error
+)
+
+// benchSetup builds the shared benchmark environment once: a 6 km × 6 km
+// network with 1 200 nodes, small enough that every figure regenerates in
+// seconds.
+func benchSetup(b *testing.B) *lira.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := lira.DefaultEnvConfig()
+		cfg.Net.Side = 6000
+		cfg.Net.GridStep = 300
+		cfg.Net.Centers = 2
+		cfg.Net.CenterRadius = 1200
+		cfg.Nodes = 1200
+		cfg.CalibNodes = 400
+		cfg.CalibTicks = 120
+		benchEnv, benchErr = lira.NewEnv(cfg)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+func benchSweep() lira.Sweep {
+	base := lira.DefaultRunConfig()
+	base.L = 49
+	base.WarmupTicks = 60
+	base.DurationTicks = 300
+	base.EvalEvery = 30
+	sw := lira.QuickSweep(base)
+	sw.Zs = []float64{0.75, 0.5, 0.3}
+	sw.Ls = []int{13, 49, 100}
+	sw.Fairness = []float64{10, 50, 95}
+	sw.FairnessZs = []float64{0.5, 0.75}
+	sw.Ws = []float64{500, 1000, 2000}
+	sw.CostLs = []int{13, 49, 250}
+	sw.CostAlphas = []int{64, 128}
+	sw.Radii = []float64{750, 1500, 3000}
+	return sw
+}
+
+// BenchmarkFig01UpdateReduction regenerates Figure 1: the update reduction
+// factor f(Δ) measured from the calibrated trace.
+func BenchmarkFig01UpdateReduction(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	var tail float64
+	for i := 0; i < b.N; i++ {
+		f := lira.Figure1(env)
+		tail = f.Rows[len(f.Rows)-1][1]
+	}
+	b.ReportMetric(tail, "f(Δ⊣)")
+}
+
+// BenchmarkFig03Partitioning regenerates Figure 3: the (α,l)-partitioning
+// produced by GRIDREDUCE over the warmed statistics grid.
+func BenchmarkFig03Partitioning(b *testing.B) {
+	env := benchSetup(b)
+	sw := benchSweep()
+	b.ResetTimer()
+	var regions int
+	for i := 0; i < b.N; i++ {
+		_, p, err := lira.Figure3(env, sw.Base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		regions = len(p.Regions)
+	}
+	b.ReportMetric(float64(regions), "regions")
+}
+
+// BenchmarkFig04PositionErrorVsZ and BenchmarkFig05ContainmentErrorVsZ
+// regenerate the throttle-fraction sweep with all four strategies under
+// the Proportional query distribution.
+func BenchmarkFig04PositionErrorVsZ(b *testing.B) {
+	env := benchSetup(b)
+	sw := benchSweep()
+	sw.Zs = []float64{0.5}
+	b.ResetTimer()
+	var relRandomDrop float64
+	for i := 0; i < b.N; i++ {
+		f4, _, err := lira.Figures4and5(env, sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		relRandomDrop = f4.Rows[0][5]
+	}
+	b.ReportMetric(relRandomDrop, "relEP(rdrop/lira)@z=0.5")
+}
+
+func BenchmarkFig05ContainmentErrorVsZ(b *testing.B) {
+	env := benchSetup(b)
+	sw := benchSweep()
+	sw.Zs = []float64{0.5}
+	b.ResetTimer()
+	var relRandomDrop float64
+	for i := 0; i < b.N; i++ {
+		_, f5, err := lira.Figures4and5(env, sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		relRandomDrop = f5.Rows[0][5]
+	}
+	b.ReportMetric(relRandomDrop, "relEC(rdrop/lira)@z=0.5")
+}
+
+// BenchmarkFig06InverseDistribution and BenchmarkFig07RandomDistribution
+// regenerate the containment-error sweeps under the other two query
+// distributions.
+func BenchmarkFig06InverseDistribution(b *testing.B) {
+	benchDistribution(b, lira.Inverse)
+}
+
+func BenchmarkFig07RandomDistribution(b *testing.B) {
+	benchDistribution(b, lira.Random)
+}
+
+func benchDistribution(b *testing.B, d lira.Distribution) {
+	env := benchSetup(b)
+	sw := benchSweep()
+	sw.Zs = []float64{0.5}
+	b.ResetTimer()
+	var relUniform float64
+	for i := 0; i < b.N; i++ {
+		f, err := lira.Figure6or7(env, sw, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		relUniform = f.Rows[0][6]
+	}
+	b.ReportMetric(relUniform, "relEC(unif/lira)@z=0.5")
+}
+
+// BenchmarkFig08LiraGridVsLira regenerates the Lira-Grid ablation sweep
+// over the number of shedding regions.
+func BenchmarkFig08LiraGridVsLira(b *testing.B) {
+	env := benchSetup(b)
+	sw := benchSweep()
+	sw.Ls = []int{49}
+	b.ResetTimer()
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		f, err := lira.Figure8(env, sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel = f.Rows[0][1]
+	}
+	b.ReportMetric(rel, "relEC(lgrid/lira)@l=49")
+}
+
+// BenchmarkFig09ErrorVsRegions regenerates LIRA's error as a function of
+// the region count for several throttle fractions.
+func BenchmarkFig09ErrorVsRegions(b *testing.B) {
+	env := benchSetup(b)
+	sw := benchSweep()
+	sw.Ls = []int{13, 100}
+	sw.FairnessZs = []float64{0.5}
+	b.ResetTimer()
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		f, err := lira.Figure9(env, sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f.Rows[len(f.Rows)-1][1] > 0 {
+			improvement = f.Rows[0][1] / f.Rows[len(f.Rows)-1][1]
+		}
+	}
+	b.ReportMetric(improvement, "EC(l=13)/EC(l=100)")
+}
+
+// BenchmarkFig10Fairness regenerates the fairness metrics sweep at
+// z = 0.75.
+func BenchmarkFig10Fairness(b *testing.B) {
+	env := benchSetup(b)
+	sw := benchSweep()
+	sw.Fairness = []float64{10, 95}
+	b.ResetTimer()
+	var devRatio float64
+	for i := 0; i < b.N; i++ {
+		f, err := lira.Figure10(env, sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := f.Rows[len(f.Rows)-1]
+		if last[2] > 0 {
+			devRatio = last[1] / last[2] // Dev_lira / Dev_unif at loose fairness
+		}
+	}
+	b.ReportMetric(devRatio, "Dev(lira)/Dev(unif)")
+}
+
+// BenchmarkFig11FairnessVsZ regenerates the position-error-vs-fairness
+// sweep.
+func BenchmarkFig11FairnessVsZ(b *testing.B) {
+	env := benchSetup(b)
+	sw := benchSweep()
+	sw.Fairness = []float64{10, 95}
+	sw.FairnessZs = []float64{0.5}
+	b.ResetTimer()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		f, err := lira.Figure11(env, sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f.Rows[len(f.Rows)-1][1] > 0 {
+			spread = f.Rows[0][1] / f.Rows[len(f.Rows)-1][1]
+		}
+	}
+	b.ReportMetric(spread, "EP(tight)/EP(loose)")
+}
+
+// BenchmarkFig12QueryNodeRatio regenerates the m/n sensitivity sweep.
+func BenchmarkFig12QueryNodeRatio(b *testing.B) {
+	env := benchSetup(b)
+	sw := benchSweep()
+	sw.Ls = []int{49}
+	b.ResetTimer()
+	var relSparse float64
+	for i := 0; i < b.N; i++ {
+		f, err := lira.Figure12(env, sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		relSparse = f.Rows[0][1] // uniform/lira at m/n = 0.01
+	}
+	b.ReportMetric(relSparse, "relEC(unif/lira)@m/n=0.01")
+}
+
+// BenchmarkFig13QuerySideLength regenerates the query side-length sweep.
+func BenchmarkFig13QuerySideLength(b *testing.B) {
+	env := benchSetup(b)
+	sw := benchSweep()
+	b.ResetTimer()
+	var epGrowth float64
+	for i := 0; i < b.N; i++ {
+		f, err := lira.Figure13(env, sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := f.Rows[0], f.Rows[len(f.Rows)-1]
+		if first[1] > 0 {
+			epGrowth = last[1] / first[1]
+		}
+	}
+	b.ReportMetric(epGrowth, "EP(w=2000)/EP(w=500)")
+}
+
+// BenchmarkFig14AdaptationCost regenerates the server-side configuration
+// cost table (GRIDREDUCE + GREEDYINCREMENT wall clock).
+func BenchmarkFig14AdaptationCost(b *testing.B) {
+	env := benchSetup(b)
+	sw := benchSweep()
+	b.ResetTimer()
+	var msAt250 float64
+	for i := 0; i < b.N; i++ {
+		f, err := lira.Figure14(env, sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := f.Rows[len(f.Rows)-1]
+		msAt250 = last[len(last)-1]
+	}
+	b.ReportMetric(msAt250, "ms@l=250")
+}
+
+// BenchmarkTable3MessagingCost regenerates the shedding-regions-per-base-
+// station table.
+func BenchmarkTable3MessagingCost(b *testing.B) {
+	env := benchSetup(b)
+	sw := benchSweep()
+	b.ResetTimer()
+	var regionsAtLargest float64
+	for i := 0; i < b.N; i++ {
+		f, err := lira.Table3(env, sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		regionsAtLargest = f.Rows[len(f.Rows)-1][1]
+	}
+	b.ReportMetric(regionsAtLargest, "regions/station@maxR")
+}
+
+// BenchmarkCoreAdaptation measures one bare adaptation cycle (the paper's
+// "lightweight" claim) at the default scale, without the figure plumbing.
+func BenchmarkCoreAdaptation(b *testing.B) {
+	env := benchSetup(b)
+	srv, err := lira.NewServer(lira.ServerConfig{
+		Space: env.Space,
+		Nodes: env.Cfg.Nodes,
+		L:     250,
+		Curve: env.Curve,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env.Src.Reset()
+	speeds := make([]float64, env.Cfg.Nodes)
+	for t := 0; t < 60; t++ {
+		env.Src.Step(1)
+	}
+	for i, v := range env.Src.Velocities() {
+		speeds[i] = v.Len()
+	}
+	srv.ObserveStatistics(env.Src.Positions(), speeds)
+	qs, err := lira.GenerateQueries(env.Space, env.Src.Positions(), lira.QueryConfig{
+		Count: 12, SideLength: 1000, Distribution: lira.Proportional, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.RegisterQueries(qs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Adapt(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Command lirabench regenerates the tables and figures of the LIRA paper's
+// evaluation section (§4). Each experiment prints an aligned text table
+// with a note recalling what the paper reports, so shape comparisons are
+// immediate.
+//
+// Usage:
+//
+//	lirabench -exp all                 # everything, quick scale
+//	lirabench -exp fig4,fig5 -scale paper
+//	lirabench -nodes 4000 -exp fig9
+//
+// Scales: "quick" (default) runs a reduced environment in a couple of
+// minutes; "paper" uses the full Table 2 parameters (10 000 nodes, ≈200
+// km², l = 250) and takes correspondingly longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lira/internal/experiment"
+	"lira/internal/roadnet"
+	"lira/internal/workload"
+)
+
+func main() {
+	var (
+		exps     = flag.String("exp", "all", "comma-separated experiment ids: fig1,fig3,fig4,...,fig14,table3 or all")
+		scale    = flag.String("scale", "quick", "quick | paper")
+		nodes    = flag.Int("nodes", 0, "override mobile node count")
+		duration = flag.Int("duration", 0, "override measured ticks per run")
+		seed     = flag.Uint64("seed", 1, "environment seed")
+	)
+	flag.Parse()
+
+	envCfg, sweep := configsFor(*scale)
+	if *nodes > 0 {
+		envCfg.Nodes = *nodes
+	}
+	if *duration > 0 {
+		sweep.Base.DurationTicks = *duration
+	}
+	envCfg.Net.Seed = *seed
+	envCfg.TraceSeed = *seed + 1
+
+	fmt.Fprintf(os.Stderr, "building environment: %d nodes, %.0f km² space, calibrating f(Δ)...\n",
+		envCfg.Nodes, spaceArea(envCfg)/1e6)
+	start := time.Now()
+	env, err := experiment.NewEnv(envCfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "environment ready in %v (f(Δ⊣) = %.3f)\n\n",
+		time.Since(start).Round(time.Millisecond), env.Curve.Eval(env.Curve.MaxDelta()))
+
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*exps, ",") {
+		wanted[strings.TrimSpace(id)] = true
+	}
+	all := wanted["all"]
+	run := func(id string, fn func() (*experiment.Figure, error)) {
+		if !all && !wanted[id] {
+			return
+		}
+		t0 := time.Now()
+		f, err := fn()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		f.Notes = append(f.Notes, fmt.Sprintf("generated in %v", time.Since(t0).Round(time.Millisecond)))
+		f.Render(os.Stdout)
+	}
+
+	run("fig1", func() (*experiment.Figure, error) { return experiment.Figure1(env), nil })
+	run("fig3", func() (*experiment.Figure, error) {
+		f, _, err := experiment.Figure3(env, sweep.Base)
+		return f, err
+	})
+	if all || wanted["fig4"] || wanted["fig5"] {
+		t0 := time.Now()
+		f4, f5, err := experiment.Figures4and5(env, sweep)
+		if err != nil {
+			fatal(err)
+		}
+		note := fmt.Sprintf("generated in %v (shared sweep)", time.Since(t0).Round(time.Millisecond))
+		f4.Notes = append(f4.Notes, note)
+		f5.Notes = append(f5.Notes, note)
+		if all || wanted["fig4"] {
+			f4.Render(os.Stdout)
+		}
+		if all || wanted["fig5"] {
+			f5.Render(os.Stdout)
+		}
+	}
+	run("fig6", func() (*experiment.Figure, error) { return experiment.Figure6or7(env, sweep, workload.Inverse) })
+	run("fig7", func() (*experiment.Figure, error) { return experiment.Figure6or7(env, sweep, workload.Random) })
+	run("fig8", func() (*experiment.Figure, error) { return experiment.Figure8(env, sweep) })
+	run("fig9", func() (*experiment.Figure, error) { return experiment.Figure9(env, sweep) })
+	run("fig10", func() (*experiment.Figure, error) { return experiment.Figure10(env, sweep) })
+	run("fig11", func() (*experiment.Figure, error) { return experiment.Figure11(env, sweep) })
+	run("fig12", func() (*experiment.Figure, error) { return experiment.Figure12(env, sweep) })
+	run("fig13", func() (*experiment.Figure, error) { return experiment.Figure13(env, sweep) })
+	run("fig14", func() (*experiment.Figure, error) { return experiment.Figure14(env, sweep) })
+	run("table3", func() (*experiment.Figure, error) { return experiment.Table3(env, sweep) })
+}
+
+// configsFor maps a scale name to an environment and sweep.
+func configsFor(scale string) (experiment.EnvConfig, experiment.Sweep) {
+	switch scale {
+	case "paper":
+		envCfg := experiment.DefaultEnvConfig()
+		sweep := experiment.DefaultSweep()
+		sweep.Base.DurationTicks = 1800
+		return envCfg, sweep
+	case "quick":
+		netCfg := roadnet.DefaultConfig()
+		netCfg.Side = 7000
+		netCfg.GridStep = 350
+		netCfg.Centers = 3
+		netCfg.CenterRadius = 1400
+		envCfg := experiment.DefaultEnvConfig()
+		envCfg.Net = netCfg
+		envCfg.Nodes = 3000
+		envCfg.CalibNodes = 800
+		envCfg.CalibTicks = 180
+		base := experiment.DefaultRunConfig()
+		base.L = 100
+		base.WarmupTicks = 90
+		base.DurationTicks = 600
+		sweep := experiment.DefaultSweep()
+		sweep.Base = base
+		sweep.Ls = []int{13, 49, 100, 250}
+		sweep.CostLs = []int{13, 49, 100, 250, 520}
+		sweep.Radii = []float64{700, 1400, 2100, 2800, 3500}
+		return envCfg, sweep
+	default:
+		fatal(fmt.Errorf("unknown scale %q (want quick or paper)", scale))
+		panic("unreachable")
+	}
+}
+
+func spaceArea(cfg experiment.EnvConfig) float64 {
+	side := cfg.Net.Side
+	if side == 0 {
+		side = roadnet.DefaultConfig().Side
+	}
+	return side * side
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lirabench:", err)
+	os.Exit(1)
+}

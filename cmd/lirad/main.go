@@ -1,0 +1,89 @@
+// Command lirad runs the LIRA mobile CQ server as a network daemon: it
+// listens for node and query clients speaking the binary wire protocol,
+// maintains the statistics grid from the update stream, and periodically
+// re-runs the adaptation, broadcasting fresh shedding regions and update
+// throttlers.
+//
+// Usage:
+//
+//	lirad -listen 127.0.0.1:7400 -nodes 10000 -l 250 -z 0.5
+//
+// Drive it with cmd/liranode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lira/internal/basestation"
+	"lira/internal/cqserver"
+	"lira/internal/fmodel"
+	"lira/internal/geo"
+	"lira/internal/netsvc"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7400", "listen address")
+		nodes    = flag.Int("nodes", 10000, "maximum node id + 1")
+		l        = flag.Int("l", 250, "number of shedding regions")
+		z        = flag.Float64("z", 0.5, "throttle fraction")
+		side     = flag.Float64("side", 14142, "space side length (meters)")
+		fairness = flag.Float64("fairness", 50, "fairness threshold Δ⇔ (meters)")
+		adapt    = flag.Duration("adapt", 30*time.Second, "adaptation period")
+		eval     = flag.Duration("eval", 2*time.Second, "query evaluation period")
+		stations = flag.Float64("station-radius", 0, "uniform station radius; 0 = one station")
+	)
+	flag.Parse()
+
+	space := geo.Rect{MinX: 0, MinY: 0, MaxX: *side, MaxY: *side}
+	cfg := netsvc.ServerConfig{
+		Core: cqserver.Config{
+			Space:    space,
+			Nodes:    *nodes,
+			L:        *l,
+			Curve:    fmodel.Hyperbolic(5, 100, 95),
+			Fairness: *fairness,
+		},
+		Z:          *z,
+		AdaptEvery: *adapt,
+		EvalEvery:  *eval,
+	}
+	if *stations > 0 {
+		sts, err := basestation.PlaceUniform(space, *stations)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Stations = sts
+	}
+	srv, err := netsvc.Listen(*listen, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "lirad: serving %v (l=%d, z=%.2f, %d stations)\n",
+		srv.Addr(), *l, *z, max(1, len(cfg.Stations)))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "lirad: shutting down")
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lirad:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,159 @@
+// Command liramap renders the paper's Figure 3 as ASCII art: the node
+// density of the monitored space, the query density, and the
+// (α,l)-partitioning GRIDREDUCE produces over them — large shedding
+// regions where nothing interesting happens, fine regions where node and
+// query density are heterogeneous.
+//
+// Usage:
+//
+//	liramap -l 100 -nodes 3000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lira/internal/experiment"
+	"lira/internal/geo"
+	"lira/internal/partition"
+	"lira/internal/roadnet"
+	"lira/internal/workload"
+)
+
+const (
+	canvasW = 72
+	canvasH = 36
+)
+
+func main() {
+	var (
+		l     = flag.Int("l", 100, "number of shedding regions")
+		nodes = flag.Int("nodes", 3000, "mobile node count")
+		z     = flag.Float64("z", 0.5, "throttle fraction")
+		side  = flag.Float64("side", 7000, "space side length (meters)")
+		seed  = flag.Uint64("seed", 1, "generation seed")
+		dist  = flag.String("dist", "proportional", "query distribution")
+	)
+	flag.Parse()
+
+	netCfg := roadnet.DefaultConfig()
+	netCfg.Side = *side
+	netCfg.GridStep = *side / 24
+	netCfg.Seed = *seed
+	envCfg := experiment.DefaultEnvConfig()
+	envCfg.Net = netCfg
+	envCfg.Nodes = *nodes
+	envCfg.TraceSeed = *seed + 1
+	envCfg.CalibNodes = 500
+	envCfg.CalibTicks = 120
+	env, err := experiment.NewEnv(envCfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := experiment.DefaultRunConfig()
+	cfg.L = *l
+	cfg.Z = *z
+	for _, d := range []workload.Distribution{workload.Proportional, workload.Inverse, workload.Random} {
+		if d.String() == *dist {
+			cfg.QueryDist = d
+		}
+	}
+
+	// Warm the trace for a node snapshot and queries.
+	env.Src.Reset()
+	for t := 0; t < cfg.WarmupTicks; t++ {
+		env.Src.Step(1)
+	}
+	positions := env.Src.Positions()
+	queries, err := workload.GenerateQueries(env.Space, positions, workload.QueryConfig{
+		Count:        int(cfg.MOverN * float64(*nodes)),
+		SideLength:   cfg.QuerySide,
+		Distribution: cfg.QueryDist,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("mobile node distribution:")
+	fmt.Print(densityMap(env.Space, positions))
+	fmt.Println("\nquery distribution:")
+	centers := make([]geo.Point, len(queries))
+	for i, q := range queries {
+		centers[i] = q.Center()
+	}
+	fmt.Print(densityMap(env.Space, centers))
+
+	_, p, err := experiment.Figure3(env, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n(α,l)-partitioning (l = %d shedding regions; distinct letters = distinct regions):\n", len(p.Regions))
+	fmt.Print(regionMap(env.Space, p))
+}
+
+// densityMap renders a point cloud as an ASCII heat map.
+func densityMap(space geo.Rect, pts []geo.Point) string {
+	shades := []byte(" .:-=+*#%@")
+	counts := make([]int, canvasW*canvasH)
+	max := 0
+	for _, p := range pts {
+		x := int((p.X - space.MinX) / space.Width() * canvasW)
+		y := int((p.Y - space.MinY) / space.Height() * canvasH)
+		if x < 0 || x >= canvasW || y < 0 || y >= canvasH {
+			continue
+		}
+		counts[y*canvasW+x]++
+		if counts[y*canvasW+x] > max {
+			max = counts[y*canvasW+x]
+		}
+	}
+	var b strings.Builder
+	for y := canvasH - 1; y >= 0; y-- { // north up
+		for x := 0; x < canvasW; x++ {
+			c := counts[y*canvasW+x]
+			idx := 0
+			if max > 0 && c > 0 {
+				idx = 1 + c*(len(shades)-2)/max
+				if idx >= len(shades) {
+					idx = len(shades) - 1
+				}
+			}
+			b.WriteByte(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// regionMap renders a partitioning: each sampled cell shows a letter
+// derived from its region index, so region boundaries appear as letter
+// changes.
+func regionMap(space geo.Rect, p *partition.Partitioning) string {
+	const letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	var b strings.Builder
+	for y := canvasH - 1; y >= 0; y-- {
+		for x := 0; x < canvasW; x++ {
+			pt := geo.Point{
+				X: space.MinX + (float64(x)+0.5)/canvasW*space.Width(),
+				Y: space.MinY + (float64(y)+0.5)/canvasH*space.Height(),
+			}
+			idx := p.Locate(pt)
+			if idx < 0 {
+				b.WriteByte('?')
+				continue
+			}
+			b.WriteByte(letters[idx%len(letters)])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "liramap:", err)
+	os.Exit(1)
+}

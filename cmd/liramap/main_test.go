@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"lira/internal/fmodel"
+	"lira/internal/geo"
+	"lira/internal/partition"
+	"lira/internal/statgrid"
+)
+
+func TestDensityMap(t *testing.T) {
+	space := geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	out := densityMap(space, []geo.Point{{X: 10, Y: 10}, {X: 10, Y: 12}, {X: 900, Y: 900}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != canvasH {
+		t.Fatalf("canvas height %d, want %d", len(lines), canvasH)
+	}
+	for i, l := range lines {
+		if len(l) != canvasW {
+			t.Fatalf("line %d width %d, want %d", i, len(l), canvasW)
+		}
+	}
+	// The dense SW corner renders darker (later shade) than empty space;
+	// north is up, so the SW corner is the bottom-left.
+	bottom := lines[len(lines)-1]
+	if bottom[0] == ' ' {
+		t.Error("SW density not rendered")
+	}
+	if strings.Count(out, " ") == 0 {
+		t.Error("empty space should render blank")
+	}
+	// Points outside the space must not panic or render.
+	_ = densityMap(space, []geo.Point{{X: -50, Y: 5000}})
+}
+
+func TestRegionMap(t *testing.T) {
+	space := geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	g := statgrid.New(space, 8)
+	g.Observe([]geo.Point{{X: 100, Y: 100}}, []float64{10})
+	p, err := partition.GridReduce(g, partition.Config{L: 4, Z: 0.5, Curve: fmodel.Hyperbolic(5, 100, 19)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := regionMap(space, p)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != canvasH {
+		t.Fatalf("canvas height %d", len(lines))
+	}
+	distinct := map[byte]bool{}
+	for _, l := range lines {
+		for i := 0; i < len(l); i++ {
+			distinct[l[i]] = true
+		}
+	}
+	if len(distinct) != len(p.Regions) {
+		t.Errorf("rendered %d distinct letters for %d regions", len(distinct), len(p.Regions))
+	}
+	if distinct['?'] {
+		t.Error("unlocated cells rendered")
+	}
+}

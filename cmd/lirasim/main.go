@@ -1,0 +1,124 @@
+// Command lirasim runs a single LIRA simulation and prints the §4.1
+// accuracy metrics plus the update and messaging accounting.
+//
+// Usage:
+//
+//	lirasim -strategy lira -z 0.5 -l 250
+//	lirasim -strategy random-drop -z 0.3 -nodes 4000 -dist inverse
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lira/internal/experiment"
+	"lira/internal/roadnet"
+	"lira/internal/shedding"
+	"lira/internal/workload"
+)
+
+func main() {
+	var (
+		strategy = flag.String("strategy", "lira", "lira | lira-grid | uniform-delta | random-drop")
+		z        = flag.Float64("z", 0.5, "throttle fraction")
+		l        = flag.Int("l", 100, "number of shedding regions")
+		fairness = flag.Float64("fairness", 50, "fairness threshold Δ⇔ (meters)")
+		nodes    = flag.Int("nodes", 3000, "mobile node count")
+		side     = flag.Float64("side", 7000, "space side length (meters)")
+		mon      = flag.Float64("mn", 0.01, "query-to-node ratio m/n")
+		w        = flag.Float64("w", 1000, "query side length parameter (meters)")
+		dist     = flag.String("dist", "proportional", "proportional | inverse | random")
+		duration = flag.Int("duration", 600, "measured ticks (1 s each)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	kind, err := parseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	qd, err := parseDist(*dist)
+	if err != nil {
+		fatal(err)
+	}
+
+	netCfg := roadnet.DefaultConfig()
+	netCfg.Side = *side
+	netCfg.GridStep = *side / 20
+	netCfg.Seed = *seed
+	envCfg := experiment.DefaultEnvConfig()
+	envCfg.Net = netCfg
+	envCfg.Nodes = *nodes
+	envCfg.TraceSeed = *seed + 1
+	envCfg.CalibNodes = min(*nodes, 1000)
+	envCfg.CalibTicks = 180
+
+	fmt.Fprintln(os.Stderr, "building environment...")
+	env, err := experiment.NewEnv(envCfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := experiment.DefaultRunConfig()
+	cfg.Strategy = kind
+	cfg.Z = *z
+	cfg.L = *l
+	cfg.Fairness = *fairness
+	cfg.MOverN = *mon
+	cfg.QuerySide = *w
+	cfg.QueryDist = qd
+	cfg.DurationTicks = *duration
+	cfg.Seed = *seed + 2
+
+	start := time.Now()
+	res, err := experiment.Run(env, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("strategy            %v\n", res.Strategy)
+	fmt.Printf("throttle fraction   %.3f (achieved %.3f, budget met: %v)\n",
+		res.Z, res.AchievedFraction, res.BudgetMet)
+	fmt.Printf("containment error   %.4f (stddev %.4f, cov %.3f)\n",
+		res.Metrics.MeanContainment, res.Metrics.StdDevContainment, res.Metrics.CovContainment)
+	fmt.Printf("position error      %.2f m\n", res.Metrics.MeanPosition)
+	fmt.Printf("updates             reference %d, sent %d, admitted %d\n",
+		res.ReferenceUpdates, res.SentUpdates, res.AdmittedUpdates)
+	fmt.Printf("config cost         %v\n", res.ConfigElapsed.Round(time.Microsecond))
+	fmt.Printf("base stations       %d (%.1f regions, %.0f B broadcast each; %d hand-offs)\n",
+		res.Stations, res.RegionsPerStation, res.BroadcastBytesPerStation, res.Handoffs)
+	fmt.Printf("wall clock          %v\n", elapsed.Round(time.Millisecond))
+}
+
+func parseStrategy(s string) (shedding.Kind, error) {
+	for _, k := range shedding.Kinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown strategy %q", s)
+}
+
+func parseDist(s string) (workload.Distribution, error) {
+	for _, d := range []workload.Distribution{workload.Proportional, workload.Inverse, workload.Random} {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown distribution %q", s)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lirasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+
+	"lira/internal/shedding"
+	"lira/internal/workload"
+)
+
+func TestParseStrategy(t *testing.T) {
+	for _, k := range shedding.Kinds() {
+		got, err := parseStrategy(k.String())
+		if err != nil || got != k {
+			t.Errorf("parseStrategy(%q) = (%v, %v)", k.String(), got, err)
+		}
+	}
+	if _, err := parseStrategy("bogus"); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}
+
+func TestParseDist(t *testing.T) {
+	for _, d := range []workload.Distribution{workload.Proportional, workload.Inverse, workload.Random} {
+		got, err := parseDist(d.String())
+		if err != nil || got != d {
+			t.Errorf("parseDist(%q) = (%v, %v)", d.String(), got, err)
+		}
+	}
+	if _, err := parseDist("bogus"); err == nil {
+		t.Error("bogus distribution accepted")
+	}
+}
+
+func TestMin(t *testing.T) {
+	if min(3, 5) != 3 || min(5, 3) != 3 {
+		t.Error("min broken")
+	}
+}

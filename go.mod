@@ -1,0 +1,3 @@
+module lira
+
+go 1.22

@@ -1,0 +1,211 @@
+// Package basestation implements the second layer of the LIRA
+// architecture (§2.2): the base stations that relay shedding regions and
+// update throttlers from the CQ server to the mobile nodes.
+//
+// Each station covers a disk. When the server reconfigures, every station
+// broadcasts the subset of (region, throttler) pairs intersecting its
+// coverage area; a node entering a new station's area receives that subset
+// during hand-off. The package provides the two placement models behind
+// the paper's Table 3 — a uniform grid of equal-radius stations, and a
+// node-density-dependent placement with small urban and large suburban
+// cells — and the broadcast-size accounting of §4.3.2 (a square region is
+// 3 floats, a throttler 1 float, 4 bytes each: 16 bytes per region).
+package basestation
+
+import (
+	"fmt"
+	"math"
+
+	"lira/internal/geo"
+	"lira/internal/partition"
+)
+
+// Station is one base station with a circular coverage area.
+type Station struct {
+	ID     int
+	Center geo.Point
+	Radius float64
+}
+
+// Covers reports whether p lies within the station's coverage disk.
+func (s Station) Covers(p geo.Point) bool {
+	return s.Center.Dist(p) <= s.Radius
+}
+
+// coverageIntersects reports whether the station's disk intersects rect r.
+func (s Station) coverageIntersects(r geo.Rect) bool {
+	return r.ClampPoint(s.Center).Dist(s.Center) <= s.Radius
+}
+
+// PlaceUniform tiles the space with a square grid of stations of the given
+// coverage radius. Station spacing is radius·√2 so the disks cover the
+// plane with minimal overlap.
+func PlaceUniform(space geo.Rect, radius float64) ([]Station, error) {
+	if radius <= 0 {
+		return nil, fmt.Errorf("basestation: non-positive radius %v", radius)
+	}
+	spacing := radius * math.Sqrt2
+	nx := int(math.Ceil(space.Width() / spacing))
+	ny := int(math.Ceil(space.Height() / spacing))
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	var out []Station
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			out = append(out, Station{
+				ID: len(out),
+				Center: geo.Point{
+					X: space.MinX + (float64(i)+0.5)*space.Width()/float64(nx),
+					Y: space.MinY + (float64(j)+0.5)*space.Height()/float64(ny),
+				},
+				Radius: radius,
+			})
+		}
+	}
+	return out, nil
+}
+
+// PlaceDensityAware places stations by recursively splitting the space
+// until each station serves at most targetPerCell of the given node
+// positions, bounded by the radius range [minRadius, maxRadius]. This
+// reproduces the real-world pattern the paper cites: small cells downtown,
+// large cells in the suburbs.
+func PlaceDensityAware(space geo.Rect, nodes []geo.Point, targetPerCell int, minRadius, maxRadius float64) ([]Station, error) {
+	if targetPerCell <= 0 {
+		return nil, fmt.Errorf("basestation: non-positive target %d", targetPerCell)
+	}
+	if minRadius <= 0 || maxRadius < minRadius {
+		return nil, fmt.Errorf("basestation: invalid radius range [%v, %v]", minRadius, maxRadius)
+	}
+	var out []Station
+	var split func(r geo.Rect, pts []geo.Point)
+	split = func(r geo.Rect, pts []geo.Point) {
+		// The covering radius of a rect cell is half its diagonal.
+		radius := math.Hypot(r.Width(), r.Height()) / 2
+		if (len(pts) <= targetPerCell || radius <= minRadius) && radius <= maxRadius {
+			out = append(out, Station{
+				ID:     len(out),
+				Center: r.Center(),
+				Radius: math.Max(radius, minRadius),
+			})
+			return
+		}
+		for _, q := range r.Quadrants() {
+			var sub []geo.Point
+			for _, p := range pts {
+				if q.Contains(p) {
+					sub = append(sub, p)
+				}
+			}
+			split(q, sub)
+		}
+	}
+	split(space, nodes)
+	return out, nil
+}
+
+// StationFor returns the index of the station covering p — the nearest
+// center among covering stations — or -1 when no station covers p.
+// A change of the returned index across time is a hand-off.
+func StationFor(stations []Station, p geo.Point) int {
+	best, bestDist := -1, math.Inf(1)
+	for i, s := range stations {
+		d := s.Center.Dist(p)
+		if d <= s.Radius && d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// Assignment is the (region, throttler) subset a station broadcasts to the
+// nodes in its coverage area.
+type Assignment struct {
+	Regions []geo.Rect
+	Deltas  []float64
+	// DefaultDelta is used by a node whose position falls outside every
+	// assigned region (coverage slop at station borders). It is the
+	// minimum inaccuracy threshold, the conservative choice.
+	DefaultDelta float64
+}
+
+// RegionBytes is the broadcast size of one (region, throttler) pair:
+// 3 floats for a square region plus 1 float for the throttler (§4.3.2).
+const RegionBytes = (3 + 1) * 4
+
+// BroadcastBytes returns the size of the assignment's broadcast payload.
+func (a *Assignment) BroadcastBytes() int { return len(a.Regions) * RegionBytes }
+
+// Subset computes the assignment for one station: the regions of p whose
+// area intersects the station's coverage disk, with their throttlers.
+// deltas must be parallel to p.Regions.
+func Subset(p *partition.Partitioning, deltas []float64, s Station) (*Assignment, error) {
+	if len(deltas) != len(p.Regions) {
+		return nil, fmt.Errorf("basestation: %d deltas for %d regions", len(deltas), len(p.Regions))
+	}
+	a := &Assignment{}
+	minDelta := math.Inf(1)
+	for i, r := range p.Regions {
+		if deltas[i] < minDelta {
+			minDelta = deltas[i]
+		}
+		if s.coverageIntersects(r.Area) {
+			a.Regions = append(a.Regions, r.Area)
+			a.Deltas = append(a.Deltas, deltas[i])
+		}
+	}
+	if math.IsInf(minDelta, 1) {
+		minDelta = 0
+	}
+	a.DefaultDelta = minDelta
+	return a, nil
+}
+
+// Deployment binds a station set to per-station assignments.
+type Deployment struct {
+	Stations    []Station
+	Assignments []*Assignment
+}
+
+// NewDeployment computes the assignment of every station for the given
+// partitioning and throttlers.
+func NewDeployment(stations []Station, p *partition.Partitioning, deltas []float64) (*Deployment, error) {
+	d := &Deployment{Stations: stations}
+	for _, s := range stations {
+		a, err := Subset(p, deltas, s)
+		if err != nil {
+			return nil, err
+		}
+		d.Assignments = append(d.Assignments, a)
+	}
+	return d, nil
+}
+
+// MeanRegionsPerStation returns the average number of shedding regions a
+// station must broadcast — the paper's Table 3 metric.
+func (d *Deployment) MeanRegionsPerStation() float64 {
+	if len(d.Assignments) == 0 {
+		return 0
+	}
+	total := 0
+	for _, a := range d.Assignments {
+		total += len(a.Regions)
+	}
+	return float64(total) / float64(len(d.Assignments))
+}
+
+// MeanBroadcastBytes returns the average broadcast payload per station.
+func (d *Deployment) MeanBroadcastBytes() float64 {
+	if len(d.Assignments) == 0 {
+		return 0
+	}
+	total := 0
+	for _, a := range d.Assignments {
+		total += a.BroadcastBytes()
+	}
+	return float64(total) / float64(len(d.Assignments))
+}

@@ -1,0 +1,215 @@
+package basestation
+
+import (
+	"math"
+	"testing"
+
+	"lira/internal/fmodel"
+	"lira/internal/geo"
+	"lira/internal/partition"
+	"lira/internal/rng"
+	"lira/internal/statgrid"
+)
+
+func space() geo.Rect { return geo.Rect{MinX: 0, MinY: 0, MaxX: 10000, MaxY: 10000} }
+
+func testPartitioning(t *testing.T, l int) (*partition.Partitioning, []float64) {
+	t.Helper()
+	g := statgrid.New(space(), 32)
+	r := rng.New(3)
+	var pos []geo.Point
+	var sp []float64
+	for i := 0; i < 3000; i++ {
+		// Cluster in the middle-left.
+		pos = append(pos, geo.Point{X: r.Range(1000, 4000), Y: r.Range(3000, 7000)})
+		sp = append(sp, 15)
+	}
+	g.Observe(pos, sp)
+	var queries []geo.Rect
+	for i := 0; i < 40; i++ {
+		queries = append(queries, geo.Square(geo.Point{X: r.Range(0, 10000), Y: r.Range(0, 10000)}, 500))
+	}
+	g.SetQueries(queries)
+	p, err := partition.GridReduce(g, partition.Config{L: l, Z: 0.5, Curve: fmodel.Hyperbolic(5, 100, 95)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := make([]float64, len(p.Regions))
+	for i := range deltas {
+		deltas[i] = 5 + float64(i%20)
+	}
+	return p, deltas
+}
+
+func TestPlaceUniformCoversSpace(t *testing.T) {
+	stations, err := PlaceUniform(space(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	for i := 0; i < 1000; i++ {
+		p := geo.Point{X: r.Range(0, 10000), Y: r.Range(0, 10000)}
+		if StationFor(stations, p) == -1 {
+			t.Fatalf("point %v uncovered by uniform placement", p)
+		}
+	}
+	if _, err := PlaceUniform(space(), 0); err == nil {
+		t.Error("zero radius should error")
+	}
+}
+
+func TestPlaceUniformRadiusScalesCount(t *testing.T) {
+	small, _ := PlaceUniform(space(), 1000)
+	large, _ := PlaceUniform(space(), 4000)
+	if len(small) <= len(large) {
+		t.Errorf("smaller radius should need more stations: %d vs %d", len(small), len(large))
+	}
+}
+
+func TestPlaceDensityAware(t *testing.T) {
+	r := rng.New(11)
+	var nodes []geo.Point
+	// Dense downtown cluster plus sparse suburbs.
+	for i := 0; i < 5000; i++ {
+		nodes = append(nodes, geo.Point{X: r.Range(4000, 5000), Y: r.Range(4000, 5000)})
+	}
+	for i := 0; i < 200; i++ {
+		nodes = append(nodes, geo.Point{X: r.Range(0, 10000), Y: r.Range(0, 10000)})
+	}
+	stations, err := PlaceDensityAware(space(), nodes, 400, 300, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stations) < 4 {
+		t.Fatalf("expected a multi-station deployment, got %d", len(stations))
+	}
+	// Downtown stations must have smaller radii than the largest suburb
+	// station.
+	var minDowntown, maxSuburb float64 = math.Inf(1), 0
+	for _, s := range stations {
+		downtown := s.Center.X >= 4000 && s.Center.X < 5000 && s.Center.Y >= 4000 && s.Center.Y < 5000
+		if downtown {
+			minDowntown = math.Min(minDowntown, s.Radius)
+		} else {
+			maxSuburb = math.Max(maxSuburb, s.Radius)
+		}
+	}
+	if !(minDowntown < maxSuburb) {
+		t.Errorf("downtown min radius %v should be below suburb max %v", minDowntown, maxSuburb)
+	}
+	// Every node must be covered.
+	for _, p := range nodes {
+		if StationFor(stations, p) == -1 {
+			t.Fatalf("node %v uncovered", p)
+		}
+	}
+	if _, err := PlaceDensityAware(space(), nodes, 0, 300, 8000); err == nil {
+		t.Error("zero target should error")
+	}
+	if _, err := PlaceDensityAware(space(), nodes, 10, 300, 100); err == nil {
+		t.Error("inverted radius range should error")
+	}
+}
+
+func TestSubsetContainsExactlyIntersectingRegions(t *testing.T) {
+	p, deltas := testPartitioning(t, 40)
+	st := Station{ID: 0, Center: geo.Point{X: 2500, Y: 5000}, Radius: 1500}
+	a, err := Subset(p, deltas, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Regions) == 0 || len(a.Regions) == len(p.Regions) {
+		t.Fatalf("subset size %d of %d looks wrong", len(a.Regions), len(p.Regions))
+	}
+	for _, r := range a.Regions {
+		if r.ClampPoint(st.Center).Dist(st.Center) > st.Radius {
+			t.Errorf("region %v does not intersect coverage", r)
+		}
+	}
+	// Every excluded region must genuinely miss the disk.
+	included := make(map[geo.Rect]bool)
+	for _, r := range a.Regions {
+		included[r] = true
+	}
+	for _, reg := range p.Regions {
+		if !included[reg.Area] {
+			if reg.Area.ClampPoint(st.Center).Dist(st.Center) <= st.Radius {
+				t.Errorf("region %v intersects but was excluded", reg.Area)
+			}
+		}
+	}
+	if a.DefaultDelta != 5 {
+		t.Errorf("DefaultDelta = %v, want the global minimum 5", a.DefaultDelta)
+	}
+}
+
+func TestSubsetValidation(t *testing.T) {
+	p, deltas := testPartitioning(t, 13)
+	if _, err := Subset(p, deltas[:1], Station{}); err == nil {
+		t.Error("mismatched deltas should error")
+	}
+}
+
+func TestBroadcastBytes(t *testing.T) {
+	a := &Assignment{Regions: make([]geo.Rect, 41), Deltas: make([]float64, 41)}
+	if got := a.BroadcastBytes(); got != 656 {
+		t.Errorf("41 regions broadcast = %d bytes, want 656 (the paper's number)", got)
+	}
+}
+
+func TestDeploymentMeans(t *testing.T) {
+	p, deltas := testPartitioning(t, 40)
+	stations, err := PlaceUniform(space(), 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDeployment(stations, p, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := d.MeanRegionsPerStation()
+	if mean <= 0 || mean > float64(len(p.Regions)) {
+		t.Errorf("MeanRegionsPerStation = %v", mean)
+	}
+	if got := d.MeanBroadcastBytes(); math.Abs(got-mean*RegionBytes) > 1e-9 {
+		t.Errorf("MeanBroadcastBytes = %v, want %v", got, mean*RegionBytes)
+	}
+}
+
+func TestLargerRadiusKnowsMoreRegions(t *testing.T) {
+	// Table 3's trend: per-station region count grows with coverage
+	// radius.
+	p, deltas := testPartitioning(t, 40)
+	prev := 0.0
+	for _, radius := range []float64{1000, 2000, 4000} {
+		stations, err := PlaceUniform(space(), radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewDeployment(stations, p, deltas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := d.MeanRegionsPerStation()
+		if mean < prev {
+			t.Errorf("radius %v: mean regions %v decreased from %v", radius, mean, prev)
+		}
+		prev = mean
+	}
+}
+
+func TestStationForPicksNearest(t *testing.T) {
+	stations := []Station{
+		{ID: 0, Center: geo.Point{X: 0, Y: 0}, Radius: 100},
+		{ID: 1, Center: geo.Point{X: 50, Y: 0}, Radius: 100},
+	}
+	if got := StationFor(stations, geo.Point{X: 40, Y: 0}); got != 1 {
+		t.Errorf("StationFor = %d, want 1 (nearest)", got)
+	}
+	if got := StationFor(stations, geo.Point{X: 500, Y: 500}); got != -1 {
+		t.Errorf("uncovered point: got %d", got)
+	}
+	if !stations[0].Covers(geo.Point{X: 100, Y: 0}) {
+		t.Error("boundary point should be covered")
+	}
+}

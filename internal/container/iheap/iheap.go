@@ -1,0 +1,163 @@
+// Package iheap implements an indexed binary max-heap keyed by float64
+// priorities. Unlike container/heap it tracks each item's position so a
+// priority can be updated or an item removed in O(log n) without a scan,
+// which is what the GREEDYINCREMENT blocked-list re-admission and the
+// GRIDREDUCE drill-down both need.
+package iheap
+
+// Heap is an indexed max-heap of items identified by a caller-chosen
+// integer id. Priorities compare as float64; +Inf is a valid priority and
+// sorts above everything else (used for query-free shedding regions whose
+// update gain is unbounded).
+//
+// The zero value is an empty heap ready to use.
+type Heap struct {
+	ids  []int       // heap order: ids[0] has the max priority
+	pri  []float64   // parallel to ids
+	pos  map[int]int // id -> index in ids
+	tie  []int64     // parallel to ids: tie-breaker, lower wins
+	next int64
+}
+
+// Len returns the number of items in the heap.
+func (h *Heap) Len() int { return len(h.ids) }
+
+// Push inserts id with the given priority. Pushing an id that is already
+// present panics; use Update instead.
+func (h *Heap) Push(id int, priority float64) {
+	if h.pos == nil {
+		h.pos = make(map[int]int)
+	}
+	if _, ok := h.pos[id]; ok {
+		panic("iheap: duplicate id")
+	}
+	h.ids = append(h.ids, id)
+	h.pri = append(h.pri, priority)
+	h.tie = append(h.tie, h.next)
+	h.next++
+	h.pos[id] = len(h.ids) - 1
+	h.up(len(h.ids) - 1)
+}
+
+// PopMax removes and returns the id with the highest priority. Ties break
+// by insertion order (earlier wins) so results are deterministic.
+func (h *Heap) PopMax() (id int, priority float64) {
+	if len(h.ids) == 0 {
+		panic("iheap: PopMax on empty heap")
+	}
+	id, priority = h.ids[0], h.pri[0]
+	h.removeAt(0)
+	return id, priority
+}
+
+// PeekMax returns the id and priority at the top of the heap without
+// removing it.
+func (h *Heap) PeekMax() (id int, priority float64) {
+	if len(h.ids) == 0 {
+		panic("iheap: PeekMax on empty heap")
+	}
+	return h.ids[0], h.pri[0]
+}
+
+// Update changes the priority of id, restoring heap order. It reports
+// whether the id was present.
+func (h *Heap) Update(id int, priority float64) bool {
+	i, ok := h.pos[id]
+	if !ok {
+		return false
+	}
+	old := h.pri[i]
+	h.pri[i] = priority
+	if priority > old {
+		h.up(i)
+	} else if priority < old {
+		h.down(i)
+	}
+	return true
+}
+
+// Remove deletes id from the heap. It reports whether the id was present.
+func (h *Heap) Remove(id int) bool {
+	i, ok := h.pos[id]
+	if !ok {
+		return false
+	}
+	h.removeAt(i)
+	return true
+}
+
+// Contains reports whether id is in the heap.
+func (h *Heap) Contains(id int) bool {
+	_, ok := h.pos[id]
+	return ok
+}
+
+// Priority returns the current priority of id and whether it is present.
+func (h *Heap) Priority(id int) (float64, bool) {
+	i, ok := h.pos[id]
+	if !ok {
+		return 0, false
+	}
+	return h.pri[i], true
+}
+
+func (h *Heap) removeAt(i int) {
+	last := len(h.ids) - 1
+	if i != last {
+		h.swap(i, last)
+	}
+	delete(h.pos, h.ids[last])
+	h.ids = h.ids[:last]
+	h.pri = h.pri[:last]
+	h.tie = h.tie[:last]
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+}
+
+// less reports whether item i should sort above item j in the max-heap.
+func (h *Heap) less(i, j int) bool {
+	if h.pri[i] != h.pri[j] {
+		return h.pri[i] > h.pri[j]
+	}
+	return h.tie[i] < h.tie[j]
+}
+
+func (h *Heap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.pri[i], h.pri[j] = h.pri[j], h.pri[i]
+	h.tie[i], h.tie[j] = h.tie[j], h.tie[i]
+	h.pos[h.ids[i]] = i
+	h.pos[h.ids[j]] = j
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(l, best) {
+			best = l
+		}
+		if r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}

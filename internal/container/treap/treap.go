@@ -1,0 +1,241 @@
+// Package treap implements an ordered multiset of float64 keys as a
+// randomized balanced binary search tree. GREEDYINCREMENT keeps the current
+// update throttlers Δᵢ in such a multiset so the minimum throttler — which
+// anchors the fairness constraint |Δᵢ − Δⱼ| ≤ Δ⇔ — can be maintained in
+// O(log l) per insert, remove, and update (footnote 2 of the paper).
+package treap
+
+// Multiset is an ordered multiset of float64 keys. The zero value is an
+// empty multiset ready to use.
+type Multiset struct {
+	root  *node
+	state uint64 // deterministic priority stream
+	size  int
+}
+
+type node struct {
+	key         float64
+	prio        uint64
+	count       int // multiplicity of key
+	subtreeSize int // total multiplicity in this subtree
+	left, right *node
+}
+
+func (n *node) recompute() {
+	n.subtreeSize = n.count
+	if n.left != nil {
+		n.subtreeSize += n.left.subtreeSize
+	}
+	if n.right != nil {
+		n.subtreeSize += n.right.subtreeSize
+	}
+}
+
+// Len returns the number of keys (counting multiplicity).
+func (m *Multiset) Len() int { return m.size }
+
+func (m *Multiset) nextPrio() uint64 {
+	// xorshift64*: deterministic yet well-mixed priorities keep the treap
+	// balanced with high probability without importing randomness.
+	m.state = m.state*6364136223846793005 + 1442695040888963407
+	x := m.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Insert adds one occurrence of key.
+func (m *Multiset) Insert(key float64) {
+	m.root = m.insert(m.root, key)
+	m.size++
+}
+
+func (m *Multiset) insert(n *node, key float64) *node {
+	if n == nil {
+		nn := &node{key: key, prio: m.nextPrio(), count: 1}
+		nn.recompute()
+		return nn
+	}
+	switch {
+	case key == n.key:
+		n.count++
+	case key < n.key:
+		n.left = m.insert(n.left, key)
+		if n.left.prio > n.prio {
+			n = rotateRight(n)
+		}
+	default:
+		n.right = m.insert(n.right, key)
+		if n.right.prio > n.prio {
+			n = rotateLeft(n)
+		}
+	}
+	n.recompute()
+	return n
+}
+
+// Remove deletes one occurrence of key. It reports whether the key was
+// present.
+func (m *Multiset) Remove(key float64) bool {
+	var removed bool
+	m.root, removed = m.remove(m.root, key)
+	if removed {
+		m.size--
+	}
+	return removed
+}
+
+func (m *Multiset) remove(n *node, key float64) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var removed bool
+	switch {
+	case key < n.key:
+		n.left, removed = m.remove(n.left, key)
+	case key > n.key:
+		n.right, removed = m.remove(n.right, key)
+	default:
+		removed = true
+		if n.count > 1 {
+			n.count--
+		} else {
+			n = merge(n.left, n.right)
+		}
+	}
+	if n != nil {
+		n.recompute()
+	}
+	return n, removed
+}
+
+// Replace atomically removes old and inserts new — the D.UPDATE(Δ′, Δ)
+// operation from Algorithm 2. It reports whether old was present (new is
+// inserted either way).
+func (m *Multiset) Replace(old, new float64) bool {
+	removed := m.Remove(old)
+	m.Insert(new)
+	return removed
+}
+
+// Min returns the smallest key. The second result is false when the
+// multiset is empty.
+func (m *Multiset) Min() (float64, bool) {
+	n := m.root
+	if n == nil {
+		return 0, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, true
+}
+
+// Max returns the largest key. The second result is false when the
+// multiset is empty.
+func (m *Multiset) Max() (float64, bool) {
+	n := m.root
+	if n == nil {
+		return 0, false
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, true
+}
+
+// Count returns the multiplicity of key.
+func (m *Multiset) Count(key float64) int {
+	n := m.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.count
+		}
+	}
+	return 0
+}
+
+// Kth returns the k-th smallest key, 0-indexed, counting multiplicity.
+// The second result is false when k is out of range.
+func (m *Multiset) Kth(k int) (float64, bool) {
+	if k < 0 || k >= m.size {
+		return 0, false
+	}
+	n := m.root
+	for n != nil {
+		leftSize := 0
+		if n.left != nil {
+			leftSize = n.left.subtreeSize
+		}
+		switch {
+		case k < leftSize:
+			n = n.left
+		case k < leftSize+n.count:
+			return n.key, true
+		default:
+			k -= leftSize + n.count
+			n = n.right
+		}
+	}
+	return 0, false
+}
+
+// Ascend calls fn for each distinct key in increasing order, with its
+// multiplicity, stopping early if fn returns false.
+func (m *Multiset) Ascend(fn func(key float64, count int) bool) {
+	ascend(m.root, fn)
+}
+
+func ascend(n *node, fn func(float64, int) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.count) {
+		return false
+	}
+	return ascend(n.right, fn)
+}
+
+func rotateRight(n *node) *node {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.recompute()
+	l.recompute()
+	return l
+}
+
+func rotateLeft(n *node) *node {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.recompute()
+	r.recompute()
+	return r
+}
+
+func merge(a, b *node) *node {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.prio > b.prio {
+		a.right = merge(a.right, b)
+		a.recompute()
+		return a
+	}
+	b.left = merge(a, b.left)
+	b.recompute()
+	return b
+}

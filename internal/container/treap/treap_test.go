@@ -1,0 +1,203 @@
+package treap
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"lira/internal/rng"
+)
+
+func TestInsertMinMax(t *testing.T) {
+	var m Multiset
+	if _, ok := m.Min(); ok {
+		t.Error("Min of empty multiset should report false")
+	}
+	if _, ok := m.Max(); ok {
+		t.Error("Max of empty multiset should report false")
+	}
+	for _, k := range []float64{5, 3, 9, 1, 7} {
+		m.Insert(k)
+	}
+	if min, _ := m.Min(); min != 1 {
+		t.Errorf("Min = %v, want 1", min)
+	}
+	if max, _ := m.Max(); max != 9 {
+		t.Errorf("Max = %v, want 9", max)
+	}
+	if m.Len() != 5 {
+		t.Errorf("Len = %d, want 5", m.Len())
+	}
+}
+
+func TestMultiplicity(t *testing.T) {
+	var m Multiset
+	m.Insert(2)
+	m.Insert(2)
+	m.Insert(2)
+	if m.Count(2) != 3 {
+		t.Errorf("Count = %d, want 3", m.Count(2))
+	}
+	if !m.Remove(2) {
+		t.Fatal("Remove failed")
+	}
+	if m.Count(2) != 2 || m.Len() != 2 {
+		t.Errorf("after one removal: count=%d len=%d", m.Count(2), m.Len())
+	}
+	m.Remove(2)
+	m.Remove(2)
+	if m.Count(2) != 0 || m.Len() != 0 {
+		t.Errorf("after full removal: count=%d len=%d", m.Count(2), m.Len())
+	}
+	if m.Remove(2) {
+		t.Error("Remove of absent key should return false")
+	}
+}
+
+func TestReplace(t *testing.T) {
+	var m Multiset
+	m.Insert(5)
+	m.Insert(10)
+	if !m.Replace(5, 7) {
+		t.Error("Replace should report old key present")
+	}
+	if min, _ := m.Min(); min != 7 {
+		t.Errorf("Min after Replace = %v, want 7", min)
+	}
+	if m.Replace(99, 1) {
+		t.Error("Replace of absent key should report false")
+	}
+	if min, _ := m.Min(); min != 1 {
+		t.Errorf("Min = %v, want 1 (new key inserted regardless)", min)
+	}
+}
+
+func TestKth(t *testing.T) {
+	var m Multiset
+	keys := []float64{4, 1, 3, 1, 2}
+	for _, k := range keys {
+		m.Insert(k)
+	}
+	sorted := append([]float64(nil), keys...)
+	sort.Float64s(sorted)
+	for i, want := range sorted {
+		got, ok := m.Kth(i)
+		if !ok || got != want {
+			t.Errorf("Kth(%d) = (%v, %v), want %v", i, got, ok, want)
+		}
+	}
+	if _, ok := m.Kth(-1); ok {
+		t.Error("Kth(-1) should report false")
+	}
+	if _, ok := m.Kth(5); ok {
+		t.Error("Kth(len) should report false")
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	var m Multiset
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		m.Insert(float64(r.Intn(20)))
+	}
+	var prev float64 = -1
+	total := 0
+	m.Ascend(func(k float64, c int) bool {
+		if k <= prev {
+			t.Fatalf("Ascend out of order: %v after %v", k, prev)
+		}
+		prev = k
+		total += c
+		return true
+	})
+	if total != 100 {
+		t.Errorf("Ascend visited %d items, want 100", total)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	var m Multiset
+	for i := 0; i < 10; i++ {
+		m.Insert(float64(i))
+	}
+	visits := 0
+	m.Ascend(func(k float64, c int) bool {
+		visits++
+		return visits < 3
+	})
+	if visits != 3 {
+		t.Errorf("Ascend visited %d after early stop, want 3", visits)
+	}
+}
+
+// Property: the treap agrees with a sorted-slice model under random
+// insert/remove/min workloads (this is exactly the Δᵢ tracking pattern of
+// GREEDYINCREMENT).
+func TestModelEquivalenceProperty(t *testing.T) {
+	f := func(seed uint64, ops []uint8) bool {
+		r := rng.New(seed)
+		var m Multiset
+		var model []float64
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				k := float64(r.Intn(50))
+				m.Insert(k)
+				model = append(model, k)
+				sort.Float64s(model)
+			case 1:
+				if len(model) > 0 {
+					i := r.Intn(len(model))
+					k := model[i]
+					if !m.Remove(k) {
+						return false
+					}
+					model = append(model[:i], model[i+1:]...)
+				}
+			case 2:
+				if len(model) > 0 {
+					min, ok := m.Min()
+					if !ok || min != model[0] {
+						return false
+					}
+					max, ok := m.Max()
+					if !ok || max != model[len(model)-1] {
+						return false
+					}
+				}
+			}
+			if m.Len() != len(model) {
+				return false
+			}
+		}
+		for i, want := range model {
+			got, ok := m.Kth(i)
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeBalance(t *testing.T) {
+	var m Multiset
+	const n = 100000
+	for i := 0; i < n; i++ {
+		m.Insert(float64(i)) // adversarial sorted insertion
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	// If the treap degenerated to a list this would be O(n²) and time out;
+	// with priorities it is fast. Also verify a few order statistics.
+	for _, k := range []int{0, n / 2, n - 1} {
+		got, ok := m.Kth(k)
+		if !ok || got != float64(k) {
+			t.Errorf("Kth(%d) = (%v, %v)", k, got, ok)
+		}
+	}
+}

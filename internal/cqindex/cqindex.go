@@ -1,0 +1,175 @@
+// Package cqindex provides the spatial index the CQ server uses to
+// evaluate range queries over the predicted positions of mobile nodes.
+//
+// LIRA is deliberately index-agnostic (§1: it "can be employed in
+// conjunction with any CQ systems that employ update-efficient index
+// structures"); this package supplies a bucketed uniform grid index —
+// the structure used by grid-based mobile CQ systems like SINA and
+// Kalashnikov et al.'s query index — plus a linear-scan reference
+// implementation for differential testing.
+package cqindex
+
+import (
+	"fmt"
+
+	"lira/internal/geo"
+)
+
+// Index answers range queries over a point set identified by dense int
+// ids.
+type Index interface {
+	// Rebuild replaces the indexed point set. active[i] == false excludes
+	// id i (e.g. a node that has never reported). active may be nil, in
+	// which case all points are indexed.
+	Rebuild(points []geo.Point, active []bool)
+	// Query calls fn for every indexed id whose point lies inside r
+	// (closed containment, so boundary nodes are included). Order is
+	// unspecified.
+	Query(r geo.Rect, fn func(id int))
+}
+
+// Grid is a bucketed uniform grid index. The zero value is unusable;
+// construct with NewGrid.
+type Grid struct {
+	space geo.Rect
+	cells int
+
+	// CSR-style bucket storage, rebuilt wholesale each round: ids holds
+	// the point ids bucket by bucket; start[b] is the first index of
+	// bucket b in ids.
+	start  []int32
+	ids    []int32
+	counts []int32
+	points []geo.Point
+	active []bool
+}
+
+// NewGrid returns a grid index over space with cells buckets per side.
+func NewGrid(space geo.Rect, cells int) *Grid {
+	if cells <= 0 {
+		panic(fmt.Sprintf("cqindex: non-positive cell count %d", cells))
+	}
+	if space.Empty() {
+		panic("cqindex: empty space")
+	}
+	return &Grid{
+		space:  space,
+		cells:  cells,
+		start:  make([]int32, cells*cells+1),
+		counts: make([]int32, cells*cells),
+	}
+}
+
+func (g *Grid) cellOf(p geo.Point) (int, int) {
+	i := int((p.X - g.space.MinX) / g.space.Width() * float64(g.cells))
+	j := int((p.Y - g.space.MinY) / g.space.Height() * float64(g.cells))
+	return clampInt(i, 0, g.cells-1), clampInt(j, 0, g.cells-1)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Rebuild implements Index. It runs in O(points) with no per-point
+// allocation after the first call at a given size.
+func (g *Grid) Rebuild(points []geo.Point, active []bool) {
+	if active != nil && len(active) != len(points) {
+		panic("cqindex: active mask length mismatch")
+	}
+	g.points = points
+	g.active = active
+	for b := range g.counts {
+		g.counts[b] = 0
+	}
+	for i, p := range points {
+		if active != nil && !active[i] {
+			continue
+		}
+		ci, cj := g.cellOf(p)
+		g.counts[cj*g.cells+ci]++
+	}
+	total := int32(0)
+	for b, c := range g.counts {
+		g.start[b] = total
+		total += c
+	}
+	g.start[len(g.counts)] = total
+	if cap(g.ids) < int(total) {
+		g.ids = make([]int32, total)
+	} else {
+		g.ids = g.ids[:total]
+	}
+	// Second pass: fill buckets, reusing counts as cursors.
+	for b := range g.counts {
+		g.counts[b] = g.start[b]
+	}
+	for i, p := range points {
+		if active != nil && !active[i] {
+			continue
+		}
+		ci, cj := g.cellOf(p)
+		b := cj*g.cells + ci
+		g.ids[g.counts[b]] = int32(i)
+		g.counts[b]++
+	}
+}
+
+// Query implements Index.
+func (g *Grid) Query(r geo.Rect, fn func(id int)) {
+	clip := r.Intersect(g.space)
+	if clip.Empty() {
+		// A query touching only the space boundary still clips empty
+		// under the half-open convention; fall back to the raw rect
+		// corners for cell selection.
+		clip = r
+	}
+	i0, j0 := g.cellOf(geo.Point{X: clip.MinX, Y: clip.MinY})
+	i1, j1 := g.cellOf(geo.Point{X: clip.MaxX, Y: clip.MaxY})
+	for cj := j0; cj <= j1; cj++ {
+		for ci := i0; ci <= i1; ci++ {
+			b := cj*g.cells + ci
+			for _, id := range g.ids[g.start[b]:g.start[b+1]] {
+				if r.ContainsClosed(g.points[id]) {
+					fn(int(id))
+				}
+			}
+		}
+	}
+}
+
+// Linear is the brute-force reference index used for differential tests
+// and tiny workloads.
+type Linear struct {
+	points []geo.Point
+	active []bool
+}
+
+// NewLinear returns an empty linear index.
+func NewLinear() *Linear { return &Linear{} }
+
+// Rebuild implements Index.
+func (l *Linear) Rebuild(points []geo.Point, active []bool) {
+	if active != nil && len(active) != len(points) {
+		panic("cqindex: active mask length mismatch")
+	}
+	l.points = points
+	l.active = active
+}
+
+// Query implements Index.
+func (l *Linear) Query(r geo.Rect, fn func(id int)) {
+	for i, p := range l.points {
+		if l.active != nil && !l.active[i] {
+			continue
+		}
+		if r.ContainsClosed(p) {
+			fn(i)
+		}
+	}
+}

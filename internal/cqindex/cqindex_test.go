@@ -1,0 +1,147 @@
+package cqindex
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"lira/internal/geo"
+	"lira/internal/rng"
+)
+
+func space() geo.Rect { return geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000} }
+
+func collect(ix Index, r geo.Rect) []int {
+	var out []int
+	ix.Query(r, func(id int) { out = append(out, id) })
+	sort.Ints(out)
+	return out
+}
+
+func TestNewGridPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewGrid(space(), 0) },
+		func() { NewGrid(geo.Rect{}, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGridBasicQuery(t *testing.T) {
+	g := NewGrid(space(), 8)
+	pts := []geo.Point{
+		{X: 100, Y: 100},
+		{X: 500, Y: 500},
+		{X: 900, Y: 900},
+		{X: 200, Y: 150},
+	}
+	g.Rebuild(pts, nil)
+	got := collect(g, geo.NewRect(50, 50, 250, 250))
+	want := []int{0, 3}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Query = %v, want %v", got, want)
+	}
+	if got := collect(g, geo.NewRect(600, 0, 800, 200)); len(got) != 0 {
+		t.Errorf("empty range returned %v", got)
+	}
+}
+
+func TestGridBoundaryInclusive(t *testing.T) {
+	g := NewGrid(space(), 8)
+	g.Rebuild([]geo.Point{{X: 250, Y: 250}}, nil)
+	// Point exactly on the query corner: closed containment includes it.
+	if got := collect(g, geo.NewRect(250, 250, 300, 300)); len(got) != 1 {
+		t.Errorf("corner point missed: %v", got)
+	}
+	if got := collect(g, geo.NewRect(200, 200, 250, 250)); len(got) != 1 {
+		t.Errorf("max-corner point missed: %v", got)
+	}
+}
+
+func TestGridActiveMask(t *testing.T) {
+	g := NewGrid(space(), 8)
+	pts := []geo.Point{{X: 100, Y: 100}, {X: 110, Y: 110}}
+	g.Rebuild(pts, []bool{true, false})
+	got := collect(g, geo.NewRect(0, 0, 200, 200))
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("masked query = %v, want [0]", got)
+	}
+}
+
+func TestGridMaskLengthPanics(t *testing.T) {
+	g := NewGrid(space(), 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("mask length mismatch should panic")
+		}
+	}()
+	g.Rebuild([]geo.Point{{X: 1, Y: 1}}, []bool{true, false})
+}
+
+func TestGridRebuildReplaces(t *testing.T) {
+	g := NewGrid(space(), 8)
+	g.Rebuild([]geo.Point{{X: 100, Y: 100}}, nil)
+	g.Rebuild([]geo.Point{{X: 900, Y: 900}}, nil)
+	if got := collect(g, geo.NewRect(0, 0, 200, 200)); len(got) != 0 {
+		t.Errorf("stale point survived rebuild: %v", got)
+	}
+	if got := collect(g, geo.NewRect(800, 800, 1000, 1000)); len(got) != 1 {
+		t.Errorf("new point missing: %v", got)
+	}
+}
+
+func TestGridPointsOutsideSpaceClamped(t *testing.T) {
+	// Predicted positions can drift outside the monitored space; the index
+	// must still find them in border-cell queries rather than crash.
+	g := NewGrid(space(), 8)
+	g.Rebuild([]geo.Point{{X: -50, Y: 500}, {X: 1100, Y: 1100}}, nil)
+	if got := collect(g, geo.NewRect(-100, 400, 10, 600)); len(got) != 1 || got[0] != 0 {
+		t.Errorf("outside-left point: %v", got)
+	}
+	if got := collect(g, geo.NewRect(1000, 1000, 1200, 1200)); len(got) != 1 || got[1-1] != 1 {
+		t.Errorf("outside-top-right point: %v", got)
+	}
+}
+
+// Property: the grid index agrees exactly with the linear reference for
+// random point sets, masks, and query rectangles.
+func TestGridMatchesLinearProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, qRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw)%300 + 1
+		pts := make([]geo.Point, n)
+		mask := make([]bool, n)
+		for i := range pts {
+			pts[i] = geo.Point{X: r.Range(0, 1000), Y: r.Range(0, 1000)}
+			mask[i] = r.Bool(0.8)
+		}
+		g := NewGrid(space(), 1+int(seed%16))
+		lin := NewLinear()
+		g.Rebuild(pts, mask)
+		lin.Rebuild(pts, mask)
+		for k := 0; k < int(qRaw)%8+1; k++ {
+			q := geo.Square(geo.Point{X: r.Range(0, 1000), Y: r.Range(0, 1000)}, r.Range(1, 500))
+			a := collect(g, q)
+			b := collect(lin, q)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

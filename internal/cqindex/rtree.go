@@ -1,0 +1,195 @@
+package cqindex
+
+import (
+	"math"
+	"sort"
+
+	"lira/internal/geo"
+)
+
+// RTree is a Sort-Tile-Recursive (STR) bulk-loaded R-tree over a point
+// set — the index family (R-tree / TPR-tree) the paper positions LIRA
+// alongside (§1, §5). Unlike the uniform Grid it adapts its structure to
+// skewed node distributions: leaf pages tile the *data*, not the space,
+// so a downtown with thousands of nodes gets many small pages while empty
+// country costs nothing.
+//
+// The tree is rebuilt wholesale per evaluation round (bulk loading is
+// O(n log n) and cache-friendly), matching how the CQ server uses its
+// indexes. The zero value is unusable; construct with NewRTree.
+type RTree struct {
+	fanout int
+
+	points []geo.Point
+	// Nodes are stored in a flat array, children referenced by index
+	// range; leaves hold point ids.
+	nodes []rnode
+	root  int
+}
+
+type rnode struct {
+	bounds geo.Rect
+	// For internal nodes: children [childStart, childEnd) in nodes.
+	// For leaves: ids of the indexed points.
+	childStart, childEnd int
+	ids                  []int32
+}
+
+// NewRTree returns an empty R-tree with the given fanout (entries per
+// node). Fanouts below 2 are raised to the customary 16.
+func NewRTree(fanout int) *RTree {
+	if fanout < 2 {
+		fanout = 16
+	}
+	return &RTree{fanout: fanout, root: -1}
+}
+
+// Rebuild bulk-loads the tree from points using the STR packing: sort by
+// x, slice into vertical strips, sort each strip by y, and cut leaves;
+// repeat upward until one node remains. active may be nil.
+func (t *RTree) Rebuild(points []geo.Point, active []bool) {
+	if active != nil && len(active) != len(points) {
+		panic("cqindex: active mask length mismatch")
+	}
+	t.points = points
+	t.nodes = t.nodes[:0]
+	t.root = -1
+
+	ids := make([]int32, 0, len(points))
+	for i := range points {
+		if active != nil && !active[i] {
+			continue
+		}
+		ids = append(ids, int32(i))
+	}
+	if len(ids) == 0 {
+		return
+	}
+
+	// Leaf level: STR tiling of the point ids.
+	sort.Slice(ids, func(a, b int) bool { return points[ids[a]].X < points[ids[b]].X })
+	leafCount := (len(ids) + t.fanout - 1) / t.fanout
+	stripCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	perStrip := stripCount * t.fanout
+
+	level := make([]int, 0, leafCount)
+	for s := 0; s < len(ids); s += perStrip {
+		e := s + perStrip
+		if e > len(ids) {
+			e = len(ids)
+		}
+		strip := ids[s:e]
+		sort.Slice(strip, func(a, b int) bool { return points[strip[a]].Y < points[strip[b]].Y })
+		for ls := 0; ls < len(strip); ls += t.fanout {
+			le := ls + t.fanout
+			if le > len(strip) {
+				le = len(strip)
+			}
+			leafIDs := append([]int32(nil), strip[ls:le]...)
+			t.nodes = append(t.nodes, rnode{bounds: pointBounds(points, leafIDs), ids: leafIDs})
+			level = append(level, len(t.nodes)-1)
+		}
+	}
+
+	// Pack upward until a single root remains.
+	for len(level) > 1 {
+		next := make([]int, 0, (len(level)+t.fanout-1)/t.fanout)
+		for s := 0; s < len(level); s += t.fanout {
+			e := s + t.fanout
+			if e > len(level) {
+				e = len(level)
+			}
+			// Children of one internal node must be contiguous in the
+			// node array; the packing above emits them in order.
+			start, end := level[s], level[e-1]+1
+			b := t.nodes[start].bounds
+			for _, ci := range level[s+1 : e] {
+				b = union(b, t.nodes[ci].bounds)
+			}
+			t.nodes = append(t.nodes, rnode{bounds: b, childStart: start, childEnd: end})
+			next = append(next, len(t.nodes)-1)
+		}
+		level = next
+	}
+	t.root = level[0]
+}
+
+func pointBounds(points []geo.Point, ids []int32) geo.Rect {
+	b := geo.Rect{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+	for _, id := range ids {
+		p := points[id]
+		if p.X < b.MinX {
+			b.MinX = p.X
+		}
+		if p.Y < b.MinY {
+			b.MinY = p.Y
+		}
+		if p.X > b.MaxX {
+			b.MaxX = p.X
+		}
+		if p.Y > b.MaxY {
+			b.MaxY = p.Y
+		}
+	}
+	return b
+}
+
+func union(a, b geo.Rect) geo.Rect {
+	return geo.Rect{
+		MinX: math.Min(a.MinX, b.MinX),
+		MinY: math.Min(a.MinY, b.MinY),
+		MaxX: math.Max(a.MaxX, b.MaxX),
+		MaxY: math.Max(a.MaxY, b.MaxY),
+	}
+}
+
+// intersectsClosed reports whether rectangles a and b share any point,
+// treating both as closed (bounding boxes of points are degenerate-safe).
+func intersectsClosed(a, b geo.Rect) bool {
+	return a.MinX <= b.MaxX && b.MinX <= a.MaxX && a.MinY <= b.MaxY && b.MinY <= a.MaxY
+}
+
+// Query implements Index: it calls fn for every indexed id whose point
+// lies inside r (closed containment).
+func (t *RTree) Query(r geo.Rect, fn func(id int)) {
+	if t.root < 0 {
+		return
+	}
+	t.query(t.root, r, fn)
+}
+
+func (t *RTree) query(ni int, r geo.Rect, fn func(id int)) {
+	n := &t.nodes[ni]
+	if !intersectsClosed(n.bounds, r) {
+		return
+	}
+	if n.ids != nil {
+		for _, id := range n.ids {
+			if r.ContainsClosed(t.points[id]) {
+				fn(int(id))
+			}
+		}
+		return
+	}
+	for ci := n.childStart; ci < n.childEnd; ci++ {
+		t.query(ci, r, fn)
+	}
+}
+
+// Depth returns the height of the tree (0 when empty, 1 for a single
+// leaf), for tests and diagnostics.
+func (t *RTree) Depth() int {
+	if t.root < 0 {
+		return 0
+	}
+	d := 1
+	ni := t.root
+	for t.nodes[ni].ids == nil {
+		ni = t.nodes[ni].childStart
+		d++
+	}
+	return d
+}

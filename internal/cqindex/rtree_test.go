@@ -1,0 +1,177 @@
+package cqindex
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lira/internal/geo"
+	"lira/internal/rng"
+)
+
+func TestRTreeEmpty(t *testing.T) {
+	rt := NewRTree(8)
+	rt.Rebuild(nil, nil)
+	if got := collect(rt, space()); len(got) != 0 {
+		t.Errorf("empty tree returned %v", got)
+	}
+	if rt.Depth() != 0 {
+		t.Errorf("empty depth = %d", rt.Depth())
+	}
+	// All-masked is empty too.
+	rt.Rebuild([]geo.Point{{X: 1, Y: 1}}, []bool{false})
+	if got := collect(rt, space()); len(got) != 0 {
+		t.Errorf("masked tree returned %v", got)
+	}
+}
+
+func TestRTreeBasic(t *testing.T) {
+	rt := NewRTree(4)
+	pts := []geo.Point{
+		{X: 100, Y: 100}, {X: 500, Y: 500}, {X: 900, Y: 900}, {X: 200, Y: 150},
+	}
+	rt.Rebuild(pts, nil)
+	got := collect(rt, geo.NewRect(50, 50, 250, 250))
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Errorf("Query = %v, want [0 3]", got)
+	}
+	if rt.Depth() < 1 {
+		t.Errorf("Depth = %d", rt.Depth())
+	}
+}
+
+func TestRTreeDepthGrows(t *testing.T) {
+	r := rng.New(3)
+	pts := make([]geo.Point, 2000)
+	for i := range pts {
+		pts[i] = geo.Point{X: r.Range(0, 1000), Y: r.Range(0, 1000)}
+	}
+	rt := NewRTree(8)
+	rt.Rebuild(pts, nil)
+	// 2000 points at fanout 8: ≥250 leaves → at least 3 levels.
+	if rt.Depth() < 3 {
+		t.Errorf("Depth = %d, want ≥3", rt.Depth())
+	}
+	// Every point must be findable by a point query.
+	for i := 0; i < 100; i++ {
+		p := pts[i*17%len(pts)]
+		found := false
+		rt.Query(geo.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y},
+			func(id int) {
+				if pts[id] == p {
+					found = true
+				}
+			})
+		if !found {
+			t.Fatalf("point %v not found", p)
+		}
+	}
+}
+
+func TestRTreeSmallFanoutRaised(t *testing.T) {
+	rt := NewRTree(0)
+	if rt.fanout != 16 {
+		t.Errorf("fanout = %d, want raised to 16", rt.fanout)
+	}
+}
+
+func TestRTreeMaskPanics(t *testing.T) {
+	rt := NewRTree(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("mask length mismatch should panic")
+		}
+	}()
+	rt.Rebuild(make([]geo.Point, 3), make([]bool, 2))
+}
+
+// Property: the STR R-tree agrees exactly with the linear reference for
+// random points, masks, fanouts, and queries — including points outside
+// the nominal space (R-trees have no fixed space).
+func TestRTreeMatchesLinearProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, fanRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw)%400 + 1
+		pts := make([]geo.Point, n)
+		mask := make([]bool, n)
+		for i := range pts {
+			pts[i] = geo.Point{X: r.Range(-200, 1200), Y: r.Range(-200, 1200)}
+			mask[i] = r.Bool(0.85)
+		}
+		rt := NewRTree(int(fanRaw)%30 + 2)
+		lin := NewLinear()
+		rt.Rebuild(pts, mask)
+		lin.Rebuild(pts, mask)
+		for k := 0; k < 5; k++ {
+			q := geo.Square(geo.Point{X: r.Range(-200, 1200), Y: r.Range(-200, 1200)}, r.Range(1, 600))
+			a := collect(rt, q)
+			b := collect(lin, q)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRTreeAdaptsToSkew verifies the structural claim that motivates the
+// R-tree: under heavy skew, leaf pages concentrate where the data is, so
+// a query over the empty region touches almost nothing.
+func TestRTreeAdaptsToSkew(t *testing.T) {
+	r := rng.New(9)
+	pts := make([]geo.Point, 4000)
+	for i := range pts {
+		// Everything in the SW 100×100 corner.
+		pts[i] = geo.Point{X: r.Range(0, 100), Y: r.Range(0, 100)}
+	}
+	rt := NewRTree(16)
+	rt.Rebuild(pts, nil)
+	hits := 0
+	rt.Query(geo.NewRect(500, 500, 1000, 1000), func(int) { hits++ })
+	if hits != 0 {
+		t.Errorf("empty-region query hit %d points", hits)
+	}
+	got := collect(rt, geo.NewRect(0, 0, 100, 100))
+	if len(got) != 4000 {
+		t.Errorf("full-cluster query returned %d of 4000", len(got))
+	}
+}
+
+// BenchmarkIndexComparison pits the three indexes against each other on a
+// skewed point set — the trade space the paper's index discussion lives
+// in.
+func BenchmarkIndexComparison(b *testing.B) {
+	r := rng.New(7)
+	const n = 10000
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		if i%4 != 0 {
+			pts[i] = geo.Point{X: r.Range(0, 250), Y: r.Range(0, 250)} // downtown
+		} else {
+			pts[i] = geo.Point{X: r.Range(0, 1000), Y: r.Range(0, 1000)}
+		}
+	}
+	queries := make([]geo.Rect, 100)
+	for i := range queries {
+		queries[i] = geo.Square(geo.Point{X: r.Range(0, 1000), Y: r.Range(0, 1000)}, 100)
+	}
+	run := func(b *testing.B, ix Index) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ix.Rebuild(pts, nil)
+			for _, q := range queries {
+				ix.Query(q, func(int) {})
+			}
+		}
+	}
+	b.Run("grid-32", func(b *testing.B) { run(b, NewGrid(space(), 32)) })
+	b.Run("rtree-16", func(b *testing.B) { run(b, NewRTree(16)) })
+	b.Run("linear", func(b *testing.B) { run(b, NewLinear()) })
+}

@@ -1,0 +1,171 @@
+package cqindex
+
+import (
+	"lira/internal/geo"
+	"lira/internal/motion"
+)
+
+// TPRGrid is a time-parameterized grid index over motion reports, in the
+// spirit of the TPR-tree family the paper names as LIRA's natural
+// companion index (§1, §5): instead of re-bucketing dead-reckoned
+// positions before every evaluation, nodes are bucketed once by their
+// reported positions, each bucket tracks the maximum speed of its members,
+// and a range query at time t probes every bucket whose time-expanded
+// extent intersects the query. Evaluations between rebuilds thus cost
+// only the candidate probes, at the price of growing bucket extents —
+// exactly the TPR-tree trade-off.
+//
+// The zero value is unusable; construct with NewTPRGrid.
+type TPRGrid struct {
+	space geo.Rect
+	cells int
+
+	buildTime float64
+	start     []int32
+	ids       []int32
+	counts    []int32
+	maxSpeed  []float64 // per bucket
+	reports   []motion.Report
+	active    []bool
+}
+
+// NewTPRGrid returns a time-parameterized grid index over space with
+// cells buckets per side.
+func NewTPRGrid(space geo.Rect, cells int) *TPRGrid {
+	if cells <= 0 {
+		panic("cqindex: non-positive cell count")
+	}
+	if space.Empty() {
+		panic("cqindex: empty space")
+	}
+	return &TPRGrid{
+		space:    space,
+		cells:    cells,
+		start:    make([]int32, cells*cells+1),
+		counts:   make([]int32, cells*cells),
+		maxSpeed: make([]float64, cells*cells),
+	}
+}
+
+func (g *TPRGrid) cellOf(p geo.Point) (int, int) {
+	i := int((p.X - g.space.MinX) / g.space.Width() * float64(g.cells))
+	j := int((p.Y - g.space.MinY) / g.space.Height() * float64(g.cells))
+	return clampInt(i, 0, g.cells-1), clampInt(j, 0, g.cells-1)
+}
+
+// Rebuild re-buckets the index from the given motion reports as of time
+// t0. active[i] == false excludes id i; active may be nil.
+func (g *TPRGrid) Rebuild(reports []motion.Report, active []bool, t0 float64) {
+	if active != nil && len(active) != len(reports) {
+		panic("cqindex: active mask length mismatch")
+	}
+	g.reports = reports
+	g.active = active
+	g.buildTime = t0
+	for b := range g.counts {
+		g.counts[b] = 0
+		g.maxSpeed[b] = 0
+	}
+	for i := range reports {
+		if active != nil && !active[i] {
+			continue
+		}
+		ci, cj := g.cellOf(reports[i].Predict(t0))
+		b := cj*g.cells + ci
+		g.counts[b]++
+		if s := reports[i].Vel.Len(); s > g.maxSpeed[b] {
+			g.maxSpeed[b] = s
+		}
+	}
+	total := int32(0)
+	for b, c := range g.counts {
+		g.start[b] = total
+		total += c
+	}
+	g.start[len(g.counts)] = total
+	if cap(g.ids) < int(total) {
+		g.ids = make([]int32, total)
+	} else {
+		g.ids = g.ids[:total]
+	}
+	for b := range g.counts {
+		g.counts[b] = g.start[b]
+	}
+	for i := range reports {
+		if active != nil && !active[i] {
+			continue
+		}
+		ci, cj := g.cellOf(reports[i].Predict(t0))
+		b := cj*g.cells + ci
+		g.ids[g.counts[b]] = int32(i)
+		g.counts[b]++
+	}
+}
+
+// BuildTime returns the t0 of the last Rebuild.
+func (g *TPRGrid) BuildTime() float64 { return g.buildTime }
+
+// Query calls fn for every indexed id whose dead-reckoned position at
+// time t lies inside r (closed containment). t must be ≥ the build time;
+// querying the past would need reverse expansion and is not supported.
+func (g *TPRGrid) Query(r geo.Rect, t float64, fn func(id int)) {
+	dt := t - g.buildTime
+	if dt < 0 {
+		dt = 0
+	}
+	w := g.space.Width() / float64(g.cells)
+	h := g.space.Height() / float64(g.cells)
+	// Conservative outer loop bound: expand the query by the global max
+	// speed; per-bucket expansion prunes the rest.
+	var globalMax float64
+	for _, s := range g.maxSpeed {
+		if s > globalMax {
+			globalMax = s
+		}
+	}
+	reach := globalMax * dt
+	i0, j0 := g.cellOf(geo.Point{X: r.MinX - reach, Y: r.MinY - reach})
+	i1, j1 := g.cellOf(geo.Point{X: r.MaxX + reach, Y: r.MaxY + reach})
+	for cj := j0; cj <= j1; cj++ {
+		for ci := i0; ci <= i1; ci++ {
+			b := cj*g.cells + ci
+			if g.start[b] == g.start[b+1] {
+				continue
+			}
+			// Time-expanded bucket extent: the cell grown by the bucket's
+			// own max displacement.
+			grow := g.maxSpeed[b] * dt
+			cell := geo.Rect{
+				MinX: g.space.MinX + float64(ci)*w - grow,
+				MinY: g.space.MinY + float64(cj)*h - grow,
+				MaxX: g.space.MinX + float64(ci+1)*w + grow,
+				MaxY: g.space.MinY + float64(cj+1)*h + grow,
+			}
+			if !cell.Intersects(r) && !r.Intersects(cell) {
+				continue
+			}
+			for _, id := range g.ids[g.start[b]:g.start[b+1]] {
+				if r.ContainsClosed(g.reports[id].Predict(t)) {
+					fn(int(id))
+				}
+			}
+		}
+	}
+}
+
+// Staleness returns how much the largest bucket extent has grown since
+// the last rebuild at time t — a rebuild trigger for callers that want to
+// bound probe amplification.
+func (g *TPRGrid) Staleness(t float64) float64 {
+	dt := t - g.buildTime
+	if dt < 0 {
+		return 0
+	}
+	var globalMax float64
+	for _, s := range g.maxSpeed {
+		if s > globalMax {
+			globalMax = s
+		}
+	}
+	return globalMax * dt
+}

@@ -1,0 +1,216 @@
+package cqindex
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"lira/internal/geo"
+	"lira/internal/motion"
+	"lira/internal/rng"
+)
+
+func randomReports(r *rng.Rand, n int) []motion.Report {
+	reports := make([]motion.Report, n)
+	for i := range reports {
+		reports[i] = motion.Report{
+			Pos:  geo.Point{X: r.Range(50, 950), Y: r.Range(50, 950)},
+			Vel:  geo.Vector{X: r.Range(-20, 20), Y: r.Range(-20, 20)},
+			Time: 0,
+		}
+	}
+	return reports
+}
+
+// bruteQuery is the reference: predict every active report and test.
+func bruteQuery(reports []motion.Report, active []bool, r geo.Rect, t float64) []int {
+	var out []int
+	for i, rep := range reports {
+		if active != nil && !active[i] {
+			continue
+		}
+		if r.ContainsClosed(rep.Predict(t)) {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func collectTPR(g *TPRGrid, r geo.Rect, t float64) []int {
+	var out []int
+	g.Query(r, t, func(id int) { out = append(out, id) })
+	sort.Ints(out)
+	return out
+}
+
+func TestTPRAtBuildTime(t *testing.T) {
+	r := rng.New(1)
+	reports := randomReports(r, 200)
+	g := NewTPRGrid(space(), 8)
+	g.Rebuild(reports, nil, 0)
+	if g.BuildTime() != 0 {
+		t.Fatalf("BuildTime = %v", g.BuildTime())
+	}
+	q := geo.NewRect(200, 200, 600, 600)
+	got := collectTPR(g, q, 0)
+	want := bruteQuery(reports, nil, q, 0)
+	if len(got) != len(want) {
+		t.Fatalf("got %d ids, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestTPRAfterTimePasses(t *testing.T) {
+	r := rng.New(2)
+	reports := randomReports(r, 300)
+	g := NewTPRGrid(space(), 8)
+	g.Rebuild(reports, nil, 10)
+	for _, dt := range []float64{0, 1, 5, 20} {
+		q := geo.NewRect(300, 300, 700, 700)
+		got := collectTPR(g, q, 10+dt)
+		want := bruteQuery(reports, nil, q, 10+dt)
+		if len(got) != len(want) {
+			t.Fatalf("dt=%v: got %d ids, want %d", dt, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("dt=%v: mismatch at %d", dt, i)
+			}
+		}
+	}
+}
+
+func TestTPRActiveMask(t *testing.T) {
+	r := rng.New(3)
+	reports := randomReports(r, 100)
+	active := make([]bool, 100)
+	for i := range active {
+		active[i] = i%2 == 0
+	}
+	g := NewTPRGrid(space(), 4)
+	g.Rebuild(reports, active, 0)
+	got := collectTPR(g, space(), 5)
+	for _, id := range got {
+		if id%2 != 0 {
+			t.Fatalf("masked id %d returned", id)
+		}
+	}
+	want := bruteQuery(reports, active, space(), 5)
+	if len(got) != len(want) {
+		t.Fatalf("got %d ids, want %d", len(got), len(want))
+	}
+}
+
+func TestTPRStaleness(t *testing.T) {
+	r := rng.New(4)
+	reports := randomReports(r, 50)
+	g := NewTPRGrid(space(), 4)
+	g.Rebuild(reports, nil, 100)
+	if got := g.Staleness(100); got != 0 {
+		t.Errorf("staleness at build = %v", got)
+	}
+	if got := g.Staleness(90); got != 0 {
+		t.Errorf("staleness before build = %v", got)
+	}
+	s1 := g.Staleness(105)
+	s2 := g.Staleness(110)
+	if !(s1 > 0 && s2 > s1) {
+		t.Errorf("staleness not growing: %v, %v", s1, s2)
+	}
+}
+
+func TestTPRPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewTPRGrid(space(), 0) },
+		func() { NewTPRGrid(geo.Rect{}, 4) },
+		func() {
+			g := NewTPRGrid(space(), 4)
+			g.Rebuild(make([]motion.Report, 3), make([]bool, 2), 0)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: TPR queries exactly match the brute-force prediction for any
+// report set, mask, query, and elapsed time within the space.
+func TestTPRMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, dtRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw)%200 + 1
+		reports := randomReports(r, n)
+		var active []bool
+		if r.Bool(0.5) {
+			active = make([]bool, n)
+			for i := range active {
+				active[i] = r.Bool(0.8)
+			}
+		}
+		g := NewTPRGrid(space(), 1+int(seed%12))
+		g.Rebuild(reports, active, 0)
+		dt := float64(dtRaw % 25)
+		q := geo.Square(geo.Point{X: r.Range(0, 1000), Y: r.Range(0, 1000)}, r.Range(10, 400))
+		got := collectTPR(g, q, dt)
+		want := bruteQuery(reports, active, q, dt)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BenchmarkTPRVsRebuild quantifies the TPR trade-off: querying a stale
+// TPR index vs re-bucketing a plain grid before each evaluation round.
+func BenchmarkTPRVsRebuild(b *testing.B) {
+	r := rng.New(7)
+	const n = 10000
+	reports := randomReports(r, n)
+	queries := make([]geo.Rect, 100)
+	for i := range queries {
+		queries[i] = geo.Square(geo.Point{X: r.Range(0, 1000), Y: r.Range(0, 1000)}, 100)
+	}
+	b.Run("tpr-stale-5s", func(b *testing.B) {
+		g := NewTPRGrid(space(), 32)
+		g.Rebuild(reports, nil, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				g.Query(q, 5, func(int) {})
+			}
+		}
+	})
+	b.Run("grid-rebuild-every-round", func(b *testing.B) {
+		g := NewGrid(space(), 32)
+		pts := make([]geo.Point, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, rep := range reports {
+				pts[j] = rep.Predict(5)
+			}
+			g.Rebuild(pts, nil)
+			for _, q := range queries {
+				g.Query(q, func(int) {})
+			}
+		}
+	})
+}

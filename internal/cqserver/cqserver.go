@@ -1,0 +1,279 @@
+// Package cqserver implements the first layer of the LIRA architecture:
+// the mobile CQ server. The server ingests position updates through a
+// bounded input queue, maintains the motion table and the statistics grid,
+// evaluates registered range CQs over dead-reckoned positions, and runs
+// the LIRA adaptation cycle — THROTLOOP to pick the throttle fraction,
+// GRIDREDUCE to partition the space, and GREEDYINCREMENT to set the update
+// throttlers — publishing the result to the base-station layer.
+package cqserver
+
+import (
+	"fmt"
+	"time"
+
+	"lira/internal/cqindex"
+	"lira/internal/fmodel"
+	"lira/internal/geo"
+	"lira/internal/history"
+	"lira/internal/motion"
+	"lira/internal/partition"
+	"lira/internal/queue"
+	"lira/internal/statgrid"
+	"lira/internal/throtloop"
+	"lira/internal/throttler"
+)
+
+// Update is one position-update message from a mobile node.
+type Update struct {
+	Node   int
+	Report motion.Report
+}
+
+// Config parameterizes a server.
+type Config struct {
+	// Space is the monitored area.
+	Space geo.Rect
+	// Nodes is the number of mobile nodes the server tracks.
+	Nodes int
+	// Alpha is the statistics-grid resolution. Zero selects the paper's
+	// rule α = 2^⌊log₂(10·√L)⌋.
+	Alpha int
+	// L is the number of shedding regions.
+	L int
+	// QueueSize is the input queue bound B.
+	QueueSize int
+	// IndexCells is the side cell count of the query-evaluation index.
+	// Zero selects a density-appropriate default.
+	IndexCells int
+	// Curve is the update reduction function used by the optimizer.
+	Curve *fmodel.Curve
+	// Fairness is the fairness threshold Δ⇔.
+	Fairness float64
+	// UseSpeed enables the §3.1.2 speed factor.
+	UseSpeed bool
+	// HistoryPerNode enables the report history for snapshot/historic
+	// queries — the workload the fairness threshold exists for (§3.1.1).
+	// It bounds retained reports per node; 0 disables history.
+	HistoryPerNode int
+	// ProtectQueries enables the query-protective drill-down extension
+	// (see partition.Config.ProtectQueries); 0 is the paper's algorithm.
+	ProtectQueries float64
+}
+
+// Server is a mobile CQ server.
+type Server struct {
+	cfg     Config
+	table   *motion.Table
+	grid    *statgrid.Grid
+	input   *queue.Bounded[Update]
+	index   *cqindex.Grid
+	loop    *throtloop.Controller
+	queries []geo.Rect
+
+	// Scratch buffers for query evaluation, reused across rounds.
+	predicted []geo.Point
+	active    []bool
+
+	history *history.Store
+	applied int64
+}
+
+// New validates cfg and returns a server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Space.Empty() {
+		return nil, fmt.Errorf("cqserver: empty space")
+	}
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cqserver: non-positive node count %d", cfg.Nodes)
+	}
+	if cfg.L <= 0 {
+		return nil, fmt.Errorf("cqserver: non-positive region count %d", cfg.L)
+	}
+	if cfg.Curve == nil {
+		return nil, fmt.Errorf("cqserver: nil update reduction curve")
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = partition.AlphaFor(cfg.L, 10)
+	}
+	if cfg.QueueSize == 0 {
+		cfg.QueueSize = 1000
+	}
+	if cfg.IndexCells == 0 {
+		cfg.IndexCells = 64
+	}
+	if cfg.Fairness == 0 {
+		cfg.Fairness = throttler.NoFairness(cfg.Curve)
+	}
+	loop, err := throtloop.New(cfg.QueueSize)
+	if err != nil {
+		return nil, err
+	}
+	var hist *history.Store
+	if cfg.HistoryPerNode > 0 {
+		hist, err = history.NewStore(cfg.Nodes, cfg.HistoryPerNode)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Server{
+		history:   hist,
+		cfg:       cfg,
+		table:     motion.NewTable(cfg.Nodes),
+		grid:      statgrid.New(cfg.Space, cfg.Alpha),
+		input:     queue.NewBounded[Update](cfg.QueueSize),
+		index:     cqindex.NewGrid(cfg.Space, cfg.IndexCells),
+		loop:      loop,
+		predicted: make([]geo.Point, cfg.Nodes),
+		active:    make([]bool, cfg.Nodes),
+	}, nil
+}
+
+// Grid exposes the statistics grid (read-mostly; the experiment harness
+// feeds it samples).
+func (s *Server) Grid() *statgrid.Grid { return s.grid }
+
+// Table exposes the server's motion table.
+func (s *Server) Table() *motion.Table { return s.table }
+
+// Queue exposes the input queue for rate accounting.
+func (s *Server) Queue() *queue.Bounded[Update] { return s.input }
+
+// Throttle exposes the THROTLOOP controller.
+func (s *Server) Throttle() *throtloop.Controller { return s.loop }
+
+// RegisterQueries replaces the registered continuous range queries and
+// refreshes the statistics grid's query census.
+func (s *Server) RegisterQueries(qs []geo.Rect) {
+	s.queries = append(s.queries[:0], qs...)
+	s.grid.SetQueries(qs)
+}
+
+// Queries returns the registered queries.
+func (s *Server) Queries() []geo.Rect { return s.queries }
+
+// Ingest offers an update to the input queue; a full queue drops it.
+func (s *Server) Ingest(u Update) bool { return s.input.Offer(u) }
+
+// Drain applies up to limit queued updates to the motion table and
+// returns the number applied. A negative limit drains everything.
+func (s *Server) Drain(limit int) int {
+	applied := 0
+	for limit < 0 || applied < limit {
+		u, ok := s.input.Poll()
+		if !ok {
+			break
+		}
+		s.table.Apply(u.Node, u.Report)
+		if s.history != nil {
+			_ = s.history.Append(u.Node, u.Report)
+		}
+		applied++
+	}
+	s.applied += int64(applied)
+	return applied
+}
+
+// Apply installs an update directly, bypassing the queue (used by the
+// harness's reference run, which models an infinitely provisioned server).
+func (s *Server) Apply(u Update) {
+	s.table.Apply(u.Node, u.Report)
+	if s.history != nil {
+		// Ignore out-of-order reports: a reconnecting node may replay an
+		// old report, which the live table tolerates but history rejects.
+		_ = s.history.Append(u.Node, u.Report)
+	}
+	s.applied++
+}
+
+// History returns the report history store, or nil when history is
+// disabled. Use it to answer snapshot and historic range queries.
+func (s *Server) History() *history.Store { return s.history }
+
+// Applied returns the number of updates integrated into the motion table.
+func (s *Server) Applied() int64 { return s.applied }
+
+// ObserveStatistics folds one sample of node positions and speeds into the
+// statistics grid. In a deployment this is derived from the update stream
+// or a grid-based index; the harness samples ground truth, which the paper
+// also permits ("the statistics can easily be approximated using
+// sampling").
+func (s *Server) ObserveStatistics(positions []geo.Point, speeds []float64) {
+	s.grid.Observe(positions, speeds)
+}
+
+// Evaluate re-evaluates every registered query at time now against the
+// dead-reckoned node positions. results[q] lists node ids; the backing
+// arrays are reused across calls, so callers must copy what they keep.
+func (s *Server) Evaluate(now float64) [][]int {
+	for i := 0; i < s.cfg.Nodes; i++ {
+		p, ok := s.table.Predict(i, now)
+		s.active[i] = ok
+		if ok {
+			s.predicted[i] = s.cfg.Space.ClampPoint(p)
+		}
+	}
+	s.index.Rebuild(s.predicted, s.active)
+	results := make([][]int, len(s.queries))
+	for qi, q := range s.queries {
+		var ids []int
+		s.index.Query(q, func(id int) { ids = append(ids, id) })
+		results[qi] = ids
+	}
+	return results
+}
+
+// PredictedPosition returns the server's belief about a node's position.
+func (s *Server) PredictedPosition(id int, now float64) (geo.Point, bool) {
+	return s.table.Predict(id, now)
+}
+
+// Adaptation is the output of one LIRA adaptation cycle, ready for the
+// base-station layer.
+type Adaptation struct {
+	Z            float64
+	Partitioning *partition.Partitioning
+	Deltas       []float64
+	// BudgetMet is false when z is below the system's minimum achievable
+	// expenditure and every throttler saturated at Δ⊣.
+	BudgetMet bool
+	// Elapsed is the wall-clock cost of the cycle (GRIDREDUCE +
+	// GREEDYINCREMENT; THROTLOOP is O(1) and included).
+	Elapsed time.Duration
+}
+
+// Adapt runs one adaptation cycle with an explicit throttle fraction z —
+// the manually-set budget mode of §2.1. Use AdaptAuto for closed-loop
+// control.
+func (s *Server) Adapt(z float64) (*Adaptation, error) {
+	start := time.Now()
+	p, err := partition.GridReduce(s.grid, partition.Config{
+		L: s.cfg.L, Z: z, Curve: s.cfg.Curve, ProtectQueries: s.cfg.ProtectQueries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := throttler.SetThrottlers(p.Stats(), s.cfg.Curve, throttler.Options{
+		Z:        z,
+		Fairness: s.cfg.Fairness,
+		UseSpeed: s.cfg.UseSpeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Adaptation{
+		Z:            z,
+		Partitioning: p,
+		Deltas:       res.Deltas,
+		BudgetMet:    res.BudgetMet,
+		Elapsed:      time.Since(start),
+	}, nil
+}
+
+// AdaptAuto measures the queue over the given window, steps THROTLOOP, and
+// runs the adaptation cycle at the resulting throttle fraction.
+func (s *Server) AdaptAuto(window float64) (*Adaptation, error) {
+	lambda, mu := s.input.Rates(window)
+	rho := queue.Utilization(lambda, mu)
+	z := s.loop.Observe(rho)
+	return s.Adapt(z)
+}

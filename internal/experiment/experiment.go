@@ -1,0 +1,493 @@
+// Package experiment is the end-to-end harness behind every figure and
+// table of the paper's evaluation (§4).
+//
+// A run simulates the full three-layer system twice over the same
+// trajectories: a *reference* system in which every node dead-reckons at
+// the ideal threshold Δ⊢ (the paper's definition of correct results R*(q)
+// and correct positions p*(o)), and a *candidate* system operating under
+// one of the four shedding strategies. Registered range CQs are evaluated
+// periodically against both systems and the §4.1 accuracy metrics are
+// accumulated from the differences.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"lira/internal/basestation"
+	"lira/internal/cqserver"
+	"lira/internal/fmodel"
+	"lira/internal/geo"
+	"lira/internal/metrics"
+	"lira/internal/mobilenode"
+	"lira/internal/motion"
+	"lira/internal/rng"
+	"lira/internal/roadnet"
+	"lira/internal/shedding"
+	"lira/internal/trace"
+	"lira/internal/workload"
+)
+
+// EnvConfig parameterizes the shared environment: the road network, the
+// mobile-node trace, and the calibrated update reduction function.
+type EnvConfig struct {
+	// Net configures the synthetic road network.
+	Net roadnet.Config
+	// Nodes is the number of mobile nodes n.
+	Nodes int
+	// TraceSeed drives car placement and routing.
+	TraceSeed uint64
+	// MinDelta and MaxDelta are Δ⊢ and Δ⊣ in meters.
+	MinDelta, MaxDelta float64
+	// CalibSegments is the κ used while measuring f(Δ); CalibTicks and
+	// CalibNodes bound the calibration replay. Zero values select
+	// defaults.
+	CalibSegments, CalibTicks, CalibNodes int
+	// Segments is the κ of the resampled curve handed to the optimizer;
+	// the default 95 gives the paper's c_Δ = 1 m.
+	Segments int
+	// Dt is the tick length in seconds.
+	Dt float64
+}
+
+// DefaultEnvConfig returns the paper-scale environment: ≈200 km², 10 000
+// nodes, Δ ∈ [5 m, 100 m], c_Δ = 1 m.
+func DefaultEnvConfig() EnvConfig {
+	return EnvConfig{
+		Net:           roadnet.DefaultConfig(),
+		Nodes:         10000,
+		TraceSeed:     2,
+		MinDelta:      5,
+		MaxDelta:      100,
+		CalibSegments: 19,
+		CalibTicks:    240,
+		CalibNodes:    2000,
+		Segments:      95,
+		Dt:            1,
+	}
+}
+
+func (c *EnvConfig) fillDefaults() {
+	d := DefaultEnvConfig()
+	if c.Nodes <= 0 {
+		c.Nodes = d.Nodes
+	}
+	if c.MinDelta <= 0 {
+		c.MinDelta = d.MinDelta
+	}
+	if c.MaxDelta <= c.MinDelta {
+		c.MaxDelta = d.MaxDelta
+	}
+	if c.CalibSegments <= 0 {
+		c.CalibSegments = d.CalibSegments
+	}
+	if c.CalibTicks <= 0 {
+		c.CalibTicks = d.CalibTicks
+	}
+	if c.CalibNodes <= 0 {
+		c.CalibNodes = d.CalibNodes
+	}
+	if c.Segments <= 0 {
+		c.Segments = d.Segments
+	}
+	if c.Dt <= 0 {
+		c.Dt = d.Dt
+	}
+}
+
+// Env is a shared experiment environment. Build one Env per parameter
+// sweep and run many strategies against it; the expensive pieces (network
+// generation, f calibration) amortize across runs.
+type Env struct {
+	Cfg   EnvConfig
+	Net   *roadnet.Network
+	Src   *trace.Source
+	Curve *fmodel.Curve
+	Space geo.Rect
+}
+
+// NewEnv generates the road network, the trace source, and the calibrated
+// update reduction function.
+func NewEnv(cfg EnvConfig) (*Env, error) {
+	cfg.fillDefaults()
+	net := roadnet.Generate(cfg.Net)
+	src := trace.NewSource(net, trace.Config{N: cfg.Nodes, Seed: cfg.TraceSeed})
+
+	calibNodes := cfg.CalibNodes
+	if calibNodes > cfg.Nodes {
+		calibNodes = cfg.Nodes
+	}
+	calibSrc := trace.NewSource(net, trace.Config{N: calibNodes, Seed: cfg.TraceSeed})
+	coarse, err := fmodel.Calibrate(calibSrc, cfg.MinDelta, cfg.MaxDelta,
+		cfg.CalibSegments, cfg.CalibTicks, cfg.Dt)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: calibrating f(Δ): %w", err)
+	}
+	return &Env{
+		Cfg:   cfg,
+		Net:   net,
+		Src:   src,
+		Curve: fmodel.Resample(coarse, cfg.Segments),
+		Space: net.Space,
+	}, nil
+}
+
+// RunConfig parameterizes one simulation run against an Env.
+type RunConfig struct {
+	// Strategy selects the shedding strategy.
+	Strategy shedding.Kind
+	// Z is the throttle fraction.
+	Z float64
+	// L is the number of shedding regions; Alpha the statistics-grid
+	// resolution (0 selects the paper's rule from L).
+	L, Alpha int
+	// Fairness is Δ⇔ in meters (0 selects the unconstrained case).
+	Fairness float64
+	// UseSpeed enables the §3.1.2 speed factor.
+	UseSpeed bool
+	// QueryCount is m; when 0 it is derived as MOverN × nodes.
+	QueryCount int
+	// MOverN is the m/n ratio of Table 2.
+	MOverN float64
+	// QuerySide is w in meters; QueryDist the placement distribution.
+	QuerySide float64
+	QueryDist workload.Distribution
+	// WarmupTicks precede measurement: statistics gathering and strategy
+	// configuration happen at the end of warmup.
+	WarmupTicks int
+	// DurationTicks is the measured interval; queries are evaluated every
+	// EvalEvery ticks and statistics sampled every StatSampleEvery ticks.
+	DurationTicks, EvalEvery, StatSampleEvery int
+	// HandoffEvery is how often (in ticks) nodes check their base-station
+	// coverage.
+	HandoffEvery int
+	// ReAdaptEvery re-runs the strategy configuration with refreshed
+	// statistics every given number of measurement ticks and rebroadcasts
+	// the assignments; 0 keeps the single warmup-time configuration.
+	ReAdaptEvery int
+	// ProtectQueries enables the query-protective drill-down extension
+	// for the Lira strategy; 0 is the paper's exact algorithm.
+	ProtectQueries float64
+	// StationRadius selects uniform station placement with that coverage
+	// radius; 0 selects the density-aware placement.
+	StationRadius float64
+	// Seed drives run-local randomness (query placement, admission).
+	Seed uint64
+}
+
+// DefaultRunConfig returns the paper's Table 2 defaults.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		Strategy:        shedding.Lira,
+		Z:               0.5,
+		L:               250,
+		Alpha:           0, // → 128 via the paper's rule
+		Fairness:        50,
+		UseSpeed:        true,
+		MOverN:          0.01,
+		QuerySide:       1000,
+		QueryDist:       workload.Proportional,
+		WarmupTicks:     90,
+		DurationTicks:   900,
+		EvalEvery:       30,
+		StatSampleEvery: 10,
+		HandoffEvery:    10,
+		Seed:            7,
+	}
+}
+
+func (c *RunConfig) fillDefaults() {
+	d := DefaultRunConfig()
+	if c.Z == 0 {
+		c.Z = d.Z
+	}
+	if c.L <= 0 {
+		c.L = d.L
+	}
+	if c.MOverN <= 0 && c.QueryCount <= 0 {
+		c.MOverN = d.MOverN
+	}
+	if c.QuerySide <= 0 {
+		c.QuerySide = d.QuerySide
+	}
+	if c.WarmupTicks <= 0 {
+		c.WarmupTicks = d.WarmupTicks
+	}
+	if c.DurationTicks <= 0 {
+		c.DurationTicks = d.DurationTicks
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = d.EvalEvery
+	}
+	if c.StatSampleEvery <= 0 {
+		c.StatSampleEvery = d.StatSampleEvery
+	}
+	if c.HandoffEvery <= 0 {
+		c.HandoffEvery = d.HandoffEvery
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Strategy shedding.Kind
+	Z        float64
+
+	// Metrics holds the §4.1 accuracy metrics against the Δ⊢ reference.
+	Metrics metrics.Summary
+	// PerQueryContainment holds the per-query mean containment errors
+	// (NaN for queries that never had a non-empty correct result), in
+	// query-generation order. Queries regenerate deterministically from
+	// the same RunConfig.
+	PerQueryContainment []float64
+
+	// ReferenceUpdates counts updates the Δ⊢ reference generated during
+	// measurement; SentUpdates those the shedding nodes transmitted; and
+	// AdmittedUpdates those the candidate server integrated. For the
+	// source-actuated strategies Sent == Admitted; for RandomDrop the gap
+	// is wasted wireless bandwidth.
+	ReferenceUpdates, SentUpdates, AdmittedUpdates int64
+	// AchievedFraction is Admitted/Reference — how closely the realized
+	// shedding matched the throttle fraction.
+	AchievedFraction float64
+
+	// ConfigElapsed is the strategy-configuration cost (the paper's
+	// "server side cost").
+	ConfigElapsed time.Duration
+	// BudgetMet mirrors the optimizer's feasibility flag.
+	BudgetMet bool
+
+	// Base-station layer accounting (Table 3).
+	Stations                 int
+	RegionsPerStation        float64
+	BroadcastBytesPerStation float64
+	Handoffs                 int64
+}
+
+// Run executes one simulation against env. The env's trace source is
+// Reset; runs against one Env are sequential, never concurrent.
+func Run(env *Env, cfg RunConfig) (*Result, error) {
+	cfg.fillDefaults()
+	n := env.Cfg.Nodes
+	if cfg.QueryCount <= 0 {
+		cfg.QueryCount = int(cfg.MOverN * float64(n))
+		if cfg.QueryCount < 1 {
+			cfg.QueryCount = 1
+		}
+	}
+	runRng := rng.New(cfg.Seed)
+	admitRng := runRng.Split(1)
+
+	// Candidate server (owns the statistics grid and adaptation); the
+	// reference server only evaluates queries over its own motion table.
+	mk := func() (*cqserver.Server, error) {
+		return cqserver.New(cqserver.Config{
+			Space:          env.Space,
+			Nodes:          n,
+			Alpha:          cfg.Alpha,
+			L:              cfg.L,
+			Curve:          env.Curve,
+			Fairness:       cfg.Fairness,
+			UseSpeed:       cfg.UseSpeed,
+			ProtectQueries: cfg.ProtectQueries,
+		})
+	}
+	srvCand, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	srvRef, err := mk()
+	if err != nil {
+		return nil, err
+	}
+
+	src := env.Src
+	src.Reset()
+	dt := env.Cfg.Dt
+	minDelta := env.Cfg.MinDelta
+
+	speeds := make([]float64, n)
+	snapshotSpeeds := func() {
+		vel := src.Velocities()
+		for i := range speeds {
+			speeds[i] = vel[i].Len()
+		}
+	}
+
+	// Warmup: move the cars and gather statistics.
+	for tick := 0; tick < cfg.WarmupTicks; tick++ {
+		src.Step(dt)
+		if tick%cfg.StatSampleEvery == 0 {
+			snapshotSpeeds()
+			srvCand.ObserveStatistics(src.Positions(), speeds)
+		}
+	}
+
+	// Queries from the warmed node distribution.
+	queries, err := workload.GenerateQueries(env.Space, src.Positions(), workload.QueryConfig{
+		Count:        cfg.QueryCount,
+		SideLength:   cfg.QuerySide,
+		Distribution: cfg.QueryDist,
+		Seed:         cfg.Seed ^ 0x5eed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srvCand.RegisterQueries(queries)
+	srvRef.RegisterQueries(queries)
+
+	// Configure the shedding strategy.
+	shedOpts := shedding.Options{
+		L:        cfg.L,
+		Curve:    env.Curve,
+		Fairness: cfg.Fairness,
+		UseSpeed: cfg.UseSpeed,
+	}
+	out, err := shedding.Configure(cfg.Strategy, srvCand, cfg.Z, shedOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Base-station layer: place stations, compute per-station subsets,
+	// compile node-side indexes.
+	var stations []basestation.Station
+	if cfg.StationRadius > 0 {
+		stations, err = basestation.PlaceUniform(env.Space, cfg.StationRadius)
+	} else {
+		target := n/25 + 1
+		stations, err = basestation.PlaceDensityAware(env.Space, src.Positions(), target,
+			env.Space.Width()/40, env.Space.Width())
+	}
+	if err != nil {
+		return nil, err
+	}
+	deploy, err := basestation.NewDeployment(stations, out.Partitioning, out.Deltas)
+	if err != nil {
+		return nil, err
+	}
+	compiled := make([]*mobilenode.Compiled, len(deploy.Assignments))
+	for i, a := range deploy.Assignments {
+		compiled[i] = mobilenode.Compile(a)
+	}
+
+	// Mobile nodes and reference reckoners.
+	nodes := make([]*mobilenode.Node, n)
+	refReck := make([]motion.DeadReckoner, n)
+	now := float64(cfg.WarmupTicks) * dt
+	pos, vel := src.Positions(), src.Velocities()
+	res := &Result{
+		Strategy:                 cfg.Strategy,
+		Z:                        cfg.Z,
+		ConfigElapsed:            out.Elapsed,
+		BudgetMet:                out.BudgetMet,
+		Stations:                 len(stations),
+		RegionsPerStation:        deploy.MeanRegionsPerStation(),
+		BroadcastBytesPerStation: deploy.MeanBroadcastBytes(),
+	}
+	for i := 0; i < n; i++ {
+		nodes[i] = mobilenode.NewNode(i)
+		if st := basestation.StationFor(stations, pos[i]); st >= 0 {
+			nodes[i].Install(st, compiled[st])
+		}
+		rep := nodes[i].Start(pos[i], vel[i], now)
+		res.SentUpdates++
+		res.ReferenceUpdates++
+		srvRef.Apply(cqserver.Update{Node: i, Report: refReck[i].Start(pos[i], vel[i], now)})
+		if out.AdmitProbability >= 1 || admitRng.Bool(out.AdmitProbability) {
+			srvCand.Apply(cqserver.Update{Node: i, Report: rep})
+			res.AdmittedUpdates++
+		}
+	}
+
+	collector := metrics.NewCollector(len(queries))
+
+	// Measured interval.
+	for tick := 1; tick <= cfg.DurationTicks; tick++ {
+		src.Step(dt)
+		now = float64(cfg.WarmupTicks+tick) * dt
+		pos, vel = src.Positions(), src.Velocities()
+
+		// Keep the statistics fresh during measurement so periodic
+		// re-adaptation (and post-run analysis) see current densities.
+		if tick%cfg.StatSampleEvery == 0 {
+			snapshotSpeeds()
+			srvCand.ObserveStatistics(pos, speeds)
+		}
+		if cfg.ReAdaptEvery > 0 && tick%cfg.ReAdaptEvery == 0 {
+			out, err = shedding.Configure(cfg.Strategy, srvCand, cfg.Z, shedOpts)
+			if err != nil {
+				return nil, err
+			}
+			deploy, err = basestation.NewDeployment(stations, out.Partitioning, out.Deltas)
+			if err != nil {
+				return nil, err
+			}
+			for i, a := range deploy.Assignments {
+				compiled[i] = mobilenode.Compile(a)
+			}
+			// Stations rebroadcast: every camped node refreshes its
+			// stored subset.
+			for _, nd := range nodes {
+				if st := nd.Station(); st >= 0 {
+					nd.Install(st, compiled[st])
+				}
+			}
+			res.ConfigElapsed += out.Elapsed
+		}
+
+		handoff := tick%cfg.HandoffEvery == 0
+		for i := 0; i < n; i++ {
+			// Reference system: Δ⊢ everywhere.
+			if rep, send := refReck[i].Observe(pos[i], vel[i], now, minDelta); send {
+				srvRef.Apply(cqserver.Update{Node: i, Report: rep})
+				res.ReferenceUpdates++
+			}
+			// Candidate system: region-dependent Δ with hand-offs.
+			nd := nodes[i]
+			if handoff {
+				cur := nd.Station()
+				if cur < 0 || !stations[cur].Covers(pos[i]) {
+					if st := basestation.StationFor(stations, pos[i]); st >= 0 {
+						nd.Install(st, compiled[st])
+					}
+				}
+			}
+			if rep, send := nd.Observe(pos[i], vel[i], now, minDelta); send {
+				res.SentUpdates++
+				if out.AdmitProbability >= 1 || admitRng.Bool(out.AdmitProbability) {
+					srvCand.Apply(cqserver.Update{Node: i, Report: rep})
+					res.AdmittedUpdates++
+				}
+			}
+		}
+
+		if tick%cfg.EvalEvery == 0 {
+			refResults := srvRef.Evaluate(now)
+			candResults := srvCand.Evaluate(now)
+			for q := range queries {
+				if ce, ok := metrics.ContainmentError(candResults[q], refResults[q]); ok {
+					collector.RecordContainment(q, ce)
+				}
+				pe, ok := metrics.PositionError(candResults[q],
+					func(id int) (geo.Point, bool) { return srvCand.PredictedPosition(id, now) },
+					func(id int) (geo.Point, bool) { return srvRef.PredictedPosition(id, now) },
+				)
+				if ok {
+					collector.RecordPosition(q, pe)
+				}
+			}
+		}
+	}
+
+	for _, nd := range nodes {
+		res.Handoffs += nd.Handoffs
+	}
+	res.Metrics = collector.Summary()
+	res.PerQueryContainment = collector.PerQueryContainment()
+	if res.ReferenceUpdates > 0 {
+		res.AchievedFraction = float64(res.AdmittedUpdates) / float64(res.ReferenceUpdates)
+	}
+	return res, nil
+}

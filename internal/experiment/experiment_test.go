@@ -1,0 +1,305 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"lira/internal/roadnet"
+	"lira/internal/shedding"
+	"lira/internal/workload"
+)
+
+// testEnv builds a small but heterogeneous environment shared by the
+// integration tests in this file.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	netCfg := roadnet.DefaultConfig()
+	netCfg.Side = 6000
+	netCfg.GridStep = 300
+	netCfg.Centers = 2
+	netCfg.CenterRadius = 1200
+	env, err := NewEnv(EnvConfig{
+		Net:        netCfg,
+		Nodes:      1500,
+		CalibNodes: 400,
+		CalibTicks: 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func smallRun(strategy shedding.Kind, z float64) RunConfig {
+	cfg := DefaultRunConfig()
+	cfg.Strategy = strategy
+	cfg.Z = z
+	cfg.L = 49
+	cfg.WarmupTicks = 60
+	cfg.DurationTicks = 420
+	cfg.EvalEvery = 30
+	return cfg
+}
+
+func TestEnvDefaults(t *testing.T) {
+	env := testEnv(t)
+	if env.Curve == nil || env.Net == nil || env.Src == nil {
+		t.Fatal("env incomplete")
+	}
+	if env.Curve.Segments() != 95 {
+		t.Errorf("curve segments = %d, want 95 (c_Δ = 1 m)", env.Curve.Segments())
+	}
+	if env.Curve.Eval(env.Cfg.MinDelta) != 1 {
+		t.Error("curve not normalized")
+	}
+}
+
+func TestRunLiraBasics(t *testing.T) {
+	env := testEnv(t)
+	res, err := Run(env, smallRun(shedding.Lira, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReferenceUpdates == 0 || res.SentUpdates == 0 {
+		t.Fatalf("no updates flowed: %+v", res)
+	}
+	if !res.BudgetMet {
+		t.Error("z=0.5 should be feasible")
+	}
+	// Lira is source-actuated: nothing sent is wasted.
+	if res.SentUpdates != res.AdmittedUpdates {
+		t.Errorf("lira sent %d != admitted %d", res.SentUpdates, res.AdmittedUpdates)
+	}
+	// The realized update volume must be in the neighborhood of the
+	// budget: far below the reference, not wildly below z.
+	if res.AchievedFraction > 0.8 || res.AchievedFraction < 0.1 {
+		t.Errorf("achieved fraction %v implausible for z=0.5", res.AchievedFraction)
+	}
+	if res.Metrics.ContainmentSamples == 0 || res.Metrics.PositionSamples == 0 {
+		t.Error("no metric samples collected")
+	}
+	if res.Stations == 0 || res.RegionsPerStation <= 0 {
+		t.Errorf("base-station accounting missing: %+v", res)
+	}
+	if res.RegionsPerStation > float64(49) {
+		t.Errorf("regions per station %v exceeds total regions", res.RegionsPerStation)
+	}
+}
+
+func TestRunRandomDropWastesBandwidth(t *testing.T) {
+	env := testEnv(t)
+	res, err := Run(env, smallRun(shedding.RandomDrop, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes report at Δ⊢, the server admits about half.
+	if res.SentUpdates <= res.AdmittedUpdates {
+		t.Errorf("random drop should discard sent updates: sent=%d admitted=%d",
+			res.SentUpdates, res.AdmittedUpdates)
+	}
+	ratio := float64(res.AdmittedUpdates) / float64(res.SentUpdates)
+	if math.Abs(ratio-0.5) > 0.05 {
+		t.Errorf("admission ratio %v, want ≈0.5", ratio)
+	}
+}
+
+// TestStrategyOrdering is the headline reproduction: at the default
+// throttle fraction, error grows in the order
+// Lira ≤ Lira-Grid ≤ Uniform Δ ≤ Random Drop (Figures 4–5).
+func TestStrategyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	env := testEnv(t)
+	errs := map[shedding.Kind]float64{}
+	pos := map[shedding.Kind]float64{}
+	for _, k := range shedding.Kinds() {
+		res, err := Run(env, smallRun(k, 0.5))
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		errs[k] = res.Metrics.MeanContainment
+		pos[k] = res.Metrics.MeanPosition
+		t.Logf("%-14v E^C=%.4f E^P=%.2fm achieved=%.3f", k,
+			res.Metrics.MeanContainment, res.Metrics.MeanPosition, res.AchievedFraction)
+	}
+	if !(errs[shedding.Lira] <= errs[shedding.UniformDelta]) {
+		t.Errorf("Lira E^C %v should not exceed Uniform Δ %v",
+			errs[shedding.Lira], errs[shedding.UniformDelta])
+	}
+	if !(errs[shedding.UniformDelta] < errs[shedding.RandomDrop]) {
+		t.Errorf("Uniform Δ E^C %v should be below Random Drop %v",
+			errs[shedding.UniformDelta], errs[shedding.RandomDrop])
+	}
+	if !(errs[shedding.LiraGrid] <= errs[shedding.UniformDelta]*1.05) {
+		t.Errorf("Lira-Grid E^C %v should not exceed Uniform Δ %v",
+			errs[shedding.LiraGrid], errs[shedding.UniformDelta])
+	}
+	if !(pos[shedding.Lira] < pos[shedding.RandomDrop]) {
+		t.Errorf("Lira E^P %v should be below Random Drop %v",
+			pos[shedding.Lira], pos[shedding.RandomDrop])
+	}
+}
+
+func TestErrorGrowsAsZShrinks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	env := testEnv(t)
+	prev := -1.0
+	for _, z := range []float64{0.75, 0.5, 0.3} {
+		res, err := Run(env, smallRun(shedding.Lira, z))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Metrics.MeanPosition < prev*0.8 {
+			t.Errorf("z=%v: E^P %v fell well below the error at the larger z (%v)",
+				z, res.Metrics.MeanPosition, prev)
+		}
+		prev = res.Metrics.MeanPosition
+	}
+}
+
+func TestAchievedFractionTracksZ(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	env := testEnv(t)
+	for _, z := range []float64{0.75, 0.5} {
+		res, err := Run(env, smallRun(shedding.Lira, z))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.AchievedFraction-z) > 0.3 {
+			t.Errorf("z=%v: achieved fraction %v too far from budget", z, res.AchievedFraction)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	env := testEnv(t)
+	cfg := smallRun(shedding.Lira, 0.5)
+	cfg.DurationTicks = 200
+	a, err := Run(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics.MeanContainment != b.Metrics.MeanContainment ||
+		a.SentUpdates != b.SentUpdates ||
+		a.ReferenceUpdates != b.ReferenceUpdates {
+		t.Errorf("identical runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunWithUniformStations(t *testing.T) {
+	env := testEnv(t)
+	cfg := smallRun(shedding.Lira, 0.5)
+	cfg.DurationTicks = 200
+	cfg.StationRadius = 1500
+	res, err := Run(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stations == 0 {
+		t.Error("uniform placement produced no stations")
+	}
+	if res.BroadcastBytesPerStation != res.RegionsPerStation*16 {
+		t.Errorf("broadcast bytes %v inconsistent with regions %v",
+			res.BroadcastBytesPerStation, res.RegionsPerStation)
+	}
+}
+
+func TestRunInverseAndRandomDistributions(t *testing.T) {
+	env := testEnv(t)
+	for _, d := range []workload.Distribution{workload.Inverse, workload.Random} {
+		cfg := smallRun(shedding.Lira, 0.5)
+		cfg.DurationTicks = 200
+		cfg.QueryDist = d
+		res, err := Run(env, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if res.Metrics.ContainmentSamples == 0 {
+			t.Errorf("%v: no samples", d)
+		}
+	}
+}
+
+func TestHandoffsHappen(t *testing.T) {
+	env := testEnv(t)
+	cfg := smallRun(shedding.Lira, 0.5)
+	cfg.StationRadius = 800 // many small cells force hand-offs
+	res, err := Run(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Handoffs == 0 {
+		t.Error("expected hand-offs with small cells and an 7-minute run")
+	}
+}
+
+// TestDistributedCQMimicry covers the paper's §5 observation: setting the
+// maximum inaccuracy bound Δ⊣ to a very large value makes LIRA mimic
+// distributed CQ systems, which only receive updates that can affect a
+// query result — query-free areas are essentially silent.
+func TestDistributedCQMimicry(t *testing.T) {
+	netCfg := roadnet.DefaultConfig()
+	netCfg.Side = 6000
+	netCfg.GridStep = 300
+	env, err := NewEnv(EnvConfig{
+		Net:        netCfg,
+		Nodes:      1500,
+		CalibNodes: 400,
+		CalibTicks: 120,
+		MaxDelta:   2000, // Δ⊣ ≫ normal: nodes in query-free regions go quiet
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallRun(shedding.Lira, 0.25)
+	cfg.Fairness = 1995 // unconstrained for the enlarged range
+	res, err := Run(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The realized update volume must be far below the Δ⊣=100m regime.
+	if res.AchievedFraction > 0.35 {
+		t.Errorf("achieved fraction %v, want deep shedding with Δ⊣=2000", res.AchievedFraction)
+	}
+	if res.Metrics.ContainmentSamples == 0 {
+		t.Error("queries still need answers")
+	}
+}
+
+// TestSpeedFactorAblation verifies the §3.1.2 extension is wired through:
+// the speed-weighted budget produces a different (and budget-respecting)
+// assignment than the unweighted one on a speed-heterogeneous world.
+func TestSpeedFactorAblation(t *testing.T) {
+	env := testEnv(t)
+	on := smallRun(shedding.Lira, 0.5)
+	on.UseSpeed = true
+	off := smallRun(shedding.Lira, 0.5)
+	off.UseSpeed = false
+	resOn, err := Run(env, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOff, err := Run(env, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both must meet the budget; the achieved fractions should be close
+	// to z either way (the speed factor refines, not distorts).
+	for _, r := range []*Result{resOn, resOff} {
+		if !r.BudgetMet {
+			t.Errorf("budget not met: %+v", r)
+		}
+		if r.AchievedFraction < 0.2 || r.AchievedFraction > 0.8 {
+			t.Errorf("achieved fraction %v far from z=0.5", r.AchievedFraction)
+		}
+	}
+}

@@ -1,0 +1,684 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"lira/internal/basestation"
+	"lira/internal/fmodel"
+	"lira/internal/partition"
+	"lira/internal/shedding"
+	"lira/internal/statgrid"
+	"lira/internal/throttler"
+	"lira/internal/workload"
+)
+
+// Figure is one reproduced table or figure: labeled columns and numeric
+// rows, plus free-form notes comparing against the paper.
+type Figure struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]float64
+	Notes   []string
+}
+
+// Render writes the figure as an aligned text table.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	cells := make([]string, len(f.Columns))
+	widths := make([]int, len(f.Columns))
+	for i, c := range f.Columns {
+		widths[i] = len(c)
+	}
+	rendered := make([][]string, len(f.Rows))
+	for ri, row := range f.Rows {
+		rendered[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := formatCell(v)
+			rendered[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	for i, c := range f.Columns {
+		cells[i] = pad(c, widths[i])
+	}
+	fmt.Fprintln(w, strings.Join(cells, "  "))
+	for _, row := range rendered {
+		for i, s := range row {
+			if i < len(widths) {
+				row[i] = pad(s, widths[i])
+			}
+		}
+		fmt.Fprintln(w, strings.Join(row, "  "))
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func formatCell(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e7 && v > -1e7:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100 || v <= -100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Sweep bundles the swept parameter values so callers can trade fidelity
+// for runtime (benchmarks use short sweeps; cmd/lirabench the full ones).
+type Sweep struct {
+	// Base is the run configuration every point starts from.
+	Base RunConfig
+	// Zs is the throttle-fraction sweep (Figures 4–7).
+	Zs []float64
+	// Ls is the shedding-region-count sweep (Figures 8, 9, 12).
+	Ls []int
+	// Fairness is the Δ⇔ sweep in meters (Figures 10, 11).
+	Fairness []float64
+	// FairnessZs is the z set of Figure 11.
+	FairnessZs []float64
+	// MOverNs is the query-to-node ratio set of Figure 12.
+	MOverNs []float64
+	// Ws is the query side-length sweep of Figure 13.
+	Ws []float64
+	// CostLs and CostAlphas drive Figure 14.
+	CostLs     []int
+	CostAlphas []int
+	// Radii is the base-station coverage radius sweep of Table 3, in
+	// meters.
+	Radii []float64
+	// Repeats averages the noise-sensitive relative comparisons
+	// (Figures 8 and 12) over this many differently-seeded runs per
+	// point. Zero means one run.
+	Repeats int
+}
+
+// DefaultSweep mirrors the paper's parameter ranges.
+func DefaultSweep() Sweep {
+	return Sweep{
+		Base:       DefaultRunConfig(),
+		Zs:         []float64{0.9, 0.75, 0.6, 0.5, 0.4, 0.3, 0.25},
+		Ls:         []int{13, 49, 100, 250, 520},
+		Fairness:   []float64{5, 10, 25, 50, 95},
+		FairnessZs: []float64{0.3, 0.5, 0.75, 0.9},
+		MOverNs:    []float64{0.01, 0.1},
+		Ws:         []float64{250, 500, 1000, 2000, 4000},
+		CostLs:     []int{13, 49, 100, 250, 520, 1000},
+		CostAlphas: []int{64, 128, 256},
+		Radii:      []float64{1000, 2000, 3000, 4000, 5000},
+		Repeats:    3,
+	}
+}
+
+// runAvgContainment averages the mean containment error over
+// max(1, repeats) differently-seeded runs of cfg.
+func runAvgContainment(env *Env, cfg RunConfig, repeats int) (float64, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	cfg.fillDefaults()
+	total := 0.0
+	for r := 0; r < repeats; r++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(r)*1009
+		res, err := Run(env, c)
+		if err != nil {
+			return 0, err
+		}
+		total += res.Metrics.MeanContainment
+	}
+	return total / float64(repeats), nil
+}
+
+// QuickSweep is a trimmed sweep for tests and benchmarks.
+func QuickSweep(base RunConfig) Sweep {
+	return Sweep{
+		Base:       base,
+		Zs:         []float64{0.75, 0.5, 0.3},
+		Ls:         []int{13, 49, 100},
+		Fairness:   []float64{10, 50, 95},
+		FairnessZs: []float64{0.5, 0.75},
+		MOverNs:    []float64{0.01, 0.1},
+		Ws:         []float64{500, 1000, 2000},
+		CostLs:     []int{13, 49, 250},
+		CostAlphas: []int{64, 128},
+		Radii:      []float64{1000, 2000, 4000},
+	}
+}
+
+// Figure1 reproduces the update-reduction curve f(Δ): the measured number
+// of position updates relative to Δ⊢, as Δ grows toward Δ⊣.
+func Figure1(env *Env) *Figure {
+	f := &Figure{
+		ID:      "fig1",
+		Title:   "Reduction in location updates vs inaccuracy threshold",
+		Columns: []string{"delta_m", "f(delta)"},
+		Notes: []string{
+			"paper: steep decrease near Δ⊢=5m flattening toward Δ⊣=100m",
+		},
+	}
+	c := env.Curve
+	for i := 0; i <= c.Segments(); i += maxInt(1, c.Segments()/19) {
+		d, v := c.Knot(i)
+		f.Rows = append(f.Rows, []float64{d, v})
+	}
+	return f
+}
+
+// Figure3 reproduces the (α,l)-partitioning illustration as summary
+// statistics: the distribution of shedding-region sizes produced by
+// GRIDREDUCE versus the uniform l-partitioning.
+func Figure3(env *Env, cfg RunConfig) (*Figure, *partition.Partitioning, error) {
+	cfg.fillDefaults()
+	grid, err := warmedGrid(env, cfg, cfg.Alpha)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := partition.GridReduce(grid, partition.Config{L: cfg.L, Z: cfg.Z, Curve: env.Curve})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Histogram of region side lengths as powers of the cell size.
+	sizes := map[int]int{}
+	for _, r := range p.Regions {
+		span := int(r.Area.Width() / (env.Space.Width() / float64(grid.Alpha())))
+		sizes[span]++
+	}
+	f := &Figure{
+		ID:      "fig3",
+		Title:   "(α,l)-partitioning: region side (in grid cells) histogram",
+		Columns: []string{"side_cells", "regions"},
+		Notes: []string{
+			"non-uniform sizes confirm region-aware drill-down (uniform l-partitioning has a single size)",
+			fmt.Sprintf("l=%d regions over α=%d grid", len(p.Regions), grid.Alpha()),
+		},
+	}
+	for span := 1; span <= grid.Alpha(); span *= 2 {
+		if n, ok := sizes[span]; ok {
+			f.Rows = append(f.Rows, []float64{float64(span), float64(n)})
+		}
+	}
+	return f, p, nil
+}
+
+// strategyLabels order the per-strategy columns of Figures 4–7.
+var strategyLabels = []shedding.Kind{shedding.RandomDrop, shedding.UniformDelta, shedding.LiraGrid, shedding.Lira}
+
+// Figures4and5 reproduces the throttle-fraction sweep under the
+// Proportional query distribution: mean position error (Figure 4) and mean
+// containment error (Figure 5) for all four strategies, absolute and
+// relative to LIRA.
+func Figures4and5(env *Env, sw Sweep) (*Figure, *Figure, error) {
+	fig4 := &Figure{
+		ID:    "fig4",
+		Title: "Mean position error vs throttle fraction (proportional queries)",
+		Columns: []string{"z",
+			"EP_rdrop_m", "EP_unif_m", "EP_lgrid_m", "EP_lira_m",
+			"rel_rdrop", "rel_unif", "rel_lgrid"},
+		Notes: []string{"paper: Random Drop ≫ Uniform Δ > Lira-Grid > LIRA across the entire z range"},
+	}
+	fig5 := &Figure{
+		ID:    "fig5",
+		Title: "Mean containment error vs throttle fraction (proportional queries)",
+		Columns: []string{"z",
+			"EC_rdrop", "EC_unif", "EC_lgrid", "EC_lira",
+			"rel_rdrop", "rel_unif", "rel_lgrid"},
+		Notes: []string{"paper: same ordering as Figure 4; relative errors → 1 as z approaches the Δ⊣ convergence point"},
+	}
+	for _, z := range sw.Zs {
+		var ep, ec [4]float64
+		for i, k := range strategyLabels {
+			cfg := sw.Base
+			cfg.Strategy = k
+			cfg.Z = z
+			res, err := Run(env, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			ep[i] = res.Metrics.MeanPosition
+			ec[i] = res.Metrics.MeanContainment
+		}
+		fig4.Rows = append(fig4.Rows, []float64{z, ep[0], ep[1], ep[2], ep[3],
+			rel(ep[0], ep[3]), rel(ep[1], ep[3]), rel(ep[2], ep[3])})
+		fig5.Rows = append(fig5.Rows, []float64{z, ec[0], ec[1], ec[2], ec[3],
+			rel(ec[0], ec[3]), rel(ec[1], ec[3]), rel(ec[2], ec[3])})
+	}
+	return fig4, fig5, nil
+}
+
+// Figure6or7 reproduces the containment-error sweep for the Inverse
+// (Figure 6) or Random (Figure 7) query distribution.
+func Figure6or7(env *Env, sw Sweep, dist workload.Distribution) (*Figure, error) {
+	id := "fig6"
+	if dist == workload.Random {
+		id = "fig7"
+	}
+	f := &Figure{
+		ID:    id,
+		Title: fmt.Sprintf("Mean containment error vs throttle fraction (%v queries)", dist),
+		Columns: []string{"z",
+			"EC_rdrop", "EC_unif", "EC_lgrid", "EC_lira",
+			"rel_rdrop", "rel_unif", "rel_lgrid"},
+		Notes: []string{"paper: same ordering as Figure 5 with slightly smaller relative gaps"},
+	}
+	for _, z := range sw.Zs {
+		var ec [4]float64
+		for i, k := range strategyLabels {
+			cfg := sw.Base
+			cfg.Strategy = k
+			cfg.Z = z
+			cfg.QueryDist = dist
+			res, err := Run(env, cfg)
+			if err != nil {
+				return nil, err
+			}
+			ec[i] = res.Metrics.MeanContainment
+		}
+		f.Rows = append(f.Rows, []float64{z, ec[0], ec[1], ec[2], ec[3],
+			rel(ec[0], ec[3]), rel(ec[1], ec[3]), rel(ec[2], ec[3])})
+	}
+	return f, nil
+}
+
+// Figure8 reproduces the Lira-Grid-vs-LIRA relative containment error as a
+// function of the number of shedding regions, per query distribution.
+func Figure8(env *Env, sw Sweep) (*Figure, error) {
+	f := &Figure{
+		ID:      "fig8",
+		Title:   "Relative E^C of Lira-Grid w.r.t. LIRA vs number of shedding regions",
+		Columns: []string{"l", "rel_proportional", "rel_inverse", "rel_random"},
+		Notes:   []string{"paper: up to ~1.35, shrinking as l grows large enough for the uniform grid to catch up"},
+	}
+	dists := []workload.Distribution{workload.Proportional, workload.Inverse, workload.Random}
+	for _, l := range sw.Ls {
+		row := []float64{float64(l)}
+		for _, d := range dists {
+			var ec [2]float64
+			for i, k := range []shedding.Kind{shedding.LiraGrid, shedding.Lira} {
+				cfg := sw.Base
+				cfg.Strategy = k
+				cfg.L = l
+				cfg.Alpha = 0
+				cfg.QueryDist = d
+				avg, err := runAvgContainment(env, cfg, sw.Repeats)
+				if err != nil {
+					return nil, err
+				}
+				ec[i] = avg
+			}
+			row = append(row, rel(ec[0], ec[1]))
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	return f, nil
+}
+
+// Figure9 reproduces LIRA's containment error as a function of the number
+// of shedding regions, for several throttle fractions.
+func Figure9(env *Env, sw Sweep) (*Figure, error) {
+	zs := sw.FairnessZs
+	f := &Figure{
+		ID:      "fig9",
+		Title:   "E^C of LIRA vs number of shedding regions",
+		Columns: append([]string{"l"}, zLabels(zs)...),
+		Notes:   []string{"paper: error decreases then stabilizes with l; reduction more pronounced at larger z"},
+	}
+	for _, l := range sw.Ls {
+		row := []float64{float64(l)}
+		for _, z := range zs {
+			cfg := sw.Base
+			cfg.Strategy = shedding.Lira
+			cfg.L = l
+			cfg.Alpha = 0
+			cfg.Z = z
+			res, err := Run(env, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.Metrics.MeanContainment)
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	return f, nil
+}
+
+// Figure10 reproduces the fairness study at z = 0.75: standard deviation
+// and coefficient of variation of containment error for LIRA vs Uniform Δ
+// as the fairness threshold Δ⇔ varies.
+func Figure10(env *Env, sw Sweep) (*Figure, error) {
+	f := &Figure{
+		ID:      "fig10",
+		Title:   "Fairness in query result accuracy (z = 0.75)",
+		Columns: []string{"fairness_m", "Dev_lira", "Dev_unif", "Cov_lira", "Cov_unif"},
+		Notes: []string{
+			"paper: D^C of LIRA decreases with Δ⇔ and stays below Uniform Δ; C^C of LIRA increases (Uniform Δ is more fair relative to its own mean)",
+		},
+	}
+	// Uniform Δ ignores the fairness threshold: one run suffices.
+	ucfg := sw.Base
+	ucfg.Strategy = shedding.UniformDelta
+	ucfg.Z = 0.75
+	ures, err := Run(env, ucfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, fair := range sw.Fairness {
+		cfg := sw.Base
+		cfg.Strategy = shedding.Lira
+		cfg.Z = 0.75
+		cfg.Fairness = fair
+		res, err := Run(env, cfg)
+		if err != nil {
+			return nil, err
+		}
+		f.Rows = append(f.Rows, []float64{fair,
+			res.Metrics.StdDevContainment, ures.Metrics.StdDevContainment,
+			res.Metrics.CovContainment, ures.Metrics.CovContainment})
+	}
+	return f, nil
+}
+
+// Figure11 reproduces LIRA's position error as a function of the fairness
+// threshold, for several throttle fractions.
+func Figure11(env *Env, sw Sweep) (*Figure, error) {
+	zs := sw.FairnessZs
+	f := &Figure{
+		ID:      "fig11",
+		Title:   "E^P of LIRA vs fairness threshold",
+		Columns: append([]string{"fairness_m"}, zLabels(zs)...),
+		Notes:   []string{"paper: error marginally sensitive to Δ⇔ at extreme z, more sensitive in between"},
+	}
+	for _, fair := range sw.Fairness {
+		row := []float64{fair}
+		for _, z := range zs {
+			cfg := sw.Base
+			cfg.Strategy = shedding.Lira
+			cfg.Z = z
+			cfg.Fairness = fair
+			res, err := Run(env, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.Metrics.MeanPosition)
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	return f, nil
+}
+
+// Figure12 reproduces the Uniform-Δ-vs-LIRA relative containment error for
+// different query-to-node ratios, as a function of l.
+func Figure12(env *Env, sw Sweep) (*Figure, error) {
+	f := &Figure{
+		ID:      "fig12",
+		Title:   "Relative E^C of Uniform Δ w.r.t. LIRA vs l, per m/n",
+		Columns: append([]string{"l"}, monLabels(sw.MOverNs)...),
+		Notes:   []string{"paper: an order of magnitude larger for m/n=0.01 than m/n=0.1; still ≈2x at m/n=0.1"},
+	}
+	for _, l := range sw.Ls {
+		row := []float64{float64(l)}
+		for _, mon := range sw.MOverNs {
+			var ec [2]float64
+			for i, k := range []shedding.Kind{shedding.UniformDelta, shedding.Lira} {
+				cfg := sw.Base
+				cfg.Strategy = k
+				cfg.L = l
+				cfg.Alpha = 0
+				cfg.MOverN = mon
+				cfg.QueryCount = 0
+				avg, err := runAvgContainment(env, cfg, sw.Repeats)
+				if err != nil {
+					return nil, err
+				}
+				ec[i] = avg
+			}
+			row = append(row, rel(ec[0], ec[1]))
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	return f, nil
+}
+
+// Figure13 reproduces the query side-length sweep: position and
+// containment error of LIRA as w grows.
+func Figure13(env *Env, sw Sweep) (*Figure, error) {
+	f := &Figure{
+		ID:      "fig13",
+		Title:   "Impact of query side length on E^P and E^C (z = 0.5)",
+		Columns: []string{"w_m", "EP_m", "EC"},
+		Notes:   []string{"paper: E^P increases with w while E^C decreases (set-based metric, larger result sets)"},
+	}
+	for _, w := range sw.Ws {
+		cfg := sw.Base
+		cfg.Strategy = shedding.Lira
+		cfg.QuerySide = w
+		res, err := Run(env, cfg)
+		if err != nil {
+			return nil, err
+		}
+		f.Rows = append(f.Rows, []float64{w, res.Metrics.MeanPosition, res.Metrics.MeanContainment})
+	}
+	return f, nil
+}
+
+// Figure14 reproduces the server-side configuration cost: wall-clock time
+// of GRIDREDUCE + GREEDYINCREMENT (plus the O(1) THROTLOOP step) as a
+// function of l, for several statistics-grid resolutions.
+func Figure14(env *Env, sw Sweep) (*Figure, error) {
+	f := &Figure{
+		ID:      "fig14",
+		Title:   "Server-side cost of configuring LIRA (ms)",
+		Columns: append([]string{"l"}, alphaLabels(sw.CostAlphas)...),
+		Notes: []string{
+			"paper: ~40 ms at l=250, α=128 on 2004-era hardware; growth is O(l·log l + α²)",
+		},
+	}
+	cfg := sw.Base
+	cfg.fillDefaults()
+	grids := make(map[int]*statgrid.Grid)
+	for _, alpha := range sw.CostAlphas {
+		g, err := warmedGrid(env, cfg, alpha)
+		if err != nil {
+			return nil, err
+		}
+		grids[alpha] = g
+	}
+	for _, l := range sw.CostLs {
+		row := []float64{float64(l)}
+		for _, alpha := range sw.CostAlphas {
+			elapsed, err := configCost(grids[alpha], env.Curve, l, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, float64(elapsed.Microseconds())/1000)
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	return f, nil
+}
+
+// configCost times one GRIDREDUCE + GREEDYINCREMENT cycle, repeating short
+// cycles for a stable measurement.
+func configCost(g *statgrid.Grid, curve *fmodel.Curve, l int, cfg RunConfig) (time.Duration, error) {
+	const reps = 5
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		p, err := partition.GridReduce(g, partition.Config{L: l, Z: cfg.Z, Curve: curve})
+		if err != nil {
+			return 0, err
+		}
+		if _, err := throttler.SetThrottlers(p.Stats(), curve, throttler.Options{
+			Z:        cfg.Z,
+			Fairness: cfg.Fairness,
+			UseSpeed: cfg.UseSpeed,
+		}); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / reps, nil
+}
+
+// Table3 reproduces the messaging-cost table: the mean number of shedding
+// regions (and broadcast bytes) per base station as a function of the
+// coverage radius, plus the density-aware placement headline.
+func Table3(env *Env, sw Sweep) (*Figure, error) {
+	cfg := sw.Base
+	cfg.fillDefaults()
+	grid, err := warmedGrid(env, cfg, cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	p, err := partition.GridReduce(grid, partition.Config{L: cfg.L, Z: cfg.Z, Curve: env.Curve})
+	if err != nil {
+		return nil, err
+	}
+	res, err := throttler.SetThrottlers(p.Stats(), env.Curve, throttler.Options{
+		Z: cfg.Z, Fairness: cfg.Fairness, UseSpeed: cfg.UseSpeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:      "table3",
+		Title:   "Number of shedding regions per base station",
+		Columns: []string{"radius_m", "regions_per_station", "broadcast_bytes"},
+		Notes: []string{
+			"paper: 3.1 regions at 1 km up to 78.5 at 5 km; density-dependent placement ≈41 regions, 656 bytes",
+		},
+	}
+	for _, radius := range sw.Radii {
+		stations, err := basestation.PlaceUniform(env.Space, radius)
+		if err != nil {
+			return nil, err
+		}
+		d, err := basestation.NewDeployment(stations, p, res.Deltas)
+		if err != nil {
+			return nil, err
+		}
+		f.Rows = append(f.Rows, []float64{radius, d.MeanRegionsPerStation(), d.MeanBroadcastBytes()})
+	}
+	// Density-aware placement headline.
+	env.Src.Reset()
+	for t := 0; t < cfg.WarmupTicks; t++ {
+		env.Src.Step(env.Cfg.Dt)
+	}
+	stations, err := basestation.PlaceDensityAware(env.Space, env.Src.Positions(),
+		env.Cfg.Nodes/25+1, env.Space.Width()/40, env.Space.Width())
+	if err != nil {
+		return nil, err
+	}
+	d, err := basestation.NewDeployment(stations, p, res.Deltas)
+	if err != nil {
+		return nil, err
+	}
+	f.Notes = append(f.Notes, fmt.Sprintf(
+		"density-aware placement: %d stations, %.1f regions/station, %.0f broadcast bytes/station",
+		len(stations), d.MeanRegionsPerStation(), d.MeanBroadcastBytes()))
+	return f, nil
+}
+
+// warmedGrid builds a statistics grid of the given alpha from a warmup
+// replay of the env's trace, with the run's query census.
+func warmedGrid(env *Env, cfg RunConfig, alpha int) (*statgrid.Grid, error) {
+	if alpha <= 0 {
+		alpha = partition.AlphaFor(cfg.L, 10)
+	}
+	g := statgrid.New(env.Space, alpha)
+	src := env.Src
+	src.Reset()
+	n := env.Cfg.Nodes
+	speeds := make([]float64, n)
+	for tick := 0; tick < cfg.WarmupTicks; tick++ {
+		src.Step(env.Cfg.Dt)
+		if tick%cfg.StatSampleEvery == 0 {
+			vel := src.Velocities()
+			for i := range speeds {
+				speeds[i] = vel[i].Len()
+			}
+			g.Observe(src.Positions(), speeds)
+		}
+	}
+	count := cfg.QueryCount
+	if count <= 0 {
+		count = int(cfg.MOverN * float64(n))
+		if count < 1 {
+			count = 1
+		}
+	}
+	queries, err := workload.GenerateQueries(env.Space, src.Positions(), workload.QueryConfig{
+		Count:        count,
+		SideLength:   cfg.QuerySide,
+		Distribution: cfg.QueryDist,
+		Seed:         cfg.Seed ^ 0x5eed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.SetQueries(queries)
+	return g, nil
+}
+
+func rel(x, base float64) float64 {
+	if base == 0 {
+		if x == 0 {
+			return 1
+		}
+		return float64(int64(1) << 40) // sentinel for "x / 0"
+	}
+	return x / base
+}
+
+func zLabels(zs []float64) []string {
+	out := make([]string, len(zs))
+	for i, z := range zs {
+		out[i] = fmt.Sprintf("z=%.2f", z)
+	}
+	return out
+}
+
+func monLabels(mons []float64) []string {
+	out := make([]string, len(mons))
+	for i, m := range mons {
+		out[i] = fmt.Sprintf("m/n=%.2f", m)
+	}
+	return out
+}
+
+func alphaLabels(alphas []int) []string {
+	out := make([]string, len(alphas))
+	for i, a := range alphas {
+		out[i] = fmt.Sprintf("alpha=%d", a)
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WarmedGrid exposes the harness's statistics-grid construction for
+// analysis tools: a grid of the given alpha (0 → the paper's rule from
+// cfg.L) built from a warmup replay with the run's query census.
+func WarmedGrid(env *Env, cfg RunConfig, alpha int) (*statgrid.Grid, error) {
+	cfg.fillDefaults()
+	return warmedGrid(env, cfg, alpha)
+}

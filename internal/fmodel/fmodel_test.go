@@ -1,0 +1,216 @@
+package fmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lira/internal/roadnet"
+	"lira/internal/trace"
+)
+
+func TestNewCurveValidation(t *testing.T) {
+	if _, err := NewCurve(0, 100, []float64{1, 0.5}); err == nil {
+		t.Error("minDelta=0 should be rejected")
+	}
+	if _, err := NewCurve(5, 5, []float64{1, 0.5}); err == nil {
+		t.Error("empty range should be rejected")
+	}
+	if _, err := NewCurve(5, 100, []float64{1}); err == nil {
+		t.Error("single knot should be rejected")
+	}
+	if _, err := NewCurve(5, 100, []float64{0, 1}); err == nil {
+		t.Error("non-positive first knot should be rejected")
+	}
+}
+
+func TestNewCurveNormalizesAndMonotonizes(t *testing.T) {
+	c, err := NewCurve(5, 100, []float64{200, 100, 120, 50, -10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Eval(5) != 1 {
+		t.Errorf("f(Δ⊢) = %v, want 1", c.Eval(5))
+	}
+	// The 120 bump must have been clamped down to 100/200=0.5 and the
+	// negative tail clamped to 0.
+	if got, _ := knotValue(c, 2); got != 0.5 {
+		t.Errorf("bumped knot = %v, want 0.5", got)
+	}
+	if got, _ := knotValue(c, 4); got != 0 {
+		t.Errorf("negative knot = %v, want 0", got)
+	}
+}
+
+func knotValue(c *Curve, i int) (float64, float64) {
+	d, f := c.Knot(i)
+	return f, d
+}
+
+func TestHyperbolicShape(t *testing.T) {
+	c := Hyperbolic(5, 100, 95)
+	if c.Eval(5) != 1 {
+		t.Errorf("f(5) = %v, want 1", c.Eval(5))
+	}
+	if got := c.Eval(100); math.Abs(got-0.05) > 1e-9 {
+		t.Errorf("f(100) = %v, want 0.05", got)
+	}
+	if got := c.Eval(10); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("f(10) = %v, want ~0.5", got)
+	}
+	// Steep early, flat late: the paper's Figure 1 shape.
+	early := c.Rate(6)
+	late := c.Rate(90)
+	if early < 10*late {
+		t.Errorf("early rate %v should dwarf late rate %v", early, late)
+	}
+}
+
+func TestEvalClamping(t *testing.T) {
+	c := Hyperbolic(5, 100, 19)
+	if c.Eval(1) != c.Eval(5) {
+		t.Error("Eval below Δ⊢ should clamp")
+	}
+	if c.Eval(500) != c.Eval(100) {
+		t.Error("Eval above Δ⊣ should clamp")
+	}
+}
+
+func TestSegmentWidthMatchesIncrement(t *testing.T) {
+	c := Hyperbolic(5, 100, 95)
+	if got := c.SegmentWidth(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("SegmentWidth = %v, want 1 (the paper's c_Δ default)", got)
+	}
+	if c.Segments() != 95 {
+		t.Errorf("Segments = %d", c.Segments())
+	}
+	if c.MinDelta() != 5 || c.MaxDelta() != 100 {
+		t.Errorf("range = [%v, %v]", c.MinDelta(), c.MaxDelta())
+	}
+}
+
+func TestRatePositiveEverywhere(t *testing.T) {
+	c := Hyperbolic(5, 100, 95)
+	for d := 5.0; d <= 100; d += 0.5 {
+		if c.Rate(d) <= 0 {
+			t.Fatalf("Rate(%v) = %v, want > 0 for strictly decreasing f", d, c.Rate(d))
+		}
+	}
+}
+
+func TestRateIsNegativeSlope(t *testing.T) {
+	c := Hyperbolic(5, 100, 19)
+	w := c.SegmentWidth()
+	for i := 0; i < c.Segments(); i++ {
+		dl, fl := c.Knot(i)
+		_, fr := c.Knot(i + 1)
+		slope := (fl - fr) / w
+		mid := dl + w/2
+		if math.Abs(c.Rate(mid)-slope) > 1e-12 {
+			t.Fatalf("Rate at segment %d = %v, want %v", i, c.Rate(mid), slope)
+		}
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	c := Hyperbolic(5, 100, 95)
+	for _, z := range []float64{0.9, 0.75, 0.5, 0.3, 0.1} {
+		d := c.Invert(z)
+		if got := c.Eval(d); math.Abs(got-z) > 1e-9 {
+			t.Errorf("Eval(Invert(%v)) = %v", z, got)
+		}
+	}
+	if c.Invert(1.5) != 5 {
+		t.Error("Invert above 1 should return Δ⊢")
+	}
+	if c.Invert(0.001) != 100 {
+		t.Error("Invert below f(Δ⊣) should return Δ⊣")
+	}
+}
+
+// Property: Eval is non-increasing for any curve built from any knots.
+func TestEvalMonotoneProperty(t *testing.T) {
+	f := func(raw []uint8, a, b uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		knots := make([]float64, len(raw))
+		for i, v := range raw {
+			knots[i] = float64(v) + 1
+		}
+		c, err := NewCurve(5, 100, knots)
+		if err != nil {
+			return false
+		}
+		d1 := 5 + float64(a)/255.0*95
+		d2 := 5 + float64(b)/255.0*95
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return c.Eval(d1) >= c.Eval(d2)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalibrateOnTrace(t *testing.T) {
+	netCfg := roadnet.DefaultConfig()
+	netCfg.Side = 4000
+	netCfg.GridStep = 250
+	net := roadnet.Generate(netCfg)
+	src := trace.NewSource(net, trace.Config{N: 300, Seed: 11})
+	c, err := Calibrate(src, 5, 100, 19, 120, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Eval(5) != 1 {
+		t.Errorf("calibrated f(Δ⊢) = %v, want 1", c.Eval(5))
+	}
+	// Real road traces must show substantial reduction at Δ⊣.
+	tail := c.Eval(100)
+	if tail >= 0.5 {
+		t.Errorf("calibrated f(Δ⊣) = %v, want well below 0.5", tail)
+	}
+	// Figure 1's key qualitative claim: the reduction rate is much more
+	// pronounced near Δ⊢ than near Δ⊣.
+	if c.Rate(7) < 2*c.Rate(95) {
+		t.Errorf("calibrated curve not steep-then-flat: r(7)=%v r(95)=%v", c.Rate(7), c.Rate(95))
+	}
+	// The source must be reusable afterwards (Reset contract).
+	if src.Tick() != 0 {
+		t.Errorf("source not reset after calibration: tick %d", src.Tick())
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	netCfg := roadnet.DefaultConfig()
+	netCfg.Side = 2000
+	netCfg.GridStep = 250
+	net := roadnet.Generate(netCfg)
+	src := trace.NewSource(net, trace.Config{N: 10, Seed: 1})
+	if _, err := Calibrate(src, 5, 100, 0, 10, 1); err == nil {
+		t.Error("zero segments should error")
+	}
+	if _, err := Calibrate(src, 5, 100, 4, 0, 1); err == nil {
+		t.Error("zero ticks should error")
+	}
+}
+
+func TestResample(t *testing.T) {
+	c := Hyperbolic(5, 100, 19)
+	fine := Resample(c, 95)
+	if fine.Segments() != 95 {
+		t.Fatalf("Segments = %d", fine.Segments())
+	}
+	// The resampled curve interpolates the original at every new knot.
+	for i := 0; i <= 95; i += 5 {
+		d, v := fine.Knot(i)
+		if math.Abs(v-c.Eval(d)) > 1e-12 {
+			t.Errorf("knot at Δ=%v: %v vs %v", d, v, c.Eval(d))
+		}
+	}
+	if got := Resample(c, 0).Segments(); got != 1 {
+		t.Errorf("degenerate resample segments = %d", got)
+	}
+}

@@ -1,0 +1,171 @@
+// Package geo provides the planar geometry primitives used throughout the
+// LIRA system: points, vectors, and axis-aligned rectangles with the
+// clipping and fractional-overlap operations the statistics grid and the
+// partitioning algorithms rely on.
+//
+// All coordinates are in meters. The monitored space is modeled as a
+// rectangle with its origin at the lower-left corner.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by v.
+func (p Point) Add(v Vector) Point { return Point{p.X + v.X, p.Y + v.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Vector { return Vector{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.1f, %.1f)", p.X, p.Y) }
+
+// Vector is a displacement or velocity in the plane. When used as a
+// velocity its unit is meters per second.
+type Vector struct {
+	X, Y float64
+}
+
+// Scale returns v scaled by k.
+func (v Vector) Scale(k float64) Vector { return Vector{v.X * k, v.Y * k} }
+
+// Add returns the component-wise sum of v and w.
+func (v Vector) Add(w Vector) Vector { return Vector{v.X + w.X, v.Y + w.Y} }
+
+// Len returns the Euclidean length of v.
+func (v Vector) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// Unit returns the unit vector in the direction of v. The zero vector is
+// returned unchanged.
+func (v Vector) Unit() Vector {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return Vector{v.X / l, v.Y / l}
+}
+
+// Rect is an axis-aligned rectangle [MinX, MaxX) × [MinY, MaxY).
+// The half-open convention makes uniform grid tessellations exact: every
+// point of the space belongs to exactly one cell.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewRect returns the rectangle with the given corners, normalizing the
+// coordinate order.
+func NewRect(x0, y0, x1, y1 float64) Rect {
+	if x1 < x0 {
+		x0, x1 = x1, x0
+	}
+	if y1 < y0 {
+		y0, y1 = y1, y0
+	}
+	return Rect{MinX: x0, MinY: y0, MaxX: x1, MaxY: y1}
+}
+
+// Square returns the axis-aligned square centered at c with the given side
+// length.
+func Square(c Point, side float64) Rect {
+	h := side / 2
+	return Rect{MinX: c.X - h, MinY: c.Y - h, MaxX: c.X + h, MaxY: c.Y + h}
+}
+
+// Width returns the extent of r along the x axis.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the extent of r along the y axis.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the area of r. Degenerate rectangles have zero area.
+func (r Rect) Area() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.Width() * r.Height()
+}
+
+// Empty reports whether r contains no points.
+func (r Rect) Empty() bool { return r.MaxX <= r.MinX || r.MaxY <= r.MinY }
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2}
+}
+
+// Contains reports whether p lies inside r, using the half-open convention.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X < r.MaxX && p.Y >= r.MinY && p.Y < r.MaxY
+}
+
+// ContainsClosed reports whether p lies inside the closure of r. Range
+// queries use the closed convention so that results are insensitive to
+// nodes sitting exactly on a query boundary.
+func (r Rect) ContainsClosed(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Intersects reports whether r and s share any area.
+func (r Rect) Intersects(s Rect) bool {
+	return r.MinX < s.MaxX && s.MinX < r.MaxX && r.MinY < s.MaxY && s.MinY < r.MaxY
+}
+
+// Intersect returns the intersection of r and s. The result is empty when
+// the rectangles do not overlap.
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		MinX: math.Max(r.MinX, s.MinX),
+		MinY: math.Max(r.MinY, s.MinY),
+		MaxX: math.Min(r.MaxX, s.MaxX),
+		MaxY: math.Min(r.MaxY, s.MaxY),
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// OverlapFraction returns the fraction of r's area that lies inside s.
+// It returns 0 for a degenerate r. This is the "fractional counting" used
+// when a query partially intersects a shedding region.
+func (r Rect) OverlapFraction(s Rect) float64 {
+	a := r.Area()
+	if a == 0 {
+		return 0
+	}
+	return r.Intersect(s).Area() / a
+}
+
+// ClampPoint returns the point of r closest to p.
+func (r Rect) ClampPoint(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.MinX), r.MaxX),
+		Y: math.Min(math.Max(p.Y, r.MinY), r.MaxY),
+	}
+}
+
+// Quadrants splits r into its four equal quadrants in the order
+// SW, SE, NW, NE (matching the child order of the region quad-tree).
+func (r Rect) Quadrants() [4]Rect {
+	cx, cy := (r.MinX+r.MaxX)/2, (r.MinY+r.MaxY)/2
+	return [4]Rect{
+		{r.MinX, r.MinY, cx, cy},
+		{cx, r.MinY, r.MaxX, cy},
+		{r.MinX, cy, cx, r.MaxY},
+		{cx, cy, r.MaxX, r.MaxY},
+	}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.1f,%.1f]x[%.1f,%.1f]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}

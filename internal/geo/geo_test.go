@@ -1,0 +1,189 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{3, 4}
+	if got := p.Dist(q); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := p.Dist(p); got != 0 {
+		t.Errorf("Dist to self = %v, want 0", got)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{3, 4}
+	if got := v.Len(); got != 5 {
+		t.Errorf("Len = %v, want 5", got)
+	}
+	u := v.Unit()
+	if math.Abs(u.Len()-1) > 1e-12 {
+		t.Errorf("Unit().Len() = %v, want 1", u.Len())
+	}
+	if z := (Vector{}).Unit(); z != (Vector{}) {
+		t.Errorf("Unit of zero vector = %v, want zero", z)
+	}
+	if got := v.Scale(2); got != (Vector{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Add(Vector{1, 1}); got != (Vector{4, 5}) {
+		t.Errorf("Add = %v", got)
+	}
+}
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(10, 20, 0, 5)
+	want := Rect{MinX: 0, MinY: 5, MaxX: 10, MaxY: 20}
+	if r != want {
+		t.Errorf("NewRect = %v, want %v", r, want)
+	}
+}
+
+func TestSquare(t *testing.T) {
+	r := Square(Point{10, 10}, 4)
+	if r.Width() != 4 || r.Height() != 4 {
+		t.Errorf("Square dims = %v x %v, want 4 x 4", r.Width(), r.Height())
+	}
+	if r.Center() != (Point{10, 10}) {
+		t.Errorf("Square center = %v", r.Center())
+	}
+}
+
+func TestRectContainsHalfOpen(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{5, 5}, true},
+		{Point{10, 5}, false}, // max edge excluded
+		{Point{5, 10}, false},
+		{Point{-0.001, 5}, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !r.ContainsClosed(Point{10, 10}) {
+		t.Error("ContainsClosed should include the max corner")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 15, 15}
+	got := a.Intersect(b)
+	want := Rect{5, 5, 10, 10}
+	if got != want {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	c := Rect{20, 20, 30, 30}
+	if !a.Intersect(c).Empty() {
+		t.Error("disjoint rects should intersect to empty")
+	}
+	if a.Intersects(c) {
+		t.Error("Intersects should be false for disjoint rects")
+	}
+	// Touching edges share no area.
+	d := Rect{10, 0, 20, 10}
+	if a.Intersects(d) {
+		t.Error("edge-touching rects should not intersect")
+	}
+}
+
+func TestOverlapFraction(t *testing.T) {
+	q := Rect{0, 0, 10, 10}
+	region := Rect{5, 0, 20, 10}
+	if got := q.OverlapFraction(region); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("OverlapFraction = %v, want 0.5", got)
+	}
+	if got := q.OverlapFraction(q); got != 1 {
+		t.Errorf("self overlap = %v, want 1", got)
+	}
+	if got := (Rect{}).OverlapFraction(q); got != 0 {
+		t.Errorf("degenerate overlap = %v, want 0", got)
+	}
+}
+
+func TestQuadrantsPartition(t *testing.T) {
+	r := Rect{0, 0, 8, 8}
+	qs := r.Quadrants()
+	total := 0.0
+	for _, q := range qs {
+		total += q.Area()
+	}
+	if math.Abs(total-r.Area()) > 1e-9 {
+		t.Errorf("quadrant areas sum to %v, want %v", total, r.Area())
+	}
+	// SW, SE, NW, NE ordering.
+	if qs[0] != (Rect{0, 0, 4, 4}) || qs[3] != (Rect{4, 4, 8, 8}) {
+		t.Errorf("quadrant order wrong: %v", qs)
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if qs[i].Intersects(qs[j]) {
+				t.Errorf("quadrants %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestClampPoint(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	if got := r.ClampPoint(Point{-5, 5}); got != (Point{0, 5}) {
+		t.Errorf("ClampPoint = %v", got)
+	}
+	if got := r.ClampPoint(Point{3, 30}); got != (Point{3, 10}) {
+		t.Errorf("ClampPoint = %v", got)
+	}
+	if got := r.ClampPoint(Point{3, 4}); got != (Point{3, 4}) {
+		t.Errorf("ClampPoint of interior point = %v", got)
+	}
+}
+
+// Property: every point of a rect lies in exactly one quadrant (half-open
+// tessellation).
+func TestQuadrantsExactCoverProperty(t *testing.T) {
+	f := func(px, py uint16) bool {
+		r := Rect{0, 0, 100, 100}
+		p := Point{float64(px) / 656.0, float64(py) / 656.0} // within [0,100)
+		n := 0
+		for _, q := range r.Quadrants() {
+			if q.Contains(p) {
+				n++
+			}
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection is commutative and contained in both operands.
+func TestIntersectProperty(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i int8) bool {
+		r := NewRect(float64(a), float64(b), float64(c), float64(d))
+		s := NewRect(float64(e), float64(g), float64(h), float64(i))
+		x := r.Intersect(s)
+		y := s.Intersect(r)
+		if x != y {
+			return false
+		}
+		if x.Empty() {
+			return true
+		}
+		return x.Area() <= r.Area()+1e-9 && x.Area() <= s.Area()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

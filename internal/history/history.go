@@ -1,0 +1,98 @@
+// Package history stores the motion reports the CQ server has received so
+// snapshot and historic queries can be answered — the capability for which
+// LIRA's fairness threshold Δ⇔ exists (§1, §3.1.1): because every region's
+// update throttler stays within Δ⇔ of the minimum, every node's historic
+// position is known to bounded inaccuracy, unlike distributed CQ systems
+// that receive no updates at all from query-free areas (§5).
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"lira/internal/geo"
+	"lira/internal/motion"
+)
+
+// Store holds per-node report histories. Reports must be appended in
+// non-decreasing time order per node (the server's ingest order). The
+// zero value is unusable; construct with NewStore.
+type Store struct {
+	perNode [][]motion.Report
+	// cap bounds the retained reports per node (0 = unbounded). When the
+	// bound is hit the oldest half is dropped, amortizing the copy.
+	cap int
+}
+
+// NewStore returns a store for n nodes retaining at most perNodeCap
+// reports each (0 = unbounded).
+func NewStore(n, perNodeCap int) (*Store, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("history: non-positive node count %d", n)
+	}
+	if perNodeCap < 0 {
+		return nil, fmt.Errorf("history: negative cap %d", perNodeCap)
+	}
+	return &Store{perNode: make([][]motion.Report, n), cap: perNodeCap}, nil
+}
+
+// Nodes returns the number of node slots.
+func (s *Store) Nodes() int { return len(s.perNode) }
+
+// Len returns the number of retained reports for node id.
+func (s *Store) Len(id int) int { return len(s.perNode[id]) }
+
+// Append records a report for node id. Out-of-order reports are rejected.
+func (s *Store) Append(id int, rep motion.Report) error {
+	h := s.perNode[id]
+	if len(h) > 0 && rep.Time < h[len(h)-1].Time {
+		return fmt.Errorf("history: out-of-order report for node %d (%.3f after %.3f)",
+			id, rep.Time, h[len(h)-1].Time)
+	}
+	if s.cap > 0 && len(h) >= s.cap {
+		// Drop the oldest half; keeps amortized O(1) appends without a
+		// ring's index gymnastics.
+		keep := len(h) / 2
+		copy(h, h[len(h)-keep:])
+		h = h[:keep]
+	}
+	s.perNode[id] = append(h, rep)
+	return nil
+}
+
+// PositionAt returns the node's dead-reckoned position at time t,
+// extrapolated from the last report at or before t. The second result is
+// false when the node had not reported by t.
+func (s *Store) PositionAt(id int, t float64) (geo.Point, bool) {
+	h := s.perNode[id]
+	// First report strictly after t.
+	i := sort.Search(len(h), func(k int) bool { return h[k].Time > t })
+	if i == 0 {
+		return geo.Point{}, false
+	}
+	return h[i-1].Predict(t), true
+}
+
+// Snapshot answers a historic range query: the ids of nodes whose
+// position at time t (as reconstructed from the report history) lies in
+// rect, closed containment.
+func (s *Store) Snapshot(rect geo.Rect, t float64) []int {
+	var out []int
+	for id := range s.perNode {
+		if p, ok := s.PositionAt(id, t); ok && rect.ContainsClosed(p) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Trajectory returns the node's reports with Time in [t0, t1].
+func (s *Store) Trajectory(id int, t0, t1 float64) []motion.Report {
+	h := s.perNode[id]
+	lo := sort.Search(len(h), func(k int) bool { return h[k].Time >= t0 })
+	hi := sort.Search(len(h), func(k int) bool { return h[k].Time > t1 })
+	if lo >= hi {
+		return nil
+	}
+	return append([]motion.Report(nil), h[lo:hi]...)
+}

@@ -1,0 +1,195 @@
+package history
+
+import (
+	"math"
+	"testing"
+
+	"lira/internal/geo"
+	"lira/internal/motion"
+	"lira/internal/roadnet"
+	"lira/internal/trace"
+)
+
+func mustStore(t *testing.T, n, cap int) *Store {
+	t.Helper()
+	s, err := NewStore(n, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewStoreValidation(t *testing.T) {
+	if _, err := NewStore(0, 0); err == nil {
+		t.Error("zero nodes should error")
+	}
+	if _, err := NewStore(1, -1); err == nil {
+		t.Error("negative cap should error")
+	}
+}
+
+func TestAppendAndPositionAt(t *testing.T) {
+	s := mustStore(t, 2, 0)
+	reps := []motion.Report{
+		{Pos: geo.Point{X: 0, Y: 0}, Vel: geo.Vector{X: 10, Y: 0}, Time: 0},
+		{Pos: geo.Point{X: 100, Y: 0}, Vel: geo.Vector{X: 0, Y: 10}, Time: 10},
+	}
+	for _, r := range reps {
+		if err := s.Append(0, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len(0) != 2 || s.Len(1) != 0 || s.Nodes() != 2 {
+		t.Fatalf("store shape wrong: %d/%d", s.Len(0), s.Len(1))
+	}
+	// Before any report: unknown.
+	if _, ok := s.PositionAt(0, -1); ok {
+		t.Error("position before first report should be unknown")
+	}
+	if _, ok := s.PositionAt(1, 100); ok {
+		t.Error("reportless node should be unknown")
+	}
+	// Mid-segment extrapolation from the first report.
+	p, ok := s.PositionAt(0, 5)
+	if !ok || p != (geo.Point{X: 50, Y: 0}) {
+		t.Errorf("PositionAt(5) = (%v, %v)", p, ok)
+	}
+	// Exactly at the second report.
+	p, _ = s.PositionAt(0, 10)
+	if p != (geo.Point{X: 100, Y: 0}) {
+		t.Errorf("PositionAt(10) = %v", p)
+	}
+	// After the second report, extrapolated with its velocity.
+	p, _ = s.PositionAt(0, 13)
+	if p != (geo.Point{X: 100, Y: 30}) {
+		t.Errorf("PositionAt(13) = %v", p)
+	}
+}
+
+func TestAppendRejectsOutOfOrder(t *testing.T) {
+	s := mustStore(t, 1, 0)
+	if err := s.Append(0, motion.Report{Time: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(0, motion.Report{Time: 5}); err == nil {
+		t.Error("out-of-order append accepted")
+	}
+	// Equal time is allowed (re-report at the same instant).
+	if err := s.Append(0, motion.Report{Time: 10}); err != nil {
+		t.Errorf("equal-time append rejected: %v", err)
+	}
+}
+
+func TestCapDropsOldest(t *testing.T) {
+	s := mustStore(t, 1, 10)
+	for i := 0; i < 100; i++ {
+		if err := s.Append(0, motion.Report{Time: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len(0) > 10 {
+		t.Errorf("cap exceeded: %d", s.Len(0))
+	}
+	// Recent history intact.
+	if _, ok := s.PositionAt(0, 99); !ok {
+		t.Error("latest report missing")
+	}
+	// Ancient history gone.
+	if _, ok := s.PositionAt(0, 0); ok {
+		t.Error("evicted history still answered")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	s := mustStore(t, 3, 0)
+	s.Append(0, motion.Report{Pos: geo.Point{X: 10, Y: 10}, Time: 0})
+	s.Append(1, motion.Report{Pos: geo.Point{X: 500, Y: 500}, Time: 0})
+	s.Append(2, motion.Report{Pos: geo.Point{X: 20, Y: 20}, Vel: geo.Vector{X: 100, Y: 0}, Time: 0})
+	// At t=0: nodes 0 and 2 are in the corner box.
+	got := s.Snapshot(geo.NewRect(0, 0, 50, 50), 0)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Snapshot(t=0) = %v", got)
+	}
+	// At t=1 node 2 has moved out.
+	got = s.Snapshot(geo.NewRect(0, 0, 50, 50), 1)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("Snapshot(t=1) = %v", got)
+	}
+}
+
+func TestTrajectory(t *testing.T) {
+	s := mustStore(t, 1, 0)
+	for i := 0; i < 10; i++ {
+		s.Append(0, motion.Report{Time: float64(i)})
+	}
+	got := s.Trajectory(0, 2.5, 6)
+	if len(got) != 4 || got[0].Time != 3 || got[3].Time != 6 {
+		t.Errorf("Trajectory = %v", got)
+	}
+	if got := s.Trajectory(0, 20, 30); got != nil {
+		t.Errorf("empty window = %v", got)
+	}
+	// The returned slice is a copy: mutating it must not corrupt history.
+	got = s.Trajectory(0, 0, 9)
+	got[0].Time = 999
+	if s.perNode[0][0].Time == 999 {
+		t.Error("Trajectory aliases internal storage")
+	}
+}
+
+// TestHistoricErrorBoundedByFairness is the §3.1.1 motivation made
+// concrete: when every report is generated under throttlers within
+// [Δ⊢, Δ⊢+Δ⇔], reconstructed historic positions deviate from ground truth
+// by at most about that bound (plus one tick of motion).
+func TestHistoricErrorBoundedByFairness(t *testing.T) {
+	netCfg := roadnet.DefaultConfig()
+	netCfg.Side = 4000
+	netCfg.GridStep = 250
+	net := roadnet.Generate(netCfg)
+	src := trace.NewSource(net, trace.Config{N: 200, Seed: 3})
+	const delta = 30.0 // a uniform throttler within the fairness band
+
+	store := mustStore(t, 200, 0)
+	reck := make([]motion.DeadReckoner, 200)
+	pos, vel := src.Positions(), src.Velocities()
+	for i := range reck {
+		store.Append(i, reck[i].Start(pos[i], vel[i], 0))
+	}
+	type truth struct {
+		t   float64
+		pos []geo.Point
+	}
+	var truths []truth
+	for tick := 1; tick <= 120; tick++ {
+		src.Step(1)
+		now := float64(tick)
+		pos, vel = src.Positions(), src.Velocities()
+		for i := range reck {
+			if rep, send := reck[i].Observe(pos[i], vel[i], now, delta); send {
+				if err := store.Append(i, rep); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if tick%30 == 0 {
+			truths = append(truths, truth{now, append([]geo.Point(nil), pos...)})
+		}
+	}
+	// Historic reconstruction error ≤ Δ + one tick of travel slack.
+	maxSpeed := roadnet.Expressway.Speed() * 1.5
+	for _, tr := range truths {
+		for i, want := range tr.pos {
+			got, ok := store.PositionAt(i, tr.t)
+			if !ok {
+				t.Fatalf("node %d unknown at %v", i, tr.t)
+			}
+			if d := got.Dist(want); d > delta+maxSpeed {
+				t.Errorf("t=%v node %d: historic error %.1f m exceeds bound %.1f",
+					tr.t, i, d, delta+maxSpeed)
+			}
+		}
+	}
+	if math.IsNaN(float64(len(truths))) || len(truths) == 0 {
+		t.Fatal("no truth snapshots")
+	}
+}

@@ -1,0 +1,178 @@
+// Package metrics implements the query-result accuracy metrics of §4.1:
+// mean containment error E^C_rr, mean position error E^P_rr, and the
+// fairness metrics D^C_ev (standard deviation of containment error across
+// queries) and C^C_ov (its coefficient of variation).
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"lira/internal/geo"
+)
+
+// ContainmentError returns (|R*∖R| + |R∖R*|) / |R*| for one query at one
+// evaluation instant. Both id lists may be in any order and are not
+// modified. The second result is false when the correct result set is
+// empty (the paper's metric is undefined there; such samples are skipped).
+func ContainmentError(result, correct []int) (float64, bool) {
+	if len(correct) == 0 {
+		return 0, false
+	}
+	inCorrect := make(map[int]struct{}, len(correct))
+	for _, id := range correct {
+		inCorrect[id] = struct{}{}
+	}
+	extra := 0
+	for _, id := range result {
+		if _, ok := inCorrect[id]; ok {
+			delete(inCorrect, id)
+		} else {
+			extra++
+		}
+	}
+	missing := len(inCorrect)
+	return float64(missing+extra) / float64(len(correct)), true
+}
+
+// PositionError returns the mean distance between the believed and correct
+// positions of the nodes in a query result. positions maps a node id to
+// its pair of positions; ids not present in both maps are skipped. The
+// second result is false when no node contributed.
+func PositionError(result []int, believed, correct func(id int) (geo.Point, bool)) (float64, bool) {
+	sum, n := 0.0, 0
+	for _, id := range result {
+		b, ok1 := believed(id)
+		c, ok2 := correct(id)
+		if !ok1 || !ok2 {
+			continue
+		}
+		sum += b.Dist(c)
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// welford accumulates a running mean (numerically stable, single pass).
+type welford struct {
+	n    int
+	mean float64
+}
+
+func (w *welford) add(x float64) {
+	w.n++
+	w.mean += (x - w.mean) / float64(w.n)
+}
+
+// Collector accumulates per-query error samples across evaluation
+// instants.
+type Collector struct {
+	perQueryC []welford
+	allC      welford
+	allP      welford
+}
+
+// NewCollector returns a collector for numQueries queries.
+func NewCollector(numQueries int) *Collector {
+	return &Collector{perQueryC: make([]welford, numQueries)}
+}
+
+// RecordContainment records one containment-error sample for query q.
+func (c *Collector) RecordContainment(q int, err float64) {
+	c.perQueryC[q].add(err)
+	c.allC.add(err)
+}
+
+// RecordPosition records one position-error sample for query q.
+func (c *Collector) RecordPosition(q int, err float64) {
+	c.allP.add(err)
+}
+
+// Summary holds the final evaluation metrics of one run.
+type Summary struct {
+	// MeanContainment is E^C_rr and MeanPosition is E^P_rr (meters).
+	MeanContainment float64
+	MeanPosition    float64
+	// StdDevContainment is D^C_ev: the standard deviation of per-query
+	// mean containment errors. CovContainment is C^C_ov = D/E.
+	StdDevContainment float64
+	CovContainment    float64
+	// ContainmentSamples and PositionSamples count the (query, instant)
+	// samples behind the means.
+	ContainmentSamples int
+	PositionSamples    int
+}
+
+// Summary computes the metrics accumulated so far.
+func (c *Collector) Summary() Summary {
+	s := Summary{
+		MeanContainment:    c.allC.mean,
+		MeanPosition:       c.allP.mean,
+		ContainmentSamples: c.allC.n,
+		PositionSamples:    c.allP.n,
+	}
+	// D^C_ev across queries that produced at least one sample.
+	var means []float64
+	for _, w := range c.perQueryC {
+		if w.n > 0 {
+			means = append(means, w.mean)
+		}
+	}
+	if len(means) > 1 {
+		mu := 0.0
+		for _, m := range means {
+			mu += m
+		}
+		mu /= float64(len(means))
+		varSum := 0.0
+		for _, m := range means {
+			varSum += (m - mu) * (m - mu)
+		}
+		s.StdDevContainment = math.Sqrt(varSum / float64(len(means)))
+		if mu > 0 {
+			s.CovContainment = s.StdDevContainment / mu
+		}
+	}
+	return s
+}
+
+// PerQueryContainment returns the per-query mean containment errors
+// accumulated so far; queries with no samples report NaN.
+func (c *Collector) PerQueryContainment() []float64 {
+	out := make([]float64, len(c.perQueryC))
+	for i, w := range c.perQueryC {
+		if w.n > 0 {
+			out[i] = w.mean
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return out
+}
+
+// SymmetricDiff returns |a∖b| + |b∖a| for two id sets given as unsorted
+// slices. It is exported for tests and ad-hoc analysis.
+func SymmetricDiff(a, b []int) int {
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	i, j, diff := 0, 0, 0
+	for i < len(as) && j < len(bs) {
+		switch {
+		case as[i] == bs[j]:
+			i++
+			j++
+		case as[i] < bs[j]:
+			diff++
+			i++
+		default:
+			diff++
+			j++
+		}
+	}
+	return diff + (len(as) - i) + (len(bs) - j)
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lira/internal/geo"
+	"lira/internal/rng"
+)
+
+func TestContainmentError(t *testing.T) {
+	cases := []struct {
+		result, correct []int
+		want            float64
+		ok              bool
+	}{
+		{[]int{1, 2, 3}, []int{1, 2, 3}, 0, true},
+		{[]int{1, 2}, []int{1, 2, 3}, 1.0 / 3, true},       // one missing
+		{[]int{1, 2, 3, 4}, []int{1, 2, 3}, 1.0 / 3, true}, // one extra
+		{[]int{4, 5}, []int{1, 2}, 2, true},                // disjoint: 2 missing + 2 extra over 2
+		{nil, []int{1}, 1, true},
+		{[]int{1}, nil, 0, false},                 // undefined for empty correct set
+		{[]int{3, 1, 2}, []int{2, 3, 1}, 0, true}, // order-insensitive
+	}
+	for i, c := range cases {
+		got, ok := ContainmentError(c.result, c.correct)
+		if ok != c.ok || math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: ContainmentError = (%v, %v), want (%v, %v)", i, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestPositionError(t *testing.T) {
+	believed := map[int]geo.Point{1: {X: 0, Y: 0}, 2: {X: 10, Y: 0}}
+	correct := map[int]geo.Point{1: {X: 3, Y: 4}, 2: {X: 10, Y: 0}}
+	lookup := func(m map[int]geo.Point) func(int) (geo.Point, bool) {
+		return func(id int) (geo.Point, bool) {
+			p, ok := m[id]
+			return p, ok
+		}
+	}
+	got, ok := PositionError([]int{1, 2}, lookup(believed), lookup(correct))
+	if !ok || math.Abs(got-2.5) > 1e-12 { // (5 + 0) / 2
+		t.Errorf("PositionError = (%v, %v), want 2.5", got, ok)
+	}
+	// Unknown ids are skipped.
+	got, ok = PositionError([]int{1, 99}, lookup(believed), lookup(correct))
+	if !ok || math.Abs(got-5) > 1e-12 {
+		t.Errorf("PositionError with unknown = (%v, %v), want 5", got, ok)
+	}
+	if _, ok := PositionError([]int{99}, lookup(believed), lookup(correct)); ok {
+		t.Error("all-unknown result should report false")
+	}
+	if _, ok := PositionError(nil, lookup(believed), lookup(correct)); ok {
+		t.Error("empty result should report false")
+	}
+}
+
+func TestCollectorSummary(t *testing.T) {
+	c := NewCollector(2)
+	// Query 0 is perfect, query 1 is consistently bad.
+	for i := 0; i < 10; i++ {
+		c.RecordContainment(0, 0)
+		c.RecordContainment(1, 0.4)
+		c.RecordPosition(0, 2)
+		c.RecordPosition(1, 6)
+	}
+	s := c.Summary()
+	if math.Abs(s.MeanContainment-0.2) > 1e-12 {
+		t.Errorf("E^C = %v, want 0.2", s.MeanContainment)
+	}
+	if math.Abs(s.MeanPosition-4) > 1e-12 {
+		t.Errorf("E^P = %v, want 4", s.MeanPosition)
+	}
+	// Per-query means are 0 and 0.4: population stddev = 0.2, cov = 1.
+	if math.Abs(s.StdDevContainment-0.2) > 1e-12 {
+		t.Errorf("D^C = %v, want 0.2", s.StdDevContainment)
+	}
+	if math.Abs(s.CovContainment-1) > 1e-12 {
+		t.Errorf("C^C = %v, want 1", s.CovContainment)
+	}
+	if s.ContainmentSamples != 20 || s.PositionSamples != 20 {
+		t.Errorf("samples = %d/%d", s.ContainmentSamples, s.PositionSamples)
+	}
+}
+
+func TestCollectorEmptySummary(t *testing.T) {
+	s := NewCollector(3).Summary()
+	if s.MeanContainment != 0 || s.StdDevContainment != 0 || s.CovContainment != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSymmetricDiff(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want int
+	}{
+		{nil, nil, 0},
+		{[]int{1}, nil, 1},
+		{[]int{1, 2, 3}, []int{2, 3, 4}, 2},
+		{[]int{5, 1, 3}, []int{3, 1, 5}, 0},
+	}
+	for i, c := range cases {
+		if got := SymmetricDiff(c.a, c.b); got != c.want {
+			t.Errorf("case %d: SymmetricDiff = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+// Property: ContainmentError agrees with SymmetricDiff/|correct| and is
+// symmetric in missing vs extra.
+func TestContainmentMatchesSymmetricDiffProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(30) + 1
+		var a, b []int
+		for i := 0; i < n; i++ {
+			if r.Bool(0.6) {
+				a = append(a, i)
+			}
+			if r.Bool(0.6) {
+				b = append(b, i)
+			}
+		}
+		got, ok := ContainmentError(a, b)
+		if len(b) == 0 {
+			return !ok
+		}
+		want := float64(SymmetricDiff(a, b)) / float64(len(b))
+		return ok && math.Abs(got-want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+// Package motion implements the linear motion model (dead reckoning) that
+// actuates update suppression at the mobile-node side.
+//
+// A mobile node reports (position, velocity) pairs. Between reports, both
+// the node and the server extrapolate the position linearly. The node
+// re-reports only when the extrapolated position deviates from its actual
+// position by more than the inaccuracy threshold Δ — which, under LIRA, is
+// the update throttler of the shedding region the node is currently in.
+// The particular motion model is explicitly "not of importance" to the
+// paper (§2.1); linear dead reckoning is the one the paper adopts and the
+// one built here.
+package motion
+
+import "lira/internal/geo"
+
+// Report is the motion-model parameter set a mobile node transmits to the
+// server: the node's position and velocity at the report time.
+type Report struct {
+	Pos  geo.Point
+	Vel  geo.Vector
+	Time float64 // seconds since simulation start
+}
+
+// Predict returns the dead-reckoned position at time t.
+func (r Report) Predict(t float64) geo.Point {
+	return r.Pos.Add(r.Vel.Scale(t - r.Time))
+}
+
+// DeadReckoner tracks one node's last report and decides when a new report
+// is due. The zero value is unusable; start each node with Start.
+type DeadReckoner struct {
+	last Report
+}
+
+// Start initializes the reckoner with the node's first report and returns
+// that report (the first position of a node is always transmitted).
+func (d *DeadReckoner) Start(pos geo.Point, vel geo.Vector, t float64) Report {
+	d.last = Report{Pos: pos, Vel: vel, Time: t}
+	return d.last
+}
+
+// Last returns the most recent report.
+func (d *DeadReckoner) Last() Report { return d.last }
+
+// Deviation returns the distance between the dead-reckoned prediction and
+// the actual position at time t.
+func (d *DeadReckoner) Deviation(actual geo.Point, t float64) float64 {
+	return d.last.Predict(t).Dist(actual)
+}
+
+// Observe checks the node's actual state against the model with threshold
+// delta. When the deviation exceeds delta it refreshes the model and
+// returns the new report with send=true; otherwise send is false and the
+// update is suppressed.
+func (d *DeadReckoner) Observe(pos geo.Point, vel geo.Vector, t, delta float64) (rep Report, send bool) {
+	if d.Deviation(pos, t) <= delta {
+		return Report{}, false
+	}
+	d.last = Report{Pos: pos, Vel: vel, Time: t}
+	return d.last, true
+}
+
+// Table is the server-side motion table: the last known report per node,
+// from which query-time positions are predicted. Index is the node id.
+type Table struct {
+	reports []Report
+	known   []bool
+}
+
+// NewTable returns a table for n nodes with no reports yet.
+func NewTable(n int) *Table {
+	return &Table{reports: make([]Report, n), known: make([]bool, n)}
+}
+
+// Len returns the table capacity (number of node slots).
+func (t *Table) Len() int { return len(t.reports) }
+
+// Apply installs a report for node id.
+func (t *Table) Apply(id int, rep Report) {
+	t.reports[id] = rep
+	t.known[id] = true
+}
+
+// Known reports whether node id has ever reported.
+func (t *Table) Known(id int) bool { return t.known[id] }
+
+// Predict returns the server's belief about node id's position at time
+// now. The second result is false when the node has never reported.
+func (t *Table) Predict(id int, now float64) (geo.Point, bool) {
+	if !t.known[id] {
+		return geo.Point{}, false
+	}
+	return t.reports[id].Predict(now), true
+}
+
+// Report returns the stored report for node id. The second result is false
+// when the node has never reported.
+func (t *Table) Report(id int) (Report, bool) {
+	if !t.known[id] {
+		return Report{}, false
+	}
+	return t.reports[id], true
+}

@@ -1,0 +1,127 @@
+package motion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lira/internal/geo"
+)
+
+func TestReportPredict(t *testing.T) {
+	r := Report{Pos: geo.Point{X: 10, Y: 20}, Vel: geo.Vector{X: 2, Y: -1}, Time: 5}
+	got := r.Predict(8)
+	want := geo.Point{X: 16, Y: 17}
+	if got != want {
+		t.Errorf("Predict = %v, want %v", got, want)
+	}
+	if r.Predict(5) != r.Pos {
+		t.Error("Predict at report time should be the reported position")
+	}
+}
+
+func TestDeadReckonerSuppression(t *testing.T) {
+	var d DeadReckoner
+	rep := d.Start(geo.Point{X: 0, Y: 0}, geo.Vector{X: 10, Y: 0}, 0)
+	if rep.Pos != (geo.Point{X: 0, Y: 0}) {
+		t.Fatalf("Start report = %v", rep)
+	}
+	// Node moves exactly as predicted: never reports.
+	for tt := 1.0; tt <= 10; tt++ {
+		actual := geo.Point{X: 10 * tt, Y: 0}
+		if _, send := d.Observe(actual, geo.Vector{X: 10, Y: 0}, tt, 5); send {
+			t.Fatalf("perfectly predicted node reported at t=%v", tt)
+		}
+	}
+	// Node deviates beyond Δ: must report and refresh the model.
+	actual := geo.Point{X: 110, Y: 20}
+	rep, send := d.Observe(actual, geo.Vector{X: 0, Y: 10}, 11, 5)
+	if !send {
+		t.Fatal("deviating node did not report")
+	}
+	if rep.Pos != actual || rep.Vel != (geo.Vector{X: 0, Y: 10}) {
+		t.Errorf("refreshed report = %+v", rep)
+	}
+	if d.Last().Time != 11 {
+		t.Errorf("Last().Time = %v, want 11", d.Last().Time)
+	}
+}
+
+func TestDeviationBoundary(t *testing.T) {
+	var d DeadReckoner
+	d.Start(geo.Point{X: 0, Y: 0}, geo.Vector{X: 0, Y: 0}, 0)
+	// Deviation exactly equal to Δ is suppressed (strict > in the paper:
+	// "deviates ... by more than Δ").
+	if _, send := d.Observe(geo.Point{X: 5, Y: 0}, geo.Vector{}, 1, 5); send {
+		t.Error("deviation == Δ should be suppressed")
+	}
+	if _, send := d.Observe(geo.Point{X: 5.001, Y: 0}, geo.Vector{}, 1, 5); !send {
+		t.Error("deviation > Δ should trigger a report")
+	}
+}
+
+func TestSmallerDeltaMoreUpdates(t *testing.T) {
+	// Property: along any trajectory, a smaller threshold never produces
+	// fewer updates (monotonicity that underlies f being non-increasing).
+	f := func(seed int64) bool {
+		walk := func(delta float64) int {
+			var d DeadReckoner
+			x, y := 0.0, 0.0
+			vx, vy := 1.0, 0.0
+			d.Start(geo.Point{X: x, Y: y}, geo.Vector{X: vx, Y: vy}, 0)
+			updates := 0
+			s := uint64(seed)
+			next := func() float64 {
+				s = s*6364136223846793005 + 1442695040888963407
+				return float64(s>>40) / float64(1<<24)
+			}
+			for tt := 1.0; tt <= 200; tt++ {
+				vx += (next() - 0.5) * 2
+				vy += (next() - 0.5) * 2
+				x += vx
+				y += vy
+				if _, send := d.Observe(geo.Point{X: x, Y: y}, geo.Vector{X: vx, Y: vy}, tt, delta); send {
+					updates++
+				}
+			}
+			return updates
+		}
+		return walk(2) >= walk(8) && walk(8) >= walk(32)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := NewTable(3)
+	if tab.Len() != 3 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if tab.Known(0) {
+		t.Error("fresh table should know nothing")
+	}
+	if _, ok := tab.Predict(0, 1); ok {
+		t.Error("Predict before any report should report false")
+	}
+	if _, ok := tab.Report(0); ok {
+		t.Error("Report before any report should report false")
+	}
+	rep := Report{Pos: geo.Point{X: 1, Y: 2}, Vel: geo.Vector{X: 3, Y: 4}, Time: 10}
+	tab.Apply(1, rep)
+	if !tab.Known(1) || tab.Known(2) {
+		t.Error("Known flags wrong after Apply")
+	}
+	p, ok := tab.Predict(1, 12)
+	if !ok {
+		t.Fatal("Predict failed after Apply")
+	}
+	want := geo.Point{X: 7, Y: 10}
+	if math.Abs(p.X-want.X) > 1e-12 || math.Abs(p.Y-want.Y) > 1e-12 {
+		t.Errorf("Predict = %v, want %v", p, want)
+	}
+	got, ok := tab.Report(1)
+	if !ok || got != rep {
+		t.Errorf("Report = (%+v, %v)", got, ok)
+	}
+}

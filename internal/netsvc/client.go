@@ -1,0 +1,206 @@
+package netsvc
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"lira/internal/basestation"
+	"lira/internal/geo"
+	"lira/internal/mobilenode"
+	"lira/internal/wire"
+)
+
+// NodeClient is a layer-3 mobile node speaking the wire protocol: it
+// receives (and hot-swaps) station assignments, dead-reckons locally with
+// the region-dependent threshold, and transmits only the updates the
+// model requires.
+type NodeClient struct {
+	id   uint32
+	conn net.Conn
+
+	mu       sync.Mutex
+	node     *mobilenode.Node
+	fallback float64
+	started  bool
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// DialNode connects a node to the server and announces its position. The
+// first assignment arrives asynchronously; until then the node reports at
+// the fallback threshold (Δ⊢ — the conservative choice).
+func DialNode(addr string, id uint32, pos geo.Point, fallbackDelta float64) (*NodeClient, error) {
+	if fallbackDelta <= 0 {
+		return nil, fmt.Errorf("netsvc: non-positive fallback threshold %v", fallbackDelta)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &NodeClient{
+		id:       id,
+		conn:     conn,
+		node:     mobilenode.NewNode(int(id)),
+		fallback: fallbackDelta,
+		closed:   make(chan struct{}),
+	}
+	if err := wire.WriteFrame(conn, wire.AppendHello(nil, wire.Hello{Node: id, Pos: pos})); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *NodeClient) readLoop() {
+	defer c.wg.Done()
+	for {
+		typ, payload, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			return
+		}
+		if typ != wire.TypeAssignment {
+			continue // nodes only consume assignments
+		}
+		wa, err := wire.DecodeAssignment(payload)
+		if err != nil {
+			return
+		}
+		a := &basestation.Assignment{DefaultDelta: wa.DefaultDelta}
+		for _, e := range wa.Entries {
+			a.Regions = append(a.Regions, e.Rect())
+			a.Deltas = append(a.Deltas, e.Delta)
+		}
+		compiled := mobilenode.Compile(a)
+		c.mu.Lock()
+		c.node.Install(int(wa.Station), compiled)
+		c.mu.Unlock()
+	}
+}
+
+// Observe feeds the node's true state at time t. When dead reckoning
+// demands a report, it is transmitted; the result says whether one was
+// sent.
+func (c *NodeClient) Observe(pos geo.Point, vel geo.Vector, t float64) (sent bool, err error) {
+	c.mu.Lock()
+	var frame []byte
+	if !c.started {
+		rep := c.node.Start(pos, vel, t)
+		frame = wire.AppendUpdate(nil, wire.Update{Node: c.id, Report: rep})
+		c.started = true
+	} else if rep, send := c.node.Observe(pos, vel, t, c.fallback); send {
+		frame = wire.AppendUpdate(nil, wire.Update{Node: c.id, Report: rep})
+	}
+	c.mu.Unlock()
+	if frame == nil {
+		return false, nil
+	}
+	return true, wire.WriteFrame(c.conn, frame)
+}
+
+// Updates returns the number of updates sent so far.
+func (c *NodeClient) Updates() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.node.Updates
+}
+
+// Station returns the id of the station whose assignment the node holds,
+// or -1 before the first assignment arrives.
+func (c *NodeClient) Station() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.node.Station()
+}
+
+// Close disconnects the node.
+func (c *NodeClient) Close() error {
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+// QueryClient subscribes continual range queries and receives pushed
+// result sets.
+type QueryClient struct {
+	conn net.Conn
+
+	mu   sync.Mutex
+	next uint32
+
+	results chan wire.Result
+	wg      sync.WaitGroup
+}
+
+// DialQuery connects a query subscriber. Results arrive on Results() —
+// once immediately per Register, then on every server evaluation round.
+func DialQuery(addr string, buffer int) (*QueryClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if buffer <= 0 {
+		buffer = 16
+	}
+	c := &QueryClient{conn: conn, results: make(chan wire.Result, buffer)}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *QueryClient) readLoop() {
+	defer c.wg.Done()
+	defer close(c.results)
+	for {
+		typ, payload, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			return
+		}
+		if typ != wire.TypeResult {
+			continue
+		}
+		res, err := wire.DecodeResult(payload)
+		if err != nil {
+			return
+		}
+		select {
+		case c.results <- res:
+		default:
+			// Subscriber is slow: drop the oldest, keep the freshest.
+			select {
+			case <-c.results:
+			default:
+			}
+			select {
+			case c.results <- res:
+			default:
+			}
+		}
+	}
+}
+
+// Register subscribes a range query and returns the local sequence number
+// of the registration. Result ids are assigned by the server in
+// registration order per connection arrival, so with a single query
+// client they match.
+func (c *QueryClient) Register(r geo.Rect) (uint32, error) {
+	c.mu.Lock()
+	id := c.next
+	c.next++
+	c.mu.Unlock()
+	return id, wire.WriteFrame(c.conn, wire.AppendQuery(nil, wire.Query{ID: id, Rect: r}))
+}
+
+// Results returns the channel of pushed result sets. It is closed when
+// the connection drops.
+func (c *QueryClient) Results() <-chan wire.Result { return c.results }
+
+// Close disconnects the subscriber.
+func (c *QueryClient) Close() error {
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}

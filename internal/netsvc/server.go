@@ -1,0 +1,396 @@
+// Package netsvc deploys the LIRA architecture over TCP: a server process
+// hosting layer 1 (the mobile CQ server) and the logical layer-2 base
+// stations, and client runtimes for layer-3 mobile nodes and for query
+// subscribers. Messages use the wire package's binary formats, so the
+// broadcast sizes match the paper's §4.3.2 accounting.
+//
+// The server is single-writer over the embedded cqserver.Server: every
+// connection goroutine funnels decoded messages through a mutex. Periodic
+// work — draining the input queue, refreshing statistics, re-running the
+// adaptation, evaluating queries — happens on one background loop.
+package netsvc
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"lira/internal/basestation"
+	"lira/internal/cqserver"
+	"lira/internal/geo"
+	"lira/internal/wire"
+)
+
+// Clock returns the current simulation time in seconds. Deployments use
+// wall clock; tests inject accelerated clocks.
+type Clock func() float64
+
+// WallClock is the default clock: Unix seconds with sub-second precision.
+func WallClock() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+
+// ServerConfig parameterizes a network server.
+type ServerConfig struct {
+	// Core configures the embedded mobile CQ server.
+	Core cqserver.Config
+	// Stations is the base-station layout. Empty selects a single
+	// station covering the whole space.
+	Stations []basestation.Station
+	// Z is the throttle fraction used at each adaptation.
+	Z float64
+	// AdaptEvery is the adaptation period; zero disables periodic
+	// adaptation (Adapt can still be called manually).
+	AdaptEvery time.Duration
+	// EvalEvery is the continual-query evaluation period; zero disables
+	// pushes (queries are still answered once at registration).
+	EvalEvery time.Duration
+	// DrainPerTick bounds queue draining per background tick; zero means
+	// drain fully.
+	DrainPerTick int
+	// Clock supplies simulation time; nil selects WallClock.
+	Clock Clock
+}
+
+// Server hosts the CQ server and base stations behind a TCP listener.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+
+	mu          sync.Mutex
+	core        *cqserver.Server
+	deployment  *basestation.Deployment
+	frames      [][]byte // cached per-station assignment frames
+	nodeConns   map[uint32]*srvConn
+	nodeStation map[uint32]int
+	queryConns  map[uint32]*srvConn // query id -> owner
+	queryIDs    []uint32            // registration order, parallel to core queries
+	nextQuery   uint32
+	closed      bool
+
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+type srvConn struct {
+	c  net.Conn
+	mu sync.Mutex // serializes frame writes
+}
+
+func (sc *srvConn) send(frame []byte) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return wire.WriteFrame(sc.c, frame)
+}
+
+// Listen starts a server on addr (e.g. "127.0.0.1:0").
+func Listen(addr string, cfg ServerConfig) (*Server, error) {
+	core, err := cqserver.New(cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Z <= 0 || cfg.Z > 1 {
+		cfg.Z = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = WallClock
+	}
+	if len(cfg.Stations) == 0 {
+		space := cfg.Core.Space
+		cfg.Stations = []basestation.Station{{
+			ID:     0,
+			Center: space.Center(),
+			Radius: space.Width() + space.Height(),
+		}}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:         cfg,
+		ln:          ln,
+		core:        core,
+		nodeConns:   make(map[uint32]*srvConn),
+		nodeStation: make(map[uint32]int),
+		queryConns:  make(map[uint32]*srvConn),
+		done:        make(chan struct{}),
+	}
+	if err := s.adaptLocked(); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.backgroundLoop()
+	return s, nil
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server and disconnects every client.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.done)
+	conns := make([]*srvConn, 0, len(s.nodeConns))
+	for _, c := range s.nodeConns {
+		conns = append(conns, c)
+	}
+	seen := map[*srvConn]bool{}
+	for _, c := range s.queryConns {
+		if !seen[c] {
+			conns = append(conns, c)
+			seen[c] = true
+		}
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Core exposes the embedded CQ server for inspection (tests, metrics).
+// Callers must not mutate it concurrently with a running server.
+func (s *Server) Core() *cqserver.Server { return s.core }
+
+// Adapt re-runs the LIRA adaptation at the configured throttle fraction
+// and broadcasts fresh assignments to every connected node.
+func (s *Server) Adapt() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.adaptLocked()
+}
+
+func (s *Server) adaptLocked() error {
+	ad, err := s.core.Adapt(s.cfg.Z)
+	if err != nil {
+		return err
+	}
+	deploy, err := basestation.NewDeployment(s.cfg.Stations, ad.Partitioning, ad.Deltas)
+	if err != nil {
+		return err
+	}
+	s.deployment = deploy
+	s.frames = make([][]byte, len(deploy.Assignments))
+	for i, a := range deploy.Assignments {
+		s.frames[i] = assignmentFrame(uint32(i), a)
+	}
+	// Rebroadcast to camped nodes.
+	for id, st := range s.nodeStation {
+		if conn, ok := s.nodeConns[id]; ok && st >= 0 && st < len(s.frames) {
+			frame := s.frames[st]
+			go conn.send(frame) // off the lock; per-conn mutex serializes
+		}
+	}
+	return nil
+}
+
+func assignmentFrame(station uint32, a *basestation.Assignment) []byte {
+	wa := wire.Assignment{Station: station, DefaultDelta: a.DefaultDelta}
+	for i, r := range a.Regions {
+		wa.Entries = append(wa.Entries, wire.EntryFromRect(r, a.Deltas[i]))
+	}
+	return wire.AppendAssignment(nil, wa)
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.handleConn(&srvConn{c: c})
+	}
+}
+
+func (s *Server) handleConn(sc *srvConn) {
+	defer s.wg.Done()
+	defer sc.c.Close()
+	var nodeID uint32
+	hasNode := false
+	for {
+		typ, payload, err := wire.ReadFrame(sc.c)
+		if err != nil {
+			break
+		}
+		switch typ {
+		case wire.TypeHello:
+			h, err := wire.DecodeHello(payload)
+			if err != nil {
+				return
+			}
+			nodeID, hasNode = h.Node, true
+			s.registerNode(sc, h)
+		case wire.TypeUpdate:
+			u, err := wire.DecodeUpdate(payload)
+			if err != nil {
+				return
+			}
+			s.ingest(sc, u)
+		case wire.TypeQuery:
+			q, err := wire.DecodeQuery(payload)
+			if err != nil {
+				return
+			}
+			s.registerQuery(sc, q)
+		default:
+			return // protocol violation: drop the connection
+		}
+	}
+	if hasNode {
+		s.mu.Lock()
+		if s.nodeConns[nodeID] == sc {
+			delete(s.nodeConns, nodeID)
+			delete(s.nodeStation, nodeID)
+		}
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	for id, c := range s.queryConns {
+		if c == sc {
+			delete(s.queryConns, id)
+		}
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) registerNode(sc *srvConn, h wire.Hello) {
+	s.mu.Lock()
+	s.nodeConns[h.Node] = sc
+	st := basestation.StationFor(s.cfg.Stations, h.Pos)
+	s.nodeStation[h.Node] = st
+	var frame []byte
+	if st >= 0 && st < len(s.frames) {
+		frame = s.frames[st]
+	}
+	s.mu.Unlock()
+	if frame != nil {
+		sc.send(frame)
+	}
+}
+
+func (s *Server) ingest(sc *srvConn, u wire.Update) {
+	s.mu.Lock()
+	s.core.Ingest(cqserver.Update{Node: int(u.Node), Report: u.Report})
+	// Hand-off check: a node that moved outside its station's coverage
+	// gets the new station's subset.
+	st, known := s.nodeStation[u.Node]
+	var frame []byte
+	if known {
+		pos := u.Report.Pos
+		if st < 0 || !s.cfg.Stations[st].Covers(pos) {
+			if next := basestation.StationFor(s.cfg.Stations, pos); next != st && next >= 0 {
+				s.nodeStation[u.Node] = next
+				if next < len(s.frames) {
+					frame = s.frames[next]
+				}
+			}
+		}
+	}
+	s.mu.Unlock()
+	if frame != nil {
+		sc.send(frame)
+	}
+}
+
+func (s *Server) registerQuery(sc *srvConn, q wire.Query) {
+	s.mu.Lock()
+	id := s.nextQuery
+	s.nextQuery++
+	s.queryConns[id] = sc
+	s.queryIDs = append(s.queryIDs, id)
+	qs := append(append([]geo.Rect(nil), s.core.Queries()...), q.Rect)
+	s.core.RegisterQueries(qs)
+	now := s.cfg.Clock()
+	s.core.Drain(-1)
+	results := s.core.Evaluate(now)
+	frame := resultFrame(id, results[len(results)-1])
+	s.mu.Unlock()
+	sc.send(frame)
+}
+
+func resultFrame(id uint32, nodes []int) []byte {
+	res := wire.Result{ID: id, Nodes: make([]uint32, len(nodes))}
+	for i, n := range nodes {
+		res.Nodes[i] = uint32(n)
+	}
+	return wire.AppendResult(nil, res)
+}
+
+func (s *Server) backgroundLoop() {
+	defer s.wg.Done()
+	tick := s.cfg.EvalEvery
+	if tick == 0 {
+		tick = 100 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	var lastAdapt time.Time
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+		}
+		now := s.cfg.Clock()
+		s.mu.Lock()
+		limit := s.cfg.DrainPerTick
+		if limit == 0 {
+			limit = -1
+		}
+		s.core.Drain(limit)
+		// Refresh the statistics grid from the server's own beliefs (the
+		// paper's "explicitly maintained by processing position updates"
+		// mode): predicted positions and reported speeds.
+		s.observeStatsLocked(now)
+		if s.cfg.AdaptEvery > 0 && time.Since(lastAdapt) >= s.cfg.AdaptEvery {
+			lastAdapt = time.Now()
+			s.adaptLocked()
+		}
+		type push struct {
+			sc    *srvConn
+			frame []byte
+		}
+		var pushes []push
+		if s.cfg.EvalEvery > 0 && len(s.queryIDs) > 0 {
+			results := s.core.Evaluate(now)
+			for qi, id := range s.queryIDs {
+				if sc, ok := s.queryConns[id]; ok {
+					pushes = append(pushes, push{sc, resultFrame(id, results[qi])})
+				}
+			}
+		}
+		s.mu.Unlock()
+		for _, p := range pushes {
+			p.sc.send(p.frame)
+		}
+	}
+}
+
+// observeStatsLocked snapshots the motion table into the statistics grid.
+func (s *Server) observeStatsLocked(now float64) {
+	table := s.core.Table()
+	n := table.Len()
+	var positions []geo.Point
+	var speeds []float64
+	for i := 0; i < n; i++ {
+		rep, ok := table.Report(i)
+		if !ok {
+			continue
+		}
+		positions = append(positions, s.cfg.Core.Space.ClampPoint(rep.Predict(now)))
+		speeds = append(speeds, rep.Vel.Len())
+	}
+	if len(positions) > 0 {
+		s.core.ObserveStatistics(positions, speeds)
+	}
+}

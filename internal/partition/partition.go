@@ -1,0 +1,453 @@
+// Package partition implements GRIDREDUCE (§3.2, Algorithm 1): the
+// region-aware partitioning of the monitored space into l shedding
+// regions.
+//
+// Stage I builds a complete quad-tree over the α×α statistics grid and
+// aggregates node counts, query counts, and speeds bottom-up. Stage II
+// drills down from the root, always splitting the explored region with the
+// highest accuracy gain V[t] = E[t] − E_p[t], where E and E_p are the
+// optimal inaccuracies of keeping the region whole versus splitting it in
+// four — each computed with the GREEDYINCREMENT core. The package also
+// provides the uniform l-partitioning used by the Lira-Grid baseline.
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"lira/internal/container/iheap"
+	"lira/internal/fmodel"
+	"lira/internal/geo"
+	"lira/internal/statgrid"
+	"lira/internal/throttler"
+)
+
+// Region is one shedding region with its aggregated statistics.
+type Region struct {
+	Area geo.Rect
+	// N is the average number of mobile nodes in the region, M the
+	// fractional query count, and S the average node speed.
+	N, M, S float64
+}
+
+// Stat returns the region's statistics in the optimizer's input form.
+func (r Region) Stat() throttler.RegionStat {
+	return throttler.RegionStat{N: r.N, M: r.M, S: r.S}
+}
+
+// Partitioning is a disjoint cover of the monitored space by shedding
+// regions.
+type Partitioning struct {
+	Space   geo.Rect
+	Regions []Region
+}
+
+// Stats returns the per-region statistics in the optimizer's input form.
+func (p *Partitioning) Stats() []throttler.RegionStat {
+	out := make([]throttler.RegionStat, len(p.Regions))
+	for i, r := range p.Regions {
+		out[i] = r.Stat()
+	}
+	return out
+}
+
+// Locate returns the index of the region containing point pt, or -1 when
+// pt is outside the space. Linear scan; the mobile-node side uses
+// mobilenode.Index for O(1) lookup instead.
+func (p *Partitioning) Locate(pt geo.Point) int {
+	for i, r := range p.Regions {
+		if r.Area.Contains(pt) {
+			return i
+		}
+	}
+	// The half-open convention excludes the space's top and right edges;
+	// tolerate boundary points by a closed-containment second pass.
+	for i, r := range p.Regions {
+		if r.Area.ContainsClosed(pt) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ValidRegionCount returns the largest region count ≤ l reachable by
+// quad-tree drill-down, i.e. the largest value ≤ l with count ≡ 1 (mod 3).
+// GRIDREDUCE targets this count; the paper assumes l mod 3 = 1 outright.
+func ValidRegionCount(l int) int {
+	if l < 1 {
+		return 1
+	}
+	return l - (l-1)%3
+}
+
+// Config parameterizes GridReduce.
+type Config struct {
+	// L is the desired number of shedding regions. It is rounded down to
+	// the nearest valid count (≡ 1 mod 3).
+	L int
+	// Z is the throttle fraction used inside the accuracy-gain
+	// computation.
+	Z float64
+	// Curve is the update reduction function.
+	Curve *fmodel.Curve
+	// ProtectQueries is an extension beyond the paper (see DESIGN.md
+	// §5a): it reserves this fraction of the drill-down splits for the
+	// query-bearing regions with the highest node-to-query mass ratio —
+	// the regions whose queries the global throttler setting is most
+	// likely to sacrifice. Zero (the default) is the paper's exact
+	// algorithm.
+	ProtectQueries float64
+}
+
+// AlphaFor returns the statistics-grid resolution α = 2^⌊log₂(x·√l)⌋ from
+// §3.2.5; x = 10 gives the paper's ≈100× area flexibility.
+func AlphaFor(l int, x float64) int {
+	if l < 1 {
+		l = 1
+	}
+	if x <= 0 {
+		x = 10
+	}
+	e := int(math.Floor(math.Log2(x * math.Sqrt(float64(l)))))
+	if e < 0 {
+		e = 0
+	}
+	return 1 << e
+}
+
+// quadTree holds the Stage-I aggregation. Level d is a 2^d × 2^d grid of
+// regions; level depth equals log2(alpha).
+type quadTree struct {
+	space geo.Rect
+	depth int // leaf level
+	// n, m, s indexed by [level][row*side+col]
+	n, m, s [][]float64
+}
+
+// nodeRef identifies a tree node.
+type nodeRef struct {
+	level, col, row int
+}
+
+func (t *quadTree) side(level int) int { return 1 << level }
+
+func (t *quadTree) idx(r nodeRef) int { return r.row*t.side(r.level) + r.col }
+
+func (t *quadTree) rect(r nodeRef) geo.Rect {
+	side := float64(t.side(r.level))
+	w := t.space.Width() / side
+	h := t.space.Height() / side
+	return geo.Rect{
+		MinX: t.space.MinX + float64(r.col)*w,
+		MinY: t.space.MinY + float64(r.row)*h,
+		MaxX: t.space.MinX + float64(r.col+1)*w,
+		MaxY: t.space.MinY + float64(r.row+1)*h,
+	}
+}
+
+func (t *quadTree) children(r nodeRef) [4]nodeRef {
+	return [4]nodeRef{
+		{r.level + 1, 2 * r.col, 2 * r.row},
+		{r.level + 1, 2*r.col + 1, 2 * r.row},
+		{r.level + 1, 2 * r.col, 2*r.row + 1},
+		{r.level + 1, 2*r.col + 1, 2*r.row + 1},
+	}
+}
+
+func (t *quadTree) stat(r nodeRef) throttler.RegionStat {
+	i := t.idx(r)
+	return throttler.RegionStat{N: t.n[r.level][i], M: t.m[r.level][i], S: t.s[r.level][i]}
+}
+
+// buildTree aggregates the statistics grid bottom-up (Stage I, O(α²)).
+// The grid's alpha must be a power of two.
+func buildTree(g *statgrid.Grid) (*quadTree, error) {
+	alpha := g.Alpha()
+	if alpha&(alpha-1) != 0 {
+		return nil, fmt.Errorf("partition: alpha %d is not a power of two", alpha)
+	}
+	depth := 0
+	for 1<<depth < alpha {
+		depth++
+	}
+	t := &quadTree{space: g.Space(), depth: depth}
+	t.n = make([][]float64, depth+1)
+	t.m = make([][]float64, depth+1)
+	t.s = make([][]float64, depth+1)
+	for d := 0; d <= depth; d++ {
+		side := t.side(d)
+		t.n[d] = make([]float64, side*side)
+		t.m[d] = make([]float64, side*side)
+		t.s[d] = make([]float64, side*side)
+	}
+	// Leaves from the grid cells.
+	for j := 0; j < alpha; j++ {
+		for i := 0; i < alpha; i++ {
+			n, m, s := g.Cell(i, j)
+			c := j*alpha + i
+			t.n[depth][c] = n
+			t.m[depth][c] = m
+			t.s[depth][c] = s
+		}
+	}
+	// Upward aggregation: n and m sum; s is the node-weighted mean.
+	for d := depth - 1; d >= 0; d-- {
+		side := t.side(d)
+		for row := 0; row < side; row++ {
+			for col := 0; col < side; col++ {
+				ref := nodeRef{d, col, row}
+				var n, m, sw float64
+				for _, ch := range t.children(ref) {
+					ci := t.idx(ch)
+					n += t.n[d+1][ci]
+					m += t.m[d+1][ci]
+					sw += t.n[d+1][ci] * t.s[d+1][ci]
+				}
+				i := t.idx(ref)
+				t.n[d][i] = n
+				t.m[d][i] = m
+				if n > 0 {
+					t.s[d][i] = sw / n
+				} else {
+					// Preserve a plausible speed for empty regions: plain
+					// mean of children.
+					var sum float64
+					for _, ch := range t.children(ref) {
+						sum += t.s[d+1][t.idx(ch)]
+					}
+					t.s[d][i] = sum / 4
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// accuracyGain computes V[t] = E[t] − E_p[t] (CALCERRGAIN in Algorithm 1):
+// the reduction in optimal inaccuracy from splitting node ref into its
+// four children, under throttle fraction z.
+func (t *quadTree) accuracyGain(ref nodeRef, z float64, curve *fmodel.Curve) float64 {
+	if ref.level == t.depth {
+		return 0 // grid-cell leaf: no further partitioning is possible
+	}
+	st := t.stat(ref)
+	// E: one region. The optimal single Δ is the smallest with
+	// f(Δ) ≤ z·f(Δ⊢).
+	e := st.M * curve.Invert(z)
+
+	children := t.children(ref)
+	stats := make([]throttler.RegionStat, 4)
+	for i, ch := range children {
+		stats[i] = t.stat(ch)
+	}
+	res, err := throttler.SetThrottlers(stats, curve, throttler.Options{
+		Z:        z,
+		Fairness: throttler.NoFairness(curve),
+	})
+	if err != nil {
+		// Options are constructed valid; an error here is a programming
+		// bug, not an input condition.
+		panic(err)
+	}
+	ep := res.InAcc
+	if gain := e - ep; gain > 0 {
+		return gain
+	}
+	return 0
+}
+
+// GridReduce builds the (α,l)-partitioning over the statistics grid.
+func GridReduce(g *statgrid.Grid, cfg Config) (*Partitioning, error) {
+	if cfg.Curve == nil {
+		return nil, fmt.Errorf("partition: nil curve")
+	}
+	if cfg.Z < 0 || cfg.Z > 1 {
+		return nil, fmt.Errorf("partition: throttle fraction %v outside [0,1]", cfg.Z)
+	}
+	if cfg.L < 1 {
+		return nil, fmt.Errorf("partition: non-positive region count %d", cfg.L)
+	}
+	t, err := buildTree(g)
+	if err != nil {
+		return nil, err
+	}
+	target := ValidRegionCount(cfg.L)
+
+	// Stage II: drill down by accuracy gain. The heap holds explored,
+	// still-splittable nodes; leaves move to the final list.
+	var h iheap.Heap
+	refByID := map[int]nodeRef{}
+	nextID := 0
+	push := func(ref nodeRef) {
+		id := nextID
+		nextID++
+		refByID[id] = ref
+		h.Push(id, t.accuracyGain(ref, cfg.Z, cfg.Curve))
+	}
+	// Reserve a fraction of the splits for the query-protection phase.
+	totalSplits := (target - 1) / 3
+	protectSplits := 0
+	if cfg.ProtectQueries > 0 {
+		protectSplits = int(cfg.ProtectQueries * float64(totalSplits))
+	}
+	mainTarget := target - 3*protectSplits
+
+	var leaves []nodeRef
+	push(nodeRef{0, 0, 0})
+	for len(leaves)+h.Len() < mainTarget && h.Len() > 0 {
+		id, _ := h.PopMax()
+		ref := refByID[id]
+		delete(refByID, id)
+		if ref.level == t.depth {
+			leaves = append(leaves, ref)
+			continue
+		}
+		for _, ch := range t.children(ref) {
+			push(ch)
+		}
+	}
+
+	// Protection phase (extension): split the splittable regions whose
+	// queries are most exposed — large node mass per unit of query mass.
+	if protectSplits > 0 {
+		risk := func(ref nodeRef) float64 {
+			st := t.stat(ref)
+			if st.M <= 0 || ref.level == t.depth {
+				return -1
+			}
+			return st.N * st.S / st.M
+		}
+		for s := 0; s < protectSplits; s++ {
+			bestID, bestRisk := -1, 0.0
+			for id, ref := range refByID {
+				if r := risk(ref); r > bestRisk {
+					bestID, bestRisk = id, r
+				}
+			}
+			if bestID == -1 {
+				// Nothing protectable left: spend the split on gain.
+				if h.Len() == 0 {
+					break
+				}
+				id, _ := h.PeekMax()
+				bestID = id
+				if refByID[bestID].level == t.depth {
+					break
+				}
+			}
+			ref := refByID[bestID]
+			h.Remove(bestID)
+			delete(refByID, bestID)
+			for _, ch := range t.children(ref) {
+				push(ch)
+			}
+		}
+	}
+
+	p := &Partitioning{Space: t.space}
+	emit := func(ref nodeRef) {
+		st := t.stat(ref)
+		p.Regions = append(p.Regions, Region{Area: t.rect(ref), N: st.N, M: st.M, S: st.S})
+	}
+	for _, ref := range leaves {
+		emit(ref)
+	}
+	for h.Len() > 0 {
+		id, _ := h.PopMax()
+		emit(refByID[id])
+	}
+	return p, nil
+}
+
+// Uniform builds the l-partitioning used by the Lira-Grid baseline:
+// ⌊√l⌋ × ⌊√l⌋ equal regions with statistics aggregated from the grid by
+// cell-center assignment.
+func Uniform(g *statgrid.Grid, l int) (*Partitioning, error) {
+	if l < 1 {
+		return nil, fmt.Errorf("partition: non-positive region count %d", l)
+	}
+	k := int(math.Floor(math.Sqrt(float64(l))))
+	if k < 1 {
+		k = 1
+	}
+	space := g.Space()
+	p := &Partitioning{Space: space}
+	w := space.Width() / float64(k)
+	h := space.Height() / float64(k)
+	type agg struct{ n, m, sw, sn float64 }
+	aggs := make([]agg, k*k)
+	alpha := g.Alpha()
+	for j := 0; j < alpha; j++ {
+		for i := 0; i < alpha; i++ {
+			n, m, s := g.Cell(i, j)
+			c := g.CellRect(i, j).Center()
+			ri := clampInt(int((c.X-space.MinX)/w), 0, k-1)
+			rj := clampInt(int((c.Y-space.MinY)/h), 0, k-1)
+			a := &aggs[rj*k+ri]
+			a.n += n
+			a.m += m
+			a.sw += n * s
+			a.sn += s
+		}
+	}
+	cellsPerRegion := float64(alpha*alpha) / float64(k*k)
+	for rj := 0; rj < k; rj++ {
+		for ri := 0; ri < k; ri++ {
+			a := aggs[rj*k+ri]
+			s := 0.0
+			if a.n > 0 {
+				s = a.sw / a.n
+			} else if cellsPerRegion > 0 {
+				s = a.sn / cellsPerRegion
+			}
+			p.Regions = append(p.Regions, Region{
+				Area: geo.Rect{
+					MinX: space.MinX + float64(ri)*w,
+					MinY: space.MinY + float64(rj)*h,
+					MaxX: space.MinX + float64(ri+1)*w,
+					MaxY: space.MinY + float64(rj+1)*h,
+				},
+				N: a.n, M: a.m, S: s,
+			})
+		}
+	}
+	return p, nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Single returns the trivial one-region partitioning covering the whole
+// space, used by the Uniform Δ baseline.
+func Single(g *statgrid.Grid) *Partitioning {
+	t := &Partitioning{Space: g.Space()}
+	var n, m, sw float64
+	alpha := g.Alpha()
+	count := 0.0
+	var sSum float64
+	for j := 0; j < alpha; j++ {
+		for i := 0; i < alpha; i++ {
+			cn, cm, cs := g.Cell(i, j)
+			n += cn
+			m += cm
+			sw += cn * cs
+			sSum += cs
+			count++
+		}
+	}
+	s := 0.0
+	if n > 0 {
+		s = sw / n
+	} else if count > 0 {
+		s = sSum / count
+	}
+	t.Regions = []Region{{Area: g.Space(), N: n, M: m, S: s}}
+	return t
+}

@@ -1,0 +1,340 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lira/internal/fmodel"
+	"lira/internal/geo"
+	"lira/internal/rng"
+	"lira/internal/statgrid"
+)
+
+func space() geo.Rect { return geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000} }
+
+func curve() *fmodel.Curve { return fmodel.Hyperbolic(5, 100, 95) }
+
+// skewedGrid builds a grid where nodes cluster in the SW corner and
+// queries in the NE corner — maximal heterogeneity, so GRIDREDUCE has a
+// real signal to follow.
+func skewedGrid(alpha int) *statgrid.Grid {
+	g := statgrid.New(space(), alpha)
+	r := rng.New(5)
+	var pos []geo.Point
+	var sp []float64
+	for i := 0; i < 2000; i++ {
+		pos = append(pos, geo.Point{X: r.Range(0, 400), Y: r.Range(0, 400)})
+		sp = append(sp, 20)
+	}
+	for i := 0; i < 100; i++ {
+		pos = append(pos, geo.Point{X: r.Range(0, 1000), Y: r.Range(0, 1000)})
+		sp = append(sp, 10)
+	}
+	g.Observe(pos, sp)
+	var queries []geo.Rect
+	for i := 0; i < 50; i++ {
+		queries = append(queries, geo.Square(geo.Point{X: r.Range(600, 1000), Y: r.Range(600, 1000)}, 50))
+	}
+	g.SetQueries(queries)
+	return g
+}
+
+func TestValidRegionCount(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 1, 4: 4, 5: 4, 6: 4, 7: 7, 250: 250, 251: 250, 0: 1, -3: 1}
+	for in, want := range cases {
+		if got := ValidRegionCount(in); got != want {
+			t.Errorf("ValidRegionCount(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestAlphaFor(t *testing.T) {
+	// Paper: l=250, x=10 → α = 2^⌊log2(10·√250)⌋ = 2^7 = 128.
+	if got := AlphaFor(250, 10); got != 128 {
+		t.Errorf("AlphaFor(250, 10) = %d, want 128", got)
+	}
+	// Paper: l=4000 → α = 512.
+	if got := AlphaFor(4000, 10); got != 512 {
+		t.Errorf("AlphaFor(4000, 10) = %d, want 512", got)
+	}
+	if got := AlphaFor(0, 0); got < 1 {
+		t.Errorf("AlphaFor degenerate = %d", got)
+	}
+}
+
+func TestGridReduceValidation(t *testing.T) {
+	g := skewedGrid(16)
+	if _, err := GridReduce(g, Config{L: 10, Z: 0.5, Curve: nil}); err == nil {
+		t.Error("nil curve should error")
+	}
+	if _, err := GridReduce(g, Config{L: 0, Z: 0.5, Curve: curve()}); err == nil {
+		t.Error("l=0 should error")
+	}
+	if _, err := GridReduce(g, Config{L: 10, Z: 2, Curve: curve()}); err == nil {
+		t.Error("z>1 should error")
+	}
+	bad := statgrid.New(space(), 12) // not a power of two
+	if _, err := GridReduce(bad, Config{L: 10, Z: 0.5, Curve: curve()}); err == nil {
+		t.Error("non-power-of-two alpha should error")
+	}
+}
+
+func TestGridReduceRegionCount(t *testing.T) {
+	g := skewedGrid(16)
+	for _, l := range []int{1, 4, 7, 13, 22, 40} {
+		p, err := GridReduce(g, Config{L: l, Z: 0.5, Curve: curve()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(p.Regions); got != ValidRegionCount(l) {
+			t.Errorf("l=%d: got %d regions, want %d", l, got, ValidRegionCount(l))
+		}
+	}
+}
+
+func TestGridReduceCapsAtLeafCount(t *testing.T) {
+	g := skewedGrid(4) // 16 leaves max
+	p, err := GridReduce(g, Config{L: 100, Z: 0.5, Curve: curve()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Regions) != 16 {
+		t.Errorf("got %d regions, want all 16 leaves", len(p.Regions))
+	}
+}
+
+func checkCover(t *testing.T, p *Partitioning) {
+	t.Helper()
+	total := 0.0
+	for _, r := range p.Regions {
+		total += r.Area.Area()
+	}
+	if math.Abs(total-p.Space.Area()) > 1e-6*p.Space.Area() {
+		t.Errorf("region areas sum to %v, space is %v", total, p.Space.Area())
+	}
+	for i := range p.Regions {
+		for j := i + 1; j < len(p.Regions); j++ {
+			if p.Regions[i].Area.Intersects(p.Regions[j].Area) {
+				t.Errorf("regions %d and %d overlap: %v %v", i, j,
+					p.Regions[i].Area, p.Regions[j].Area)
+			}
+		}
+	}
+}
+
+func TestGridReducePartitionIsExactCover(t *testing.T) {
+	g := skewedGrid(16)
+	p, err := GridReduce(g, Config{L: 22, Z: 0.5, Curve: curve()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, p)
+}
+
+func TestGridReduceConservesMass(t *testing.T) {
+	g := skewedGrid(16)
+	p, err := GridReduce(g, Config{L: 13, Z: 0.5, Curve: curve()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n, m float64
+	for _, r := range p.Regions {
+		n += r.N
+		m += r.M
+	}
+	wantN, wantM := g.Totals()
+	if math.Abs(n-wantN) > 1e-6*wantN {
+		t.Errorf("node mass %v, want %v", n, wantN)
+	}
+	if math.Abs(m-wantM) > 1e-6*wantM {
+		t.Errorf("query mass %v, want %v", m, wantM)
+	}
+}
+
+func TestGridReduceSplitsWhereItMatters(t *testing.T) {
+	// With nodes SW and queries NE, the drill-down should refine those
+	// areas more than the empty quadrants: the minimum region size in the
+	// busy corners must be smaller than in the dead space.
+	g := skewedGrid(32)
+	p, err := GridReduce(g, Config{L: 40, Z: 0.5, Curve: curve()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minBusy, minDead := math.Inf(1), math.Inf(1)
+	for _, r := range p.Regions {
+		c := r.Area.Center()
+		busy := (c.X < 500 && c.Y < 500) || (c.X >= 500 && c.Y >= 500)
+		if busy {
+			minBusy = math.Min(minBusy, r.Area.Area())
+		} else {
+			minDead = math.Min(minDead, r.Area.Area())
+		}
+	}
+	if !(minBusy < minDead) {
+		t.Errorf("busy-corner min area %v should be below dead-corner min %v", minBusy, minDead)
+	}
+}
+
+func TestLocate(t *testing.T) {
+	g := skewedGrid(16)
+	p, err := GridReduce(g, Config{L: 13, Z: 0.5, Curve: curve()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	for i := 0; i < 500; i++ {
+		pt := geo.Point{X: r.Range(0, 1000), Y: r.Range(0, 1000)}
+		idx := p.Locate(pt)
+		if idx < 0 {
+			t.Fatalf("Locate(%v) = -1", pt)
+		}
+		if !p.Regions[idx].Area.Contains(pt) {
+			t.Fatalf("Locate(%v) returned region not containing it", pt)
+		}
+	}
+	// Boundary points resolve via the closed-containment fallback.
+	if p.Locate(geo.Point{X: 1000, Y: 1000}) < 0 {
+		t.Error("top-right corner should resolve")
+	}
+	if p.Locate(geo.Point{X: 5000, Y: 5000}) != -1 {
+		t.Error("far outside point should return -1")
+	}
+}
+
+func TestUniformPartitioning(t *testing.T) {
+	g := skewedGrid(16)
+	p, err := Uniform(g, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Regions) != 15*15 {
+		t.Errorf("got %d regions, want 225 (⌊√250⌋²)", len(p.Regions))
+	}
+	checkCover(t, p)
+	var n, m float64
+	for _, r := range p.Regions {
+		n += r.N
+		m += r.M
+	}
+	wantN, wantM := g.Totals()
+	if math.Abs(n-wantN) > 1e-6*wantN || math.Abs(m-wantM) > 1e-6*math.Max(wantM, 1) {
+		t.Errorf("mass not conserved: n=%v/%v m=%v/%v", n, wantN, m, wantM)
+	}
+	if _, err := Uniform(g, 0); err == nil {
+		t.Error("l=0 should error")
+	}
+}
+
+func TestSingle(t *testing.T) {
+	g := skewedGrid(16)
+	p := Single(g)
+	if len(p.Regions) != 1 {
+		t.Fatalf("Single returned %d regions", len(p.Regions))
+	}
+	if p.Regions[0].Area != space() {
+		t.Errorf("Single region area %v", p.Regions[0].Area)
+	}
+	wantN, wantM := g.Totals()
+	if math.Abs(p.Regions[0].N-wantN) > 1e-6*wantN {
+		t.Errorf("N = %v, want %v", p.Regions[0].N, wantN)
+	}
+	if math.Abs(p.Regions[0].M-wantM) > 1e-6*wantM {
+		t.Errorf("M = %v, want %v", p.Regions[0].M, wantM)
+	}
+	if p.Regions[0].S <= 0 {
+		t.Error("aggregate speed should be positive")
+	}
+}
+
+// Property: for any observation mix, GridReduce yields a disjoint exact
+// cover with conserved node mass.
+func TestGridReduceCoverProperty(t *testing.T) {
+	f := func(seed uint64, lRaw, nRaw uint8) bool {
+		r := rng.New(seed)
+		g := statgrid.New(space(), 8)
+		n := int(nRaw)%200 + 1
+		pos := make([]geo.Point, n)
+		sp := make([]float64, n)
+		for i := range pos {
+			pos[i] = geo.Point{X: r.Range(0, 1000), Y: r.Range(0, 1000)}
+			sp[i] = r.Range(5, 30)
+		}
+		g.Observe(pos, sp)
+		var queries []geo.Rect
+		for i := 0; i < int(lRaw)%10; i++ {
+			queries = append(queries, geo.Square(geo.Point{X: r.Range(0, 1000), Y: r.Range(0, 1000)}, r.Range(10, 200)))
+		}
+		g.SetQueries(queries)
+		l := int(lRaw)%60 + 1
+		p, err := GridReduce(g, Config{L: l, Z: r.Range(0.1, 1), Curve: curve()})
+		if err != nil {
+			return false
+		}
+		area := 0.0
+		var massN float64
+		for _, reg := range p.Regions {
+			area += reg.Area.Area()
+			massN += reg.N
+		}
+		if math.Abs(area-p.Space.Area()) > 1e-6*p.Space.Area() {
+			return false
+		}
+		return math.Abs(massN-float64(n)) < 1e-6*float64(n)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProtectQueriesExtension(t *testing.T) {
+	// A world engineered to trigger the sacrifice artifact: one lone query
+	// deep inside a node-heavy area, plus a strong node/query cluster
+	// elsewhere that soaks up all the gain-ranked splits.
+	g := statgrid.New(space(), 32)
+	r := rng.New(21)
+	var pos []geo.Point
+	var sp []float64
+	for i := 0; i < 3000; i++ { // node mass spread over the north half
+		pos = append(pos, geo.Point{X: r.Range(0, 1000), Y: r.Range(500, 1000)})
+		sp = append(sp, 15)
+	}
+	g.Observe(pos, sp)
+	queries := []geo.Rect{geo.Square(geo.Point{X: 500, Y: 750}, 40)} // lone query in the node mass
+	for i := 0; i < 30; i++ {                                        // query cluster in the empty south
+		queries = append(queries, geo.Square(geo.Point{X: r.Range(0, 1000), Y: r.Range(0, 400)}, 60))
+	}
+	g.SetQueries(queries)
+
+	base, err := GridReduce(g, Config{L: 22, Z: 0.5, Curve: curve()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := GridReduce(g, Config{L: 22, Z: 0.5, Curve: curve(), ProtectQueries: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, prot)
+	if len(prot.Regions) > len(base.Regions) {
+		t.Errorf("protection must not exceed the region budget: %d > %d",
+			len(prot.Regions), len(base.Regions))
+	}
+	// The lone query's containing region must be smaller (better isolated)
+	// under protection than under the plain drill-down.
+	target := geo.Point{X: 500, Y: 750}
+	baseArea := base.Regions[base.Locate(target)].Area.Area()
+	protArea := prot.Regions[prot.Locate(target)].Area.Area()
+	if protArea > baseArea {
+		t.Errorf("protected region area %v should not exceed base %v", protArea, baseArea)
+	}
+	// Risk of the lone query's region (n·s/m) must not increase.
+	baseReg := base.Regions[base.Locate(target)]
+	protReg := prot.Regions[prot.Locate(target)]
+	if baseReg.M > 0 && protReg.M > 0 {
+		baseRisk := baseReg.N * baseReg.S / baseReg.M
+		protRisk := protReg.N * protReg.S / protReg.M
+		if protRisk > baseRisk {
+			t.Errorf("protected risk %v exceeds base %v", protRisk, baseRisk)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package queue implements the server's bounded position-update input
+// queue. It is the component whose overflow behavior motivates LIRA:
+// when updates arrive faster than they are served, excess updates are
+// dropped from the tail at random admission — the "Random Drop" baseline —
+// and the measured utilization ρ = λ/μ drives THROTLOOP.
+package queue
+
+// Bounded is a bounded FIFO queue of update identifiers with drop
+// accounting and arrival/service rate measurement. It models the paper's
+// M/M/1-style input queue with maximum size B.
+//
+// Bounded is not safe for concurrent use; the simulator is single-threaded
+// per run and the server owns its queue.
+type Bounded[T any] struct {
+	buf        []T
+	head, tail int
+	size       int
+
+	arrived int64 // total offered
+	dropped int64 // total rejected because the queue was full
+	served  int64 // total dequeued
+
+	// Windowed counters for rate estimation, reset by Rates.
+	winArrived int64
+	winServed  int64
+	winBusy    float64 // fraction of window the server spent busy
+}
+
+// NewBounded returns a queue with capacity b (the paper's B). It panics if
+// b <= 0.
+func NewBounded[T any](b int) *Bounded[T] {
+	if b <= 0 {
+		panic("queue: non-positive capacity")
+	}
+	return &Bounded[T]{buf: make([]T, b)}
+}
+
+// Cap returns the maximum queue size B.
+func (q *Bounded[T]) Cap() int { return len(q.buf) }
+
+// Len returns the current queue length.
+func (q *Bounded[T]) Len() int { return q.size }
+
+// Offer attempts to enqueue item. It returns false — and counts a drop —
+// when the queue is full.
+func (q *Bounded[T]) Offer(item T) bool {
+	q.arrived++
+	q.winArrived++
+	if q.size == len(q.buf) {
+		q.dropped++
+		return false
+	}
+	q.buf[q.tail] = item
+	q.tail = (q.tail + 1) % len(q.buf)
+	q.size++
+	return true
+}
+
+// Poll dequeues the oldest item. The second result is false when the queue
+// is empty.
+func (q *Bounded[T]) Poll() (T, bool) {
+	if q.size == 0 {
+		var zero T
+		return zero, false
+	}
+	item := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	q.served++
+	q.winServed++
+	return item, true
+}
+
+// Arrived returns the total number of updates offered to the queue.
+func (q *Bounded[T]) Arrived() int64 { return q.arrived }
+
+// Dropped returns the total number of updates rejected because the queue
+// was full.
+func (q *Bounded[T]) Dropped() int64 { return q.dropped }
+
+// Served returns the total number of updates dequeued.
+func (q *Bounded[T]) Served() int64 { return q.served }
+
+// ObserveBusy accumulates the fraction of the current window during which
+// the server was busy processing updates; Utilization divides through by
+// the window length.
+func (q *Bounded[T]) ObserveBusy(busy float64) { q.winBusy += busy }
+
+// Rates returns the arrival rate λ and service rate μ measured over the
+// window of the given duration (in seconds) and resets the window. μ is
+// estimated as served work divided by busy time; when the server was never
+// busy, μ is reported as +Inf via a zero-λ convention: the caller treats a
+// window with no arrivals as underload.
+func (q *Bounded[T]) Rates(window float64) (lambda, mu float64) {
+	if window <= 0 {
+		return 0, 0
+	}
+	lambda = float64(q.winArrived) / window
+	if q.winBusy > 0 {
+		mu = float64(q.winServed) / q.winBusy
+	}
+	q.winArrived, q.winServed, q.winBusy = 0, 0, 0
+	return lambda, mu
+}
+
+// Utilization returns ρ = λ/μ for the supplied rates, the quantity
+// THROTLOOP compares against 1 − 1/B. A zero μ (idle window) yields ρ = 0.
+func Utilization(lambda, mu float64) float64 {
+	if mu <= 0 {
+		return 0
+	}
+	return lambda / mu
+}

@@ -1,0 +1,115 @@
+package queue
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewBounded[int64](4)
+	for i := int64(1); i <= 4; i++ {
+		if !q.Offer(i) {
+			t.Fatalf("Offer(%d) failed below capacity", i)
+		}
+	}
+	for i := int64(1); i <= 4; i++ {
+		id, ok := q.Poll()
+		if !ok || id != i {
+			t.Fatalf("Poll = (%d, %v), want %d", id, ok, i)
+		}
+	}
+	if _, ok := q.Poll(); ok {
+		t.Error("Poll on empty queue should report false")
+	}
+}
+
+func TestDropWhenFull(t *testing.T) {
+	q := NewBounded[int64](2)
+	q.Offer(1)
+	q.Offer(2)
+	if q.Offer(3) {
+		t.Error("Offer should fail when full")
+	}
+	if q.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", q.Dropped())
+	}
+	if q.Arrived() != 3 {
+		t.Errorf("Arrived = %d, want 3", q.Arrived())
+	}
+	q.Poll()
+	if !q.Offer(4) {
+		t.Error("Offer should succeed after Poll frees a slot")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := NewBounded[int64](3)
+	for round := 0; round < 10; round++ {
+		for i := int64(0); i < 3; i++ {
+			if !q.Offer(int64(round)*3 + i) {
+				t.Fatal("Offer failed")
+			}
+		}
+		for i := int64(0); i < 3; i++ {
+			id, ok := q.Poll()
+			if !ok || id != int64(round)*3+i {
+				t.Fatalf("round %d: Poll = (%d, %v)", round, id, ok)
+			}
+		}
+	}
+	if q.Served() != 30 {
+		t.Errorf("Served = %d, want 30", q.Served())
+	}
+}
+
+func TestNewBoundedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBounded[int64](0) should panic")
+		}
+	}()
+	NewBounded[int64](0)
+}
+
+func TestRates(t *testing.T) {
+	q := NewBounded[int64](100)
+	for i := int64(0); i < 50; i++ {
+		q.Offer(i)
+	}
+	for i := 0; i < 30; i++ {
+		q.Poll()
+	}
+	q.ObserveBusy(5) // server busy 5 s out of the 10 s window
+	lambda, mu := q.Rates(10)
+	if lambda != 5 {
+		t.Errorf("lambda = %v, want 5", lambda)
+	}
+	if mu != 6 {
+		t.Errorf("mu = %v, want 6 (30 served / 5 busy seconds)", mu)
+	}
+	// Window counters reset.
+	lambda, mu = q.Rates(10)
+	if lambda != 0 || mu != 0 {
+		t.Errorf("after reset: lambda=%v mu=%v", lambda, mu)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	if rho := Utilization(5, 10); rho != 0.5 {
+		t.Errorf("Utilization = %v, want 0.5", rho)
+	}
+	if rho := Utilization(5, 0); rho != 0 {
+		t.Errorf("Utilization with idle server = %v, want 0", rho)
+	}
+	if rho := Utilization(15, 10); math.Abs(rho-1.5) > 1e-12 {
+		t.Errorf("overload Utilization = %v, want 1.5", rho)
+	}
+}
+
+func TestRatesZeroWindow(t *testing.T) {
+	q := NewBounded[int64](1)
+	lambda, mu := q.Rates(0)
+	if lambda != 0 || mu != 0 {
+		t.Errorf("zero window: lambda=%v mu=%v", lambda, mu)
+	}
+}

@@ -1,0 +1,174 @@
+// Package rng provides the deterministic pseudo-random number generator
+// used by every stochastic component of the LIRA simulator.
+//
+// The generator is a splitmix64-seeded xoshiro256**, implemented locally so
+// that simulation results are bit-for-bit reproducible regardless of the Go
+// release. Streams can be split (derived) so independent subsystems — the
+// road network, the trace, the workload — draw from uncorrelated sequences
+// while sharing a single experiment seed.
+package rng
+
+import "math"
+
+// Rand is a deterministic random number generator. It is not safe for
+// concurrent use; derive one generator per goroutine with Split.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded with seed. Distinct seeds produce
+// uncorrelated streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	// Seed the xoshiro state through splitmix64, as recommended by the
+	// xoshiro authors, so that nearby seeds do not produce nearby states.
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split returns a new generator whose stream is a deterministic function of
+// r's current state and label, and advances r. Use distinct labels for
+// distinct subsystems.
+func (r *Rand) Split(label uint64) *Rand {
+	return New(r.Uint64() ^ (label * 0x9e3779b97f4a7c15))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded ints.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul128(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	mid := t & mask
+	c = t >> 32
+	t = aLo*bHi + mid
+	lo |= (t & mask) << 32
+	hi = aHi*bHi + c + t>>32
+	return hi, lo
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (r *Rand) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a normally distributed float64 with the given mean and
+// standard deviation, using the Box–Muller transform.
+func (r *Rand) Norm(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return mean + stddev*math.Sqrt(-2*math.Log(u1))*math.Cos(2*math.Pi*u2)
+}
+
+// Exp returns an exponentially distributed float64 with the given rate
+// parameter (mean 1/rate).
+func (r *Rand) Exp(rate float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Zipf draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s. It uses inverse-CDF sampling over a precomputed table and
+// is intended for modest n (traffic-volume skew across road classes).
+type Zipf struct {
+	cdf []float64
+	r   *Rand
+}
+
+// NewZipf returns a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(r *Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, r: r}
+}
+
+// Next returns the next Zipf-distributed rank.
+func (z *Zipf) Next() int {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

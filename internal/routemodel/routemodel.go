@@ -1,0 +1,108 @@
+// Package routemodel implements the road-network-based motion model the
+// paper cites as the "more advanced" alternative to linear dead reckoning
+// (§2.1, reference [2]: Civilis, Jensen, Pakalnis). A node reports its
+// road edge, offset, and speed; both sides extrapolate *along the road*,
+// continuing through intersections onto the most likely (highest-volume)
+// edge. Because road-constrained prediction survives turns that break
+// linear extrapolation, the same inaccuracy threshold Δ yields fewer
+// updates — LIRA is model-agnostic and composes with either (the update
+// reduction curve f(Δ) is simply calibrated per model).
+package routemodel
+
+import (
+	"lira/internal/geo"
+	"lira/internal/roadnet"
+)
+
+// Report is the motion-model parameter set of the route model.
+type Report struct {
+	Edge   int32
+	Offset float64 // meters along Edge
+	Speed  float64 // m/s along the route
+	Time   float64
+}
+
+// Predictor extrapolates route-model reports over a road network. It is
+// stateless and safe for concurrent use.
+type Predictor struct {
+	net *roadnet.Network
+	// maxHops bounds route-following per prediction so a corrupt report
+	// cannot loop forever.
+	maxHops int
+}
+
+// NewPredictor returns a predictor over net.
+func NewPredictor(net *roadnet.Network) *Predictor {
+	return &Predictor{net: net, maxHops: 64}
+}
+
+// Predict returns the dead-reckoned position at time t: the report's
+// position advanced Speed·(t−Time) meters along the road, following the
+// most likely continuation at each intersection.
+func (p *Predictor) Predict(rep Report, t float64) geo.Point {
+	edge := int(rep.Edge)
+	if edge < 0 || edge >= len(p.net.Edges) {
+		return geo.Point{}
+	}
+	dt := t - rep.Time
+	if dt < 0 {
+		dt = 0 // backwards queries clamp to the report position
+	}
+	offset := rep.Offset + rep.Speed*dt
+	hops := 0
+	for offset > p.net.Edges[edge].Length && hops < p.maxHops {
+		offset -= p.net.Edges[edge].Length
+		edge = p.net.MostLikelyNext(edge)
+		hops++
+		if p.net.Edges[edge].Length == 0 {
+			break
+		}
+	}
+	length := p.net.Edges[edge].Length
+	tfrac := 0.0
+	if length > 0 {
+		if offset > length {
+			offset = length
+		}
+		tfrac = offset / length
+	}
+	return p.net.PointAlong(edge, tfrac)
+}
+
+// Reckoner is the client-side suppression driver for the route model —
+// the analogue of motion.DeadReckoner.
+type Reckoner struct {
+	pred *Predictor
+	last Report
+}
+
+// NewReckoner returns a reckoner using the given predictor.
+func NewReckoner(pred *Predictor) *Reckoner {
+	return &Reckoner{pred: pred}
+}
+
+// Start records the node's first report (always transmitted).
+func (r *Reckoner) Start(edge int, offset, speed, t float64) Report {
+	r.last = Report{Edge: int32(edge), Offset: offset, Speed: speed, Time: t}
+	return r.last
+}
+
+// Last returns the most recent report.
+func (r *Reckoner) Last() Report { return r.last }
+
+// Deviation returns the distance between the route-model prediction and
+// the actual position at time t.
+func (r *Reckoner) Deviation(actual geo.Point, t float64) float64 {
+	return r.pred.Predict(r.last, t).Dist(actual)
+}
+
+// Observe checks the node's actual state against the model with threshold
+// delta, refreshing the model and returning the new report when the
+// deviation exceeds it.
+func (r *Reckoner) Observe(edge int, offset, speed float64, actual geo.Point, t, delta float64) (Report, bool) {
+	if r.Deviation(actual, t) <= delta {
+		return Report{}, false
+	}
+	r.last = Report{Edge: int32(edge), Offset: offset, Speed: speed, Time: t}
+	return r.last, true
+}

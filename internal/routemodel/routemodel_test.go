@@ -1,0 +1,153 @@
+package routemodel
+
+import (
+	"testing"
+
+	"lira/internal/geo"
+	"lira/internal/motion"
+	"lira/internal/roadnet"
+	"lira/internal/trace"
+)
+
+func testNet() *roadnet.Network {
+	cfg := roadnet.DefaultConfig()
+	cfg.Side = 4000
+	cfg.GridStep = 250
+	cfg.Centers = 2
+	cfg.CenterRadius = 800
+	return roadnet.Generate(cfg)
+}
+
+func TestPredictWithinEdge(t *testing.T) {
+	net := testNet()
+	p := NewPredictor(net)
+	// Pick a reasonably long edge.
+	edge := -1
+	for i, e := range net.Edges {
+		if e.Length > 200 {
+			edge = i
+			break
+		}
+	}
+	if edge == -1 {
+		t.Fatal("no long edge")
+	}
+	rep := Report{Edge: int32(edge), Offset: 10, Speed: 10, Time: 0}
+	// After 5 s the car is at offset 60 on the same edge.
+	got := p.Predict(rep, 5)
+	want := net.PointAlong(edge, 60/net.Edges[edge].Length)
+	if got.Dist(want) > 1e-9 {
+		t.Errorf("Predict = %v, want %v", got, want)
+	}
+	// At the report time, prediction is the reported position.
+	got = p.Predict(rep, 0)
+	want = net.PointAlong(edge, 10/net.Edges[edge].Length)
+	if got.Dist(want) > 1e-9 {
+		t.Errorf("Predict at t0 = %v, want %v", got, want)
+	}
+}
+
+func TestPredictFollowsRoute(t *testing.T) {
+	net := testNet()
+	p := NewPredictor(net)
+	edge := 0
+	length := net.Edges[edge].Length
+	rep := Report{Edge: int32(edge), Offset: length - 1, Speed: 10, Time: 0}
+	// After 3 s the car has crossed onto the most likely next edge.
+	next := net.MostLikelyNext(edge)
+	got := p.Predict(rep, 3)
+	wantOffset := 10.0*3 - 1 // meters onto the next edge
+	want := net.PointAlong(next, wantOffset/net.Edges[next].Length)
+	if got.Dist(want) > 1e-6 {
+		t.Errorf("Predict across intersection = %v, want %v", got, want)
+	}
+}
+
+func TestPredictDegenerateInputs(t *testing.T) {
+	net := testNet()
+	p := NewPredictor(net)
+	if got := p.Predict(Report{Edge: -1}, 10); got != (geo.Point{}) {
+		t.Errorf("negative edge: %v", got)
+	}
+	if got := p.Predict(Report{Edge: 1 << 30}, 10); got != (geo.Point{}) {
+		t.Errorf("out-of-range edge: %v", got)
+	}
+	// Backwards time clamps to the report position.
+	rep := Report{Edge: 0, Offset: 50, Speed: 10, Time: 100}
+	a := p.Predict(rep, 90)
+	b := p.Predict(rep, 100)
+	if a != b {
+		t.Errorf("backwards prediction %v, want clamp to %v", a, b)
+	}
+	// Absurd speed terminates (maxHops bound).
+	rep = Report{Edge: 0, Offset: 0, Speed: 1e12, Time: 0}
+	_ = p.Predict(rep, 1e6) // must return, not hang
+}
+
+func TestReckonerSuppression(t *testing.T) {
+	net := testNet()
+	p := NewPredictor(net)
+	r := NewReckoner(p)
+	edge := 0
+	r.Start(edge, 0, 10, 0)
+	if r.Last().Edge != 0 {
+		t.Fatalf("Last = %+v", r.Last())
+	}
+	// A car exactly following the route at the reported speed is silent.
+	length := net.Edges[edge].Length
+	for tt := 1.0; tt*10 < length; tt++ {
+		actual := net.PointAlong(edge, tt*10/length)
+		if _, send := r.Observe(edge, tt*10, 10, actual, tt, 5); send {
+			t.Fatalf("route-following car reported at t=%v", tt)
+		}
+	}
+	// A car that turned the "wrong" way deviates and reports.
+	rev := net.Edges[edge].Reverse
+	far := net.PointAlong(rev, 0.5)
+	wrongEdge := rev
+	if _, send := r.Observe(wrongEdge, net.Edges[rev].Length/2, 10, far, 500, 5); !send {
+		t.Error("deviating car did not report")
+	}
+	if r.Last().Edge != int32(wrongEdge) {
+		t.Errorf("model not refreshed: %+v", r.Last())
+	}
+}
+
+// TestRouteModelBeatsLinearOnTurns is the extension's headline: at the
+// same Δ, road-constrained prediction generates fewer updates than linear
+// dead reckoning, because it predicts through intersections.
+func TestRouteModelBeatsLinearOnTurns(t *testing.T) {
+	net := testNet()
+	src := trace.NewSource(net, trace.Config{N: 400, Seed: 5})
+	pred := NewPredictor(net)
+
+	const delta = 20.0
+	linear := make([]motion.DeadReckoner, src.N())
+	route := make([]*Reckoner, src.N())
+	pos, vel := src.Positions(), src.Velocities()
+	for i := range route {
+		route[i] = NewReckoner(pred)
+		edge, off := src.EdgeState(i)
+		route[i].Start(edge, off, src.Speed(i), 0)
+		linear[i].Start(pos[i], vel[i], 0)
+	}
+	var linUpdates, routeUpdates int
+	for tick := 1; tick <= 240; tick++ {
+		src.Step(1)
+		now := float64(tick)
+		pos, vel = src.Positions(), src.Velocities()
+		for i := range route {
+			if _, send := linear[i].Observe(pos[i], vel[i], now, delta); send {
+				linUpdates++
+			}
+			edge, off := src.EdgeState(i)
+			if _, send := route[i].Observe(edge, off, src.Speed(i), pos[i], now, delta); send {
+				routeUpdates++
+			}
+		}
+	}
+	t.Logf("Δ=%.0f m over 240 s: linear %d updates, route-aware %d updates", delta, linUpdates, routeUpdates)
+	if routeUpdates >= linUpdates {
+		t.Errorf("route model sent %d updates, linear %d; expected fewer", routeUpdates, linUpdates)
+	}
+}

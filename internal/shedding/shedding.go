@@ -1,0 +1,147 @@
+// Package shedding defines the update load-shedding strategies compared in
+// the paper's evaluation (§4.2):
+//
+//   - Lira — the full system: GRIDREDUCE (α,l)-partitioning plus
+//     GREEDYINCREMENT throttler setting.
+//   - LiraGrid — the ablation without GRIDREDUCE: a uniform
+//     l-partitioning, still with GREEDYINCREMENT.
+//   - UniformDelta — one space-wide inaccuracy threshold chosen so the
+//     modeled update volume meets the throttle fraction.
+//   - RandomDrop — no source-side throttling at all: every node reports
+//     at Δ⊢ and the server randomly admits a z fraction.
+package shedding
+
+import (
+	"fmt"
+	"time"
+
+	"lira/internal/cqserver"
+	"lira/internal/fmodel"
+	"lira/internal/partition"
+	"lira/internal/throttler"
+)
+
+// Kind identifies a strategy.
+type Kind int
+
+const (
+	// Lira is the full region-aware load shedder.
+	Lira Kind = iota
+	// LiraGrid replaces GRIDREDUCE with a uniform l-partitioning.
+	LiraGrid
+	// UniformDelta uses a single system-wide inaccuracy threshold.
+	UniformDelta
+	// RandomDrop drops excess updates at the server, uniformly at random.
+	RandomDrop
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Lira:
+		return "lira"
+	case LiraGrid:
+		return "lira-grid"
+	case UniformDelta:
+		return "uniform-delta"
+	case RandomDrop:
+		return "random-drop"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds lists every strategy in the paper's comparison order.
+func Kinds() []Kind { return []Kind{RandomDrop, UniformDelta, LiraGrid, Lira} }
+
+// Options carries the strategy parameters that do not live on the server.
+type Options struct {
+	// L is the region count for LiraGrid.
+	L int
+	// Curve is the update reduction function.
+	Curve *fmodel.Curve
+	// Fairness is Δ⇔ for the GREEDYINCREMENT-based strategies.
+	Fairness float64
+	// UseSpeed enables the §3.1.2 speed factor.
+	UseSpeed bool
+}
+
+// Outcome is a configured shedding policy, ready for distribution to the
+// base-station layer.
+type Outcome struct {
+	Kind Kind
+	Z    float64
+	// Partitioning and Deltas define the region-dependent inaccuracy
+	// thresholds. For RandomDrop and UniformDelta the partitioning is a
+	// single space-wide region.
+	Partitioning *partition.Partitioning
+	Deltas       []float64
+	// AdmitProbability is the server-side random admission probability:
+	// 1 for the source-actuated strategies, z for RandomDrop.
+	AdmitProbability float64
+	// BudgetMet reports whether the modeled expenditure reached the
+	// budget (always true for RandomDrop, which drops exactly enough).
+	BudgetMet bool
+	// Elapsed is the configuration cost (partitioning plus throttler
+	// setting).
+	Elapsed time.Duration
+}
+
+// Configure computes the shedding policy of the given kind at throttle
+// fraction z using the server's statistics grid.
+func Configure(kind Kind, s *cqserver.Server, z float64, opts Options) (*Outcome, error) {
+	if z < 0 || z > 1 {
+		return nil, fmt.Errorf("shedding: throttle fraction %v outside [0,1]", z)
+	}
+	if opts.Curve == nil {
+		return nil, fmt.Errorf("shedding: nil curve")
+	}
+	start := time.Now()
+	out := &Outcome{Kind: kind, Z: z, AdmitProbability: 1}
+	switch kind {
+	case Lira:
+		ad, err := s.Adapt(z)
+		if err != nil {
+			return nil, err
+		}
+		out.Partitioning = ad.Partitioning
+		out.Deltas = ad.Deltas
+		out.BudgetMet = ad.BudgetMet
+		out.Elapsed = ad.Elapsed
+
+	case LiraGrid:
+		p, err := partition.Uniform(s.Grid(), opts.L)
+		if err != nil {
+			return nil, err
+		}
+		res, err := throttler.SetThrottlers(p.Stats(), opts.Curve, throttler.Options{
+			Z:        z,
+			Fairness: opts.Fairness,
+			UseSpeed: opts.UseSpeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Partitioning = p
+		out.Deltas = res.Deltas
+		out.BudgetMet = res.BudgetMet
+		out.Elapsed = time.Since(start)
+
+	case UniformDelta:
+		delta := opts.Curve.Invert(z)
+		out.Partitioning = partition.Single(s.Grid())
+		out.Deltas = []float64{delta}
+		out.BudgetMet = opts.Curve.Eval(delta) <= z+1e-9
+		out.Elapsed = time.Since(start)
+
+	case RandomDrop:
+		out.Partitioning = partition.Single(s.Grid())
+		out.Deltas = []float64{opts.Curve.MinDelta()}
+		out.AdmitProbability = z
+		out.BudgetMet = true
+		out.Elapsed = time.Since(start)
+
+	default:
+		return nil, fmt.Errorf("shedding: unknown kind %v", kind)
+	}
+	return out, nil
+}

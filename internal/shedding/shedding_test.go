@@ -1,0 +1,142 @@
+package shedding
+
+import (
+	"math"
+	"testing"
+
+	"lira/internal/cqserver"
+	"lira/internal/fmodel"
+	"lira/internal/geo"
+	"lira/internal/rng"
+)
+
+func testServer(t *testing.T) (*cqserver.Server, *fmodel.Curve) {
+	t.Helper()
+	curve := fmodel.Hyperbolic(5, 100, 95)
+	s, err := cqserver.New(cqserver.Config{
+		Space: geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000},
+		Nodes: 200,
+		L:     13,
+		Curve: curve,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	pos := make([]geo.Point, 200)
+	sp := make([]float64, 200)
+	for i := range pos {
+		pos[i] = geo.Point{X: r.Range(0, 700), Y: r.Range(0, 700)}
+		sp[i] = 12
+	}
+	s.ObserveStatistics(pos, sp)
+	s.RegisterQueries([]geo.Rect{geo.NewRect(100, 100, 400, 400)})
+	return s, curve
+}
+
+func opts(curve *fmodel.Curve) Options {
+	return Options{L: 13, Curve: curve, Fairness: 95, UseSpeed: true}
+}
+
+func TestConfigureValidation(t *testing.T) {
+	s, curve := testServer(t)
+	if _, err := Configure(Lira, s, 1.5, opts(curve)); err == nil {
+		t.Error("z out of range should error")
+	}
+	o := opts(curve)
+	o.Curve = nil
+	if _, err := Configure(UniformDelta, s, 0.5, o); err == nil {
+		t.Error("nil curve should error")
+	}
+	if _, err := Configure(Kind(42), s, 0.5, opts(curve)); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestConfigureLira(t *testing.T) {
+	s, curve := testServer(t)
+	out, err := Configure(Lira, s, 0.5, opts(curve))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != Lira || out.AdmitProbability != 1 {
+		t.Errorf("outcome: %+v", out)
+	}
+	if len(out.Partitioning.Regions) != 13 || len(out.Deltas) != 13 {
+		t.Errorf("regions/deltas = %d/%d", len(out.Partitioning.Regions), len(out.Deltas))
+	}
+	if !out.BudgetMet {
+		t.Error("z=0.5 budget should be met")
+	}
+}
+
+func TestConfigureLiraGrid(t *testing.T) {
+	s, curve := testServer(t)
+	out, err := Configure(LiraGrid, s, 0.5, opts(curve))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ⌊√13⌋² = 9 uniform regions.
+	if len(out.Partitioning.Regions) != 9 {
+		t.Errorf("LiraGrid regions = %d, want 9", len(out.Partitioning.Regions))
+	}
+	area := out.Partitioning.Regions[0].Area.Area()
+	for _, r := range out.Partitioning.Regions {
+		if math.Abs(r.Area.Area()-area) > 1e-6 {
+			t.Error("LiraGrid regions must be equal-sized")
+		}
+	}
+}
+
+func TestConfigureUniformDelta(t *testing.T) {
+	s, curve := testServer(t)
+	out, err := Configure(UniformDelta, s, 0.5, opts(curve))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Deltas) != 1 {
+		t.Fatalf("uniform deltas = %v", out.Deltas)
+	}
+	if got := curve.Eval(out.Deltas[0]); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("f(Δ_uniform) = %v, want 0.5", got)
+	}
+	if out.AdmitProbability != 1 || !out.BudgetMet {
+		t.Errorf("outcome: %+v", out)
+	}
+}
+
+func TestConfigureRandomDrop(t *testing.T) {
+	s, curve := testServer(t)
+	out, err := Configure(RandomDrop, s, 0.3, opts(curve))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AdmitProbability != 0.3 {
+		t.Errorf("AdmitProbability = %v, want 0.3", out.AdmitProbability)
+	}
+	if out.Deltas[0] != 5 {
+		t.Errorf("RandomDrop Δ = %v, want Δ⊢", out.Deltas[0])
+	}
+	if !out.BudgetMet {
+		t.Error("RandomDrop always meets its budget")
+	}
+}
+
+func TestKindsAndStrings(t *testing.T) {
+	ks := Kinds()
+	if len(ks) != 4 {
+		t.Fatalf("Kinds = %v", ks)
+	}
+	names := map[Kind]string{
+		Lira: "lira", LiraGrid: "lira-grid",
+		UniformDelta: "uniform-delta", RandomDrop: "random-drop",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should still print")
+	}
+}

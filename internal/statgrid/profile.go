@@ -1,0 +1,193 @@
+package statgrid
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"lira/internal/geo"
+)
+
+// This file implements the two alternative maintenance modes of §3.2.1:
+//
+//   - sampling: "all of the updates need not be processed, since the
+//     statistics can easily be approximated using sampling" —
+//     ObserveSampled folds in a thinned observation round, scaling counts
+//     by the inverse sampling rate;
+//   - off-line profiles: "the average number of mobile nodes and average
+//     node speeds can be pre-computed for different times of the day
+//     based on historic data, in which case the maintenance cost is close
+//     to zero" — Profile stores per-time-slot grids with a compact binary
+//     serialization.
+
+// ObserveSampled folds one observation round in which only a rate
+// fraction of the node population was inspected; per-cell node counts are
+// scaled by 1/rate so the grid still estimates the full population. It
+// panics if rate is outside (0, 1].
+func (g *Grid) ObserveSampled(positions []geo.Point, speeds []float64, rate float64) {
+	if rate <= 0 || rate > 1 {
+		panic(fmt.Sprintf("statgrid: sampling rate %v outside (0, 1]", rate))
+	}
+	if len(positions) != len(speeds) {
+		panic("statgrid: positions and speeds length mismatch")
+	}
+	inv := 1 / rate
+	for k, p := range positions {
+		i, j := g.CellIndex(p)
+		c := j*g.alpha + i
+		g.sumCount[c] += inv
+		g.sumSpeed[c] += speeds[k]
+		g.obsNodes[c]++
+		g.sumAllSp += speeds[k]
+		g.obsAll++
+	}
+	g.samples++
+	g.totalN = float64(len(positions)) * inv
+	if g.obsAll > 0 {
+		g.meanSpeed = g.sumAllSp / g.obsAll
+	}
+}
+
+// profileMagic identifies serialized profiles ("LIRP" + version 1).
+var profileMagic = [4]byte{'L', 'I', 'R', 'P'}
+
+const profileVersion = 1
+
+// Profile holds pre-computed statistics grids for recurring time slots
+// (e.g. 24 hourly grids). Lookup is O(1) and maintenance at serving time
+// is zero: the server selects the slot grid for the current time of day.
+type Profile struct {
+	space      geo.Rect
+	alpha      int
+	slotLength float64 // seconds per slot
+	slots      []*Grid
+}
+
+// NewProfile returns a profile with the given number of time slots, each
+// covering slotLength seconds of the recurring period.
+func NewProfile(space geo.Rect, alpha, slots int, slotLength float64) (*Profile, error) {
+	if slots <= 0 {
+		return nil, fmt.Errorf("statgrid: non-positive slot count %d", slots)
+	}
+	if slotLength <= 0 {
+		return nil, fmt.Errorf("statgrid: non-positive slot length %v", slotLength)
+	}
+	p := &Profile{space: space, alpha: alpha, slotLength: slotLength}
+	for i := 0; i < slots; i++ {
+		p.slots = append(p.slots, New(space, alpha))
+	}
+	return p, nil
+}
+
+// Slots returns the number of time slots.
+func (p *Profile) Slots() int { return len(p.slots) }
+
+// SlotFor returns the slot index covering time t (seconds); the profile
+// period wraps.
+func (p *Profile) SlotFor(t float64) int {
+	period := p.slotLength * float64(len(p.slots))
+	t = math.Mod(t, period)
+	if t < 0 {
+		t += period
+	}
+	idx := int(t / p.slotLength)
+	if idx >= len(p.slots) {
+		idx = len(p.slots) - 1
+	}
+	return idx
+}
+
+// Grid returns the statistics grid of the given slot, for both folding in
+// historic observations and serving.
+func (p *Profile) Grid(slot int) *Grid { return p.slots[slot] }
+
+// GridFor returns the grid covering time t.
+func (p *Profile) GridFor(t float64) *Grid { return p.slots[p.SlotFor(t)] }
+
+// WriteTo serializes the profile. The format is little-endian: magic,
+// version, geometry, slot parameters, then per slot the raw accumulator
+// arrays — no floats are rounded, so a round trip is exact.
+func (p *Profile) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	write := func(vs ...interface{}) error {
+		for _, v := range vs {
+			if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write(profileMagic, uint32(profileVersion),
+		p.space.MinX, p.space.MinY, p.space.MaxX, p.space.MaxY,
+		uint32(p.alpha), uint32(len(p.slots)), p.slotLength); err != nil {
+		return cw.n, err
+	}
+	for _, g := range p.slots {
+		if err := write(uint64(g.samples), g.totalM, g.sumAllSp, g.obsAll,
+			g.sumCount, g.sumSpeed, g.obsNodes, g.queries); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadProfile deserializes a profile written by WriteTo.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	read := func(vs ...interface{}) error {
+		for _, v := range vs {
+			if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var magic [4]byte
+	var version uint32
+	if err := read(&magic, &version); err != nil {
+		return nil, fmt.Errorf("statgrid: reading profile header: %w", err)
+	}
+	if magic != profileMagic {
+		return nil, fmt.Errorf("statgrid: bad profile magic %q", magic)
+	}
+	if version != profileVersion {
+		return nil, fmt.Errorf("statgrid: unsupported profile version %d", version)
+	}
+	var space geo.Rect
+	var alpha, slots uint32
+	var slotLength float64
+	if err := read(&space.MinX, &space.MinY, &space.MaxX, &space.MaxY,
+		&alpha, &slots, &slotLength); err != nil {
+		return nil, err
+	}
+	if alpha == 0 || alpha > 1<<14 || slots == 0 || slots > 1<<16 {
+		return nil, fmt.Errorf("statgrid: implausible profile geometry (alpha=%d slots=%d)", alpha, slots)
+	}
+	p, err := NewProfile(space, int(alpha), int(slots), slotLength)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range p.slots {
+		var samples uint64
+		if err := read(&samples, &g.totalM, &g.sumAllSp, &g.obsAll,
+			g.sumCount, g.sumSpeed, g.obsNodes, g.queries); err != nil {
+			return nil, err
+		}
+		g.samples = int(samples)
+		if g.obsAll > 0 {
+			g.meanSpeed = g.sumAllSp / g.obsAll
+		}
+	}
+	return p, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,192 @@
+package statgrid
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"lira/internal/geo"
+	"lira/internal/rng"
+)
+
+func TestObserveSampledScalesCounts(t *testing.T) {
+	full := New(space(), 4)
+	sampled := New(space(), 4)
+	r := rng.New(5)
+	const n = 4000
+	pos := make([]geo.Point, n)
+	sp := make([]float64, n)
+	for i := range pos {
+		pos[i] = geo.Point{X: r.Range(0, 100), Y: r.Range(0, 100)}
+		sp[i] = r.Range(5, 25)
+	}
+	full.Observe(pos, sp)
+	// Thin to 25%.
+	var tpos []geo.Point
+	var tsp []float64
+	for i := range pos {
+		if r.Bool(0.25) {
+			tpos = append(tpos, pos[i])
+			tsp = append(tsp, sp[i])
+		}
+	}
+	sampled.ObserveSampled(tpos, tsp, 0.25)
+
+	fn, _ := full.Totals()
+	sn, _ := sampled.Totals()
+	if math.Abs(sn-fn)/fn > 0.1 {
+		t.Errorf("sampled total %v deviates from full %v", sn, fn)
+	}
+	// Per-cell estimates must agree within sampling noise.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			fN, _, fS := full.Cell(i, j)
+			sN, _, sS := sampled.Cell(i, j)
+			if fN > 50 && math.Abs(sN-fN)/fN > 0.35 {
+				t.Errorf("cell (%d,%d): sampled n %v vs full %v", i, j, sN, fN)
+			}
+			if fN > 50 && math.Abs(sS-fS)/fS > 0.2 {
+				t.Errorf("cell (%d,%d): sampled speed %v vs full %v", i, j, sS, fS)
+			}
+		}
+	}
+}
+
+func TestObserveSampledPanics(t *testing.T) {
+	g := New(space(), 2)
+	for _, rate := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rate %v should panic", rate)
+				}
+			}()
+			g.ObserveSampled(nil, nil, rate)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	g.ObserveSampled(make([]geo.Point, 2), make([]float64, 1), 0.5)
+}
+
+func TestProfileSlotSelection(t *testing.T) {
+	p, err := NewProfile(space(), 4, 24, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Slots() != 24 {
+		t.Fatalf("Slots = %d", p.Slots())
+	}
+	cases := []struct {
+		t    float64
+		slot int
+	}{
+		{0, 0},
+		{3599, 0},
+		{3600, 1},
+		{23*3600 + 1800, 23},
+		{24 * 3600, 0},      // wraps
+		{25 * 3600, 1},      // wraps
+		{-1800, 23},         // negative wraps backwards
+		{48*3600 + 7200, 2}, // many periods later
+	}
+	for _, c := range cases {
+		if got := p.SlotFor(c.t); got != c.slot {
+			t.Errorf("SlotFor(%v) = %d, want %d", c.t, got, c.slot)
+		}
+	}
+	if p.GridFor(3600) != p.Grid(1) {
+		t.Error("GridFor and Grid disagree")
+	}
+}
+
+func TestNewProfileValidation(t *testing.T) {
+	if _, err := NewProfile(space(), 4, 0, 3600); err == nil {
+		t.Error("zero slots should error")
+	}
+	if _, err := NewProfile(space(), 4, 24, 0); err == nil {
+		t.Error("zero slot length should error")
+	}
+}
+
+func TestProfileSerializationRoundTrip(t *testing.T) {
+	p, err := NewProfile(space(), 8, 4, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	for slot := 0; slot < 4; slot++ {
+		g := p.Grid(slot)
+		for round := 0; round < slot+1; round++ {
+			n := 100 * (slot + 1)
+			pos := make([]geo.Point, n)
+			sp := make([]float64, n)
+			for i := range pos {
+				pos[i] = geo.Point{X: r.Range(0, 100), Y: r.Range(0, 100)}
+				sp[i] = r.Range(5, 25)
+			}
+			g.Observe(pos, sp)
+		}
+		g.SetQueries([]geo.Rect{geo.Square(geo.Point{X: 50, Y: 50}, float64(10*(slot+1)))})
+	}
+
+	var buf bytes.Buffer
+	n, err := p.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	got, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Slots() != p.Slots() {
+		t.Fatalf("slots = %d", got.Slots())
+	}
+	for slot := 0; slot < 4; slot++ {
+		a, b := p.Grid(slot), got.Grid(slot)
+		if a.Samples() != b.Samples() {
+			t.Errorf("slot %d samples %d vs %d", slot, a.Samples(), b.Samples())
+		}
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				an, am, as := a.Cell(i, j)
+				bn, bm, bs := b.Cell(i, j)
+				if an != bn || am != bm || as != bs {
+					t.Fatalf("slot %d cell (%d,%d): (%v,%v,%v) vs (%v,%v,%v)",
+						slot, i, j, an, am, as, bn, bm, bs)
+				}
+			}
+		}
+		an, am := a.Totals()
+		bn, bm := b.Totals()
+		if an != bn || am != bm {
+			t.Errorf("slot %d totals (%v,%v) vs (%v,%v)", slot, an, am, bn, bm)
+		}
+	}
+}
+
+func TestReadProfileRejectsGarbage(t *testing.T) {
+	if _, err := ReadProfile(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadProfile(bytes.NewReader([]byte("XXXX1234567890"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Valid header, truncated body.
+	p, _ := NewProfile(space(), 4, 2, 60)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadProfile(bytes.NewReader(data[:len(data)-8])); err == nil {
+		t.Error("truncated profile accepted")
+	}
+}

@@ -1,0 +1,217 @@
+package statgrid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lira/internal/geo"
+	"lira/internal/rng"
+)
+
+func space() geo.Rect { return geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100} }
+
+func TestNewPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(space(), 0) },
+		func() { New(geo.Rect{}, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCellIndexAndRect(t *testing.T) {
+	g := New(space(), 4) // 25x25 cells
+	cases := []struct {
+		p    geo.Point
+		i, j int
+	}{
+		{geo.Point{X: 0, Y: 0}, 0, 0},
+		{geo.Point{X: 24.9, Y: 24.9}, 0, 0},
+		{geo.Point{X: 25, Y: 0}, 1, 0},
+		{geo.Point{X: 99.9, Y: 99.9}, 3, 3},
+		{geo.Point{X: 100, Y: 100}, 3, 3}, // clamped
+		{geo.Point{X: -5, Y: 120}, 0, 3},  // clamped both axes
+		{geo.Point{X: 50, Y: 75}, 2, 3},   // exact boundaries
+	}
+	for _, c := range cases {
+		i, j := g.CellIndex(c.p)
+		if i != c.i || j != c.j {
+			t.Errorf("CellIndex(%v) = (%d,%d), want (%d,%d)", c.p, i, j, c.i, c.j)
+		}
+	}
+	r := g.CellRect(1, 2)
+	want := geo.Rect{MinX: 25, MinY: 50, MaxX: 50, MaxY: 75}
+	if r != want {
+		t.Errorf("CellRect = %v, want %v", r, want)
+	}
+}
+
+func TestObserveAveragesAcrossRounds(t *testing.T) {
+	g := New(space(), 2)
+	// Round 1: two nodes in cell (0,0), speeds 10 and 20.
+	g.Observe(
+		[]geo.Point{{X: 10, Y: 10}, {X: 20, Y: 20}},
+		[]float64{10, 20},
+	)
+	// Round 2: no nodes in cell (0,0), one in (1,1) with speed 30.
+	g.Observe(
+		[]geo.Point{{X: 80, Y: 80}},
+		[]float64{30},
+	)
+	n, _, s := g.Cell(0, 0)
+	if n != 1 { // (2+0)/2 rounds
+		t.Errorf("n(0,0) = %v, want 1", n)
+	}
+	if s != 15 {
+		t.Errorf("s(0,0) = %v, want 15", s)
+	}
+	n, _, s = g.Cell(1, 1)
+	if n != 0.5 {
+		t.Errorf("n(1,1) = %v, want 0.5", n)
+	}
+	if s != 30 {
+		t.Errorf("s(1,1) = %v, want 30", s)
+	}
+	// Never-observed cell falls back to the global mean speed (10+20+30)/3.
+	_, _, s = g.Cell(0, 1)
+	if s != 20 {
+		t.Errorf("fallback speed = %v, want 20", s)
+	}
+	if g.Samples() != 2 {
+		t.Errorf("Samples = %d", g.Samples())
+	}
+}
+
+func TestObserveLengthMismatchPanics(t *testing.T) {
+	g := New(space(), 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	g.Observe([]geo.Point{{X: 1, Y: 1}}, nil)
+}
+
+func TestSetQueriesFractional(t *testing.T) {
+	g := New(space(), 2) // 50x50 cells
+	// A 50x50 query centered at (50,50) covers one quarter of each cell.
+	g.SetQueries([]geo.Rect{geo.Square(geo.Point{X: 50, Y: 50}, 50)})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			_, m, _ := g.Cell(i, j)
+			if math.Abs(m-0.25) > 1e-12 {
+				t.Errorf("m(%d,%d) = %v, want 0.25", i, j, m)
+			}
+		}
+	}
+	_, totalM := g.Totals()
+	if math.Abs(totalM-1) > 1e-12 {
+		t.Errorf("total m = %v, want 1", totalM)
+	}
+	// Replacing the census clears the previous one.
+	g.SetQueries([]geo.Rect{geo.Square(geo.Point{X: 25, Y: 25}, 10)})
+	_, m, _ := g.Cell(1, 1)
+	if m != 0 {
+		t.Errorf("stale query mass remained: %v", m)
+	}
+	_, m, _ = g.Cell(0, 0)
+	if math.Abs(m-1) > 1e-12 {
+		t.Errorf("contained query m = %v, want 1", m)
+	}
+}
+
+func TestQueryOutsideSpaceIgnored(t *testing.T) {
+	g := New(space(), 4)
+	g.SetQueries([]geo.Rect{geo.Square(geo.Point{X: 500, Y: 500}, 10)})
+	if _, m := g.Totals(); m != 0 {
+		t.Errorf("outside query contributed %v", m)
+	}
+	// Degenerate query contributes nothing and does not panic.
+	g.SetQueries([]geo.Rect{{}})
+	if _, m := g.Totals(); m != 0 {
+		t.Errorf("degenerate query contributed %v", m)
+	}
+}
+
+func TestQueryStraddlingBoundaryCountsInsidePortion(t *testing.T) {
+	g := New(space(), 4)
+	// Half of this query hangs off the left edge of the space.
+	g.SetQueries([]geo.Rect{geo.NewRect(-10, 40, 10, 60)})
+	_, m := g.Totals()
+	if math.Abs(m-0.5) > 1e-12 {
+		t.Errorf("straddling query mass = %v, want 0.5", m)
+	}
+}
+
+func TestResetObservationsKeepsQueries(t *testing.T) {
+	g := New(space(), 2)
+	g.Observe([]geo.Point{{X: 10, Y: 10}}, []float64{5})
+	g.SetQueries([]geo.Rect{geo.Square(geo.Point{X: 25, Y: 25}, 10)})
+	g.ResetObservations()
+	n, m, _ := g.Cell(0, 0)
+	if n != 0 {
+		t.Errorf("n after reset = %v", n)
+	}
+	if math.Abs(m-1) > 1e-12 {
+		t.Errorf("m after reset = %v, want 1 (census kept)", m)
+	}
+	if g.Samples() != 0 {
+		t.Errorf("Samples after reset = %d", g.Samples())
+	}
+}
+
+// Property: total query mass equals the summed in-space fractions of the
+// queries, for arbitrary query placements.
+func TestQueryMassConservationProperty(t *testing.T) {
+	f := func(seed uint64, count uint8) bool {
+		r := rng.New(seed)
+		g := New(space(), 8)
+		n := int(count%20) + 1
+		queries := make([]geo.Rect, n)
+		want := 0.0
+		for i := range queries {
+			c := geo.Point{X: r.Range(-20, 120), Y: r.Range(-20, 120)}
+			side := r.Range(1, 40)
+			queries[i] = geo.Square(c, side)
+			want += queries[i].OverlapFraction(space())
+		}
+		g.SetQueries(queries)
+		_, got := g.Totals()
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total node mass is conserved: Totals() n equals the number of
+// positions per round.
+func TestNodeMassConservationProperty(t *testing.T) {
+	f := func(seed uint64, count uint8) bool {
+		r := rng.New(seed)
+		g := New(space(), 8)
+		n := int(count%50) + 1
+		for round := 0; round < 3; round++ {
+			pos := make([]geo.Point, n)
+			sp := make([]float64, n)
+			for i := range pos {
+				pos[i] = geo.Point{X: r.Range(0, 100), Y: r.Range(0, 100)}
+				sp[i] = r.Range(1, 30)
+			}
+			g.Observe(pos, sp)
+		}
+		got, _ := g.Totals()
+		return math.Abs(got-float64(n)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

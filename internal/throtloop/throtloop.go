@@ -1,0 +1,76 @@
+// Package throtloop implements THROTLOOP (§3.4): the feedback controller
+// that adapts the throttle fraction z from the observed utilization of the
+// position-update input queue.
+//
+// Under an M/M/1 model, keeping the average queue length within the
+// maximum queue size B requires utilization ρ = 1 − 1/B. Each period the
+// controller computes u = ρ / (1 − B⁻¹) and scales the throttle fraction:
+//
+//	z⁽ⁱ⁾ ← min(1, z⁽ⁱ⁻¹⁾ / u)
+//
+// Overload (u > 1) shrinks z; slack (u < 1) grows it back toward 1.
+package throtloop
+
+import "fmt"
+
+// Controller adapts the throttle fraction. The zero value is unusable;
+// construct with New.
+type Controller struct {
+	b      int
+	z      float64
+	minZ   float64
+	rounds int
+}
+
+// New returns a controller for a queue of maximum size b. The initial
+// throttle fraction is 1 (no shedding), per the paper's initialization.
+func New(b int) (*Controller, error) {
+	if b < 2 {
+		return nil, fmt.Errorf("throtloop: queue size %d must be at least 2", b)
+	}
+	return &Controller{b: b, z: 1, minZ: 0}, nil
+}
+
+// SetFloor sets a lower bound on z. The paper's system converges to
+// ∀Δᵢ = Δ⊣ when the budget is unreachable; a floor keeps the controller
+// from chasing a budget below the system's minimum expenditure.
+func (c *Controller) SetFloor(min float64) {
+	if min < 0 {
+		min = 0
+	}
+	if min > 1 {
+		min = 1
+	}
+	c.minZ = min
+}
+
+// Z returns the current throttle fraction.
+func (c *Controller) Z() float64 { return c.z }
+
+// Rounds returns the number of Observe calls so far.
+func (c *Controller) Rounds() int { return c.rounds }
+
+// TargetUtilization returns ρ* = 1 − 1/B.
+func (c *Controller) TargetUtilization() float64 {
+	return 1 - 1/float64(c.b)
+}
+
+// Observe folds one period's measured utilization ρ = λ/μ into the
+// controller and returns the new throttle fraction. A zero utilization
+// (idle period) is treated as maximal slack and pushes z back to 1.
+func (c *Controller) Observe(rho float64) float64 {
+	c.rounds++
+	if rho <= 0 {
+		c.z = 1
+		return c.z
+	}
+	u := rho / c.TargetUtilization()
+	c.z = c.z / u
+	if c.z > 1 {
+		c.z = 1
+	}
+	if c.z < c.minZ {
+		c.z = c.minZ
+	}
+	return c.z
+}

@@ -1,0 +1,98 @@
+package throtloop
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1); err == nil {
+		t.Error("B=1 should be rejected")
+	}
+	c, err := New(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Z() != 1 {
+		t.Errorf("initial z = %v, want 1", c.Z())
+	}
+}
+
+func TestTargetUtilization(t *testing.T) {
+	c, _ := New(100)
+	if got := c.TargetUtilization(); math.Abs(got-0.99) > 1e-12 {
+		t.Errorf("target = %v, want 0.99", got)
+	}
+}
+
+func TestOverloadShrinksZ(t *testing.T) {
+	c, _ := New(100)
+	z := c.Observe(1.98) // utilization double the target
+	if math.Abs(z-0.5) > 1e-9 {
+		t.Errorf("z after 2x overload = %v, want 0.5", z)
+	}
+	z = c.Observe(1.98)
+	if math.Abs(z-0.25) > 1e-9 {
+		t.Errorf("z after second 2x overload = %v, want 0.25", z)
+	}
+}
+
+func TestUnderloadGrowsZCappedAtOne(t *testing.T) {
+	c, _ := New(100)
+	c.Observe(1.98) // z = 0.5
+	z := c.Observe(0.495)
+	if math.Abs(z-1.0) > 1e-9 {
+		t.Errorf("z after halved load = %v, want 1", z)
+	}
+	z = c.Observe(0.1)
+	if z != 1 {
+		t.Errorf("z must cap at 1, got %v", z)
+	}
+}
+
+func TestIdlePeriodResetsToOne(t *testing.T) {
+	c, _ := New(50)
+	c.Observe(3)
+	if z := c.Observe(0); z != 1 {
+		t.Errorf("idle period should reset z to 1, got %v", z)
+	}
+}
+
+func TestFloor(t *testing.T) {
+	c, _ := New(100)
+	c.SetFloor(0.25)
+	for i := 0; i < 10; i++ {
+		c.Observe(5)
+	}
+	if c.Z() != 0.25 {
+		t.Errorf("z = %v, want floor 0.25", c.Z())
+	}
+	c.SetFloor(-1)
+	c.SetFloor(2)
+	if c.Z() != 0.25 {
+		t.Errorf("clamped floors should not move z: %v", c.Z())
+	}
+}
+
+func TestConvergenceUnderConstantOverload(t *testing.T) {
+	// A plant whose offered utilization is proportional to z: starting
+	// overloaded by 3x, the loop should converge so that the effective
+	// utilization equals the target.
+	c, _ := New(100)
+	offered := 3.0 // utilization at z=1
+	var rho float64
+	for i := 0; i < 30; i++ {
+		rho = offered * c.Z()
+		c.Observe(rho)
+	}
+	target := c.TargetUtilization()
+	if math.Abs(rho-target) > 0.02 {
+		t.Errorf("converged utilization %v, want ~%v", rho, target)
+	}
+	if math.Abs(c.Z()-target/offered) > 0.02 {
+		t.Errorf("converged z = %v, want ~%v", c.Z(), target/offered)
+	}
+	if c.Rounds() != 30 {
+		t.Errorf("Rounds = %d", c.Rounds())
+	}
+}

@@ -1,0 +1,244 @@
+// Package throttler implements GREEDYINCREMENT (§3.3, Algorithm 2): given
+// the shedding regions produced by GRIDREDUCE, it sets the update
+// throttlers Δᵢ so the query-result inaccuracy Σ mᵢ·Δᵢ is minimized while
+// the update budget constraint Σ nᵢ·(sᵢ/ŝ)·f(Δᵢ) ≤ z·n·f(Δ⊢) and the
+// fairness constraint ∀i,j |Δᵢ − Δⱼ| ≤ Δ⇔ hold.
+//
+// The algorithm greedily raises the throttler with the highest update gain
+// Sᵢ = (nᵢ/mᵢ)·sᵢ·r(Δᵢ) — the reduction in update expenditure per unit of
+// added query inaccuracy — one increment c_Δ at a time, aligned to the
+// knots of the piece-wise-linear f so every step stays inside one linear
+// segment. Per Theorem 3.1 this is optimal for that approximation when
+// c_Δ equals the segment width.
+package throttler
+
+import (
+	"fmt"
+	"math"
+
+	"lira/internal/container/iheap"
+	"lira/internal/container/treap"
+	"lira/internal/fmodel"
+)
+
+// RegionStat summarizes a shedding region for the optimizer: node count N,
+// fractional query count M, and average node speed S.
+type RegionStat struct {
+	N, M, S float64
+}
+
+// Options configures GREEDYINCREMENT.
+type Options struct {
+	// Z is the throttle fraction z ∈ [0, 1]: the fraction of the full
+	// update expenditure to retain.
+	Z float64
+	// Increment is c_Δ. Zero selects the curve's segment width, for which
+	// the result is optimal (Theorem 3.1).
+	Increment float64
+	// Fairness is Δ⇔, the maximum allowed difference between any two
+	// throttlers. Zero means the strict uniform-Δ degenerate case; use
+	// NoFairness for the unconstrained original formulation.
+	Fairness float64
+	// UseSpeed enables the §3.1.2 speed factor: region expenditure is
+	// weighted by sᵢ/ŝ. Without it all speeds are treated as equal.
+	UseSpeed bool
+}
+
+// NoFairness is a Fairness value that never constrains: Δ⊣ − Δ⊢ (the
+// paper's degenerate case recovering the original formulation).
+func NoFairness(curve *fmodel.Curve) float64 {
+	return curve.MaxDelta() - curve.MinDelta()
+}
+
+// Result is the output of SetThrottlers.
+type Result struct {
+	// Deltas holds the update throttler Δᵢ per region.
+	Deltas []float64
+	// Expenditure is the modeled update expenditure after throttling,
+	// in the same unit as Budget.
+	Expenditure float64
+	// Budget is z times the full expenditure.
+	Budget float64
+	// BudgetMet reports whether the expenditure was reduced to the
+	// budget. False means the budget is unreachable even at ∀i Δᵢ = Δ⊣
+	// (or unreachable without violating fairness).
+	BudgetMet bool
+	// InAcc is the objective value Σ mᵢ·Δᵢ.
+	InAcc float64
+}
+
+// SetThrottlers runs GREEDYINCREMENT over the given regions. It returns an
+// error for invalid options. An empty region list yields an empty result.
+func SetThrottlers(stats []RegionStat, curve *fmodel.Curve, opts Options) (*Result, error) {
+	if curve == nil {
+		return nil, fmt.Errorf("throttler: nil curve")
+	}
+	if opts.Z < 0 || opts.Z > 1 {
+		return nil, fmt.Errorf("throttler: throttle fraction %v outside [0,1]", opts.Z)
+	}
+	if opts.Fairness < 0 {
+		return nil, fmt.Errorf("throttler: negative fairness threshold %v", opts.Fairness)
+	}
+	inc := opts.Increment
+	if inc == 0 {
+		inc = curve.SegmentWidth()
+	}
+	if inc < 0 {
+		return nil, fmt.Errorf("throttler: negative increment %v", inc)
+	}
+
+	l := len(stats)
+	dl, dh := curve.MinDelta(), curve.MaxDelta()
+	res := &Result{Deltas: make([]float64, l)}
+	for i := range res.Deltas {
+		res.Deltas[i] = dl
+	}
+	if l == 0 {
+		res.BudgetMet = true
+		return res, nil
+	}
+
+	// Region expenditure weight wᵢ: nᵢ·sᵢ/ŝ with the speed factor, nᵢ
+	// without. Using sᵢ/ŝ (rather than raw sᵢ) keeps the expenditure in
+	// "updates" units; the constraint is equivalent.
+	w := make([]float64, l)
+	var totalN, totalNS float64
+	for _, st := range stats {
+		totalN += st.N
+		totalNS += st.N * st.S
+	}
+	for i, st := range stats {
+		if opts.UseSpeed && totalNS > 0 {
+			w[i] = st.N * st.S * totalN / totalNS
+		} else {
+			w[i] = st.N
+		}
+	}
+
+	fAtMin := curve.Eval(dl) // == 1 by construction
+	u := totalN * fAtMin
+	budget := opts.Z * u
+	res.Budget = budget
+	if u <= budget {
+		// Nothing to shed.
+		res.Expenditure = u
+		res.BudgetMet = true
+		res.InAcc = inAcc(stats, res.Deltas)
+		return res, nil
+	}
+
+	// gain returns the update gain Sᵢ at the region's current Δ. Regions
+	// with no queries have unbounded gain (+Inf): shedding there is free.
+	gain := func(i int) float64 {
+		st := stats[i]
+		r := curve.Rate(res.Deltas[i])
+		if st.M == 0 {
+			if w[i]*r > 0 {
+				return math.Inf(1)
+			}
+			// No queries and no expenditure to recover: harmless but
+			// pointless; keep it at the bottom of the heap.
+			return 0
+		}
+		return w[i] / st.M * r
+	}
+
+	var h iheap.Heap
+	var deltas treap.Multiset
+	for i := 0; i < l; i++ {
+		h.Push(i, gain(i))
+		deltas.Insert(res.Deltas[i])
+	}
+	// blocked holds regions parked at the fairness limit Δ⊵ + Δ⇔.
+	var blocked []int
+
+	const eps = 1e-9
+	for u > budget+eps*budget && h.Len() > 0 {
+		i, _ := h.PopMax()
+		old := res.Deltas[i]
+		oldMin, _ := deltas.Min()
+
+		// Step to the next knot of f (relative to Δ⊢) but never past the
+		// fairness limit, the budget-exact point, or Δ⊣.
+		nextKnot := dl + inc*(math.Floor((old-dl)/inc+1))
+		limit := math.Min(nextKnot, oldMin+opts.Fairness)
+		// w[i] already carries the speed factor when enabled, so the
+		// expenditure-decrease rate is w[i]·r(Δ) in both modes.
+		rate := w[i] * curve.Rate(old)
+		if rate > 0 {
+			exact := old + (u-budget)/rate
+			limit = math.Min(limit, exact)
+		}
+		next := math.Min(limit, dh)
+		if next <= old {
+			// Fairness pins this region at the current minimum (Δ⇔ = 0
+			// with everything equal, or it is already at the limit).
+			// Park it; it re-enters when the minimum moves.
+			blocked = append(blocked, i)
+			continue
+		}
+
+		res.Deltas[i] = next
+		u -= (next - old) * rate
+		deltas.Replace(old, next)
+		newMin, _ := deltas.Min()
+
+		switch {
+		case next-newMin >= opts.Fairness-eps && next < dh:
+			blocked = append(blocked, i)
+		case next < dh:
+			h.Push(i, gain(i))
+		}
+
+		if newMin != oldMin {
+			// Re-admit blocked regions that are no longer at the limit.
+			kept := blocked[:0]
+			for _, j := range blocked {
+				if res.Deltas[j]-newMin < opts.Fairness-eps && res.Deltas[j] < dh {
+					h.Push(j, gain(j))
+				} else {
+					kept = append(kept, j)
+				}
+			}
+			blocked = kept
+		}
+	}
+
+	res.Expenditure = u
+	res.BudgetMet = u <= budget+eps*budget+eps
+	res.InAcc = inAcc(stats, res.Deltas)
+	return res, nil
+}
+
+func inAcc(stats []RegionStat, deltas []float64) float64 {
+	total := 0.0
+	for i, st := range stats {
+		total += st.M * deltas[i]
+	}
+	return total
+}
+
+// InAccuracy returns the objective Σ mᵢ·Δᵢ for an arbitrary assignment —
+// exported for tests and for GRIDREDUCE's accuracy-gain computation.
+func InAccuracy(stats []RegionStat, deltas []float64) float64 {
+	return inAcc(stats, deltas)
+}
+
+// Expenditure returns the modeled update expenditure Σ wᵢ·f(Δᵢ) for an
+// arbitrary assignment, with the same speed weighting as SetThrottlers.
+func Expenditure(stats []RegionStat, curve *fmodel.Curve, deltas []float64, useSpeed bool) float64 {
+	var totalN, totalNS float64
+	for _, st := range stats {
+		totalN += st.N
+		totalNS += st.N * st.S
+	}
+	total := 0.0
+	for i, st := range stats {
+		w := st.N
+		if useSpeed && totalNS > 0 {
+			w = st.N * st.S * totalN / totalNS
+		}
+		total += w * curve.Eval(deltas[i])
+	}
+	return total
+}

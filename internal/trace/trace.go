@@ -1,0 +1,176 @@
+// Package trace simulates the movement of mobile nodes (cars) over a road
+// network, standing in for the paper's hour-long USGS/traffic-volume trace.
+//
+// The Source is a streaming, re-simulable generator: it holds only the
+// current per-car state, advances one tick at a time, and Reset restores
+// tick zero with bit-identical randomness, so multiple strategies can be
+// evaluated against the same trajectories without materializing the full
+// trace (10 000 cars × 3 600 s would be hundreds of megabytes).
+package trace
+
+import (
+	"math"
+
+	"lira/internal/geo"
+	"lira/internal/rng"
+	"lira/internal/roadnet"
+)
+
+// Config parameterizes a trace.
+type Config struct {
+	// N is the number of mobile nodes.
+	N int
+	// Seed drives car placement, speeds, and routing decisions.
+	Seed uint64
+	// SpeedJitter is the stationary standard deviation of the per-car
+	// speed factor (0.15 means cars mostly drive within ±15% of the class
+	// speed). The factor evolves as an Ornstein–Uhlenbeck process, so a
+	// car's speed drifts gradually away from what it last reported — the
+	// source of the gradual dead-reckoning deviation that makes the
+	// update reduction function f(Δ) steep near Δ⊢ and flat near Δ⊣
+	// (Figure 1).
+	SpeedJitter float64
+	// SpeedTau is the correlation time of the speed factor in seconds.
+	SpeedTau float64
+}
+
+// DefaultConfig returns the trace parameters used by the experiment
+// harness.
+func DefaultConfig() Config {
+	return Config{N: 10000, Seed: 2, SpeedJitter: 0.15, SpeedTau: 20}
+}
+
+type car struct {
+	edge   int     // current directed edge
+	offset float64 // meters traveled along the edge
+	factor float64 // per-car speed multiplier
+	r      *rng.Rand
+}
+
+// Source generates positions for N cars over a road network.
+type Source struct {
+	net  *roadnet.Network
+	cfg  Config
+	cars []car
+	tick int
+
+	pos []geo.Point
+	vel []geo.Vector
+}
+
+// NewSource returns a trace source at tick 0.
+func NewSource(net *roadnet.Network, cfg Config) *Source {
+	if cfg.N <= 0 {
+		panic("trace: non-positive node count")
+	}
+	if cfg.SpeedJitter <= 0 {
+		cfg.SpeedJitter = DefaultConfig().SpeedJitter
+	}
+	if cfg.SpeedTau <= 0 {
+		cfg.SpeedTau = DefaultConfig().SpeedTau
+	}
+	s := &Source{net: net, cfg: cfg}
+	s.Reset()
+	return s
+}
+
+// Reset restores the source to tick 0. The regenerated trajectories are
+// identical to the original ones: position streams are a pure function of
+// (network, Config).
+func (s *Source) Reset() {
+	root := rng.New(s.cfg.Seed)
+	s.cars = make([]car, s.cfg.N)
+	s.pos = make([]geo.Point, s.cfg.N)
+	s.vel = make([]geo.Vector, s.cfg.N)
+	s.tick = 0
+	place := root.Split(1)
+	for i := range s.cars {
+		e := s.net.SampleEdge(place)
+		c := &s.cars[i]
+		c.edge = e
+		c.offset = place.Float64() * s.net.Edges[e].Length
+		c.factor = clamp(1+place.Norm(0, s.cfg.SpeedJitter), 0.5, 1.5)
+		c.r = root.Split(uint64(1000 + i))
+		s.refresh(i)
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// N returns the number of cars.
+func (s *Source) N() int { return s.cfg.N }
+
+// Tick returns the number of Step calls since the last Reset.
+func (s *Source) Tick() int { return s.tick }
+
+// Positions returns the current car positions. The returned slice is owned
+// by the source and is overwritten by Step; callers must not retain it
+// across steps.
+func (s *Source) Positions() []geo.Point { return s.pos }
+
+// Velocities returns the current car velocities under the same ownership
+// rules as Positions.
+func (s *Source) Velocities() []geo.Vector { return s.vel }
+
+// Speed returns the current scalar speed of car i in m/s.
+func (s *Source) Speed(i int) float64 {
+	return s.net.Edges[s.cars[i].edge].Class.Speed() * s.cars[i].factor
+}
+
+// EdgeState returns car i's current directed edge and the meters traveled
+// along it — the state a road-network-aware motion model reports instead
+// of raw coordinates.
+func (s *Source) EdgeState(i int) (edge int, offset float64) {
+	return s.cars[i].edge, s.cars[i].offset
+}
+
+// Step advances the simulation by dt seconds.
+func (s *Source) Step(dt float64) {
+	// Ornstein–Uhlenbeck parameters for the speed-factor drift.
+	decay := math.Exp(-dt / s.cfg.SpeedTau)
+	diffuse := s.cfg.SpeedJitter * math.Sqrt(1-decay*decay)
+	for i := range s.cars {
+		c := &s.cars[i]
+		c.factor = clamp(1+(c.factor-1)*decay+c.r.Norm(0, diffuse), 0.5, 1.5)
+		remain := s.speedOf(c) * dt
+		for remain > 0 {
+			edgeLen := s.net.Edges[c.edge].Length
+			left := edgeLen - c.offset
+			if remain < left {
+				c.offset += remain
+				break
+			}
+			remain -= left
+			c.edge = s.net.NextEdge(c.edge, c.r)
+			c.offset = 0
+			if s.net.Edges[c.edge].Length == 0 {
+				break // degenerate edge; stay put this tick
+			}
+		}
+		s.refresh(i)
+	}
+	s.tick++
+}
+
+func (s *Source) speedOf(c *car) float64 {
+	return s.net.Edges[c.edge].Class.Speed() * c.factor
+}
+
+func (s *Source) refresh(i int) {
+	c := &s.cars[i]
+	edgeLen := s.net.Edges[c.edge].Length
+	t := 0.0
+	if edgeLen > 0 {
+		t = c.offset / edgeLen
+	}
+	s.pos[i] = s.net.PointAlong(c.edge, t)
+	s.vel[i] = s.net.Direction(c.edge).Scale(s.speedOf(c))
+}

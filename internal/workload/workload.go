@@ -1,0 +1,148 @@
+// Package workload generates the continuous-query workloads of §4.2:
+// range CQs with side lengths drawn from [w/2, w] and centers placed by
+// one of three distributions — Proportional (following the mobile-node
+// distribution), Inverse (following its inverse), and Random (uniform).
+package workload
+
+import (
+	"fmt"
+
+	"lira/internal/geo"
+	"lira/internal/rng"
+)
+
+// Distribution selects how query centers relate to the node distribution.
+type Distribution int
+
+const (
+	// Proportional places queries where the nodes are.
+	Proportional Distribution = iota
+	// Inverse places queries where the nodes are not.
+	Inverse
+	// Random places queries uniformly over the space.
+	Random
+)
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	switch d {
+	case Proportional:
+		return "proportional"
+	case Inverse:
+		return "inverse"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("Distribution(%d)", int(d))
+}
+
+// QueryConfig parameterizes query generation.
+type QueryConfig struct {
+	// Count is the number of queries (the paper sets it via m/n).
+	Count int
+	// SideLength is the parameter w: sides are drawn from [w/2, w].
+	SideLength float64
+	// Distribution places the query centers.
+	Distribution Distribution
+	// Seed drives the generation.
+	Seed uint64
+}
+
+// GenerateQueries builds range CQs over space. nodePositions provides the
+// node distribution for the Proportional and Inverse placements (a warmed
+// snapshot is fine); it may be empty, in which case those distributions
+// degrade to Random.
+func GenerateQueries(space geo.Rect, nodePositions []geo.Point, cfg QueryConfig) ([]geo.Rect, error) {
+	if cfg.Count < 0 {
+		return nil, fmt.Errorf("workload: negative query count %d", cfg.Count)
+	}
+	if cfg.SideLength <= 0 {
+		return nil, fmt.Errorf("workload: non-positive side length %v", cfg.SideLength)
+	}
+	r := rng.New(cfg.Seed)
+	queries := make([]geo.Rect, 0, cfg.Count)
+
+	var density *densityGrid
+	if cfg.Distribution == Inverse && len(nodePositions) > 0 {
+		density = newDensityGrid(space, 16, nodePositions)
+	}
+
+	for len(queries) < cfg.Count {
+		var c geo.Point
+		switch {
+		case cfg.Distribution == Proportional && len(nodePositions) > 0:
+			c = nodePositions[r.Intn(len(nodePositions))]
+			// Small jitter so co-located nodes do not produce identical
+			// queries.
+			c.X += r.Range(-cfg.SideLength/4, cfg.SideLength/4)
+			c.Y += r.Range(-cfg.SideLength/4, cfg.SideLength/4)
+		case cfg.Distribution == Inverse && density != nil:
+			c = density.sampleInverse(r)
+		default:
+			c = geo.Point{X: r.Range(space.MinX, space.MaxX), Y: r.Range(space.MinY, space.MaxY)}
+		}
+		side := r.Range(cfg.SideLength/2, cfg.SideLength)
+		q := geo.Square(space.ClampPoint(c), side)
+		if q.Intersect(space).Empty() {
+			continue
+		}
+		queries = append(queries, q)
+	}
+	return queries, nil
+}
+
+// densityGrid is a coarse histogram of node positions used for inverse
+// sampling.
+type densityGrid struct {
+	space  geo.Rect
+	side   int
+	counts []float64
+	max    float64
+}
+
+func newDensityGrid(space geo.Rect, side int, positions []geo.Point) *densityGrid {
+	g := &densityGrid{space: space, side: side, counts: make([]float64, side*side)}
+	for _, p := range positions {
+		i := clampInt(int((p.X-space.MinX)/space.Width()*float64(side)), 0, side-1)
+		j := clampInt(int((p.Y-space.MinY)/space.Height()*float64(side)), 0, side-1)
+		g.counts[j*side+i]++
+	}
+	for _, c := range g.counts {
+		if c > g.max {
+			g.max = c
+		}
+	}
+	return g
+}
+
+// sampleInverse draws a point with probability proportional to
+// (max − density): rejection sampling over the grid.
+func (g *densityGrid) sampleInverse(r *rng.Rand) geo.Point {
+	for tries := 0; tries < 1000; tries++ {
+		p := geo.Point{
+			X: r.Range(g.space.MinX, g.space.MaxX),
+			Y: r.Range(g.space.MinY, g.space.MaxY),
+		}
+		i := clampInt(int((p.X-g.space.MinX)/g.space.Width()*float64(g.side)), 0, g.side-1)
+		j := clampInt(int((p.Y-g.space.MinY)/g.space.Height()*float64(g.side)), 0, g.side-1)
+		weight := (g.max - g.counts[j*g.side+i]) / g.max
+		if g.max == 0 || r.Bool(weight) {
+			return p
+		}
+	}
+	// Pathological density (every cell at max): fall back to uniform.
+	return geo.Point{
+		X: r.Range(g.space.MinX, g.space.MaxX),
+		Y: r.Range(g.space.MinY, g.space.MaxY),
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"testing"
+
+	"lira/internal/geo"
+	"lira/internal/rng"
+)
+
+func space() geo.Rect { return geo.Rect{MinX: 0, MinY: 0, MaxX: 10000, MaxY: 10000} }
+
+// clusteredNodes puts 90% of nodes in the SW 2000×2000 corner.
+func clusteredNodes(n int) []geo.Point {
+	r := rng.New(13)
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		if i < n*9/10 {
+			pts[i] = geo.Point{X: r.Range(0, 2000), Y: r.Range(0, 2000)}
+		} else {
+			pts[i] = geo.Point{X: r.Range(0, 10000), Y: r.Range(0, 10000)}
+		}
+	}
+	return pts
+}
+
+func swShare(qs []geo.Rect) float64 {
+	in := 0
+	for _, q := range qs {
+		c := q.Center()
+		if c.X < 2500 && c.Y < 2500 {
+			in++
+		}
+	}
+	return float64(in) / float64(len(qs))
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := GenerateQueries(space(), nil, QueryConfig{Count: -1, SideLength: 100}); err == nil {
+		t.Error("negative count should error")
+	}
+	if _, err := GenerateQueries(space(), nil, QueryConfig{Count: 5, SideLength: 0}); err == nil {
+		t.Error("zero side should error")
+	}
+}
+
+func TestCountAndSides(t *testing.T) {
+	qs, err := GenerateQueries(space(), clusteredNodes(1000), QueryConfig{
+		Count: 200, SideLength: 1000, Distribution: Proportional, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 200 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.Width() < 500-1e-9 || q.Width() > 1000+1e-9 {
+			t.Errorf("side %v outside [w/2, w]", q.Width())
+		}
+		if diff := q.Width() - q.Height(); diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("queries must be square: %v", q)
+		}
+		if q.Intersect(space()).Empty() {
+			t.Errorf("query %v misses the space entirely", q)
+		}
+	}
+}
+
+func TestProportionalFollowsNodes(t *testing.T) {
+	qs, err := GenerateQueries(space(), clusteredNodes(1000), QueryConfig{
+		Count: 400, SideLength: 500, Distribution: Proportional, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share := swShare(qs); share < 0.7 {
+		t.Errorf("proportional SW share = %v, want ≳0.9", share)
+	}
+}
+
+func TestInverseAvoidsNodes(t *testing.T) {
+	qs, err := GenerateQueries(space(), clusteredNodes(1000), QueryConfig{
+		Count: 400, SideLength: 500, Distribution: Inverse, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The SW corner is ~6% of the area; inverse placement should give it
+	// no more than that.
+	if share := swShare(qs); share > 0.1 {
+		t.Errorf("inverse SW share = %v, want ≲0.06", share)
+	}
+}
+
+func TestRandomIsUniform(t *testing.T) {
+	qs, err := GenerateQueries(space(), clusteredNodes(1000), QueryConfig{
+		Count: 1000, SideLength: 500, Distribution: Random, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SW 2500×2500 corner is 6.25% of the area.
+	if share := swShare(qs); share < 0.02 || share > 0.12 {
+		t.Errorf("random SW share = %v, want ≈0.0625", share)
+	}
+}
+
+func TestEmptyNodesFallsBackToRandom(t *testing.T) {
+	for _, d := range []Distribution{Proportional, Inverse, Random} {
+		qs, err := GenerateQueries(space(), nil, QueryConfig{
+			Count: 50, SideLength: 500, Distribution: d, Seed: 5,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if len(qs) != 50 {
+			t.Errorf("%v: got %d queries", d, len(qs))
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	nodes := clusteredNodes(500)
+	cfg := QueryConfig{Count: 100, SideLength: 800, Distribution: Proportional, Seed: 9}
+	a, _ := GenerateQueries(space(), nodes, cfg)
+	b, _ := GenerateQueries(space(), nodes, cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d differs between identical configs", i)
+		}
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Proportional.String() != "proportional" || Inverse.String() != "inverse" || Random.String() != "random" {
+		t.Error("Distribution.String broken")
+	}
+	if Distribution(99).String() == "" {
+		t.Error("unknown distribution should still print")
+	}
+}

@@ -1,0 +1,390 @@
+// Package lira is a from-scratch reproduction of "LIRA: Lightweight,
+// Region-aware Load Shedding in Mobile CQ Systems" (Gedik, Liu, Wu, Yu —
+// ICDE 2007).
+//
+// LIRA reduces the position-update load of a mobile continual-query (CQ)
+// server by partitioning the monitored space into shedding regions and
+// assigning each region an update throttler: the dead-reckoning inaccuracy
+// threshold its mobile nodes use. Regions dense in nodes but sparse in
+// queries are throttled aggressively; regions serving many queries keep
+// high update resolution. The package exposes:
+//
+//   - the three server-side algorithms — GRIDREDUCE (region-aware space
+//     partitioning over a statistics grid), GREEDYINCREMENT (optimal
+//     throttler setting under an update budget and a fairness bound), and
+//     THROTLOOP (closed-loop throttle-fraction control from queue
+//     utilization);
+//   - the full three-layer system — CQ server, base stations, and mobile
+//     nodes with client-side dead reckoning and O(1) region lookup;
+//   - the comparison baselines from the paper's evaluation (Random Drop,
+//     Uniform Δ, Lira-Grid);
+//   - a complete simulation substrate — synthetic hierarchical road
+//     networks, traffic-volume-driven car traces, calibration of the
+//     update reduction function f(Δ) — standing in for the paper's USGS
+//     map and traffic data;
+//   - the experiment harness regenerating every figure and table of the
+//     paper's evaluation (see EXPERIMENTS.md).
+//
+// # Quick start
+//
+//	env, err := lira.NewEnv(lira.DefaultEnvConfig())
+//	if err != nil { ... }
+//	cfg := lira.DefaultRunConfig() // Table 2 defaults: l=250, z=0.5, ...
+//	res, err := lira.Run(env, cfg)
+//	fmt.Printf("containment error %.4f at %.0f%% update budget\n",
+//		res.Metrics.MeanContainment, 100*res.Z)
+//
+// Lower-level building blocks (server, base stations, mobile nodes) are
+// exported for embedding LIRA into an existing CQ system; see the examples
+// directory.
+package lira
+
+import (
+	"lira/internal/basestation"
+	"lira/internal/cqserver"
+	"lira/internal/experiment"
+	"lira/internal/fmodel"
+	"lira/internal/geo"
+	"lira/internal/history"
+	"lira/internal/metrics"
+	"lira/internal/mobilenode"
+	"lira/internal/motion"
+	"lira/internal/netsvc"
+	"lira/internal/partition"
+	"lira/internal/roadnet"
+	"lira/internal/routemodel"
+	"lira/internal/shedding"
+	"lira/internal/throtloop"
+	"lira/internal/throttler"
+	"lira/internal/trace"
+	"lira/internal/workload"
+)
+
+// Geometry.
+type (
+	// Point is a planar location in meters.
+	Point = geo.Point
+	// Vector is a planar displacement or velocity.
+	Vector = geo.Vector
+	// Rect is an axis-aligned rectangle.
+	Rect = geo.Rect
+)
+
+// NewRect returns the rectangle spanned by two corners.
+func NewRect(x0, y0, x1, y1 float64) Rect { return geo.NewRect(x0, y0, x1, y1) }
+
+// Square returns the axis-aligned square centered at c.
+func Square(c Point, side float64) Rect { return geo.Square(c, side) }
+
+// Motion model and update reduction function.
+type (
+	// Report is a dead-reckoning motion report (position, velocity, time).
+	Report = motion.Report
+	// DeadReckoner tracks one node's motion model.
+	DeadReckoner = motion.DeadReckoner
+	// Curve is the κ-segment piece-wise-linear update reduction function
+	// f(Δ).
+	Curve = fmodel.Curve
+)
+
+// Hyperbolic returns the analytic default f(Δ) = Δ⊢/Δ with the given
+// number of linear segments.
+func Hyperbolic(minDelta, maxDelta float64, segments int) *Curve {
+	return fmodel.Hyperbolic(minDelta, maxDelta, segments)
+}
+
+// NewCurve builds an f(Δ) curve from measured knots.
+func NewCurve(minDelta, maxDelta float64, knots []float64) (*Curve, error) {
+	return fmodel.NewCurve(minDelta, maxDelta, knots)
+}
+
+// Server layer.
+type (
+	// Server is the mobile CQ server (layer 1).
+	Server = cqserver.Server
+	// ServerConfig parameterizes a Server.
+	ServerConfig = cqserver.Config
+	// Update is a position-update message.
+	Update = cqserver.Update
+	// Adaptation is the output of one LIRA adaptation cycle.
+	Adaptation = cqserver.Adaptation
+	// Throtloop is the throttle-fraction feedback controller.
+	Throtloop = throtloop.Controller
+)
+
+// NewServer validates cfg and returns a mobile CQ server.
+func NewServer(cfg ServerConfig) (*Server, error) { return cqserver.New(cfg) }
+
+// NewThrotloop returns a THROTLOOP controller for an input queue of
+// maximum size b.
+func NewThrotloop(b int) (*Throtloop, error) { return throtloop.New(b) }
+
+// Partitioning and throttlers.
+type (
+	// Partitioning is a disjoint cover of the space by shedding regions.
+	Partitioning = partition.Partitioning
+	// Region is one shedding region with aggregated statistics.
+	Region = partition.Region
+	// RegionStat is the optimizer's per-region input.
+	RegionStat = throttler.RegionStat
+	// ThrottlerOptions configures GREEDYINCREMENT.
+	ThrottlerOptions = throttler.Options
+	// ThrottlerResult is GREEDYINCREMENT's output.
+	ThrottlerResult = throttler.Result
+)
+
+// SetThrottlers runs GREEDYINCREMENT directly over per-region statistics.
+func SetThrottlers(stats []RegionStat, curve *Curve, opts ThrottlerOptions) (*ThrottlerResult, error) {
+	return throttler.SetThrottlers(stats, curve, opts)
+}
+
+// AlphaFor returns the statistics-grid resolution rule of §3.2.5:
+// α = 2^⌊log₂(x·√l)⌋ (the paper uses x = 10).
+func AlphaFor(l int, x float64) int { return partition.AlphaFor(l, x) }
+
+// Base stations and mobile nodes.
+type (
+	// Station is a base station (layer 2).
+	Station = basestation.Station
+	// Assignment is a station's (region, throttler) broadcast subset.
+	Assignment = basestation.Assignment
+	// Deployment binds stations to assignments.
+	Deployment = basestation.Deployment
+	// Node is a mobile node (layer 3).
+	Node = mobilenode.Node
+	// CompiledAssignment is a station assignment compiled into the
+	// node-side 5×5 lookup index.
+	CompiledAssignment = mobilenode.Compiled
+)
+
+// PlaceUniform tiles the space with equal-radius stations.
+func PlaceUniform(space Rect, radius float64) ([]Station, error) {
+	return basestation.PlaceUniform(space, radius)
+}
+
+// PlaceDensityAware places small cells where nodes are dense and large
+// cells where they are sparse.
+func PlaceDensityAware(space Rect, nodes []Point, targetPerCell int, minRadius, maxRadius float64) ([]Station, error) {
+	return basestation.PlaceDensityAware(space, nodes, targetPerCell, minRadius, maxRadius)
+}
+
+// NewDeployment computes every station's assignment for a partitioning and
+// its throttlers.
+func NewDeployment(stations []Station, p *Partitioning, deltas []float64) (*Deployment, error) {
+	return basestation.NewDeployment(stations, p, deltas)
+}
+
+// StationFor returns the covering station nearest to p, or -1.
+func StationFor(stations []Station, p Point) int { return basestation.StationFor(stations, p) }
+
+// CompileAssignment builds the node-side lookup index for an assignment.
+func CompileAssignment(a *Assignment) *CompiledAssignment { return mobilenode.Compile(a) }
+
+// NewNode returns a mobile node with no station attached yet.
+func NewNode(id int) *Node { return mobilenode.NewNode(id) }
+
+// Shedding strategies.
+type (
+	// Strategy identifies a load-shedding strategy.
+	Strategy = shedding.Kind
+	// StrategyOptions carries strategy parameters.
+	StrategyOptions = shedding.Options
+	// Outcome is a configured shedding policy.
+	Outcome = shedding.Outcome
+)
+
+// The four strategies of the paper's evaluation.
+const (
+	StrategyLira         = shedding.Lira
+	StrategyLiraGrid     = shedding.LiraGrid
+	StrategyUniformDelta = shedding.UniformDelta
+	StrategyRandomDrop   = shedding.RandomDrop
+)
+
+// Strategies lists every strategy in the paper's comparison order.
+func Strategies() []Strategy { return shedding.Kinds() }
+
+// Configure computes the shedding policy of the given kind at throttle
+// fraction z.
+func Configure(kind Strategy, s *Server, z float64, opts StrategyOptions) (*Outcome, error) {
+	return shedding.Configure(kind, s, z, opts)
+}
+
+// Simulation substrate.
+type (
+	// RoadNetwork is a synthetic hierarchical road network.
+	RoadNetwork = roadnet.Network
+	// RoadConfig parameterizes network generation.
+	RoadConfig = roadnet.Config
+	// TraceSource streams car positions over a road network.
+	TraceSource = trace.Source
+	// TraceConfig parameterizes a trace.
+	TraceConfig = trace.Config
+	// QueryConfig parameterizes CQ workload generation.
+	QueryConfig = workload.QueryConfig
+	// Distribution places query centers relative to the node density.
+	Distribution = workload.Distribution
+)
+
+// Query placement distributions (§4.2).
+const (
+	Proportional = workload.Proportional
+	Inverse      = workload.Inverse
+	Random       = workload.Random
+)
+
+// GenerateRoadNetwork builds a synthetic road network.
+func GenerateRoadNetwork(cfg RoadConfig) *RoadNetwork { return roadnet.Generate(cfg) }
+
+// DefaultRoadConfig returns the ≈200 km² network of the experiments.
+func DefaultRoadConfig() RoadConfig { return roadnet.DefaultConfig() }
+
+// NewTraceSource returns a streaming car-trace source.
+func NewTraceSource(net *RoadNetwork, cfg TraceConfig) *TraceSource {
+	return trace.NewSource(net, cfg)
+}
+
+// GenerateQueries builds range CQs over the space.
+func GenerateQueries(space Rect, nodePositions []Point, cfg QueryConfig) ([]Rect, error) {
+	return workload.GenerateQueries(space, nodePositions, cfg)
+}
+
+// Historic/snapshot query support and the road-network motion model.
+type (
+	// HistoryStore retains motion reports for snapshot and historic
+	// queries — the workload the fairness threshold Δ⇔ serves.
+	HistoryStore = history.Store
+	// RoutePredictor extrapolates road-network motion reports (the
+	// "advanced" model of the paper's reference [2]).
+	RoutePredictor = routemodel.Predictor
+	// RouteReckoner is the client-side suppression driver for the route
+	// model.
+	RouteReckoner = routemodel.Reckoner
+	// RouteReport is the route model's report parameter set.
+	RouteReport = routemodel.Report
+)
+
+// NewHistoryStore returns a report history for n nodes with at most
+// perNodeCap retained reports each (0 = unbounded).
+func NewHistoryStore(n, perNodeCap int) (*HistoryStore, error) {
+	return history.NewStore(n, perNodeCap)
+}
+
+// NewRoutePredictor returns a road-network motion-model predictor.
+func NewRoutePredictor(net *RoadNetwork) *RoutePredictor { return routemodel.NewPredictor(net) }
+
+// NewRouteReckoner returns a route-model reckoner using pred.
+func NewRouteReckoner(pred *RoutePredictor) *RouteReckoner { return routemodel.NewReckoner(pred) }
+
+// Network deployment: the three-layer architecture over TCP with the
+// §4.3.2 binary wire formats.
+type (
+	// NetServer hosts the CQ server and logical base stations behind a
+	// TCP listener.
+	NetServer = netsvc.Server
+	// NetServerConfig parameterizes a NetServer.
+	NetServerConfig = netsvc.ServerConfig
+	// NetNode is a layer-3 mobile-node client.
+	NetNode = netsvc.NodeClient
+	// NetQuery is a continual-query subscriber client.
+	NetQuery = netsvc.QueryClient
+)
+
+// ListenAndServe starts a LIRA network server on addr.
+func ListenAndServe(addr string, cfg NetServerConfig) (*NetServer, error) {
+	return netsvc.Listen(addr, cfg)
+}
+
+// DialNode connects a mobile node to a network server.
+func DialNode(addr string, id uint32, pos Point, fallbackDelta float64) (*NetNode, error) {
+	return netsvc.DialNode(addr, id, pos, fallbackDelta)
+}
+
+// DialQuery connects a continual-query subscriber to a network server.
+func DialQuery(addr string, buffer int) (*NetQuery, error) {
+	return netsvc.DialQuery(addr, buffer)
+}
+
+// Metrics and experiments.
+type (
+	// Summary holds the §4.1 accuracy metrics of one run.
+	Summary = metrics.Summary
+	// Env is a shared experiment environment.
+	Env = experiment.Env
+	// EnvConfig parameterizes an Env.
+	EnvConfig = experiment.EnvConfig
+	// RunConfig parameterizes one simulation run.
+	RunConfig = experiment.RunConfig
+	// RunResult summarizes one run.
+	RunResult = experiment.Result
+	// Sweep bundles the parameter sweeps behind the paper's figures.
+	Sweep = experiment.Sweep
+	// FigureResult is one reproduced table or figure.
+	FigureResult = experiment.Figure
+)
+
+// NewEnv generates the road network, trace source, and calibrated f(Δ).
+func NewEnv(cfg EnvConfig) (*Env, error) { return experiment.NewEnv(cfg) }
+
+// DefaultEnvConfig returns the paper-scale environment.
+func DefaultEnvConfig() EnvConfig { return experiment.DefaultEnvConfig() }
+
+// DefaultRunConfig returns the paper's Table 2 defaults.
+func DefaultRunConfig() RunConfig { return experiment.DefaultRunConfig() }
+
+// DefaultSweep mirrors the paper's parameter ranges; QuickSweep trims them
+// for tests and benchmarks.
+func DefaultSweep() Sweep { return experiment.DefaultSweep() }
+
+// QuickSweep returns a trimmed sweep based on the given run configuration.
+func QuickSweep(base RunConfig) Sweep { return experiment.QuickSweep(base) }
+
+// Run executes one simulation against env.
+func Run(env *Env, cfg RunConfig) (*RunResult, error) { return experiment.Run(env, cfg) }
+
+// The per-experiment reproduction entry points, one per table or figure of
+// the paper's evaluation. See EXPERIMENTS.md for the full index.
+
+// Figure1 regenerates the update-reduction curve f(Δ).
+func Figure1(env *Env) *FigureResult { return experiment.Figure1(env) }
+
+// Figure3 regenerates the (α,l)-partitioning illustration.
+func Figure3(env *Env, cfg RunConfig) (*FigureResult, *Partitioning, error) {
+	return experiment.Figure3(env, cfg)
+}
+
+// Figures4and5 regenerates the throttle-fraction sweeps (position and
+// containment error, Proportional queries).
+func Figures4and5(env *Env, sw Sweep) (*FigureResult, *FigureResult, error) {
+	return experiment.Figures4and5(env, sw)
+}
+
+// Figure6or7 regenerates the containment-error sweep for the Inverse or
+// Random query distribution.
+func Figure6or7(env *Env, sw Sweep, d Distribution) (*FigureResult, error) {
+	return experiment.Figure6or7(env, sw, d)
+}
+
+// Figure8 regenerates the Lira-Grid-vs-LIRA region-count sweep.
+func Figure8(env *Env, sw Sweep) (*FigureResult, error) { return experiment.Figure8(env, sw) }
+
+// Figure9 regenerates LIRA's error-vs-region-count sweep.
+func Figure9(env *Env, sw Sweep) (*FigureResult, error) { return experiment.Figure9(env, sw) }
+
+// Figure10 regenerates the fairness metrics sweep.
+func Figure10(env *Env, sw Sweep) (*FigureResult, error) { return experiment.Figure10(env, sw) }
+
+// Figure11 regenerates the position-error-vs-fairness sweep.
+func Figure11(env *Env, sw Sweep) (*FigureResult, error) { return experiment.Figure11(env, sw) }
+
+// Figure12 regenerates the query-to-node-ratio sensitivity sweep.
+func Figure12(env *Env, sw Sweep) (*FigureResult, error) { return experiment.Figure12(env, sw) }
+
+// Figure13 regenerates the query side-length sweep.
+func Figure13(env *Env, sw Sweep) (*FigureResult, error) { return experiment.Figure13(env, sw) }
+
+// Figure14 regenerates the server-side configuration cost table.
+func Figure14(env *Env, sw Sweep) (*FigureResult, error) { return experiment.Figure14(env, sw) }
+
+// Table3 regenerates the shedding-regions-per-base-station table.
+func Table3(env *Env, sw Sweep) (*FigureResult, error) { return experiment.Table3(env, sw) }

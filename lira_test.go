@@ -1,0 +1,190 @@
+package lira_test
+
+import (
+	"math"
+	"testing"
+
+	"lira"
+)
+
+// facadeEnv builds a very small environment for public-API tests.
+func facadeEnv(t *testing.T) *lira.Env {
+	t.Helper()
+	cfg := lira.DefaultEnvConfig()
+	cfg.Net.Side = 4000
+	cfg.Net.GridStep = 250
+	cfg.Nodes = 500
+	cfg.CalibNodes = 200
+	cfg.CalibTicks = 60
+	env, err := lira.NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestPublicGeometry(t *testing.T) {
+	r := lira.NewRect(10, 10, 0, 0)
+	if r.MinX != 0 || r.MaxX != 10 {
+		t.Errorf("NewRect = %v", r)
+	}
+	sq := lira.Square(lira.Point{X: 5, Y: 5}, 4)
+	if sq.Area() != 16 {
+		t.Errorf("Square area = %v", sq.Area())
+	}
+}
+
+func TestPublicCurve(t *testing.T) {
+	c := lira.Hyperbolic(5, 100, 95)
+	if c.Eval(5) != 1 {
+		t.Error("f(Δ⊢) != 1")
+	}
+	if _, err := lira.NewCurve(5, 100, []float64{100, 50, 20}); err != nil {
+		t.Errorf("NewCurve: %v", err)
+	}
+	if got := lira.AlphaFor(250, 10); got != 128 {
+		t.Errorf("AlphaFor = %d", got)
+	}
+}
+
+func TestPublicEndToEnd(t *testing.T) {
+	env := facadeEnv(t)
+	cfg := lira.DefaultRunConfig()
+	cfg.L = 22
+	cfg.WarmupTicks = 40
+	cfg.DurationTicks = 150
+	res, err := lira.Run(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != lira.StrategyLira {
+		t.Errorf("default strategy = %v", res.Strategy)
+	}
+	if res.SentUpdates == 0 || res.ReferenceUpdates == 0 {
+		t.Error("no updates flowed")
+	}
+}
+
+func TestPublicServerLayerComposition(t *testing.T) {
+	// Drive the three layers by hand through the facade, as an embedding
+	// application would.
+	net := lira.GenerateRoadNetwork(lira.RoadConfig{Side: 3000, GridStep: 250, Seed: 5})
+	const n = 200
+	src := lira.NewTraceSource(net, lira.TraceConfig{N: n, Seed: 6})
+	curve := lira.Hyperbolic(5, 100, 19)
+
+	srv, err := lira.NewServer(lira.ServerConfig{Space: net.Space, Nodes: n, L: 13, Curve: curve})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds := make([]float64, n)
+	for tick := 0; tick < 30; tick++ {
+		src.Step(1)
+	}
+	for i, v := range src.Velocities() {
+		speeds[i] = v.Len()
+	}
+	srv.ObserveStatistics(src.Positions(), speeds)
+	qs, err := lira.GenerateQueries(net.Space, src.Positions(), lira.QueryConfig{
+		Count: 5, SideLength: 500, Distribution: lira.Proportional, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.RegisterQueries(qs)
+
+	out, err := lira.Configure(lira.StrategyLira, srv, 0.6, lira.StrategyOptions{
+		L: 13, Curve: curve, Fairness: 95,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stations, err := lira.PlaceUniform(net.Space, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deploy, err := lira.NewDeployment(stations, out.Partitioning, out.Deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deploy.MeanRegionsPerStation() <= 0 {
+		t.Error("no regions deployed")
+	}
+
+	node := lira.NewNode(0)
+	p0 := src.Positions()[0]
+	st := lira.StationFor(stations, p0)
+	if st < 0 {
+		t.Fatal("node uncovered")
+	}
+	node.Install(st, lira.CompileAssignment(deploy.Assignments[st]))
+	rep := node.Start(p0, src.Velocities()[0], 30)
+	srv.Apply(lira.Update{Node: 0, Report: rep})
+	if got, ok := srv.PredictedPosition(0, 30); !ok || got.Dist(p0) > 1e-9 {
+		t.Errorf("PredictedPosition = (%v, %v)", got, ok)
+	}
+	d := node.Delta(p0, curve.MinDelta())
+	if d < 5 || d > 100 {
+		t.Errorf("node Δ = %v outside range", d)
+	}
+}
+
+func TestPublicThrotloop(t *testing.T) {
+	c, err := lira.NewThrotloop(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := c.Observe(1.98)
+	if math.Abs(z-0.5) > 1e-9 {
+		t.Errorf("z = %v", z)
+	}
+}
+
+func TestPublicSetThrottlers(t *testing.T) {
+	curve := lira.Hyperbolic(5, 100, 95)
+	res, err := lira.SetThrottlers([]lira.RegionStat{
+		{N: 100, M: 0, S: 10},
+		{N: 100, M: 5, S: 10},
+	}, curve, lira.ThrottlerOptions{Z: 0.6, Fairness: 95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deltas[0] <= res.Deltas[1] {
+		t.Errorf("query-free region should shed more: %v", res.Deltas)
+	}
+}
+
+func TestPublicStrategies(t *testing.T) {
+	ks := lira.Strategies()
+	if len(ks) != 4 {
+		t.Fatalf("Strategies = %v", ks)
+	}
+	if lira.StrategyLira.String() != "lira" {
+		t.Error("strategy naming broken")
+	}
+	if lira.Proportional.String() != "proportional" {
+		t.Error("distribution naming broken")
+	}
+}
+
+func TestPublicFigureEntryPoints(t *testing.T) {
+	env := facadeEnv(t)
+	f := lira.Figure1(env)
+	if f.ID != "fig1" || len(f.Rows) == 0 {
+		t.Errorf("Figure1: %+v", f)
+	}
+	base := lira.DefaultRunConfig()
+	base.L = 13
+	base.WarmupTicks = 30
+	base.DurationTicks = 90
+	_, p, err := lira.Figure3(env, base)
+	if err != nil || len(p.Regions) == 0 {
+		t.Fatalf("Figure3: %v", err)
+	}
+	sw := lira.QuickSweep(base)
+	sw.Radii = []float64{800, 1600}
+	t3, err := lira.Table3(env, sw)
+	if err != nil || len(t3.Rows) != 2 {
+		t.Fatalf("Table3: %v", err)
+	}
+}
