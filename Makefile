@@ -1,0 +1,32 @@
+# Developer entry points. `make check` is the gate PRs must pass; it is
+# also available as scripts/check.sh for environments without make.
+
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench-report clean
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of the Figure 4 benchmark: catches bit-rot in the bench
+# harness without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench Fig04 -benchtime 1x .
+
+# Regenerate the serial-vs-parallel timing artifact.
+bench-report:
+	$(GO) run ./cmd/lirabench -nodes 1500 -duration 300 -parallel 4 -json BENCH_PR1.json
+
+clean:
+	$(GO) clean ./...

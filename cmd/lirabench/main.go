@@ -8,16 +8,27 @@
 //	lirabench -exp all                 # everything, quick scale
 //	lirabench -exp fig4,fig5 -scale paper
 //	lirabench -nodes 4000 -exp fig9
+//	lirabench -parallel 4              # 4 sweep workers, same tables
+//	lirabench -json BENCH_PR1.json     # serial-vs-parallel timing report
 //
 // Scales: "quick" (default) runs a reduced environment in a couple of
 // minutes; "paper" uses the full Table 2 parameters (10 000 nodes, ≈200
 // km², l = 250) and takes correspondingly longer.
+//
+// -parallel sets the sweep worker count (0 = GOMAXPROCS, 1 = serial).
+// Results are byte-identical at every setting. -json switches to benchmark
+// mode: each Run-based figure is generated twice — serially and with the
+// configured parallelism — and a JSON report of wall-clock times, speedups,
+// and an output-identity check is written to the given path instead of the
+// tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -33,6 +44,8 @@ func main() {
 		nodes    = flag.Int("nodes", 0, "override mobile node count")
 		duration = flag.Int("duration", 0, "override measured ticks per run")
 		seed     = flag.Uint64("seed", 1, "environment seed")
+		parallel = flag.Int("parallel", 0, "sweep worker count: 0 = GOMAXPROCS, 1 = serial")
+		jsonOut  = flag.String("json", "", "write a serial-vs-parallel benchmark report to this path instead of printing tables")
 	)
 	flag.Parse()
 
@@ -45,6 +58,7 @@ func main() {
 	}
 	envCfg.Net.Seed = *seed
 	envCfg.TraceSeed = *seed + 1
+	sweep.Parallel = *parallel
 
 	fmt.Fprintf(os.Stderr, "building environment: %d nodes, %.0f km² space, calibrating f(Δ)...\n",
 		envCfg.Nodes, spaceArea(envCfg)/1e6)
@@ -61,6 +75,14 @@ func main() {
 		wanted[strings.TrimSpace(id)] = true
 	}
 	all := wanted["all"]
+
+	if *jsonOut != "" {
+		if err := writeBenchReport(*jsonOut, env, sweep, *scale, envCfg.Nodes, wanted, all); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	run := func(id string, fn func() (*experiment.Figure, error)) {
 		if !all && !wanted[id] {
 			return
@@ -148,6 +170,166 @@ func spaceArea(cfg experiment.EnvConfig) float64 {
 		side = roadnet.DefaultConfig().Side
 	}
 	return side * side
+}
+
+// benchEntry records one figure's serial-vs-parallel comparison.
+type benchEntry struct {
+	ID         string  `json:"id"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+	// IdenticalOutput reports whether the rendered tables from the serial
+	// and parallel runs were byte-identical — the determinism contract of
+	// the parallel sweep runner.
+	IdenticalOutput bool `json:"identical_output"`
+}
+
+// benchReport is the schema of the -json artifact (BENCH_PR1.json).
+type benchReport struct {
+	Command         string       `json:"command"`
+	Scale           string       `json:"scale"`
+	Nodes           int          `json:"nodes"`
+	NumCPU          int          `json:"num_cpu"`
+	GOMAXPROCS      int          `json:"gomaxprocs"`
+	Workers         int          `json:"parallel_workers"`
+	Figures         []benchEntry `json:"figures"`
+	TotalSerialMS   float64      `json:"total_serial_ms"`
+	TotalParallelMS float64      `json:"total_parallel_ms"`
+	TotalSpeedup    float64      `json:"total_speedup"`
+}
+
+func renderFigs(figs ...*experiment.Figure) string {
+	var b strings.Builder
+	for _, f := range figs {
+		f.Render(&b)
+	}
+	return b.String()
+}
+
+// writeBenchReport generates every selected Run-based figure twice — once
+// serially, once with the sweep's configured parallelism — and writes the
+// wall-clock comparison to path. Figures whose tables embed measured times
+// (fig14) or that are not sweep-based (fig1, fig3, table3) are excluded:
+// they have no parallel path to compare.
+func writeBenchReport(path string, env *experiment.Env, sweep experiment.Sweep, scale string, nodes int, wanted map[string]bool, all bool) error {
+	type target struct {
+		ids []string // -exp ids this target satisfies
+		run func(sw experiment.Sweep) (string, error)
+	}
+	targets := []target{
+		{[]string{"fig4", "fig5"}, func(sw experiment.Sweep) (string, error) {
+			f4, f5, err := experiment.Figures4and5(env, sw)
+			if err != nil {
+				return "", err
+			}
+			return renderFigs(f4, f5), nil
+		}},
+		{[]string{"fig6"}, func(sw experiment.Sweep) (string, error) {
+			f, err := experiment.Figure6or7(env, sw, workload.Inverse)
+			if err != nil {
+				return "", err
+			}
+			return renderFigs(f), nil
+		}},
+		{[]string{"fig7"}, func(sw experiment.Sweep) (string, error) {
+			f, err := experiment.Figure6or7(env, sw, workload.Random)
+			if err != nil {
+				return "", err
+			}
+			return renderFigs(f), nil
+		}},
+	}
+	simple := []struct {
+		id string
+		fn func(*experiment.Env, experiment.Sweep) (*experiment.Figure, error)
+	}{
+		{"fig8", experiment.Figure8},
+		{"fig9", experiment.Figure9},
+		{"fig10", experiment.Figure10},
+		{"fig11", experiment.Figure11},
+		{"fig12", experiment.Figure12},
+		{"fig13", experiment.Figure13},
+	}
+	for _, s := range simple {
+		fn := s.fn
+		targets = append(targets, target{[]string{s.id}, func(sw experiment.Sweep) (string, error) {
+			f, err := fn(env, sw)
+			if err != nil {
+				return "", err
+			}
+			return renderFigs(f), nil
+		}})
+	}
+
+	workers := sweep.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	report := benchReport{
+		Command:    strings.Join(os.Args, " "),
+		Scale:      scale,
+		Nodes:      nodes,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+	}
+	for _, tg := range targets {
+		selected := all
+		for _, id := range tg.ids {
+			selected = selected || wanted[id]
+		}
+		if !selected {
+			continue
+		}
+		id := strings.Join(tg.ids, "+")
+		fmt.Fprintf(os.Stderr, "bench %-10s serial...", id)
+
+		serialSweep := sweep
+		serialSweep.Parallel = 1
+		t0 := time.Now()
+		serialOut, err := tg.run(serialSweep)
+		if err != nil {
+			return fmt.Errorf("%s (serial): %w", id, err)
+		}
+		serialMS := float64(time.Since(t0).Microseconds()) / 1e3
+
+		fmt.Fprintf(os.Stderr, " %8.0fms  parallel×%d...", serialMS, workers)
+		t0 = time.Now()
+		parallelOut, err := tg.run(sweep)
+		if err != nil {
+			return fmt.Errorf("%s (parallel): %w", id, err)
+		}
+		parallelMS := float64(time.Since(t0).Microseconds()) / 1e3
+		fmt.Fprintf(os.Stderr, " %8.0fms  identical=%v\n", parallelMS, serialOut == parallelOut)
+
+		entry := benchEntry{
+			ID:              id,
+			SerialMS:        serialMS,
+			ParallelMS:      parallelMS,
+			IdenticalOutput: serialOut == parallelOut,
+		}
+		if parallelMS > 0 {
+			entry.Speedup = serialMS / parallelMS
+		}
+		report.Figures = append(report.Figures, entry)
+		report.TotalSerialMS += serialMS
+		report.TotalParallelMS += parallelMS
+	}
+	if report.TotalParallelMS > 0 {
+		report.TotalSpeedup = report.TotalSerialMS / report.TotalParallelMS
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (total speedup %.2f× with %d workers on %d CPUs)\n",
+		path, report.TotalSpeedup, workers, report.NumCPU)
+	return nil
 }
 
 func fatal(err error) {

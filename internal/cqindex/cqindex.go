@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"lira/internal/geo"
+	"lira/internal/par"
 )
 
 // Index answers range queries over a point set identified by dense int
@@ -42,7 +43,17 @@ type Grid struct {
 	counts []int32
 	points []geo.Point
 	active []bool
+
+	// shardCounts holds the per-shard bucket counts (reused as write
+	// cursors) of the parallel rebuild, allocated lazily.
+	shardCounts [][]int32
 }
+
+// rebuildChunk is the fixed shard size of the parallel rebuild. Shard
+// boundaries depend only on the point count, and each shard writes its ids
+// into a precomputed sub-range of every bucket, so the CSR layout is
+// byte-identical to the serial build at any worker count.
+const rebuildChunk = 2048
 
 // NewGrid returns a grid index over space with cells buckets per side.
 func NewGrid(space geo.Rect, cells int) *Grid {
@@ -77,13 +88,19 @@ func clampInt(v, lo, hi int) int {
 }
 
 // Rebuild implements Index. It runs in O(points) with no per-point
-// allocation after the first call at a given size.
+// allocation after the first call at a given size. Point sets larger than
+// one rebuild chunk are bucketed by a parallel two-pass counting sort that
+// reproduces the serial bucket layout exactly.
 func (g *Grid) Rebuild(points []geo.Point, active []bool) {
 	if active != nil && len(active) != len(points) {
 		panic("cqindex: active mask length mismatch")
 	}
 	g.points = points
 	g.active = active
+	if shards := par.Chunks(len(points), rebuildChunk); shards > 1 {
+		g.rebuildSharded(points, active, shards)
+		return
+	}
 	for b := range g.counts {
 		g.counts[b] = 0
 	}
@@ -118,6 +135,59 @@ func (g *Grid) Rebuild(points []geo.Point, active []bool) {
 		g.ids[g.counts[b]] = int32(i)
 		g.counts[b]++
 	}
+}
+
+// rebuildSharded is the parallel counting sort behind Rebuild. Pass one
+// counts each shard's points per bucket; a serial prefix pass turns those
+// counts into per-(shard, bucket) write cursors laid out shard-after-shard
+// within each bucket; pass two lets every shard fill its own sub-ranges.
+// Ids therefore land in increasing global index order within each bucket —
+// the exact serial layout.
+func (g *Grid) rebuildSharded(points []geo.Point, active []bool, shards int) {
+	nb := g.cells * g.cells
+	for len(g.shardCounts) < shards {
+		g.shardCounts = append(g.shardCounts, make([]int32, nb))
+	}
+	par.ForChunks(len(points), rebuildChunk, func(shard, lo, hi int) {
+		counts := g.shardCounts[shard]
+		for b := range counts {
+			counts[b] = 0
+		}
+		for i := lo; i < hi; i++ {
+			if active != nil && !active[i] {
+				continue
+			}
+			ci, cj := g.cellOf(points[i])
+			counts[cj*g.cells+ci]++
+		}
+	})
+	total := int32(0)
+	for b := 0; b < nb; b++ {
+		g.start[b] = total
+		for s := 0; s < shards; s++ {
+			c := g.shardCounts[s][b]
+			g.shardCounts[s][b] = total // becomes shard s's cursor for b
+			total += c
+		}
+	}
+	g.start[nb] = total
+	if cap(g.ids) < int(total) {
+		g.ids = make([]int32, total)
+	} else {
+		g.ids = g.ids[:total]
+	}
+	par.ForChunks(len(points), rebuildChunk, func(shard, lo, hi int) {
+		cursor := g.shardCounts[shard]
+		for i := lo; i < hi; i++ {
+			if active != nil && !active[i] {
+				continue
+			}
+			ci, cj := g.cellOf(points[i])
+			b := cj*g.cells + ci
+			g.ids[cursor[b]] = int32(i)
+			cursor[b]++
+		}
+	})
 }
 
 // Query implements Index.

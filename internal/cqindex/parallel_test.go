@@ -1,0 +1,92 @@
+package cqindex
+
+import (
+	"runtime"
+	"testing"
+
+	"lira/internal/geo"
+	"lira/internal/rng"
+)
+
+func randomPoints(n int) []geo.Point {
+	r := rng.New(5)
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: r.Range(0, 1000), Y: r.Range(0, 1000)}
+	}
+	return pts
+}
+
+// scanAll drains the whole index through Query over the full space; the
+// visit sequence exposes the CSR layout (buckets in order, ids in bucket
+// order).
+func scanAll(g *Grid, space geo.Rect) []int {
+	var out []int
+	g.Query(space, func(id int) { out = append(out, id) })
+	return out
+}
+
+// TestRebuildShardedMatchesSerialLayout verifies the parallel counting
+// sort reproduces the serial CSR layout exactly: a large rebuild (sharded)
+// must visit ids in the same sequence as a test-side serial bucket sort.
+func TestRebuildShardedMatchesSerialLayout(t *testing.T) {
+	const n = 3*rebuildChunk + 77
+	space := geo.Rect{MaxX: 1000, MaxY: 1000}
+	pts := randomPoints(n)
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = i%7 != 0
+	}
+	const cells = 16
+	g := NewGrid(space, cells)
+	g.Rebuild(pts, active)
+
+	// Serial reference layout: ids per bucket in increasing index order.
+	buckets := make([][]int, cells*cells)
+	for i, p := range pts {
+		if !active[i] {
+			continue
+		}
+		ci, cj := g.cellOf(p)
+		b := cj*cells + ci
+		buckets[b] = append(buckets[b], i)
+	}
+	var want []int
+	for _, b := range buckets {
+		want = append(want, b...)
+	}
+	got := scanAll(g, space)
+	if len(got) != len(want) {
+		t.Fatalf("scan length %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("id sequence diverges at %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRebuildShardedDeterministicAcrossWorkers rebuilds the same point set
+// at GOMAXPROCS 1 and 8 and requires identical scan sequences.
+func TestRebuildShardedDeterministicAcrossWorkers(t *testing.T) {
+	const n = 2*rebuildChunk + 311
+	space := geo.Rect{MaxX: 1000, MaxY: 1000}
+	pts := randomPoints(n)
+	run := func(workers int) []int {
+		prev := runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(prev)
+		g := NewGrid(space, 32)
+		g.Rebuild(pts, nil)
+		g.Rebuild(pts, nil) // second round reuses shard scratch
+		return scanAll(g, space)
+	}
+	a, b := run(1), run(8)
+	if len(a) != len(b) {
+		t.Fatalf("scan lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("layouts diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

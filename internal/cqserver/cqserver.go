@@ -16,6 +16,7 @@ import (
 	"lira/internal/geo"
 	"lira/internal/history"
 	"lira/internal/motion"
+	"lira/internal/par"
 	"lira/internal/partition"
 	"lira/internal/queue"
 	"lira/internal/statgrid"
@@ -70,13 +71,24 @@ type Server struct {
 	loop    *throtloop.Controller
 	queries []geo.Rect
 
-	// Scratch buffers for query evaluation, reused across rounds.
+	// Scratch buffers for query evaluation, reused across rounds: the
+	// predicted positions, the active mask, and the per-query result
+	// slices (whose backing arrays persist between Evaluate calls).
 	predicted []geo.Point
 	active    []bool
+	results   [][]int
 
 	history *history.Store
 	applied int64
 }
+
+// Evaluate's fixed shard sizes: nodes per predict shard and queries per
+// scan shard. Both decompositions depend only on the input sizes, so
+// evaluation is deterministic at any worker count.
+const (
+	predictChunk = 2048
+	queryChunk   = 8
+)
 
 // New validates cfg and returns a server.
 func New(cfg Config) (*Server, error) {
@@ -146,6 +158,11 @@ func (s *Server) Throttle() *throtloop.Controller { return s.loop }
 func (s *Server) RegisterQueries(qs []geo.Rect) {
 	s.queries = append(s.queries[:0], qs...)
 	s.grid.SetQueries(qs)
+	// Resize the result table, keeping per-query backing arrays alive.
+	for len(s.results) < len(qs) {
+		s.results = append(s.results, nil)
+	}
+	s.results = s.results[:len(qs)]
 }
 
 // Queries returns the registered queries.
@@ -204,22 +221,31 @@ func (s *Server) ObserveStatistics(positions []geo.Point, speeds []float64) {
 // Evaluate re-evaluates every registered query at time now against the
 // dead-reckoned node positions. results[q] lists node ids; the backing
 // arrays are reused across calls, so callers must copy what they keep.
+//
+// The prediction pass is chunked across goroutines, and the per-query
+// index scans run concurrently over the rebuilt CSR grid (which is
+// read-only during scanning). Each query writes only its own result slot
+// and each scan visits buckets in the serial order, so the output is
+// byte-identical at any worker count.
 func (s *Server) Evaluate(now float64) [][]int {
-	for i := 0; i < s.cfg.Nodes; i++ {
-		p, ok := s.table.Predict(i, now)
-		s.active[i] = ok
-		if ok {
-			s.predicted[i] = s.cfg.Space.ClampPoint(p)
+	par.ForChunks(s.cfg.Nodes, predictChunk, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p, ok := s.table.Predict(i, now)
+			s.active[i] = ok
+			if ok {
+				s.predicted[i] = s.cfg.Space.ClampPoint(p)
+			}
 		}
-	}
+	})
 	s.index.Rebuild(s.predicted, s.active)
-	results := make([][]int, len(s.queries))
-	for qi, q := range s.queries {
-		var ids []int
-		s.index.Query(q, func(id int) { ids = append(ids, id) })
-		results[qi] = ids
-	}
-	return results
+	par.ForChunks(len(s.queries), queryChunk, func(_, lo, hi int) {
+		for qi := lo; qi < hi; qi++ {
+			ids := s.results[qi][:0]
+			s.index.Query(s.queries[qi], func(id int) { ids = append(ids, id) })
+			s.results[qi] = ids
+		}
+	})
+	return s.results
 }
 
 // PredictedPosition returns the server's belief about a node's position.

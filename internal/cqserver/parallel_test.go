@@ -1,0 +1,124 @@
+package cqserver
+
+import (
+	"runtime"
+	"testing"
+
+	"lira/internal/fmodel"
+	"lira/internal/geo"
+	"lira/internal/motion"
+	"lira/internal/rng"
+)
+
+// bigServer populates a server with enough nodes and queries to engage
+// every sharded path in Evaluate (predict chunks, parallel rebuild,
+// concurrent query scans).
+func bigServer(t testing.TB) *Server {
+	t.Helper()
+	n := 3*predictChunk + 421
+	s, err := New(Config{
+		Space: space(),
+		Nodes: n,
+		L:     13,
+		Curve: fmodel.Hyperbolic(5, 100, 95),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for i := 0; i < n; i++ {
+		s.Apply(Update{Node: i, Report: motion.Report{
+			Pos: geo.Point{X: r.Range(0, 1000), Y: r.Range(0, 1000)},
+			Vel: geo.Vector{X: r.Range(-20, 20), Y: r.Range(-20, 20)},
+		}})
+	}
+	qs := make([]geo.Rect, 40)
+	for i := range qs {
+		qs[i] = geo.Square(geo.Point{X: r.Range(100, 900), Y: r.Range(100, 900)}, 150)
+	}
+	s.RegisterQueries(qs)
+	return s
+}
+
+// TestEvaluateReusesResultBuffers is the allocation-churn fix: repeated
+// Evaluate calls must hand back the same outer result table and grow no
+// per-query backing arrays once warm.
+func TestEvaluateReusesResultBuffers(t *testing.T) {
+	s := bigServer(t)
+	first := s.Evaluate(1)
+	caps := make([]int, len(first))
+	for i, ids := range first {
+		caps[i] = cap(ids)
+	}
+	second := s.Evaluate(1)
+	if &first[0] != &second[0] {
+		t.Error("outer result table reallocated between calls")
+	}
+	for i, ids := range second {
+		if cap(ids) != caps[i] {
+			t.Errorf("query %d backing array reallocated: cap %d -> %d", i, caps[i], cap(ids))
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() { s.Evaluate(2) })
+	// The only remaining allocations are incidental (closure headers);
+	// per-query and per-node allocation must be gone.
+	if allocs > 50 {
+		t.Errorf("Evaluate allocates %v objects per round; buffers are not being reused", allocs)
+	}
+}
+
+// TestEvaluateDeterministicAcrossWorkers builds two identical servers and
+// evaluates one at GOMAXPROCS 1 and the other at 8: the result tables must
+// match element for element.
+func TestEvaluateDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) [][]int {
+		prev := runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(prev)
+		s := bigServer(t)
+		res := s.Evaluate(5)
+		out := make([][]int, len(res))
+		for i, ids := range res {
+			out[i] = append([]int(nil), ids...)
+		}
+		return out
+	}
+	a, b := run(1), run(8)
+	if len(a) != len(b) {
+		t.Fatalf("query counts differ: %d vs %d", len(a), len(b))
+	}
+	for q := range a {
+		if len(a[q]) != len(b[q]) {
+			t.Fatalf("query %d sizes differ: %d vs %d", q, len(a[q]), len(b[q]))
+		}
+		for i := range a[q] {
+			if a[q][i] != b[q][i] {
+				t.Fatalf("query %d diverges at %d: %d vs %d", q, i, a[q][i], b[q][i])
+			}
+		}
+	}
+}
+
+// TestRegisterQueriesResizesResults shrinks and regrows the query set,
+// checking the result table tracks it.
+func TestRegisterQueriesResizesResults(t *testing.T) {
+	s := testServer(t)
+	s.Apply(Update{Node: 0, Report: motion.Report{Pos: geo.Point{X: 50, Y: 50}}})
+	s.RegisterQueries([]geo.Rect{space(), space(), space()})
+	if res := s.Evaluate(0); len(res) != 3 {
+		t.Fatalf("3 queries, %d results", len(res))
+	}
+	s.RegisterQueries([]geo.Rect{space()})
+	if res := s.Evaluate(0); len(res) != 1 {
+		t.Fatalf("1 query, %d results", len(res))
+	}
+	s.RegisterQueries([]geo.Rect{space(), space()})
+	res := s.Evaluate(0)
+	if len(res) != 2 {
+		t.Fatalf("2 queries, %d results", len(res))
+	}
+	for q, ids := range res {
+		if len(ids) != 1 || ids[0] != 0 {
+			t.Errorf("query %d = %v, want [0]", q, ids)
+		}
+	}
+}

@@ -267,7 +267,10 @@ type Result struct {
 }
 
 // Run executes one simulation against env. The env's trace source is
-// Reset; runs against one Env are sequential, never concurrent.
+// Reset; runs against one Env are sequential, never concurrent. To execute
+// runs in parallel, give each goroutine its own Env.Fork — every other
+// piece of run state (servers, stations, nodes, collectors, RNG streams)
+// is already private to the run.
 func Run(env *Env, cfg RunConfig) (*Result, error) {
 	cfg.fillDefaults()
 	n := env.Cfg.Nodes

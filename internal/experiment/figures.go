@@ -107,6 +107,11 @@ type Sweep struct {
 	// (Figures 8 and 12) over this many differently-seeded runs per
 	// point. Zero means one run.
 	Repeats int
+	// Parallel bounds the number of worker goroutines the figure sweeps
+	// use to execute independent runs concurrently (each worker on a
+	// private Env fork). Zero or negative selects GOMAXPROCS; 1 forces
+	// serial execution. Results are byte-identical at any setting.
+	Parallel int
 }
 
 // DefaultSweep mirrors the paper's parameter ranges.
@@ -129,21 +134,11 @@ func DefaultSweep() Sweep {
 // runAvgContainment averages the mean containment error over
 // max(1, repeats) differently-seeded runs of cfg.
 func runAvgContainment(env *Env, cfg RunConfig, repeats int) (float64, error) {
-	if repeats < 1 {
-		repeats = 1
+	avgs, err := runGridContainment(env, 1, repeatSeeds(cfg, repeats), repeats)
+	if err != nil {
+		return 0, err
 	}
-	cfg.fillDefaults()
-	total := 0.0
-	for r := 0; r < repeats; r++ {
-		c := cfg
-		c.Seed = cfg.Seed + uint64(r)*1009
-		res, err := Run(env, c)
-		if err != nil {
-			return 0, err
-		}
-		total += res.Metrics.MeanContainment
-	}
-	return total / float64(repeats), nil
+	return avgs[0], nil
 }
 
 // QuickSweep is a trimmed sweep for tests and benchmarks.
@@ -241,16 +236,23 @@ func Figures4and5(env *Env, sw Sweep) (*Figure, *Figure, error) {
 			"rel_rdrop", "rel_unif", "rel_lgrid"},
 		Notes: []string{"paper: same ordering as Figure 4; relative errors → 1 as z approaches the Δ⊣ convergence point"},
 	}
+	jobs := make([]RunConfig, 0, len(sw.Zs)*len(strategyLabels))
 	for _, z := range sw.Zs {
-		var ep, ec [4]float64
-		for i, k := range strategyLabels {
+		for _, k := range strategyLabels {
 			cfg := sw.Base
 			cfg.Strategy = k
 			cfg.Z = z
-			res, err := Run(env, cfg)
-			if err != nil {
-				return nil, nil, err
-			}
+			jobs = append(jobs, cfg)
+		}
+	}
+	results, err := runGrid(env, sw.Parallel, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for zi, z := range sw.Zs {
+		var ep, ec [4]float64
+		for i := range strategyLabels {
+			res := results[zi*len(strategyLabels)+i]
 			ep[i] = res.Metrics.MeanPosition
 			ec[i] = res.Metrics.MeanContainment
 		}
@@ -277,18 +279,24 @@ func Figure6or7(env *Env, sw Sweep, dist workload.Distribution) (*Figure, error)
 			"rel_rdrop", "rel_unif", "rel_lgrid"},
 		Notes: []string{"paper: same ordering as Figure 5 with slightly smaller relative gaps"},
 	}
+	jobs := make([]RunConfig, 0, len(sw.Zs)*len(strategyLabels))
 	for _, z := range sw.Zs {
-		var ec [4]float64
-		for i, k := range strategyLabels {
+		for _, k := range strategyLabels {
 			cfg := sw.Base
 			cfg.Strategy = k
 			cfg.Z = z
 			cfg.QueryDist = dist
-			res, err := Run(env, cfg)
-			if err != nil {
-				return nil, err
-			}
-			ec[i] = res.Metrics.MeanContainment
+			jobs = append(jobs, cfg)
+		}
+	}
+	results, err := runGrid(env, sw.Parallel, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for zi, z := range sw.Zs {
+		var ec [4]float64
+		for i := range strategyLabels {
+			ec[i] = results[zi*len(strategyLabels)+i].Metrics.MeanContainment
 		}
 		f.Rows = append(f.Rows, []float64{z, ec[0], ec[1], ec[2], ec[3],
 			rel(ec[0], ec[3]), rel(ec[1], ec[3]), rel(ec[2], ec[3])})
@@ -306,23 +314,30 @@ func Figure8(env *Env, sw Sweep) (*Figure, error) {
 		Notes:   []string{"paper: up to ~1.35, shrinking as l grows large enough for the uniform grid to catch up"},
 	}
 	dists := []workload.Distribution{workload.Proportional, workload.Inverse, workload.Random}
+	kinds := []shedding.Kind{shedding.LiraGrid, shedding.Lira}
+	var jobs []RunConfig
 	for _, l := range sw.Ls {
-		row := []float64{float64(l)}
 		for _, d := range dists {
-			var ec [2]float64
-			for i, k := range []shedding.Kind{shedding.LiraGrid, shedding.Lira} {
+			for _, k := range kinds {
 				cfg := sw.Base
 				cfg.Strategy = k
 				cfg.L = l
 				cfg.Alpha = 0
 				cfg.QueryDist = d
-				avg, err := runAvgContainment(env, cfg, sw.Repeats)
-				if err != nil {
-					return nil, err
-				}
-				ec[i] = avg
+				jobs = append(jobs, repeatSeeds(cfg, sw.Repeats)...)
 			}
-			row = append(row, rel(ec[0], ec[1]))
+		}
+	}
+	avgs, err := runGridContainment(env, sw.Parallel, jobs, sw.Repeats)
+	if err != nil {
+		return nil, err
+	}
+	gi := 0
+	for _, l := range sw.Ls {
+		row := []float64{float64(l)}
+		for range dists {
+			row = append(row, rel(avgs[gi], avgs[gi+1]))
+			gi += 2
 		}
 		f.Rows = append(f.Rows, row)
 	}
@@ -339,19 +354,25 @@ func Figure9(env *Env, sw Sweep) (*Figure, error) {
 		Columns: append([]string{"l"}, zLabels(zs)...),
 		Notes:   []string{"paper: error decreases then stabilizes with l; reduction more pronounced at larger z"},
 	}
+	var jobs []RunConfig
 	for _, l := range sw.Ls {
-		row := []float64{float64(l)}
 		for _, z := range zs {
 			cfg := sw.Base
 			cfg.Strategy = shedding.Lira
 			cfg.L = l
 			cfg.Alpha = 0
 			cfg.Z = z
-			res, err := Run(env, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res.Metrics.MeanContainment)
+			jobs = append(jobs, cfg)
+		}
+	}
+	results, err := runGrid(env, sw.Parallel, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for li, l := range sw.Ls {
+		row := []float64{float64(l)}
+		for zi := range zs {
+			row = append(row, results[li*len(zs)+zi].Metrics.MeanContainment)
 		}
 		f.Rows = append(f.Rows, row)
 	}
@@ -370,23 +391,26 @@ func Figure10(env *Env, sw Sweep) (*Figure, error) {
 			"paper: D^C of LIRA decreases with Δ⇔ and stays below Uniform Δ; C^C of LIRA increases (Uniform Δ is more fair relative to its own mean)",
 		},
 	}
-	// Uniform Δ ignores the fairness threshold: one run suffices.
+	// Uniform Δ ignores the fairness threshold: one run suffices; it rides
+	// along as job 0 of the grid.
 	ucfg := sw.Base
 	ucfg.Strategy = shedding.UniformDelta
 	ucfg.Z = 0.75
-	ures, err := Run(env, ucfg)
-	if err != nil {
-		return nil, err
-	}
+	jobs := []RunConfig{ucfg}
 	for _, fair := range sw.Fairness {
 		cfg := sw.Base
 		cfg.Strategy = shedding.Lira
 		cfg.Z = 0.75
 		cfg.Fairness = fair
-		res, err := Run(env, cfg)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, cfg)
+	}
+	results, err := runGrid(env, sw.Parallel, jobs)
+	if err != nil {
+		return nil, err
+	}
+	ures := results[0]
+	for fi, fair := range sw.Fairness {
+		res := results[1+fi]
 		f.Rows = append(f.Rows, []float64{fair,
 			res.Metrics.StdDevContainment, ures.Metrics.StdDevContainment,
 			res.Metrics.CovContainment, ures.Metrics.CovContainment})
@@ -404,18 +428,24 @@ func Figure11(env *Env, sw Sweep) (*Figure, error) {
 		Columns: append([]string{"fairness_m"}, zLabels(zs)...),
 		Notes:   []string{"paper: error marginally sensitive to Δ⇔ at extreme z, more sensitive in between"},
 	}
+	var jobs []RunConfig
 	for _, fair := range sw.Fairness {
-		row := []float64{fair}
 		for _, z := range zs {
 			cfg := sw.Base
 			cfg.Strategy = shedding.Lira
 			cfg.Z = z
 			cfg.Fairness = fair
-			res, err := Run(env, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res.Metrics.MeanPosition)
+			jobs = append(jobs, cfg)
+		}
+	}
+	results, err := runGrid(env, sw.Parallel, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for fi, fair := range sw.Fairness {
+		row := []float64{fair}
+		for zi := range zs {
+			row = append(row, results[fi*len(zs)+zi].Metrics.MeanPosition)
 		}
 		f.Rows = append(f.Rows, row)
 	}
@@ -431,24 +461,31 @@ func Figure12(env *Env, sw Sweep) (*Figure, error) {
 		Columns: append([]string{"l"}, monLabels(sw.MOverNs)...),
 		Notes:   []string{"paper: an order of magnitude larger for m/n=0.01 than m/n=0.1; still ≈2x at m/n=0.1"},
 	}
+	kinds := []shedding.Kind{shedding.UniformDelta, shedding.Lira}
+	var jobs []RunConfig
 	for _, l := range sw.Ls {
-		row := []float64{float64(l)}
 		for _, mon := range sw.MOverNs {
-			var ec [2]float64
-			for i, k := range []shedding.Kind{shedding.UniformDelta, shedding.Lira} {
+			for _, k := range kinds {
 				cfg := sw.Base
 				cfg.Strategy = k
 				cfg.L = l
 				cfg.Alpha = 0
 				cfg.MOverN = mon
 				cfg.QueryCount = 0
-				avg, err := runAvgContainment(env, cfg, sw.Repeats)
-				if err != nil {
-					return nil, err
-				}
-				ec[i] = avg
+				jobs = append(jobs, repeatSeeds(cfg, sw.Repeats)...)
 			}
-			row = append(row, rel(ec[0], ec[1]))
+		}
+	}
+	avgs, err := runGridContainment(env, sw.Parallel, jobs, sw.Repeats)
+	if err != nil {
+		return nil, err
+	}
+	gi := 0
+	for _, l := range sw.Ls {
+		row := []float64{float64(l)}
+		for range sw.MOverNs {
+			row = append(row, rel(avgs[gi], avgs[gi+1]))
+			gi += 2
 		}
 		f.Rows = append(f.Rows, row)
 	}
@@ -464,14 +501,19 @@ func Figure13(env *Env, sw Sweep) (*Figure, error) {
 		Columns: []string{"w_m", "EP_m", "EC"},
 		Notes:   []string{"paper: E^P increases with w while E^C decreases (set-based metric, larger result sets)"},
 	}
+	jobs := make([]RunConfig, 0, len(sw.Ws))
 	for _, w := range sw.Ws {
 		cfg := sw.Base
 		cfg.Strategy = shedding.Lira
 		cfg.QuerySide = w
-		res, err := Run(env, cfg)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, cfg)
+	}
+	results, err := runGrid(env, sw.Parallel, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range sw.Ws {
+		res := results[wi]
 		f.Rows = append(f.Rows, []float64{w, res.Metrics.MeanPosition, res.Metrics.MeanContainment})
 	}
 	return f, nil

@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"lira/internal/shedding"
+)
+
+func renderAll(t *testing.T, figs ...*Figure) string {
+	t.Helper()
+	var b strings.Builder
+	for _, f := range figs {
+		f.Render(&b)
+	}
+	return b.String()
+}
+
+// TestForkReplaysIdenticalTrajectories is the contract the parallel runner
+// rests on: a fork's private trace source replays the env's trajectories
+// exactly.
+func TestForkReplaysIdenticalTrajectories(t *testing.T) {
+	env := tinyEnv(t)
+	fork := env.Fork()
+	if fork.Src == env.Src {
+		t.Fatal("fork shares the trace source")
+	}
+	if fork.Net != env.Net || fork.Curve != env.Curve {
+		t.Error("fork must share the immutable network and curve")
+	}
+	env.Src.Reset()
+	for tick := 0; tick < 50; tick++ {
+		env.Src.Step(1)
+		fork.Src.Step(1)
+		a, b := env.Src.Positions(), fork.Src.Positions()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("tick %d node %d: %v vs %v", tick, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestRunGridParallelMatchesSerial runs the same job list serially and
+// with four workers: every result must be identical, in input order.
+func TestRunGridParallelMatchesSerial(t *testing.T) {
+	env := tinyEnv(t)
+	base := tinySweep().Base
+	base.DurationTicks = 90
+	var jobs []RunConfig
+	for _, z := range []float64{0.75, 0.5, 0.4, 0.3} {
+		cfg := base
+		cfg.Z = z
+		jobs = append(jobs, cfg)
+	}
+	serial, err := runGrid(env, 1, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := runGrid(env, 4, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(jobs) {
+		t.Fatalf("parallel returned %d results for %d jobs", len(parallel), len(jobs))
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if a.Z != b.Z {
+			t.Fatalf("job %d out of order: z=%v vs %v", i, a.Z, b.Z)
+		}
+		if a.Metrics != b.Metrics ||
+			a.SentUpdates != b.SentUpdates ||
+			a.AdmittedUpdates != b.AdmittedUpdates ||
+			a.ReferenceUpdates != b.ReferenceUpdates ||
+			a.Handoffs != b.Handoffs {
+			t.Errorf("job %d diverged between serial and parallel execution:\n%+v\nvs\n%+v", i, a, b)
+		}
+	}
+}
+
+// TestRunGridPropagatesError places a failing configuration mid-grid and
+// requires runGrid (serial and parallel) to report it.
+func TestRunGridPropagatesError(t *testing.T) {
+	env := tinyEnv(t)
+	good := tinySweep().Base
+	good.DurationTicks = 60
+	bad := good
+	bad.Z = -1 // rejected by shedding.Configure
+	jobs := []RunConfig{good, bad, good}
+	if _, err := runGrid(env, 1, jobs); err == nil {
+		t.Error("serial runGrid swallowed the error")
+	}
+	if _, err := runGrid(env, 4, jobs); err == nil {
+		t.Error("parallel runGrid swallowed the error")
+	}
+}
+
+// TestParallelFiguresMatchSerial is the differential determinism test the
+// tentpole is judged by: Figures4and5 (and the repeat-averaged Figure 8)
+// rendered from a serial sweep and from a 4-worker sweep must be
+// byte-identical.
+func TestParallelFiguresMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep")
+	}
+	env := tinyEnv(t)
+	sw := tinySweep()
+	sw.Repeats = 2
+
+	sw.Parallel = 1
+	f4s, f5s, err := Figures4and5(env, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8s, err := Figure8(env, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := renderAll(t, f4s, f5s, f8s)
+
+	sw.Parallel = 4
+	f4p, f5p, err := Figures4and5(env, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8p, err := Figure8(env, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := renderAll(t, f4p, f5p, f8p)
+
+	if serial != parallel {
+		t.Fatalf("parallel sweep output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestRepeatSeedsStagger pins the seed schedule shared by
+// runAvgContainment and the parallel figure paths.
+func TestRepeatSeedsStagger(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.Strategy = shedding.Lira
+	out := repeatSeeds(cfg, 3)
+	if len(out) != 3 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for r, c := range out {
+		if want := cfg.Seed + uint64(r)*1009; c.Seed != want {
+			t.Errorf("repeat %d seed = %d, want %d", r, c.Seed, want)
+		}
+	}
+	if got := repeatSeeds(cfg, 0); len(got) != 1 || got[0].Seed != cfg.Seed {
+		t.Errorf("repeats=0 should yield the base seed once: %+v", got)
+	}
+}
+
+func TestWorkersFor(t *testing.T) {
+	if w := workersFor(1, 100); w != 1 {
+		t.Errorf("parallel=1 -> %d workers", w)
+	}
+	if w := workersFor(8, 3); w != 3 {
+		t.Errorf("workers must not exceed job count: %d", w)
+	}
+	if w := workersFor(0, 100); w < 1 {
+		t.Errorf("GOMAXPROCS default must be at least 1: %d", w)
+	}
+}

@@ -1,0 +1,101 @@
+// Package par provides the deterministic-parallelism helpers shared by the
+// simulator's hot paths (sweep execution, query evaluation, statistics
+// folds).
+//
+// # Determinism contract
+//
+// Every helper fixes the work decomposition — chunk boundaries and shard
+// count — as a pure function of the input size, never of the worker count
+// or GOMAXPROCS. Callers that reduce floating-point partials merge them in
+// shard order. Under that discipline a computation produces bit-identical
+// results at any level of parallelism, including fully serial execution:
+// parallelism only changes *when* a shard runs, never *what* it computes or
+// the order in which partials combine.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the number of worker goroutines to use for n independent
+// work items: min(GOMAXPROCS, n), at least 1.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Chunks returns the number of fixed-size chunks ForChunks will decompose
+// [0, n) into: ⌈n/chunk⌉. It depends only on n and chunk.
+func Chunks(n, chunk int) int {
+	if n <= 0 {
+		return 0
+	}
+	if chunk <= 0 {
+		chunk = n
+	}
+	return (n + chunk - 1) / chunk
+}
+
+// ForChunks partitions [0, n) into ⌈n/chunk⌉ contiguous chunks of size
+// chunk (the last one ragged) and invokes fn(shard, lo, hi) once per chunk,
+// concurrently when more than one worker is available. Shard s covers
+// [s·chunk, min((s+1)·chunk, n)).
+//
+// The decomposition depends only on n and chunk, so per-shard work — and
+// any shard-indexed partial a caller accumulates — is identical regardless
+// of scheduling. fn must not touch state shared across shards except
+// through its own shard slot.
+func ForChunks(n, chunk int, fn func(shard, lo, hi int)) {
+	shards := Chunks(n, chunk)
+	if shards == 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = n
+	}
+	if shards == 1 {
+		fn(0, 0, n)
+		return
+	}
+	workers := Workers(shards)
+	if workers == 1 {
+		for s := 0; s < shards; s++ {
+			lo := s * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(s, lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				lo := s * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(s, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}

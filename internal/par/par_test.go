@@ -1,0 +1,105 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestChunks(t *testing.T) {
+	cases := []struct{ n, chunk, want int }{
+		{0, 10, 0},
+		{-3, 10, 0},
+		{1, 10, 1},
+		{10, 10, 1},
+		{11, 10, 2},
+		{25, 10, 3},
+		{7, 0, 1}, // chunk<=0 means one shard
+	}
+	for _, c := range cases {
+		if got := Chunks(c.n, c.chunk); got != c.want {
+			t.Errorf("Chunks(%d, %d) = %d, want %d", c.n, c.chunk, got, c.want)
+		}
+	}
+}
+
+func TestWorkersBounds(t *testing.T) {
+	if w := Workers(0); w != 1 {
+		t.Errorf("Workers(0) = %d, want 1", w)
+	}
+	if w := Workers(1); w != 1 {
+		t.Errorf("Workers(1) = %d, want 1", w)
+	}
+	if w := Workers(1 << 20); w > runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers exceeds GOMAXPROCS: %d", w)
+	}
+}
+
+// TestForChunksCoversEveryIndexOnce is the core decomposition invariant:
+// the union of [lo, hi) ranges is exactly [0, n), shard indexes are dense,
+// and shard boundaries are the fixed s·chunk grid.
+func TestForChunksCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 100, 1001} {
+		for _, chunk := range []int{1, 7, 64, 4096} {
+			var mu sync.Mutex
+			seen := make([]int, n)
+			shards := map[int]bool{}
+			ForChunks(n, chunk, func(shard, lo, hi int) {
+				if lo != shard*chunk {
+					t.Errorf("n=%d chunk=%d shard %d: lo=%d, want %d", n, chunk, shard, lo, shard*chunk)
+				}
+				mu.Lock()
+				shards[shard] = true
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+				mu.Unlock()
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d chunk=%d: index %d visited %d times", n, chunk, i, c)
+				}
+			}
+			if len(shards) != Chunks(n, chunk) {
+				t.Errorf("n=%d chunk=%d: %d shards ran, want %d", n, chunk, len(shards), Chunks(n, chunk))
+			}
+		}
+	}
+}
+
+// TestForChunksDeterministicFold verifies the documented usage: per-shard
+// float partials merged in shard order are bit-identical across worker
+// counts.
+func TestForChunksDeterministicFold(t *testing.T) {
+	const n, chunk = 10000, 1024
+	vals := make([]float64, n)
+	r := uint64(0x9e3779b97f4a7c15)
+	for i := range vals {
+		r = r*6364136223846793005 + 1442695040888963407
+		vals[i] = float64(r>>11) / (1 << 53)
+	}
+	fold := func() float64 {
+		partial := make([]float64, Chunks(n, chunk))
+		ForChunks(n, chunk, func(shard, lo, hi int) {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += vals[i]
+			}
+			partial[shard] = s
+		})
+		total := 0.0
+		for _, p := range partial {
+			total += p
+		}
+		return total
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	runtime.GOMAXPROCS(1)
+	serial := fold()
+	runtime.GOMAXPROCS(8)
+	parallel := fold()
+	if serial != parallel {
+		t.Fatalf("fold not deterministic across worker counts: %x vs %x", serial, parallel)
+	}
+}

@@ -6,6 +6,24 @@
 // release. Streams can be split (derived) so independent subsystems — the
 // road network, the trace, the workload — draw from uncorrelated sequences
 // while sharing a single experiment seed.
+//
+// A Rand is not safe for concurrent use. To parallelize, split one child
+// per goroutine from a parent before spawning, and hand each goroutine its
+// own child:
+//
+//	root := rng.New(seed)
+//	children := make([]*rng.Rand, workers)
+//	for w := range children {
+//		children[w] = root.Split(uint64(w)) // split before spawning
+//	}
+//	for w := 0; w < workers; w++ {
+//		go func(r *rng.Rand) { /* draw only from r */ }(children[w])
+//	}
+//
+// Because Split is itself deterministic, the set of child streams — and
+// therefore the overall simulation — is reproducible no matter how the
+// goroutines are scheduled, as long as each value is derived from a stream
+// assigned by index rather than by arrival order.
 package rng
 
 import "math"

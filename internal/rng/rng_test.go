@@ -2,6 +2,7 @@ package rng
 
 import (
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -137,6 +138,80 @@ func TestSplitIndependence(t *testing.T) {
 	}
 	if same > 0 {
 		t.Errorf("split streams collided %d times", same)
+	}
+}
+
+// TestSplitReproducible verifies the contract the package doc's
+// per-goroutine example relies on: children split with the same labels
+// from identically-seeded parents replay identical streams.
+func TestSplitReproducible(t *testing.T) {
+	mk := func() [][]uint64 {
+		root := New(99)
+		out := make([][]uint64, 4)
+		for w := range out {
+			child := root.Split(uint64(w))
+			draws := make([]uint64, 256)
+			for i := range draws {
+				draws[i] = child.Uint64()
+			}
+			out[w] = draws
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for w := range a {
+		for i := range a[w] {
+			if a[w][i] != b[w][i] {
+				t.Fatalf("child %d draw %d not reproducible: %d vs %d", w, i, a[w][i], b[w][i])
+			}
+		}
+	}
+}
+
+// TestSplitPerGoroutine runs the package doc's split-before-spawn pattern
+// under the race detector and checks the concurrent draws match a serial
+// replay of the same children, regardless of goroutine scheduling.
+func TestSplitPerGoroutine(t *testing.T) {
+	const workers, draws = 8, 512
+
+	// Serial reference.
+	root := New(4242)
+	want := make([][]uint64, workers)
+	for w := range want {
+		child := root.Split(uint64(w))
+		want[w] = make([]uint64, draws)
+		for i := range want[w] {
+			want[w][i] = child.Uint64()
+		}
+	}
+
+	// Concurrent run: split all children first, then spawn.
+	root = New(4242)
+	children := make([]*Rand, workers)
+	for w := range children {
+		children[w] = root.Split(uint64(w))
+	}
+	got := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			out := make([]uint64, draws)
+			for i := range out {
+				out[i] = children[w].Uint64()
+			}
+			got[w] = out
+		}(w)
+	}
+	wg.Wait()
+
+	for w := range want {
+		for i := range want[w] {
+			if got[w][i] != want[w][i] {
+				t.Fatalf("goroutine %d draw %d: got %d, want %d", w, i, got[w][i], want[w][i])
+			}
+		}
 	}
 }
 

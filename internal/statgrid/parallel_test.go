@@ -1,0 +1,89 @@
+package statgrid
+
+import (
+	"runtime"
+	"testing"
+
+	"lira/internal/geo"
+	"lira/internal/rng"
+)
+
+// syntheticRound builds a round large enough to engage the sharded fold
+// (n > observeChunk).
+func syntheticRound(n int) ([]geo.Point, []float64) {
+	r := rng.New(11)
+	pos := make([]geo.Point, n)
+	sp := make([]float64, n)
+	for i := range pos {
+		pos[i] = geo.Point{X: r.Range(0, 1000), Y: r.Range(0, 1000)}
+		sp[i] = r.Range(0, 30)
+	}
+	return pos, sp
+}
+
+// TestObserveShardedMatchesSerialReference checks the sharded fold against
+// a cell-by-cell serial reference: counts are exact, speed sums agree to
+// floating-point reassociation tolerance.
+func TestObserveShardedMatchesSerialReference(t *testing.T) {
+	const n = 3*observeChunk + 517
+	pos, sp := syntheticRound(n)
+	const alpha = 32
+	g := New(geo.Rect{MaxX: 1000, MaxY: 1000}, alpha)
+	g.Observe(pos, sp)
+
+	refCount := make([]float64, alpha*alpha)
+	refSpeed := make([]float64, alpha*alpha)
+	for k, p := range pos {
+		i, j := g.CellIndex(p)
+		refCount[j*alpha+i]++
+		refSpeed[j*alpha+i] += sp[k]
+	}
+	for j := 0; j < alpha; j++ {
+		for i := 0; i < alpha; i++ {
+			cn, _, cs := g.Cell(i, j)
+			c := j*alpha + i
+			if cn != refCount[c] {
+				t.Fatalf("cell (%d,%d): count %v, want %v", i, j, cn, refCount[c])
+			}
+			if refCount[c] > 0 {
+				want := refSpeed[c] / refCount[c]
+				if diff := cs - want; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("cell (%d,%d): speed %v, want %v", i, j, cs, want)
+				}
+			}
+		}
+	}
+	gotN, _ := g.Totals()
+	if gotN != float64(n) {
+		t.Errorf("total node mass %v, want %d", gotN, n)
+	}
+}
+
+// TestObserveShardedDeterministicAcrossWorkers is the concurrency
+// contract: the fold is bit-identical at GOMAXPROCS 1 and 8, including
+// over repeated rounds reusing the shard scratch.
+func TestObserveShardedDeterministicAcrossWorkers(t *testing.T) {
+	const n = 2*observeChunk + 911
+	pos, sp := syntheticRound(n)
+	const alpha = 64
+	run := func(workers int) *Grid {
+		prev := runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(prev)
+		g := New(geo.Rect{MaxX: 1000, MaxY: 1000}, alpha)
+		for round := 0; round < 3; round++ {
+			g.Observe(pos, sp)
+		}
+		return g
+	}
+	a, b := run(1), run(8)
+	for j := 0; j < alpha; j++ {
+		for i := 0; i < alpha; i++ {
+			an, am, as := a.Cell(i, j)
+			bn, bm, bs := b.Cell(i, j)
+			if an != bn || am != bm || as != bs {
+				t.Fatalf("cell (%d,%d) diverged across worker counts: (%v,%v,%v) vs (%v,%v,%v)",
+					i, j, an, am, as, bn, bm, bs)
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"lira/internal/geo"
+	"lira/internal/par"
 )
 
 // Grid is the statistics grid. It accumulates node observations over any
@@ -30,7 +31,26 @@ type Grid struct {
 	meanSpeed float64   // global mean observed speed, fallback for empty cells
 	sumAllSp  float64
 	obsAll    float64
+
+	// fold holds the per-shard accumulators of the parallel Observe path,
+	// allocated lazily and reused across rounds.
+	fold []foldShard
 }
+
+// foldShard is one shard's partial of a parallel Observe round. The dense
+// count/speed arrays are kept zeroed between rounds via the touched list,
+// so a round costs O(points/shard) regardless of α.
+type foldShard struct {
+	count, speed []float64
+	touched      []int32
+	sumSp, obs   float64
+}
+
+// observeChunk is the fixed shard size of the parallel Observe fold. The
+// decomposition depends only on the input length (see package par), so the
+// fold is bit-reproducible at any worker count; inputs of at most one chunk
+// take the historical serial path.
+const observeChunk = 4096
 
 // New returns an empty grid with alpha cells per side over space. alpha
 // must be positive; the paper uses powers of two so the quad-tree in
@@ -92,23 +112,73 @@ func (g *Grid) CellRect(i, j int) geo.Rect {
 // Observe folds one sampling round of node positions and speeds into the
 // grid. positions and speeds must have equal length. Cell node counts are
 // averaged across rounds; speeds are averaged across all observations.
+//
+// Rounds larger than one fold chunk are sharded across goroutines with
+// per-shard accumulators merged in shard order, so the result is a pure
+// function of the inputs — identical at any GOMAXPROCS.
 func (g *Grid) Observe(positions []geo.Point, speeds []float64) {
 	if len(positions) != len(speeds) {
 		panic("statgrid: positions and speeds length mismatch")
 	}
-	for k, p := range positions {
-		i, j := g.CellIndex(p)
-		c := j*g.alpha + i
-		g.sumCount[c]++
-		g.sumSpeed[c] += speeds[k]
-		g.obsNodes[c]++
-		g.sumAllSp += speeds[k]
-		g.obsAll++
+	if shards := par.Chunks(len(positions), observeChunk); shards > 1 {
+		g.observeSharded(positions, speeds, shards)
+	} else {
+		for k, p := range positions {
+			i, j := g.CellIndex(p)
+			c := j*g.alpha + i
+			g.sumCount[c]++
+			g.sumSpeed[c] += speeds[k]
+			g.obsNodes[c]++
+			g.sumAllSp += speeds[k]
+			g.obsAll++
+		}
 	}
 	g.samples++
 	g.totalN = float64(len(positions))
 	if g.obsAll > 0 {
 		g.meanSpeed = g.sumAllSp / g.obsAll
+	}
+}
+
+// observeSharded is the parallel Observe fold: each shard accumulates a
+// private partial over its fixed index range, then partials merge into the
+// grid in shard order. Within a shard speeds sum in index order and each
+// cell receives one contribution per shard, so the summation tree depends
+// only on the input length — never on scheduling.
+func (g *Grid) observeSharded(positions []geo.Point, speeds []float64, shards int) {
+	for len(g.fold) < shards {
+		cells := g.alpha * g.alpha
+		g.fold = append(g.fold, foldShard{
+			count: make([]float64, cells),
+			speed: make([]float64, cells),
+		})
+	}
+	par.ForChunks(len(positions), observeChunk, func(shard, lo, hi int) {
+		f := &g.fold[shard]
+		f.sumSp, f.obs = 0, 0
+		f.touched = f.touched[:0]
+		for k := lo; k < hi; k++ {
+			i, j := g.CellIndex(positions[k])
+			c := int32(j*g.alpha + i)
+			if f.count[c] == 0 {
+				f.touched = append(f.touched, c)
+			}
+			f.count[c]++
+			f.speed[c] += speeds[k]
+			f.sumSp += speeds[k]
+			f.obs++
+		}
+	})
+	for s := 0; s < shards; s++ {
+		f := &g.fold[s]
+		for _, c := range f.touched {
+			g.sumCount[c] += f.count[c]
+			g.sumSpeed[c] += f.speed[c]
+			g.obsNodes[c] += f.count[c]
+			f.count[c], f.speed[c] = 0, 0
+		}
+		g.sumAllSp += f.sumSp
+		g.obsAll += f.obs
 	}
 }
 

@@ -108,6 +108,13 @@ func clamp(v, lo, hi float64) float64 {
 // N returns the number of cars.
 func (s *Source) N() int { return s.cfg.N }
 
+// Config returns the source's (default-filled) configuration. Because
+// position streams are a pure function of (network, Config), a new source
+// built from the same network and this config replays identical
+// trajectories — the basis for running one logical trace on several
+// goroutines, each with a private Source.
+func (s *Source) Config() Config { return s.cfg }
+
 // Tick returns the number of Step calls since the last Reset.
 func (s *Source) Tick() int { return s.tick }
 

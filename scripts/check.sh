@@ -1,0 +1,20 @@
+#!/bin/sh
+# Repository check gate: vet, build, race-enabled tests, and a one-shot
+# benchmark smoke. Mirrors `make check` for environments without make.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== bench smoke (Fig04, 1 iteration) =="
+go test -run '^$' -bench Fig04 -benchtime 1x .
+
+echo "check: OK"
