@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-report clean
+.PHONY: check vet build test race fuzz-smoke chaos bench-smoke bench-report clean
 
-check: vet build race bench-smoke
+check: vet build race fuzz-smoke chaos bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +18,23 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Short adversarial pass over every wire decoder and the frame reader:
+# malformed input must error, never panic or over-allocate. `go test`
+# accepts a single -fuzz target at a time, hence the loop.
+FUZZ_TARGETS := FuzzDecodeHello FuzzDecodeUpdate FuzzDecodeAssignment \
+	FuzzDecodeQuery FuzzDecodeResult FuzzDecodePing FuzzReadFrame
+
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzz $$t"; \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime 5s ./internal/wire || exit 1; \
+	done
+
+# Race-enabled fault-injection suite: deterministic chaos (reconnect,
+# reconvergence, goroutine hygiene) plus graceful-degradation checks.
+chaos:
+	$(GO) test -race -count 1 -run 'Chaos|LossDegrades|Reconnect|ClientErr|Overflow|DrainPerTick' ./internal/netsvc
 
 # One iteration of the Figure 4 benchmark: catches bit-rot in the bench
 # harness without paying for a full measurement run.

@@ -1,0 +1,394 @@
+// Package faultnet wraps net.Conn and net.Listener with deterministic,
+// seed-driven fault injection: frame drop, delay, duplication, byte
+// corruption, connection reset, and fabric-wide partitions. It exists so
+// that every chaos run of the deployment layer is reproducible the same
+// way the simulator is — a fault schedule is a pure function of the
+// fabric seed, not of goroutine scheduling or wall-clock time.
+//
+// # Determinism contract
+//
+// Every wrapped connection carries a link label. The fault decision for
+// the k-th frame written on the i-th connection instance of the link
+// labeled L under fabric seed S is a pure function of (S, L, i, k): each
+// connection owns an rng stream derived from (S, hash(L+i)) — see
+// WrapConn for why instances matter — and exactly six variates are
+// drawn per frame regardless
+// of which fault (if any) fires, so decisions never depend on earlier
+// outcomes' control flow. Two fabrics with the same seed therefore
+// produce byte-identical fault schedules for identically labeled links,
+// no matter how the runs are scheduled. Partitions are the one
+// explicitly non-scheduled fault: they are forced by the test harness
+// (Partition/Heal/PartitionFor), which is what "two forced partitions"
+// means in the chaos suite.
+//
+// Faults are applied on the write side, at frame granularity: the wire
+// package emits each frame as a single Write call, so one Write is one
+// message. Reads pass through untouched — a dropped frame simply never
+// reaches the peer, a corrupted one fails wire decoding or framing on
+// arrival, and a reset surfaces as a broken connection on both ends.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sync"
+	"time"
+
+	"lira/internal/rng"
+)
+
+// ErrPartitioned is returned by writes and dials while the fabric is
+// partitioned.
+var ErrPartitioned = errors.New("faultnet: link partitioned")
+
+// ErrInjectedReset is returned by a write whose frame drew the reset
+// fault; the underlying transport is closed mid-stream.
+var ErrInjectedReset = errors.New("faultnet: connection reset by fault injection")
+
+// Config sets the per-frame fault probabilities applied on the write side
+// of every wrapped connection. At most one fault fires per frame; when
+// several are drawn the precedence is reset > drop > corrupt > dup >
+// delay (a reset beats everything because the link is gone).
+type Config struct {
+	// Drop swallows the frame: the writer sees success, the peer sees
+	// nothing.
+	Drop float64
+	// Delay holds the frame for a deterministic duration in [0, MaxDelay)
+	// before transmitting it.
+	Delay float64
+	// Dup transmits the frame twice back-to-back.
+	Dup float64
+	// Corrupt flips one bit of one byte at a deterministic offset.
+	Corrupt float64
+	// Reset closes the underlying transport instead of writing.
+	Reset float64
+	// MaxDelay bounds the injected delay; zero selects 20ms.
+	MaxDelay time.Duration
+	// Record keeps a per-link log of every fault decision (the schedule),
+	// retrievable with Fabric.Schedule. Chaos tests use it to assert that
+	// two runs with the same seed produce identical schedules.
+	Record bool
+}
+
+// Stats counts the faults a fabric has injected.
+type Stats struct {
+	Frames     int64 // frames offered to the fault layer
+	Dropped    int64
+	Delayed    int64
+	Duplicated int64
+	Corrupted  int64
+	Resets     int64
+}
+
+// Fabric is a fault-injection domain: a seed, a fault profile, and the
+// set of live connections it can partition.
+type Fabric struct {
+	seed uint64
+	cfg  Config
+
+	mu          sync.Mutex
+	partitioned bool
+	conns       map[*Conn]struct{}
+	accepts     uint64
+	instances   map[string]uint64
+	stats       Stats
+	schedule    map[string][]string
+}
+
+// New returns a fabric with the given seed and fault profile.
+func New(seed uint64, cfg Config) *Fabric {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 20 * time.Millisecond
+	}
+	return &Fabric{
+		seed:      seed,
+		cfg:       cfg,
+		conns:     make(map[*Conn]struct{}),
+		instances: make(map[string]uint64),
+		schedule:  make(map[string][]string),
+	}
+}
+
+// stream derives the rng stream of the link labeled label: a pure
+// function of (fabric seed, label).
+func (f *Fabric) stream(label string) *rng.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return rng.New(f.seed).Split(h.Sum64())
+}
+
+// Dial opens a TCP connection to addr and wraps it as the link labeled
+// label. While the fabric is partitioned, Dial fails immediately.
+func (f *Fabric) Dial(addr, label string) (net.Conn, error) {
+	if f.isPartitioned() {
+		return nil, ErrPartitioned
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return f.WrapConn(nc, label), nil
+}
+
+// WrapConn wraps an existing connection as the link labeled label. The
+// returned connection injects faults on writes and is severed by
+// Partition.
+//
+// Re-using a label (a client reconnecting over the same logical link)
+// derives a fresh stream per connection instance: the i-th instance of
+// label L draws from the stream of "L+i" (the first keeps the bare
+// label). Without this, every reconnect would replay the label's
+// schedule from frame zero — a schedule with a fatal early prefix (say,
+// a reset on frame 1) would then kill every reconnect at the same
+// point, a deterministic livelock no backoff can escape. Instance
+// numbering is per-label and in wrap order, so the schedule remains a
+// pure function of (seed, label, instance, frame).
+func (f *Fabric) WrapConn(nc net.Conn, label string) net.Conn {
+	f.mu.Lock()
+	n := f.instances[label]
+	f.instances[label]++
+	f.mu.Unlock()
+	if n > 0 {
+		label = fmt.Sprintf("%s+%d", label, n)
+	}
+	c := &Conn{Conn: nc, f: f, label: label, stream: f.stream(label)}
+	f.mu.Lock()
+	f.conns[c] = struct{}{}
+	f.mu.Unlock()
+	return c
+}
+
+// WrapListener wraps a listener so every accepted connection becomes a
+// fault-injected link labeled "<prefix>#<n>" in accept order. While the
+// fabric is partitioned, accepted connections are closed immediately.
+func (f *Fabric) WrapListener(ln net.Listener, prefix string) net.Listener {
+	return &Listener{Listener: ln, f: f, prefix: prefix}
+}
+
+// Partition severs the fabric: every live wrapped connection is closed
+// and, until Heal, writes and dials fail with ErrPartitioned.
+func (f *Fabric) Partition() {
+	f.mu.Lock()
+	f.partitioned = true
+	conns := make([]*Conn, 0, len(f.conns))
+	for c := range f.conns {
+		conns = append(conns, c)
+	}
+	f.mu.Unlock()
+	for _, c := range conns {
+		c.Conn.Close()
+	}
+}
+
+// Heal ends a partition; subsequent dials succeed again.
+func (f *Fabric) Heal() {
+	f.mu.Lock()
+	f.partitioned = false
+	f.mu.Unlock()
+}
+
+// PartitionFor partitions the fabric now and heals it after d.
+func (f *Fabric) PartitionFor(d time.Duration) *time.Timer {
+	f.Partition()
+	return time.AfterFunc(d, f.Heal)
+}
+
+func (f *Fabric) isPartitioned() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.partitioned
+}
+
+// Stats returns a snapshot of the fault counters.
+func (f *Fabric) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Schedule returns the recorded fault schedule of the link labeled
+// label: one entry per faulted frame, in frame order. Empty unless
+// Config.Record is set.
+func (f *Fabric) Schedule(label string) []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.schedule[label]...)
+}
+
+func (f *Fabric) drop(c *Conn) {
+	f.mu.Lock()
+	delete(f.conns, c)
+	f.mu.Unlock()
+}
+
+// fault is one frame's decision.
+type fault int
+
+const (
+	faultNone fault = iota
+	faultDrop
+	faultDelay
+	faultDup
+	faultCorrupt
+	faultReset
+)
+
+func (ft fault) String() string {
+	switch ft {
+	case faultDrop:
+		return "drop"
+	case faultDelay:
+		return "delay"
+	case faultDup:
+		return "dup"
+	case faultCorrupt:
+		return "corrupt"
+	case faultReset:
+		return "reset"
+	}
+	return "none"
+}
+
+// Conn is a fault-injected connection. All methods of the embedded
+// net.Conn pass through except Write.
+type Conn struct {
+	net.Conn
+	f     *Fabric
+	label string
+
+	mu     sync.Mutex
+	stream *rng.Rand
+	seq    uint64
+}
+
+// decide draws this frame's fault. Exactly six variates are consumed per
+// frame so the schedule is a pure function of (seed, label, seq); aux is
+// the spare variate that parameterizes the chosen fault (delay duration,
+// corruption offset).
+func (c *Conn) decide() (seq uint64, ft fault, aux float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seq = c.seq
+	c.seq++
+	uReset := c.stream.Float64()
+	uDrop := c.stream.Float64()
+	uCorrupt := c.stream.Float64()
+	uDup := c.stream.Float64()
+	uDelay := c.stream.Float64()
+	aux = c.stream.Float64()
+	cfg := &c.f.cfg
+	switch {
+	case uReset < cfg.Reset:
+		ft = faultReset
+	case uDrop < cfg.Drop:
+		ft = faultDrop
+	case uCorrupt < cfg.Corrupt:
+		ft = faultCorrupt
+	case uDup < cfg.Dup:
+		ft = faultDup
+	case uDelay < cfg.Delay:
+		ft = faultDelay
+	}
+	return seq, ft, aux
+}
+
+func (c *Conn) account(seq uint64, ft fault) {
+	f := c.f
+	f.mu.Lock()
+	f.stats.Frames++
+	switch ft {
+	case faultDrop:
+		f.stats.Dropped++
+	case faultDelay:
+		f.stats.Delayed++
+	case faultDup:
+		f.stats.Duplicated++
+	case faultCorrupt:
+		f.stats.Corrupted++
+	case faultReset:
+		f.stats.Resets++
+	}
+	if f.cfg.Record && ft != faultNone {
+		f.schedule[c.label] = append(f.schedule[c.label], fmt.Sprintf("%d:%s", seq, ft))
+	}
+	f.mu.Unlock()
+}
+
+// Write injects the frame's scheduled fault and forwards the (possibly
+// altered) bytes to the underlying transport.
+func (c *Conn) Write(b []byte) (int, error) {
+	if c.f.isPartitioned() {
+		return 0, ErrPartitioned
+	}
+	seq, ft, aux := c.decide()
+	c.account(seq, ft)
+	switch ft {
+	case faultDrop:
+		return len(b), nil
+	case faultReset:
+		c.Conn.Close()
+		return 0, ErrInjectedReset
+	case faultCorrupt:
+		cp := append([]byte(nil), b...)
+		if len(cp) > 0 {
+			i := int(aux * float64(len(cp)))
+			if i >= len(cp) {
+				i = len(cp) - 1
+			}
+			cp[i] ^= 1 << (seq % 8)
+		}
+		return writeLen(c.Conn, cp, len(b))
+	case faultDup:
+		if n, err := c.Conn.Write(b); err != nil {
+			return n, err
+		}
+		return writeLen(c.Conn, b, len(b))
+	case faultDelay:
+		time.Sleep(time.Duration(aux * float64(c.f.cfg.MaxDelay)))
+	}
+	return c.Conn.Write(b)
+}
+
+// writeLen writes p but reports success as n bytes (the caller's view of
+// its own frame, which may differ from what actually went out).
+func writeLen(w net.Conn, p []byte, n int) (int, error) {
+	if _, err := w.Write(p); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Close closes the underlying transport and forgets the link.
+func (c *Conn) Close() error {
+	c.f.drop(c)
+	return c.Conn.Close()
+}
+
+// Listener wraps accepted connections into fault-injected links.
+type Listener struct {
+	net.Listener
+	f      *Fabric
+	prefix string
+}
+
+// Accept waits for the next connection and wraps it. Connections that
+// arrive while the fabric is partitioned are closed and skipped.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		nc, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.f.isPartitioned() {
+			nc.Close()
+			continue
+		}
+		l.f.mu.Lock()
+		n := l.f.accepts
+		l.f.accepts++
+		l.f.mu.Unlock()
+		return l.f.WrapConn(nc, fmt.Sprintf("%s#%d", l.prefix, n)), nil
+	}
+}

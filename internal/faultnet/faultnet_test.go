@@ -1,0 +1,189 @@
+package faultnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// drive writes frames frames through a fabric-wrapped side of a pipe and
+// returns the bytes the peer received, the schedule of link "L", and the
+// fault counters.
+func drive(t *testing.T, seed uint64, cfg Config, frames int) ([]byte, []string, Stats) {
+	t.Helper()
+	cfg.Record = true
+	f := New(seed, cfg)
+	a, b := net.Pipe()
+	w := f.WrapConn(a, "L")
+	got := make(chan []byte, 1)
+	go func() {
+		data, _ := io.ReadAll(b)
+		got <- data
+	}()
+	for i := 0; i < frames; i++ {
+		var frame [16]byte
+		binary.LittleEndian.PutUint64(frame[:], uint64(i))
+		binary.LittleEndian.PutUint64(frame[8:], seedMix(uint64(i)))
+		if _, err := w.Write(frame[:]); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	w.Close()
+	b.Close()
+	return <-got, f.Schedule("L"), f.Stats()
+}
+
+func seedMix(i uint64) uint64 { return i*0x9e3779b97f4a7c15 + 1 }
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	cfg := Config{Drop: 0.2, Dup: 0.1, Corrupt: 0.1, Delay: 0.1, MaxDelay: time.Millisecond}
+	for _, seed := range []uint64{1, 7, 42} {
+		b1, s1, st1 := drive(t, seed, cfg, 150)
+		b2, s2, st2 := drive(t, seed, cfg, 150)
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("seed %d: schedules differ:\n%v\n%v", seed, s1, s2)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("seed %d: received byte streams differ (%d vs %d bytes)", seed, len(b1), len(b2))
+		}
+		if st1 != st2 {
+			t.Fatalf("seed %d: stats differ: %+v vs %+v", seed, st1, st2)
+		}
+		if len(s1) == 0 {
+			t.Fatalf("seed %d: no faults scheduled across 150 frames at these rates", seed)
+		}
+	}
+}
+
+func TestDistinctSeedsDistinctSchedules(t *testing.T) {
+	cfg := Config{Drop: 0.2, Dup: 0.1, Corrupt: 0.1, Delay: 0.1, MaxDelay: time.Millisecond}
+	_, s1, _ := drive(t, 1, cfg, 150)
+	_, s2, _ := drive(t, 2, cfg, 150)
+	if reflect.DeepEqual(s1, s2) {
+		t.Fatal("seeds 1 and 2 produced identical 150-frame schedules")
+	}
+}
+
+func TestCorruptAltersBytesPreservesLength(t *testing.T) {
+	cfg := Config{Corrupt: 1}
+	f := New(5, cfg)
+	a, b := net.Pipe()
+	w := f.WrapConn(a, "L")
+	frame := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	go func() {
+		if n, err := w.Write(frame); err != nil || n != len(frame) {
+			t.Errorf("write: n=%d err=%v", n, err)
+		}
+		w.Close()
+	}()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frame) {
+		t.Fatalf("corrupted frame length %d, want %d", len(got), len(frame))
+	}
+	if bytes.Equal(got, frame) {
+		t.Fatal("corrupt fault did not alter the frame")
+	}
+	if f.Stats().Corrupted != 1 {
+		t.Fatalf("stats: %+v", f.Stats())
+	}
+}
+
+func TestResetClosesTransport(t *testing.T) {
+	f := New(5, Config{Reset: 1})
+	a, b := net.Pipe()
+	defer b.Close()
+	w := f.WrapConn(a, "L")
+	if _, err := w.Write([]byte{1}); err != ErrInjectedReset {
+		t.Fatalf("write error = %v, want ErrInjectedReset", err)
+	}
+	if _, err := b.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer read succeeded after injected reset")
+	}
+}
+
+func TestPartitionSeversAndHealRestores(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+
+	f := New(3, Config{})
+	c, err := f.Dial(ln.Addr().String(), "node-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatalf("pre-partition write: %v", err)
+	}
+	f.Partition()
+	if _, err := c.Write([]byte{1}); err == nil {
+		t.Fatal("write succeeded across a partition")
+	}
+	if _, err := f.Dial(ln.Addr().String(), "node-0"); err != ErrPartitioned {
+		t.Fatalf("dial during partition = %v, want ErrPartitioned", err)
+	}
+	f.Heal()
+	c2, err := f.Dial(ln.Addr().String(), "node-0")
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	if _, err := c2.Write([]byte{1}); err != nil {
+		t.Fatalf("post-heal write: %v", err)
+	}
+	c2.Close()
+}
+
+func TestWrapListenerLabelsInAcceptOrder(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(9, Config{Drop: 1, Record: true})
+	ln := f.WrapListener(raw, "srv")
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Write([]byte{1}) // dropped: schedule records under srv#i
+			c.Close()
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", raw.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		// Wait for the server side to process before dialing the next so
+		// accept order (and therefore labeling) is deterministic.
+		time.Sleep(20 * time.Millisecond)
+	}
+	<-done
+	for _, label := range []string{"srv#0", "srv#1"} {
+		if sched := f.Schedule(label); len(sched) != 1 {
+			t.Fatalf("schedule[%s] = %v, want one drop", label, sched)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package metrics
+
+import "sync/atomic"
+
+// NetCounters aggregates the deployment layer's degradation counters so
+// that fault handling is visible, not silent: every shed frame, tripped
+// deadline, and reconnect is accounted, mirroring how the shedding layer
+// accounts every dropped update. All fields are atomic; one NetCounters
+// may be shared by a server and all of its clients.
+type NetCounters struct {
+	// Disconnects counts links lost to read/write errors or deadlines.
+	Disconnects atomic.Int64
+	// Reconnects counts successful client re-dials (a completed
+	// backoff → dial → re-Hello cycle).
+	Reconnects atomic.Int64
+	// DeadlineTrips counts read deadlines that fired on silent links.
+	DeadlineTrips atomic.Int64
+	// ShedFrames counts input-queue overflows shed oldest-first by the
+	// server instead of growing without bound.
+	ShedFrames atomic.Int64
+	// LostUpdates counts position updates a client had to discard
+	// because it was disconnected (the node keeps dead-reckoning at the
+	// conservative fallback Δ⊢ meanwhile).
+	LostUpdates atomic.Int64
+	// Heartbeats counts liveness pings sent.
+	Heartbeats atomic.Int64
+	// Panics counts per-connection handler panics that were isolated to
+	// the offending connection.
+	Panics atomic.Int64
+}
+
+// NetSnapshot is a plain-value copy of NetCounters for printing and
+// assertions.
+type NetSnapshot struct {
+	Disconnects   int64
+	Reconnects    int64
+	DeadlineTrips int64
+	ShedFrames    int64
+	LostUpdates   int64
+	Heartbeats    int64
+	Panics        int64
+}
+
+// Snapshot returns the current counter values.
+func (c *NetCounters) Snapshot() NetSnapshot {
+	return NetSnapshot{
+		Disconnects:   c.Disconnects.Load(),
+		Reconnects:    c.Reconnects.Load(),
+		DeadlineTrips: c.DeadlineTrips.Load(),
+		ShedFrames:    c.ShedFrames.Load(),
+		LostUpdates:   c.LostUpdates.Load(),
+		Heartbeats:    c.Heartbeats.Load(),
+		Panics:        c.Panics.Load(),
+	}
+}

@@ -1,0 +1,32 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNetCountersConcurrentSnapshot(t *testing.T) {
+	var c NetCounters
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Disconnects.Add(1)
+				c.Reconnects.Add(1)
+				c.DeadlineTrips.Add(1)
+				c.ShedFrames.Add(1)
+				c.LostUpdates.Add(1)
+				c.Heartbeats.Add(1)
+				c.Panics.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	got := c.Snapshot()
+	want := NetSnapshot{800, 800, 800, 800, 800, 800, 800}
+	if got != want {
+		t.Errorf("Snapshot = %+v, want %+v", got, want)
+	}
+}

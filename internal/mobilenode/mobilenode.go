@@ -135,6 +135,17 @@ func (n *Node) Install(station int, regions *Compiled) {
 	n.regions = regions
 }
 
+// Drop discards the node's station assignment: until a fresh assignment
+// is installed, Delta reverts to the conservative fallback Δ⊢ — the same
+// state as before the first broadcast arrived (§2.2). A disconnected
+// node calls this so its reporting degrades toward more updates, never
+// toward silent inaccuracy. The hand-off counter is untouched: a later
+// reinstall of the same station is a resync, not a hand-off.
+func (n *Node) Drop() {
+	n.station = -1
+	n.regions = nil
+}
+
 // Start records the node's first report (always transmitted) and returns
 // it.
 func (n *Node) Start(pos geo.Point, vel geo.Vector, t float64) motion.Report {

@@ -144,6 +144,36 @@ func TestNodeHandoffCounting(t *testing.T) {
 	}
 }
 
+func TestNodeDropDegradesToFallback(t *testing.T) {
+	n := NewNode(0)
+	c1 := Compile(gridAssignment(2))
+	n.Install(4, c1)
+	p := geo.Point{X: 10, Y: 10}
+	if got := n.Delta(p, 99); got == 99 {
+		t.Fatal("installed node still using fallback Δ")
+	}
+	n.Drop()
+	if n.Station() != -1 {
+		t.Errorf("dropped node station = %d, want -1", n.Station())
+	}
+	if got := n.Delta(p, 99); got != 99 {
+		t.Errorf("dropped node Δ = %v, want fallback 99", got)
+	}
+	if n.Handoffs != 0 {
+		t.Errorf("Drop counted as hand-off: %d", n.Handoffs)
+	}
+	// Reinstalling the same station after a resync is not a hand-off
+	// either: the drop erased the station, so the reinstall looks like
+	// the pre-first-assignment state.
+	n.Install(4, c1)
+	if n.Handoffs != 0 {
+		t.Errorf("resync reinstall counted as hand-off: %d", n.Handoffs)
+	}
+	if got := n.Delta(p, 99); got == 99 {
+		t.Error("reinstall did not restore the region Δ")
+	}
+}
+
 func TestNodeUsesRegionDelta(t *testing.T) {
 	n := NewNode(0)
 	a := gridAssignment(2) // deltas 5, 6, 7, 8 over quadrants

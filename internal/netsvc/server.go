@@ -8,6 +8,17 @@
 // connection goroutine funnels decoded messages through a mutex. Periodic
 // work — draining the input queue, refreshing statistics, re-running the
 // adaptation, evaluating queries — happens on one background loop.
+//
+// The layer is built for lossy, partition-prone links (the network the
+// paper's mobile CQ system actually runs over): connections carry read
+// deadlines kept alive by client heartbeats, a panic in one connection
+// handler is isolated to that connection, input-queue overflow sheds
+// oldest-first into the same drop accounting THROTLOOP watches instead of
+// growing without bound, clients reconnect with exponential backoff and
+// deterministic jitter, and a disconnected node degrades to the
+// conservative fallback threshold Δ⊢. Every one of those events is
+// counted in metrics.NetCounters — degradation here is visible, never
+// silent. See DESIGN.md's "Failure model" section.
 package netsvc
 
 import (
@@ -18,6 +29,7 @@ import (
 	"lira/internal/basestation"
 	"lira/internal/cqserver"
 	"lira/internal/geo"
+	"lira/internal/metrics"
 	"lira/internal/wire"
 )
 
@@ -25,8 +37,22 @@ import (
 // wall clock; tests inject accelerated clocks.
 type Clock func() float64
 
-// WallClock is the default clock: Unix seconds with sub-second precision.
-func WallClock() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+// wallBase pins WallClock's origin once at process start. Advancing via
+// time.Since rides Go's monotonic clock, so an NTP step (or any
+// wall-clock jump) can never move simulation time backwards through
+// deadline or adaptation-period math; the Unix-epoch offset keeps
+// separate processes (lirad, liranode) on one timebase.
+var wallBase = time.Now()
+var wallBaseUnix = float64(wallBase.UnixNano()) / 1e9
+
+// WallClock is the default clock: Unix seconds with sub-second
+// precision, advanced monotonically from a fixed origin.
+func WallClock() float64 { return wallBaseUnix + time.Since(wallBase).Seconds() }
+
+// defaultReadTimeout is the server's per-connection silence bound. It is
+// deliberately several multiples of the clients' default heartbeat
+// cadence, so only a genuinely dead link trips it.
+const defaultReadTimeout = 30 * time.Second
 
 // ServerConfig parameterizes a network server.
 type ServerConfig struct {
@@ -46,14 +72,23 @@ type ServerConfig struct {
 	// DrainPerTick bounds queue draining per background tick; zero means
 	// drain fully.
 	DrainPerTick int
+	// ReadTimeout is the per-connection read deadline: a connection
+	// silent for this long is dropped (clients heartbeat at a faster
+	// cadence, so only dead links trip it). Zero selects 30s; negative
+	// disables deadlines.
+	ReadTimeout time.Duration
+	// Counters receives degradation accounting; nil allocates a private
+	// set (inspect it via Server.Counters).
+	Counters *metrics.NetCounters
 	// Clock supplies simulation time; nil selects WallClock.
 	Clock Clock
 }
 
 // Server hosts the CQ server and base stations behind a TCP listener.
 type Server struct {
-	cfg ServerConfig
-	ln  net.Listener
+	cfg      ServerConfig
+	ln       net.Listener
+	counters *metrics.NetCounters
 
 	mu          sync.Mutex
 	core        *cqserver.Server
@@ -61,13 +96,23 @@ type Server struct {
 	frames      [][]byte // cached per-station assignment frames
 	nodeConns   map[uint32]*srvConn
 	nodeStation map[uint32]int
-	queryConns  map[uint32]*srvConn // query id -> owner
-	queryIDs    []uint32            // registration order, parallel to core queries
-	nextQuery   uint32
+	queryRegs   []queryReg // registration order, parallel to core queries
 	closed      bool
 
 	wg   sync.WaitGroup
 	done chan struct{}
+}
+
+// queryReg ties one registered continual query to the connection that
+// owns it and the id the client chose for it. Result frames carry the
+// client's id, so a reconnecting subscriber that re-registers under its
+// original ids resumes seamlessly; when the owning connection drops, its
+// registrations are removed so abandoned queries stop consuming
+// evaluation work.
+type queryReg struct {
+	owner    *srvConn
+	clientID uint32
+	rect     geo.Rect
 }
 
 type srvConn struct {
@@ -83,6 +128,21 @@ func (sc *srvConn) send(frame []byte) error {
 
 // Listen starts a server on addr (e.g. "127.0.0.1:0").
 func Listen(addr string, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Serve(ln, cfg)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Serve starts a server on an existing listener. Chaos tests use it to
+// interpose a fault-injecting listener; Listen is the plain-TCP wrapper.
+func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
 	core, err := cqserver.New(cfg.Core)
 	if err != nil {
 		return nil, err
@@ -93,6 +153,12 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = WallClock
 	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = defaultReadTimeout
+	}
+	if cfg.Counters == nil {
+		cfg.Counters = &metrics.NetCounters{}
+	}
 	if len(cfg.Stations) == 0 {
 		space := cfg.Core.Space
 		cfg.Stations = []basestation.Station{{
@@ -101,21 +167,16 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 			Radius: space.Width() + space.Height(),
 		}}
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
 	s := &Server{
 		cfg:         cfg,
 		ln:          ln,
+		counters:    cfg.Counters,
 		core:        core,
 		nodeConns:   make(map[uint32]*srvConn),
 		nodeStation: make(map[uint32]int),
-		queryConns:  make(map[uint32]*srvConn),
 		done:        make(chan struct{}),
 	}
 	if err := s.adaptLocked(); err != nil {
-		ln.Close()
 		return nil, err
 	}
 	s.wg.Add(2)
@@ -127,7 +188,13 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 // Addr returns the listener address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Close stops the server and disconnects every client.
+// Counters exposes the server's degradation counters.
+func (s *Server) Counters() *metrics.NetCounters { return s.counters }
+
+// Close stops the server, disconnects every client, and drains the
+// in-flight frames still queued: updates already accepted are applied to
+// the motion table before Close returns, so a graceful shutdown loses
+// nothing it acknowledged.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -137,14 +204,17 @@ func (s *Server) Close() error {
 	s.closed = true
 	close(s.done)
 	conns := make([]*srvConn, 0, len(s.nodeConns))
-	for _, c := range s.nodeConns {
-		conns = append(conns, c)
-	}
 	seen := map[*srvConn]bool{}
-	for _, c := range s.queryConns {
+	for _, c := range s.nodeConns {
 		if !seen[c] {
 			conns = append(conns, c)
 			seen[c] = true
+		}
+	}
+	for _, r := range s.queryRegs {
+		if !seen[r.owner] {
+			conns = append(conns, r.owner)
+			seen[r.owner] = true
 		}
 	}
 	s.mu.Unlock()
@@ -153,6 +223,9 @@ func (s *Server) Close() error {
 		c.c.Close()
 	}
 	s.wg.Wait()
+	// All connection goroutines and the background loop are gone: drain
+	// whatever the input queue still holds.
+	s.core.Drain(-1)
 	return err
 }
 
@@ -213,14 +286,30 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) handleConn(sc *srvConn) {
-	defer s.wg.Done()
-	defer sc.c.Close()
 	var nodeID uint32
 	hasNode := false
+	// Per-connection isolation: a panic while handling one client's
+	// frames (a decode edge case, a handler bug) closes that connection
+	// only — the server, its other connections, and the background loop
+	// keep running.
+	defer func() {
+		if r := recover(); r != nil {
+			s.counters.Panics.Add(1)
+		}
+		sc.c.Close()
+		s.dropConn(sc, nodeID, hasNode)
+		s.wg.Done()
+	}()
 	for {
+		if s.cfg.ReadTimeout > 0 {
+			sc.c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
 		typ, payload, err := wire.ReadFrame(sc.c)
 		if err != nil {
-			break
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.counters.DeadlineTrips.Add(1)
+			}
+			return
 		}
 		switch typ {
 		case wire.TypeHello:
@@ -242,28 +331,59 @@ func (s *Server) handleConn(sc *srvConn) {
 				return
 			}
 			s.registerQuery(sc, q)
+		case wire.TypePing:
+			p, err := wire.DecodePing(payload)
+			if err != nil {
+				return
+			}
+			sc.send(wire.AppendPong(nil, wire.Pong{Token: p.Token}))
+		case wire.TypePong:
+			// Tolerated: keeps the read deadline fresh.
 		default:
 			return // protocol violation: drop the connection
 		}
 	}
-	if hasNode {
-		s.mu.Lock()
-		if s.nodeConns[nodeID] == sc {
-			delete(s.nodeConns, nodeID)
-			delete(s.nodeStation, nodeID)
-		}
-		s.mu.Unlock()
-	}
+}
+
+// dropConn forgets everything a dead connection owned: its node
+// registration (unless a reconnect already replaced it) and its query
+// registrations, so abandoned queries stop consuming evaluation work.
+func (s *Server) dropConn(sc *srvConn, nodeID uint32, hasNode bool) {
 	s.mu.Lock()
-	for id, c := range s.queryConns {
-		if c == sc {
-			delete(s.queryConns, id)
-		}
+	defer s.mu.Unlock()
+	if hasNode && s.nodeConns[nodeID] == sc {
+		delete(s.nodeConns, nodeID)
+		delete(s.nodeStation, nodeID)
 	}
-	s.mu.Unlock()
+	kept := s.queryRegs[:0]
+	removed := false
+	for _, r := range s.queryRegs {
+		if r.owner == sc {
+			removed = true
+			continue
+		}
+		kept = append(kept, r)
+	}
+	s.queryRegs = kept
+	if removed {
+		s.syncQueriesLocked()
+	}
+}
+
+// syncQueriesLocked rebuilds the core's query set from the live
+// registrations (index-parallel to queryRegs).
+func (s *Server) syncQueriesLocked() {
+	qs := make([]geo.Rect, len(s.queryRegs))
+	for i, r := range s.queryRegs {
+		qs[i] = r.rect
+	}
+	s.core.RegisterQueries(qs)
 }
 
 func (s *Server) registerNode(sc *srvConn, h wire.Hello) {
+	if int(h.Node) >= s.cfg.Core.Nodes {
+		return // out-of-range id: corrupted or hostile handshake
+	}
 	s.mu.Lock()
 	s.nodeConns[h.Node] = sc
 	st := basestation.StationFor(s.cfg.Stations, h.Pos)
@@ -279,8 +399,21 @@ func (s *Server) registerNode(sc *srvConn, h wire.Hello) {
 }
 
 func (s *Server) ingest(sc *srvConn, u wire.Update) {
+	// Range-check before the frame reaches the fixed-size motion table:
+	// a bit-flipped node id must be discarded here, at the trust
+	// boundary, not crash the background drain loop.
+	if int(u.Node) >= s.cfg.Core.Nodes {
+		return
+	}
 	s.mu.Lock()
-	s.core.Ingest(cqserver.Update{Node: int(u.Node), Report: u.Report})
+	// Bounded admission with graceful overflow: a saturated queue sheds
+	// its oldest report to admit the freshest. The shed counts as a drop
+	// in the queue's accounting — the same λ-side signal THROTLOOP's
+	// utilization estimate is built from — so sustained overflow shows up
+	// as overload, not as an OOM.
+	if s.core.Queue().OfferShedOldest(cqserver.Update{Node: int(u.Node), Report: u.Report}) {
+		s.counters.ShedFrames.Add(1)
+	}
 	// Hand-off check: a node that moved outside its station's coverage
 	// gets the new station's subset.
 	st, known := s.nodeStation[u.Node]
@@ -304,16 +437,24 @@ func (s *Server) ingest(sc *srvConn, u wire.Update) {
 
 func (s *Server) registerQuery(sc *srvConn, q wire.Query) {
 	s.mu.Lock()
-	id := s.nextQuery
-	s.nextQuery++
-	s.queryConns[id] = sc
-	s.queryIDs = append(s.queryIDs, id)
-	qs := append(append([]geo.Rect(nil), s.core.Queries()...), q.Rect)
-	s.core.RegisterQueries(qs)
+	idx := -1
+	for i, r := range s.queryRegs {
+		if r.owner == sc && r.clientID == q.ID {
+			idx = i // idempotent re-registration: replace the rect
+			break
+		}
+	}
+	if idx >= 0 {
+		s.queryRegs[idx].rect = q.Rect
+	} else {
+		idx = len(s.queryRegs)
+		s.queryRegs = append(s.queryRegs, queryReg{owner: sc, clientID: q.ID, rect: q.Rect})
+	}
+	s.syncQueriesLocked()
 	now := s.cfg.Clock()
 	s.core.Drain(-1)
 	results := s.core.Evaluate(now)
-	frame := resultFrame(id, results[len(results)-1])
+	frame := resultFrame(q.ID, results[idx])
 	s.mu.Unlock()
 	sc.send(frame)
 }
@@ -361,12 +502,10 @@ func (s *Server) backgroundLoop() {
 			frame []byte
 		}
 		var pushes []push
-		if s.cfg.EvalEvery > 0 && len(s.queryIDs) > 0 {
+		if s.cfg.EvalEvery > 0 && len(s.queryRegs) > 0 {
 			results := s.core.Evaluate(now)
-			for qi, id := range s.queryIDs {
-				if sc, ok := s.queryConns[id]; ok {
-					pushes = append(pushes, push{sc, resultFrame(id, results[qi])})
-				}
+			for qi, reg := range s.queryRegs {
+				pushes = append(pushes, push{reg.owner, resultFrame(reg.clientID, results[qi])})
 			}
 		}
 		s.mu.Unlock()

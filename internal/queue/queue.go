@@ -56,6 +56,27 @@ func (q *Bounded[T]) Offer(item T) bool {
 	return true
 }
 
+// OfferShedOldest enqueues item unconditionally: when the queue is full
+// the oldest entry is shed — counted as a drop, not as served work — to
+// make room for the freshest. This is the network layer's overflow
+// policy: under saturation a stale position report is strictly less
+// useful than the report that supersedes it, so the head of the queue is
+// the right victim. The returned flag reports whether an entry was shed.
+func (q *Bounded[T]) OfferShedOldest(item T) (shed bool) {
+	q.arrived++
+	q.winArrived++
+	if q.size == len(q.buf) {
+		q.head = (q.head + 1) % len(q.buf)
+		q.size--
+		q.dropped++
+		shed = true
+	}
+	q.buf[q.tail] = item
+	q.tail = (q.tail + 1) % len(q.buf)
+	q.size++
+	return shed
+}
+
 // Poll dequeues the oldest item. The second result is false when the queue
 // is empty.
 func (q *Bounded[T]) Poll() (T, bool) {

@@ -23,6 +23,38 @@ func TestFIFOOrder(t *testing.T) {
 	}
 }
 
+func TestOfferShedOldest(t *testing.T) {
+	q := NewBounded[int64](3)
+	for i := int64(1); i <= 3; i++ {
+		if q.OfferShedOldest(i) {
+			t.Fatalf("OfferShedOldest(%d) shed below capacity", i)
+		}
+	}
+	// Saturated: each further offer evicts the head, keeping the freshest.
+	if !q.OfferShedOldest(4) || !q.OfferShedOldest(5) {
+		t.Fatal("OfferShedOldest at capacity must shed")
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	for want := int64(3); want <= 5; want++ {
+		got, ok := q.Poll()
+		if !ok || got != want {
+			t.Fatalf("Poll = (%d, %v), want %d (oldest-first shedding)", got, ok, want)
+		}
+	}
+	// Sheds are drops (they feed the overload signal), not served work.
+	if q.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", q.Dropped())
+	}
+	if q.Served() != 3 {
+		t.Errorf("Served = %d, want 3", q.Served())
+	}
+	if q.Arrived() != 5 {
+		t.Errorf("Arrived = %d, want 5", q.Arrived())
+	}
+}
+
 func TestDropWhenFull(t *testing.T) {
 	q := NewBounded[int64](2)
 	q.Offer(1)

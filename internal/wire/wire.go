@@ -35,6 +35,12 @@ const (
 	TypeQuery
 	// TypeResult is one query's current result set.
 	TypeResult
+	// TypePing is a liveness probe carrying an opaque token; the peer
+	// echoes it back as a TypePong. Heartbeats keep read deadlines from
+	// tripping on healthy-but-idle links.
+	TypePing
+	// TypePong answers a ping, echoing its token.
+	TypePong
 )
 
 // String implements fmt.Stringer.
@@ -50,6 +56,10 @@ func (t Type) String() string {
 		return "query"
 	case TypeResult:
 		return "result"
+	case TypePing:
+		return "ping"
+	case TypePong:
+		return "pong"
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
@@ -117,6 +127,16 @@ type Query struct {
 type Result struct {
 	ID    uint32
 	Nodes []uint32
+}
+
+// Ping is a liveness probe; Token is echoed back in the answering pong.
+type Ping struct {
+	Token uint32
+}
+
+// Pong answers a ping.
+type Pong struct {
+	Token uint32
 }
 
 // AssignmentWireSize returns the payload size of an assignment with n
@@ -253,6 +273,20 @@ func AppendResult(dst []byte, res Result) []byte {
 	return appendFrame(dst, TypeResult, w.buf)
 }
 
+// AppendPing encodes p into a frame appended to dst.
+func AppendPing(dst []byte, p Ping) []byte {
+	var w writer
+	w.u32(p.Token)
+	return appendFrame(dst, TypePing, w.buf)
+}
+
+// AppendPong encodes p into a frame appended to dst.
+func AppendPong(dst []byte, p Pong) []byte {
+	var w writer
+	w.u32(p.Token)
+	return appendFrame(dst, TypePong, w.buf)
+}
+
 func appendFrame(dst []byte, t Type, payload []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
 	dst = append(dst, byte(t))
@@ -315,6 +349,20 @@ func DecodeResult(payload []byte) (Result, error) {
 		res.Nodes = append(res.Nodes, r.u32())
 	}
 	return res, r.done()
+}
+
+// DecodePing decodes a ping payload.
+func DecodePing(payload []byte) (Ping, error) {
+	r := reader{buf: payload}
+	p := Ping{Token: r.u32()}
+	return p, r.done()
+}
+
+// DecodePong decodes a pong payload.
+func DecodePong(payload []byte) (Pong, error) {
+	r := reader{buf: payload}
+	p := Pong{Token: r.u32()}
+	return p, r.done()
 }
 
 // ReadFrame reads one frame from rd. It returns the message type and

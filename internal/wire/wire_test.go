@@ -248,8 +248,35 @@ func TestFloat32Quantization(t *testing.T) {
 	}
 }
 
+func TestPingPongRoundTrip(t *testing.T) {
+	p := Ping{Token: 0xdeadbeef}
+	payload := roundTrip(t, AppendPing(nil, p), TypePing)
+	gotP, err := DecodePing(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotP != p {
+		t.Errorf("got %+v, want %+v", gotP, p)
+	}
+	q := Pong{Token: 0xdeadbeef}
+	payload = roundTrip(t, AppendPong(nil, q), TypePong)
+	gotQ, err := DecodePong(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotQ != q {
+		t.Errorf("got %+v, want %+v", gotQ, q)
+	}
+	if _, err := DecodePing([]byte{1, 2}); err == nil {
+		t.Error("short ping accepted")
+	}
+	if _, err := DecodePong(make([]byte, 8)); err == nil {
+		t.Error("long pong accepted")
+	}
+}
+
 func TestTypeString(t *testing.T) {
-	for _, typ := range []Type{TypeHello, TypeUpdate, TypeAssignment, TypeQuery, TypeResult} {
+	for _, typ := range []Type{TypeHello, TypeUpdate, TypeAssignment, TypeQuery, TypeResult, TypePing, TypePong} {
 		if typ.String() == "" {
 			t.Errorf("Type %d has no name", typ)
 		}

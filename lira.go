@@ -43,6 +43,7 @@ import (
 	"lira/internal/basestation"
 	"lira/internal/cqserver"
 	"lira/internal/experiment"
+	"lira/internal/faultnet"
 	"lira/internal/fmodel"
 	"lira/internal/geo"
 	"lira/internal/history"
@@ -286,8 +287,21 @@ type (
 	NetServerConfig = netsvc.ServerConfig
 	// NetNode is a layer-3 mobile-node client.
 	NetNode = netsvc.NodeClient
+	// NetNodeConfig parameterizes a NetNode's fault tolerance
+	// (heartbeats, deadlines, reconnect backoff).
+	NetNodeConfig = netsvc.NodeConfig
 	// NetQuery is a continual-query subscriber client.
 	NetQuery = netsvc.QueryClient
+	// NetQueryConfig parameterizes a NetQuery's fault tolerance.
+	NetQueryConfig = netsvc.QueryConfig
+	// NetCounters is the degradation accounting shared by servers and
+	// clients: disconnects, reconnects, deadline trips, shed frames.
+	NetCounters = metrics.NetCounters
+	// FaultConfig sets per-frame fault probabilities for a FaultFabric.
+	FaultConfig = faultnet.Config
+	// FaultFabric injects deterministic, seeded network faults (drop,
+	// delay, duplication, corruption, resets, partitions) for chaos runs.
+	FaultFabric = faultnet.Fabric
 )
 
 // ListenAndServe starts a LIRA network server on addr.
@@ -303,6 +317,24 @@ func DialNode(addr string, id uint32, pos Point, fallbackDelta float64) (*NetNod
 // DialQuery connects a continual-query subscriber to a network server.
 func DialQuery(addr string, buffer int) (*NetQuery, error) {
 	return netsvc.DialQuery(addr, buffer)
+}
+
+// DialNodeConfig connects a mobile node with explicit fault-tolerance
+// parameters.
+func DialNodeConfig(addr string, cfg NetNodeConfig) (*NetNode, error) {
+	return netsvc.DialNodeConfig(addr, cfg)
+}
+
+// DialQueryConfig connects a query subscriber with explicit
+// fault-tolerance parameters.
+func DialQueryConfig(addr string, cfg NetQueryConfig) (*NetQuery, error) {
+	return netsvc.DialQueryConfig(addr, cfg)
+}
+
+// NewFaultFabric returns a deterministic fault-injection fabric: wrap
+// dials and listeners in it to chaos-test a deployment reproducibly.
+func NewFaultFabric(seed uint64, cfg FaultConfig) *FaultFabric {
+	return faultnet.New(seed, cfg)
 }
 
 // Metrics and experiments.

@@ -14,6 +14,16 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== fuzz smoke (wire decoders, 5s each) =="
+for t in FuzzDecodeHello FuzzDecodeUpdate FuzzDecodeAssignment \
+         FuzzDecodeQuery FuzzDecodeResult FuzzDecodePing FuzzReadFrame; do
+	echo "fuzz $t"
+	go test -run '^$' -fuzz "^${t}\$" -fuzztime 5s ./internal/wire
+done
+
+echo "== chaos (race-enabled fault-injection suite) =="
+go test -race -count 1 -run 'Chaos|LossDegrades|Reconnect|ClientErr|Overflow|DrainPerTick' ./internal/netsvc
+
 echo "== bench smoke (Fig04, 1 iteration) =="
 go test -run '^$' -bench Fig04 -benchtime 1x .
 
