@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke chaos bench-smoke bench-report clean
+.PHONY: check vet build test race fuzz-smoke chaos bench-smoke obs-smoke obs-demo bench-report bench-report-obs clean
 
-check: vet build race fuzz-smoke chaos bench-smoke
+check: vet build race fuzz-smoke chaos bench-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,9 +41,26 @@ chaos:
 bench-smoke:
 	$(GO) test -run '^$$' -bench Fig04 -benchtime 1x .
 
+# Telemetry smoke: lirad introspection endpoints plus the zero-diff
+# passivity check (same seed, same output, journal on or off).
+obs-smoke:
+	sh scripts/obs_smoke.sh
+
+# Interactive observability demo: boots lirad with /metrics and
+# /debug/lira (plus pprof) on :17401 and leaves it running — curl away,
+# ^C to stop. See README "Observability" for a sample session.
+obs-demo:
+	$(GO) run ./cmd/lirad -listen 127.0.0.1:17400 -http 127.0.0.1:17401 \
+		-pprof -nodes 1000 -l 49 -side 5000 -adapt 5s -eval 2s
+
 # Regenerate the serial-vs-parallel timing artifact.
 bench-report:
 	$(GO) run ./cmd/lirabench -nodes 1500 -duration 300 -parallel 4 -json BENCH_PR1.json
+
+# Regenerate the telemetry-overhead artifact (Evaluate-latency histogram,
+# per-stage breakdown, on/off overhead).
+bench-report-obs:
+	$(GO) run ./cmd/lirabench -exp fig9 -nodes 1500 -duration 300 -parallel 4 -obs -json BENCH_PR3.json
 
 clean:
 	$(GO) clean ./...

@@ -46,6 +46,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "environment seed")
 		parallel = flag.Int("parallel", 0, "sweep worker count: 0 = GOMAXPROCS, 1 = serial")
 		jsonOut  = flag.String("json", "", "write a serial-vs-parallel benchmark report to this path instead of printing tables")
+		obs      = flag.Bool("obs", false, "measure telemetry overhead and print the Evaluate-latency histogram and per-stage breakdown (embedded in the -json report when both are set)")
 	)
 	flag.Parse()
 
@@ -76,11 +77,22 @@ func main() {
 	}
 	all := wanted["all"]
 
+	var obsRep *obsReport
+	if *obs {
+		var err error
+		if obsRep, err = runObs(env, sweep.Base); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *jsonOut != "" {
-		if err := writeBenchReport(*jsonOut, env, sweep, *scale, envCfg.Nodes, wanted, all); err != nil {
+		if err := writeBenchReport(*jsonOut, env, sweep, *scale, envCfg.Nodes, wanted, all, obsRep); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if obsRep != nil {
+		printObs(os.Stdout, obsRep)
 	}
 
 	run := func(id string, fn func() (*experiment.Figure, error)) {
@@ -196,6 +208,9 @@ type benchReport struct {
 	TotalSerialMS   float64      `json:"total_serial_ms"`
 	TotalParallelMS float64      `json:"total_parallel_ms"`
 	TotalSpeedup    float64      `json:"total_speedup"`
+	// Telemetry is present when -obs is set: instrumentation overhead and
+	// the Evaluate-latency breakdown (see obsReport).
+	Telemetry *obsReport `json:"telemetry,omitempty"`
 }
 
 func renderFigs(figs ...*experiment.Figure) string {
@@ -211,7 +226,7 @@ func renderFigs(figs ...*experiment.Figure) string {
 // wall-clock comparison to path. Figures whose tables embed measured times
 // (fig14) or that are not sweep-based (fig1, fig3, table3) are excluded:
 // they have no parallel path to compare.
-func writeBenchReport(path string, env *experiment.Env, sweep experiment.Sweep, scale string, nodes int, wanted map[string]bool, all bool) error {
+func writeBenchReport(path string, env *experiment.Env, sweep experiment.Sweep, scale string, nodes int, wanted map[string]bool, all bool, obsRep *obsReport) error {
 	type target struct {
 		ids []string // -exp ids this target satisfies
 		run func(sw experiment.Sweep) (string, error)
@@ -272,6 +287,7 @@ func writeBenchReport(path string, env *experiment.Env, sweep experiment.Sweep, 
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    workers,
+		Telemetry:  obsRep,
 	}
 	for _, tg := range targets {
 		selected := all

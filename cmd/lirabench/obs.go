@@ -1,0 +1,166 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"lira/internal/experiment"
+	"lira/internal/telemetry"
+)
+
+// obsStage is the aggregate timing of one instrumented pipeline stage.
+type obsStage struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MeanUS  float64 `json:"mean_us"`
+}
+
+// obsReport quantifies the telemetry subsystem's cost and yield: the same
+// run is executed with the hub detached and attached, and the wall-clock
+// delta bounds the instrumentation overhead on the Evaluate/Adapt hot
+// paths. The histograms and journal counts come from the enabled run.
+type obsReport struct {
+	RunDisabledMS float64 `json:"run_disabled_ms"`
+	RunEnabledMS  float64 `json:"run_enabled_ms"`
+	// OverheadPct is (enabled - disabled) / disabled × 100; each side is
+	// the best of three repetitions after a shared warmup run, to damp
+	// scheduler and allocator noise.
+	OverheadPct float64 `json:"overhead_pct"`
+	// IdenticalOutput reports whether the disabled and enabled runs
+	// produced the same accuracy metrics and update accounting — the
+	// telemetry passivity contract.
+	IdenticalOutput bool `json:"identical_output"`
+
+	Evaluations       int64                       `json:"evaluations"`
+	EvaluateHistogram telemetry.HistogramSnapshot `json:"evaluate_histogram"`
+	Stages            []obsStage                  `json:"stages"`
+	JournalRecords    uint64                      `json:"journal_records"`
+}
+
+// obsStageNames maps the instrumented histograms to report labels, in
+// pipeline order: the two Evaluate sub-stages, then the two Adapt stages.
+var obsStageNames = [][2]string{
+	{"predict", "lira_evaluate_predict_seconds"},
+	{"scan", "lira_evaluate_scan_seconds"},
+	{"gridreduce", "lira_gridreduce_seconds"},
+	{"set-throttlers", "lira_set_throttlers_seconds"},
+}
+
+// resultFingerprint folds a run's deterministic outputs into a comparable
+// string (timings excluded — they are the one legitimately nondeterministic
+// field).
+func resultFingerprint(r *experiment.Result) string {
+	return fmt.Sprintf("%v z=%v ach=%v budget=%v ce=%v/%v/%v pos=%v ref=%d sent=%d adm=%d",
+		r.Strategy, r.Z, r.AchievedFraction, r.BudgetMet,
+		r.Metrics.MeanContainment, r.Metrics.StdDevContainment, r.Metrics.CovContainment,
+		r.Metrics.MeanPosition, r.ReferenceUpdates, r.SentUpdates, r.AdmittedUpdates)
+}
+
+// runObs measures the telemetry overhead on sweep.Base: after one untimed
+// warmup, three repetitions with the hub detached and three with it
+// attached (fresh hub each time so the histograms reflect a single run),
+// keeping the best wall clock of each mode.
+func runObs(env *experiment.Env, base experiment.RunConfig) (*obsReport, error) {
+	const reps = 3
+	measure := func(withHub bool) (time.Duration, *telemetry.Hub, string, error) {
+		var best time.Duration
+		var hub *telemetry.Hub
+		var fp string
+		for i := 0; i < reps; i++ {
+			cfg := base
+			var h *telemetry.Hub
+			if withHub {
+				h = telemetry.NewHub(0)
+				cfg.Telemetry = h
+			}
+			t0 := time.Now()
+			res, err := experiment.Run(env, cfg)
+			d := time.Since(t0)
+			if err != nil {
+				return 0, nil, "", err
+			}
+			if i == 0 || d < best {
+				best = d
+			}
+			hub, fp = h, resultFingerprint(res)
+		}
+		return best, hub, fp, nil
+	}
+
+	fmt.Fprintf(os.Stderr, "obs: measuring telemetry overhead (%d reps per mode)...", reps)
+	if _, err := experiment.Run(env, base); err != nil { // warmup
+		return nil, fmt.Errorf("obs (warmup): %w", err)
+	}
+	offD, _, offFP, err := measure(false)
+	if err != nil {
+		return nil, fmt.Errorf("obs (telemetry off): %w", err)
+	}
+	onD, hub, onFP, err := measure(true)
+	if err != nil {
+		return nil, fmt.Errorf("obs (telemetry on): %w", err)
+	}
+	fmt.Fprintf(os.Stderr, " off=%v on=%v\n", offD.Round(time.Millisecond), onD.Round(time.Millisecond))
+
+	rep := &obsReport{
+		RunDisabledMS:   float64(offD.Microseconds()) / 1e3,
+		RunEnabledMS:    float64(onD.Microseconds()) / 1e3,
+		IdenticalOutput: offFP == onFP,
+		JournalRecords:  hub.Journal.Seq(),
+	}
+	if offD > 0 {
+		rep.OverheadPct = 100 * float64(onD-offD) / float64(offD)
+	}
+	snap := hub.Registry.Snapshot()
+	rep.EvaluateHistogram = snap.Histograms["lira_evaluate_seconds"]
+	rep.Evaluations = rep.EvaluateHistogram.Count
+	for _, st := range obsStageNames {
+		h, ok := snap.Histograms[st[1]]
+		if !ok {
+			continue
+		}
+		s := obsStage{Name: st[0], Count: h.Count, TotalMS: h.Sum * 1e3}
+		if h.Count > 0 {
+			s.MeanUS = h.Sum / float64(h.Count) * 1e6
+		}
+		rep.Stages = append(rep.Stages, s)
+	}
+	return rep, nil
+}
+
+// printObs renders the report as text: the Evaluate-latency histogram
+// followed by the per-stage breakdown and the overhead verdict.
+func printObs(w io.Writer, rep *obsReport) {
+	fmt.Fprintf(w, "== telemetry observability report ==\n")
+	fmt.Fprintf(w, "Evaluate latency (%d evaluations, total %.1f ms):\n",
+		rep.Evaluations, rep.EvaluateHistogram.Sum*1e3)
+	h := rep.EvaluateHistogram
+	lower := 0.0
+	for i, c := range h.Counts {
+		if c == 0 {
+			if i < len(h.Bounds) {
+				lower = h.Bounds[i]
+			}
+			continue
+		}
+		upper := "+Inf"
+		if i < len(h.Bounds) {
+			upper = fmt.Sprintf("%gms", h.Bounds[i]*1e3)
+		}
+		fmt.Fprintf(w, "  (%gms, %s]  %d\n", lower*1e3, upper, c)
+		if i < len(h.Bounds) {
+			lower = h.Bounds[i]
+		}
+	}
+	fmt.Fprintf(w, "stages:\n")
+	for _, s := range rep.Stages {
+		fmt.Fprintf(w, "  %-14s  count %4d  total %8.1f ms  mean %8.1f µs\n",
+			s.Name, s.Count, s.TotalMS, s.MeanUS)
+	}
+	fmt.Fprintf(w, "journal records     %d\n", rep.JournalRecords)
+	fmt.Fprintf(w, "run wall clock      off %.0f ms, on %.0f ms (overhead %+.2f%%)\n",
+		rep.RunDisabledMS, rep.RunEnabledMS, rep.OverheadPct)
+	fmt.Fprintf(w, "identical output    %v\n", rep.IdenticalOutput)
+}

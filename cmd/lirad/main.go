@@ -6,7 +6,14 @@
 //
 // Usage:
 //
-//	lirad -listen 127.0.0.1:7400 -nodes 10000 -l 250 -z 0.5
+//	lirad -listen 127.0.0.1:7400 -nodes 10000 -l 250 -z 0.5 \
+//	      -http 127.0.0.1:7401
+//
+// With -http set, the daemon serves live introspection: /metrics in the
+// Prometheus text format, /debug/lira as a JSON snapshot of the shedding
+// pipeline (current z, region tree, Δᵢ table, decision-journal tail), and
+// — with -pprof — the net/http/pprof profile handlers. -journal streams
+// every decision record to a JSONL file.
 //
 // Drive it with cmd/liranode.
 package main
@@ -14,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -24,6 +32,7 @@ import (
 	"lira/internal/fmodel"
 	"lira/internal/geo"
 	"lira/internal/netsvc"
+	"lira/internal/telemetry"
 )
 
 func main() {
@@ -37,8 +46,21 @@ func main() {
 		adapt    = flag.Duration("adapt", 30*time.Second, "adaptation period")
 		eval     = flag.Duration("eval", 2*time.Second, "query evaluation period")
 		stations = flag.Float64("station-radius", 0, "uniform station radius; 0 = one station")
+		httpAddr = flag.String("http", "", "introspection listen address (/metrics, /debug/lira); empty disables")
+		pprof    = flag.Bool("pprof", false, "also serve net/http/pprof on the -http address")
+		journal  = flag.String("journal", "", "append decision-journal records to this JSONL file")
 	)
 	flag.Parse()
+
+	hub := telemetry.NewHub(0)
+	if *journal != "" {
+		f, err := os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		hub.Journal.SetSink(f)
+	}
 
 	space := geo.Rect{MinX: 0, MinY: 0, MaxX: *side, MaxY: *side}
 	cfg := netsvc.ServerConfig{
@@ -52,6 +74,7 @@ func main() {
 		Z:          *z,
 		AdaptEvery: *adapt,
 		EvalEvery:  *eval,
+		Telemetry:  hub,
 	}
 	if *stations > 0 {
 		sts, err := basestation.PlaceUniform(space, *stations)
@@ -67,12 +90,30 @@ func main() {
 	fmt.Fprintf(os.Stderr, "lirad: serving %v (l=%d, z=%.2f, %d stations)\n",
 		srv.Addr(), *l, *z, max(1, len(cfg.Stations)))
 
+	var obs *http.Server
+	if *httpAddr != "" {
+		mux := telemetry.NewMux(hub, func() any { return srv.Introspect() }, *pprof)
+		obs = &http.Server{Addr: *httpAddr, Handler: mux}
+		go func() {
+			if err := obs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fatal(err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "lirad: introspection on http://%s/metrics and /debug/lira\n", *httpAddr)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Fprintln(os.Stderr, "lirad: shutting down")
+	if obs != nil {
+		obs.Close()
+	}
 	if err := srv.Close(); err != nil {
 		fatal(err)
+	}
+	if err := hub.Journal.Err(); err != nil {
+		fatal(fmt.Errorf("journal sink: %w", err))
 	}
 }
 

@@ -5,6 +5,13 @@
 //
 //	lirasim -strategy lira -z 0.5 -l 250
 //	lirasim -strategy random-drop -z 0.3 -nodes 4000 -dist inverse
+//	lirasim -journal run.jsonl -series series.txt -timing=false
+//
+// -journal captures the control loop's decision journal as JSONL;
+// -series prints the per-evaluation-period telemetry series as a table.
+// Both are deterministic under a fixed seed. -timing=false suppresses
+// the two wall-clock output lines, making stdout byte-reproducible (the
+// telemetry zero-diff check in scripts/check.sh relies on this).
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"lira/internal/experiment"
 	"lira/internal/roadnet"
 	"lira/internal/shedding"
+	"lira/internal/telemetry"
 	"lira/internal/workload"
 )
 
@@ -32,6 +40,9 @@ func main() {
 		dist     = flag.String("dist", "proportional", "proportional | inverse | random")
 		duration = flag.Int("duration", 600, "measured ticks (1 s each)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		journal  = flag.String("journal", "", "write the decision journal to this JSONL file")
+		series   = flag.String("series", "", "write the per-period telemetry series table to this file")
+		timing   = flag.Bool("timing", true, "print wall-clock lines (disable for byte-reproducible output)")
 	)
 	flag.Parse()
 
@@ -72,12 +83,48 @@ func main() {
 	cfg.DurationTicks = *duration
 	cfg.Seed = *seed + 2
 
+	// Telemetry rides along whenever an output wants it. It is passive:
+	// the metric lines below are identical with and without it.
+	var hub *telemetry.Hub
+	if *journal != "" || *series != "" {
+		hub = telemetry.NewHub(0)
+		cfg.Telemetry = hub
+		if *journal != "" {
+			f, err := os.Create(*journal)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			hub.Journal.SetSink(f)
+		}
+	}
+
 	start := time.Now()
 	res, err := experiment.Run(env, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+
+	if hub != nil {
+		if err := hub.Journal.Err(); err != nil {
+			fatal(fmt.Errorf("journal sink: %w", err))
+		}
+		if *series != "" {
+			f, err := os.Create(*series)
+			if err != nil {
+				fatal(err)
+			}
+			fig := experiment.SeriesFigure("series", "per-period telemetry", hub, []string{
+				"sim_sent_updates", "sim_admitted_updates",
+				"sim_reference_updates", "sim_containment_mean",
+			})
+			fig.Render(f)
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
 
 	fmt.Printf("strategy            %v\n", res.Strategy)
 	fmt.Printf("throttle fraction   %.3f (achieved %.3f, budget met: %v)\n",
@@ -87,10 +134,14 @@ func main() {
 	fmt.Printf("position error      %.2f m\n", res.Metrics.MeanPosition)
 	fmt.Printf("updates             reference %d, sent %d, admitted %d\n",
 		res.ReferenceUpdates, res.SentUpdates, res.AdmittedUpdates)
-	fmt.Printf("config cost         %v\n", res.ConfigElapsed.Round(time.Microsecond))
+	if *timing {
+		fmt.Printf("config cost         %v\n", res.ConfigElapsed.Round(time.Microsecond))
+	}
 	fmt.Printf("base stations       %d (%.1f regions, %.0f B broadcast each; %d hand-offs)\n",
 		res.Stations, res.RegionsPerStation, res.BroadcastBytesPerStation, res.Handoffs)
-	fmt.Printf("wall clock          %v\n", elapsed.Round(time.Millisecond))
+	if *timing {
+		fmt.Printf("wall clock          %v\n", elapsed.Round(time.Millisecond))
+	}
 }
 
 func parseStrategy(s string) (shedding.Kind, error) {

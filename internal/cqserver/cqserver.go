@@ -20,6 +20,7 @@ import (
 	"lira/internal/partition"
 	"lira/internal/queue"
 	"lira/internal/statgrid"
+	"lira/internal/telemetry"
 	"lira/internal/throtloop"
 	"lira/internal/throttler"
 )
@@ -59,6 +60,12 @@ type Config struct {
 	// ProtectQueries enables the query-protective drill-down extension
 	// (see partition.Config.ProtectQueries); 0 is the paper's algorithm.
 	ProtectQueries float64
+	// Telemetry, when non-nil, receives hot-path metrics (Evaluate stage
+	// latencies, queue depth, adaptation timings) and decision-journal
+	// records for every THROTLOOP / GRIDREDUCE / GREEDYINCREMENT action.
+	// Telemetry is passive: server behavior and output are identical with
+	// or without it.
+	Telemetry *telemetry.Hub
 }
 
 // Server is a mobile CQ server.
@@ -80,6 +87,54 @@ type Server struct {
 
 	history *history.Store
 	applied int64
+
+	tel *serverTelemetry
+}
+
+// serverTelemetry holds the server's pre-resolved metric pointers so hot
+// paths pay one nil check plus one atomic per event, never a registry
+// lookup. Nil when no Hub is configured.
+type serverTelemetry struct {
+	hub *telemetry.Hub
+
+	evalHist          *telemetry.Histogram // lira_evaluate_seconds
+	predictHist       *telemetry.Histogram // lira_evaluate_predict_seconds
+	scanHist          *telemetry.Histogram // lira_evaluate_scan_seconds
+	gridReduceHist    *telemetry.Histogram // lira_gridreduce_seconds
+	setThrottlersHist *telemetry.Histogram // lira_set_throttlers_seconds
+
+	queueDepth  *telemetry.Gauge // lira_queue_depth
+	zGauge      *telemetry.Gauge // lira_throttle_z
+	gridNodes   *telemetry.Gauge // lira_statgrid_nodes
+	gridQueries *telemetry.Gauge // lira_statgrid_queries
+
+	dropped *telemetry.Counter // lira_queue_dropped_total
+	applied *telemetry.Counter // lira_updates_applied_total
+	evals   *telemetry.Counter // lira_evaluations_total
+	adapts  *telemetry.Counter // lira_adaptations_total
+}
+
+func newServerTelemetry(hub *telemetry.Hub) *serverTelemetry {
+	if hub == nil {
+		return nil
+	}
+	r := hub.Registry
+	return &serverTelemetry{
+		hub:               hub,
+		evalHist:          r.Histogram("lira_evaluate_seconds", nil),
+		predictHist:       r.Histogram("lira_evaluate_predict_seconds", nil),
+		scanHist:          r.Histogram("lira_evaluate_scan_seconds", nil),
+		gridReduceHist:    r.Histogram("lira_gridreduce_seconds", nil),
+		setThrottlersHist: r.Histogram("lira_set_throttlers_seconds", nil),
+		queueDepth:        r.Gauge("lira_queue_depth"),
+		zGauge:            r.Gauge("lira_throttle_z"),
+		gridNodes:         r.Gauge("lira_statgrid_nodes"),
+		gridQueries:       r.Gauge("lira_statgrid_queries"),
+		dropped:           r.Counter("lira_queue_dropped_total"),
+		applied:           r.Counter("lira_updates_applied_total"),
+		evals:             r.Counter("lira_evaluations_total"),
+		adapts:            r.Counter("lira_adaptations_total"),
+	}
 }
 
 // Evaluate's fixed shard sizes: nodes per predict shard and queries per
@@ -127,7 +182,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	return &Server{
+	s := &Server{
 		history:   hist,
 		cfg:       cfg,
 		table:     motion.NewTable(cfg.Nodes),
@@ -137,7 +192,22 @@ func New(cfg Config) (*Server, error) {
 		loop:      loop,
 		predicted: make([]geo.Point, cfg.Nodes),
 		active:    make([]bool, cfg.Nodes),
-	}, nil
+		tel:       newServerTelemetry(cfg.Telemetry),
+	}
+	if s.tel != nil {
+		hub := s.tel.hub
+		zGauge := s.tel.zGauge
+		zGauge.Set(1)
+		b := cfg.QueueSize
+		s.loop.SetRecorder(func(rho, z float64, _ int) {
+			zGauge.Set(z)
+			hub.Record(telemetry.Record{
+				Kind:      telemetry.KindThrotloop,
+				Throtloop: &telemetry.ThrotloopEvent{Rho: rho, Z: z, B: b},
+			})
+		})
+	}
+	return s, nil
 }
 
 // Grid exposes the statistics grid (read-mostly; the experiment harness
@@ -169,7 +239,16 @@ func (s *Server) RegisterQueries(qs []geo.Rect) {
 func (s *Server) Queries() []geo.Rect { return s.queries }
 
 // Ingest offers an update to the input queue; a full queue drops it.
-func (s *Server) Ingest(u Update) bool { return s.input.Offer(u) }
+func (s *Server) Ingest(u Update) bool {
+	ok := s.input.Offer(u)
+	if s.tel != nil {
+		if !ok {
+			s.tel.dropped.Inc()
+		}
+		s.tel.queueDepth.Set(float64(s.input.Len()))
+	}
+	return ok
+}
 
 // Drain applies up to limit queued updates to the motion table and
 // returns the number applied. A negative limit drains everything.
@@ -187,6 +266,10 @@ func (s *Server) Drain(limit int) int {
 		applied++
 	}
 	s.applied += int64(applied)
+	if s.tel != nil {
+		s.tel.applied.Add(int64(applied))
+		s.tel.queueDepth.Set(float64(s.input.Len()))
+	}
 	return applied
 }
 
@@ -216,6 +299,14 @@ func (s *Server) Applied() int64 { return s.applied }
 // sampling").
 func (s *Server) ObserveStatistics(positions []geo.Point, speeds []float64) {
 	s.grid.Observe(positions, speeds)
+	if s.tel != nil {
+		// Gauges are stored here (single-writer) rather than registered as
+		// funcs: the grid is not goroutine-safe, so scrape-time evaluation
+		// would race with Observe.
+		n, m := s.grid.Totals()
+		s.tel.gridNodes.Set(n)
+		s.tel.gridQueries.Set(m)
+	}
 }
 
 // Evaluate re-evaluates every registered query at time now against the
@@ -228,6 +319,13 @@ func (s *Server) ObserveStatistics(positions []geo.Point, speeds []float64) {
 // and each scan visits buckets in the serial order, so the output is
 // byte-identical at any worker count.
 func (s *Server) Evaluate(now float64) [][]int {
+	// Wall-clock stamps are taken only with telemetry attached; durations
+	// feed latency histograms and never the simulation state, preserving
+	// determinism (see the telemetry package's contract).
+	var t0, t1, t2 time.Time
+	if s.tel != nil {
+		t0 = time.Now()
+	}
 	par.ForChunks(s.cfg.Nodes, predictChunk, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			p, ok := s.table.Predict(i, now)
@@ -237,6 +335,9 @@ func (s *Server) Evaluate(now float64) [][]int {
 			}
 		}
 	})
+	if s.tel != nil {
+		t1 = time.Now()
+	}
 	s.index.Rebuild(s.predicted, s.active)
 	par.ForChunks(len(s.queries), queryChunk, func(_, lo, hi int) {
 		for qi := lo; qi < hi; qi++ {
@@ -245,6 +346,13 @@ func (s *Server) Evaluate(now float64) [][]int {
 			s.results[qi] = ids
 		}
 	})
+	if s.tel != nil {
+		t2 = time.Now()
+		s.tel.predictHist.Observe(t1.Sub(t0).Seconds())
+		s.tel.scanHist.Observe(t2.Sub(t1).Seconds())
+		s.tel.evalHist.Observe(t2.Sub(t0).Seconds())
+		s.tel.evals.Inc()
+	}
 	return s.results
 }
 
@@ -278,6 +386,10 @@ func (s *Server) Adapt(z float64) (*Adaptation, error) {
 	if err != nil {
 		return nil, err
 	}
+	var mid time.Time
+	if s.tel != nil {
+		mid = time.Now()
+	}
 	res, err := throttler.SetThrottlers(p.Stats(), s.cfg.Curve, throttler.Options{
 		Z:        z,
 		Fairness: s.cfg.Fairness,
@@ -285,6 +397,33 @@ func (s *Server) Adapt(z float64) (*Adaptation, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if s.tel != nil {
+		end := time.Now()
+		s.tel.gridReduceHist.Observe(mid.Sub(start).Seconds())
+		s.tel.setThrottlersHist.Observe(end.Sub(mid).Seconds())
+		s.tel.adapts.Inc()
+		s.tel.hub.Record(telemetry.Record{
+			Kind: telemetry.KindRepartition,
+			Repartition: &telemetry.RepartitionEvent{
+				Z:              z,
+				Regions:        len(p.Regions),
+				SplitsTaken:    p.Drill.SplitsTaken,
+				SplitsRejected: p.Drill.SplitsRejected,
+				ProtectSplits:  p.Drill.ProtectSplits,
+			},
+		})
+		s.tel.hub.Record(telemetry.Record{
+			Kind: telemetry.KindAssign,
+			Assign: &telemetry.AssignEvent{
+				Z:              z,
+				Regions:        len(p.Regions),
+				Deltas:         append([]float64(nil), res.Deltas...),
+				Gains:          append([]float64(nil), res.Gains...),
+				FairnessClamps: res.FairnessClamps,
+				BudgetMet:      res.BudgetMet,
+			},
+		})
 	}
 	return &Adaptation{
 		Z:            z,

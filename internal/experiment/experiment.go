@@ -24,6 +24,7 @@ import (
 	"lira/internal/rng"
 	"lira/internal/roadnet"
 	"lira/internal/shedding"
+	"lira/internal/telemetry"
 	"lira/internal/trace"
 	"lira/internal/workload"
 )
@@ -173,6 +174,12 @@ type RunConfig struct {
 	StationRadius float64
 	// Seed drives run-local randomness (query placement, admission).
 	Seed uint64
+	// Telemetry, when non-nil, is attached to the candidate server (never
+	// the Δ⊢ reference) and receives per-evaluation-period series sampled
+	// at simulation ticks. The hub's clock is set to the run's tick time,
+	// so journals and series reproduce under a fixed seed. Telemetry is
+	// passive: the run's Result is identical with or without it.
+	Telemetry *telemetry.Hub
 }
 
 // DefaultRunConfig returns the paper's Table 2 defaults.
@@ -285,7 +292,9 @@ func Run(env *Env, cfg RunConfig) (*Result, error) {
 
 	// Candidate server (owns the statistics grid and adaptation); the
 	// reference server only evaluates queries over its own motion table.
-	mk := func() (*cqserver.Server, error) {
+	// Telemetry observes the candidate only — the reference models an
+	// infinitely provisioned system nobody needs to debug.
+	mk := func(hub *telemetry.Hub) (*cqserver.Server, error) {
 		return cqserver.New(cqserver.Config{
 			Space:          env.Space,
 			Nodes:          n,
@@ -295,13 +304,14 @@ func Run(env *Env, cfg RunConfig) (*Result, error) {
 			Fairness:       cfg.Fairness,
 			UseSpeed:       cfg.UseSpeed,
 			ProtectQueries: cfg.ProtectQueries,
+			Telemetry:      hub,
 		})
 	}
-	srvCand, err := mk()
+	srvCand, err := mk(cfg.Telemetry)
 	if err != nil {
 		return nil, err
 	}
-	srvRef, err := mk()
+	srvRef, err := mk(nil)
 	if err != nil {
 		return nil, err
 	}
@@ -310,6 +320,19 @@ func Run(env *Env, cfg RunConfig) (*Result, error) {
 	src.Reset()
 	dt := env.Cfg.Dt
 	minDelta := env.Cfg.MinDelta
+
+	// Simulation time; the telemetry clock reads this variable, so every
+	// journal record and series point is stamped with tick time.
+	var now float64
+	var serSent, serAdmitted, serRef, serContain *telemetry.Series
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.SetClock(func() float64 { return now })
+		r := cfg.Telemetry.Registry
+		serSent = r.Series("sim_sent_updates", 0)
+		serAdmitted = r.Series("sim_admitted_updates", 0)
+		serRef = r.Series("sim_reference_updates", 0)
+		serContain = r.Series("sim_containment_mean", 0)
+	}
 
 	speeds := make([]float64, n)
 	snapshotSpeeds := func() {
@@ -322,6 +345,7 @@ func Run(env *Env, cfg RunConfig) (*Result, error) {
 	// Warmup: move the cars and gather statistics.
 	for tick := 0; tick < cfg.WarmupTicks; tick++ {
 		src.Step(dt)
+		now = float64(tick+1) * dt
 		if tick%cfg.StatSampleEvery == 0 {
 			snapshotSpeeds()
 			srvCand.ObserveStatistics(src.Positions(), speeds)
@@ -378,7 +402,7 @@ func Run(env *Env, cfg RunConfig) (*Result, error) {
 	// Mobile nodes and reference reckoners.
 	nodes := make([]*mobilenode.Node, n)
 	refReck := make([]motion.DeadReckoner, n)
-	now := float64(cfg.WarmupTicks) * dt
+	now = float64(cfg.WarmupTicks) * dt
 	pos, vel := src.Positions(), src.Velocities()
 	res := &Result{
 		Strategy:                 cfg.Strategy,
@@ -469,9 +493,12 @@ func Run(env *Env, cfg RunConfig) (*Result, error) {
 		if tick%cfg.EvalEvery == 0 {
 			refResults := srvRef.Evaluate(now)
 			candResults := srvCand.Evaluate(now)
+			roundCE, roundN := 0.0, 0
 			for q := range queries {
 				if ce, ok := metrics.ContainmentError(candResults[q], refResults[q]); ok {
 					collector.RecordContainment(q, ce)
+					roundCE += ce
+					roundN++
 				}
 				pe, ok := metrics.PositionError(candResults[q],
 					func(id int) (geo.Point, bool) { return srvCand.PredictedPosition(id, now) },
@@ -479,6 +506,14 @@ func Run(env *Env, cfg RunConfig) (*Result, error) {
 				)
 				if ok {
 					collector.RecordPosition(q, pe)
+				}
+			}
+			if cfg.Telemetry != nil {
+				serSent.Append(now, float64(res.SentUpdates))
+				serAdmitted.Append(now, float64(res.AdmittedUpdates))
+				serRef.Append(now, float64(res.ReferenceUpdates))
+				if roundN > 0 {
+					serContain.Append(now, roundCE/float64(roundN))
 				}
 			}
 		}

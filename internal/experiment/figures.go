@@ -3,6 +3,8 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"strings"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"lira/internal/partition"
 	"lira/internal/shedding"
 	"lira/internal/statgrid"
+	"lira/internal/telemetry"
 	"lira/internal/throttler"
 	"lira/internal/workload"
 )
@@ -723,4 +726,49 @@ func maxInt(a, b int) int {
 func WarmedGrid(env *Env, cfg RunConfig, alpha int) (*statgrid.Grid, error) {
 	cfg.fillDefaults()
 	return warmedGrid(env, cfg, alpha)
+}
+
+// SeriesFigure renders telemetry period series as a figure: one tick
+// column followed by one column per named series, rows joined on tick
+// (series sampled on the same cadence align exactly; a series missing a
+// tick leaves NaN in its cell). Unknown names are skipped.
+func SeriesFigure(id, title string, hub *telemetry.Hub, names []string) *Figure {
+	f := &Figure{ID: id, Title: title, Columns: []string{"tick"}}
+	if hub == nil {
+		return f
+	}
+	snap := hub.Registry.Snapshot()
+	var ticks []float64
+	seen := map[float64]bool{}
+	cols := make([]map[float64]float64, 0, len(names))
+	for _, name := range names {
+		pts, ok := snap.Series[name]
+		if !ok {
+			continue
+		}
+		f.Columns = append(f.Columns, name)
+		byTick := make(map[float64]float64, len(pts))
+		for _, p := range pts {
+			byTick[p.Tick] = p.Value
+			if !seen[p.Tick] {
+				seen[p.Tick] = true
+				ticks = append(ticks, p.Tick)
+			}
+		}
+		cols = append(cols, byTick)
+	}
+	sort.Float64s(ticks)
+	for _, t := range ticks {
+		row := make([]float64, 1+len(cols))
+		row[0] = t
+		for ci, byTick := range cols {
+			if v, ok := byTick[t]; ok {
+				row[1+ci] = v
+			} else {
+				row[1+ci] = math.NaN()
+			}
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	return f
 }

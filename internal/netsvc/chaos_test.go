@@ -15,6 +15,7 @@ import (
 	"lira/internal/metrics"
 	"lira/internal/motion"
 	"lira/internal/rng"
+	"lira/internal/telemetry"
 	"lira/internal/wire"
 )
 
@@ -72,6 +73,7 @@ func chaosRun(t *testing.T, seed uint64) {
 	})
 	counters := &metrics.NetCounters{}
 	clk := &fakeClock{}
+	hub := telemetry.NewHub(0)
 
 	raw, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -93,6 +95,7 @@ func chaosRun(t *testing.T, seed uint64) {
 		ReadTimeout: 400 * time.Millisecond,
 		Counters:    counters,
 		Clock:       clk.Now,
+		Telemetry:   hub,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -212,6 +215,33 @@ drainStale:
 	}
 	if st := fabric.Stats(); st.Dropped == 0 || st.Frames == 0 {
 		t.Errorf("fault injection inert: %+v", st)
+	}
+
+	// Each forced partition severed every live link, so the decision
+	// journal must hold at least one server-side disconnect record per
+	// partition, with monotone non-decreasing ticks (journal time is the
+	// server clock, never the wall clock).
+	disconnects := 0
+	prevTick := -1.0
+	for _, rec := range hub.Journal.Tail(hub.Journal.Len()) {
+		if rec.Tick < prevTick {
+			t.Errorf("journal tick went backwards: %v -> %v (seq %d)", prevTick, rec.Tick, rec.Seq)
+		}
+		prevTick = rec.Tick
+		if rec.Kind == telemetry.KindNet && rec.Net != nil && rec.Net.Event == "disconnect" {
+			disconnects++
+		}
+	}
+	if disconnects < 2 {
+		t.Errorf("journal disconnect records = %d, want ≥ 2 (one per forced partition)", disconnects)
+	}
+	// Every adaptation (startup plus the reconvergence rebroadcasts)
+	// journals a GRIDREDUCE and a GREEDYINCREMENT record.
+	if hub.Journal.CountKind(telemetry.KindRepartition) == 0 {
+		t.Error("no GRIDREDUCE repartition records in the journal")
+	}
+	if hub.Journal.CountKind(telemetry.KindAssign) == 0 {
+		t.Error("no GREEDYINCREMENT assignment records in the journal")
 	}
 
 	for _, c := range clients {

@@ -12,6 +12,7 @@ import (
 	"lira/internal/metrics"
 	"lira/internal/mobilenode"
 	"lira/internal/rng"
+	"lira/internal/telemetry"
 	"lira/internal/wire"
 )
 
@@ -55,6 +56,11 @@ type linkConfig struct {
 	reconnect bool
 	counters  *metrics.NetCounters
 	seed      uint64
+	// hub, peer, node identify this link in the telemetry decision
+	// journal; hub nil disables journaling.
+	hub  *telemetry.Hub
+	peer string
+	node int64
 	// keepalive builds the frames for one heartbeat tick. The default is
 	// a bare Ping; clients substitute state-aware keepalives (a node still
 	// waiting for its assignment re-announces Hello, a query client
@@ -98,6 +104,18 @@ func (lc *linkConfig) fill() {
 			return [][]byte{wire.AppendPing(nil, wire.Ping{Token: token})}
 		}
 	}
+}
+
+// recordNet journals one degradation event for this link (no-op without
+// a hub).
+func (lc *linkConfig) recordNet(event, detail string) {
+	if lc.hub == nil {
+		return
+	}
+	lc.hub.Record(telemetry.Record{
+		Kind: telemetry.KindNet,
+		Net:  &telemetry.NetEvent{Event: event, Peer: lc.peer, Node: lc.node, Detail: detail},
+	})
 }
 
 // backoffDelay returns the delay before reconnect attempt (1-based):
@@ -205,6 +223,7 @@ func (l *link) reconnect(addr string, handshake func(net.Conn) error) (net.Conn,
 			l.mu.Lock()
 			l.linkErr = fmt.Errorf("netsvc: gave up after %d reconnect attempts: %w", l.cfg.maxAttempts, l.linkErr)
 			l.mu.Unlock()
+			l.cfg.recordNet("give-up", "max-attempts")
 			return nil, false
 		}
 		select {
@@ -233,6 +252,7 @@ func (l *link) reconnect(addr string, handshake func(net.Conn) error) (net.Conn,
 		l.reconnects++
 		l.mu.Unlock()
 		l.cfg.counters.Reconnects.Add(1)
+		l.cfg.recordNet("reconnect", "")
 		return conn, true
 	}
 }
@@ -337,6 +357,9 @@ type NodeConfig struct {
 	// Counters receives degradation accounting; nil allocates a private
 	// set (inspect it via Counters).
 	Counters *metrics.NetCounters
+	// Telemetry, when non-nil, journals this client's link transitions
+	// (disconnect, reconnect, give-up).
+	Telemetry *telemetry.Hub
 }
 
 // NodeClient is a layer-3 mobile node speaking the wire protocol: it
@@ -392,6 +415,9 @@ func DialNodeConfig(addr string, cfg NodeConfig) (*NodeClient, error) {
 		reconnect:      !cfg.DisableReconnect,
 		counters:       cfg.Counters,
 		seed:           cfg.Seed,
+		hub:            cfg.Telemetry,
+		peer:           "node",
+		node:           int64(cfg.ID),
 	}
 	lc.fill()
 	conn, err := lc.dialer(addr)
@@ -443,6 +469,7 @@ func (c *NodeClient) run(conn net.Conn) {
 			return // closed by user: clean shutdown
 		}
 		c.link.cfg.counters.Disconnects.Add(1)
+		c.link.cfg.recordNet("disconnect", "read")
 		// Graceful degradation: revert to Δ⊢ until resync, and force a
 		// fresh full report on the next Observe after reconnecting.
 		c.mu.Lock()
@@ -614,6 +641,8 @@ type QueryConfig struct {
 	// Counters receives degradation accounting; nil allocates a private
 	// set.
 	Counters *metrics.NetCounters
+	// Telemetry, when non-nil, journals this client's link transitions.
+	Telemetry *telemetry.Hub
 }
 
 // QueryClient subscribes continual range queries and receives pushed
@@ -659,6 +688,9 @@ func DialQueryConfig(addr string, cfg QueryConfig) (*QueryClient, error) {
 		reconnect:      !cfg.DisableReconnect,
 		counters:       cfg.Counters,
 		seed:           cfg.Seed,
+		hub:            cfg.Telemetry,
+		peer:           "query",
+		node:           -1,
 	}
 	lc.fill()
 	conn, err := lc.dialer(addr)
@@ -705,6 +737,7 @@ func (c *QueryClient) run(conn net.Conn) {
 			return
 		}
 		c.link.cfg.counters.Disconnects.Add(1)
+		c.link.cfg.recordNet("disconnect", "read")
 		if !c.link.cfg.reconnect {
 			return
 		}

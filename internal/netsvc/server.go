@@ -30,6 +30,7 @@ import (
 	"lira/internal/cqserver"
 	"lira/internal/geo"
 	"lira/internal/metrics"
+	"lira/internal/telemetry"
 	"lira/internal/wire"
 )
 
@@ -82,6 +83,12 @@ type ServerConfig struct {
 	Counters *metrics.NetCounters
 	// Clock supplies simulation time; nil selects WallClock.
 	Clock Clock
+	// Telemetry, when non-nil, receives wire-frame counters and a journal
+	// record for every degradation event, and is propagated into the
+	// embedded CQ server (unless Core.Telemetry is already set). The hub's
+	// net-counter bridge is bound to Counters and its clock defaults to
+	// the server's Clock.
+	Telemetry *telemetry.Hub
 }
 
 // Server hosts the CQ server and base stations behind a TCP listener.
@@ -89,6 +96,7 @@ type Server struct {
 	cfg      ServerConfig
 	ln       net.Listener
 	counters *metrics.NetCounters
+	tel      *netTelemetry
 
 	mu          sync.Mutex
 	core        *cqserver.Server
@@ -97,10 +105,61 @@ type Server struct {
 	nodeConns   map[uint32]*srvConn
 	nodeStation map[uint32]int
 	queryRegs   []queryReg // registration order, parallel to core queries
+	lastAdapt   *cqserver.Adaptation
 	closed      bool
 
 	wg   sync.WaitGroup
 	done chan struct{}
+}
+
+// netTelemetry holds the deployment layer's pre-resolved metric pointers
+// (one registry lookup at startup, one atomic per frame afterwards). Nil
+// when no Hub is configured.
+type netTelemetry struct {
+	hub *telemetry.Hub
+
+	readHello  *telemetry.Counter // lira_frames_read_hello_total
+	readUpdate *telemetry.Counter // lira_frames_read_update_total
+	readQuery  *telemetry.Counter // lira_frames_read_query_total
+	readPing   *telemetry.Counter // lira_frames_read_ping_total
+	readPong   *telemetry.Counter // lira_frames_read_pong_total
+	readBad    *telemetry.Counter // lira_frames_read_bad_total
+
+	sentAssignment *telemetry.Counter // lira_frames_sent_assignment_total
+	sentResult     *telemetry.Counter // lira_frames_sent_result_total
+
+	connectedNodes *telemetry.Gauge // lira_connected_nodes
+}
+
+func newNetTelemetry(hub *telemetry.Hub) *netTelemetry {
+	if hub == nil {
+		return nil
+	}
+	r := hub.Registry
+	return &netTelemetry{
+		hub:            hub,
+		readHello:      r.Counter("lira_frames_read_hello_total"),
+		readUpdate:     r.Counter("lira_frames_read_update_total"),
+		readQuery:      r.Counter("lira_frames_read_query_total"),
+		readPing:       r.Counter("lira_frames_read_ping_total"),
+		readPong:       r.Counter("lira_frames_read_pong_total"),
+		readBad:        r.Counter("lira_frames_read_bad_total"),
+		sentAssignment: r.Counter("lira_frames_sent_assignment_total"),
+		sentResult:     r.Counter("lira_frames_sent_result_total"),
+		connectedNodes: r.Gauge("lira_connected_nodes"),
+	}
+}
+
+// recordNet appends one degradation record to the journal (no-op without
+// a hub).
+func (t *netTelemetry) recordNet(event, peer string, node int64, detail string) {
+	if t == nil {
+		return
+	}
+	t.hub.Record(telemetry.Record{
+		Kind: telemetry.KindNet,
+		Net:  &telemetry.NetEvent{Event: event, Peer: peer, Node: node, Detail: detail},
+	})
 }
 
 // queryReg ties one registered continual query to the connection that
@@ -143,10 +202,6 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 // Serve starts a server on an existing listener. Chaos tests use it to
 // interpose a fault-injecting listener; Listen is the plain-TCP wrapper.
 func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
-	core, err := cqserver.New(cfg.Core)
-	if err != nil {
-		return nil, err
-	}
 	if cfg.Z <= 0 || cfg.Z > 1 {
 		cfg.Z = 1
 	}
@@ -158,6 +213,18 @@ func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.Counters == nil {
 		cfg.Counters = &metrics.NetCounters{}
+	}
+	if cfg.Telemetry != nil {
+		clock := cfg.Clock
+		cfg.Telemetry.EnsureClock(func() float64 { return clock() })
+		cfg.Telemetry.BindNetCounters(cfg.Counters)
+		if cfg.Core.Telemetry == nil {
+			cfg.Core.Telemetry = cfg.Telemetry
+		}
+	}
+	core, err := cqserver.New(cfg.Core)
+	if err != nil {
+		return nil, err
 	}
 	if len(cfg.Stations) == 0 {
 		space := cfg.Core.Space
@@ -171,6 +238,7 @@ func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
 		cfg:         cfg,
 		ln:          ln,
 		counters:    cfg.Counters,
+		tel:         newNetTelemetry(cfg.Telemetry),
 		core:        core,
 		nodeConns:   make(map[uint32]*srvConn),
 		nodeStation: make(map[uint32]int),
@@ -250,6 +318,7 @@ func (s *Server) adaptLocked() error {
 	if err != nil {
 		return err
 	}
+	s.lastAdapt = ad
 	s.deployment = deploy
 	s.frames = make([][]byte, len(deploy.Assignments))
 	for i, a := range deploy.Assignments {
@@ -259,6 +328,9 @@ func (s *Server) adaptLocked() error {
 	for id, st := range s.nodeStation {
 		if conn, ok := s.nodeConns[id]; ok && st >= 0 && st < len(s.frames) {
 			frame := s.frames[st]
+			if s.tel != nil {
+				s.tel.sentAssignment.Inc()
+			}
 			go conn.send(frame) // off the lock; per-conn mutex serializes
 		}
 	}
@@ -288,16 +360,24 @@ func (s *Server) acceptLoop() {
 func (s *Server) handleConn(sc *srvConn) {
 	var nodeID uint32
 	hasNode := false
+	detail := "read" // why the connection ended, for the journal
 	// Per-connection isolation: a panic while handling one client's
 	// frames (a decode edge case, a handler bug) closes that connection
 	// only — the server, its other connections, and the background loop
 	// keep running.
 	defer func() {
+		event := "disconnect"
 		if r := recover(); r != nil {
 			s.counters.Panics.Add(1)
+			event, detail = "panic", "recovered"
 		}
 		sc.c.Close()
 		s.dropConn(sc, nodeID, hasNode)
+		peer, node := "conn", int64(-1)
+		if hasNode {
+			peer, node = "node", int64(nodeID)
+		}
+		s.tel.recordNet(event, peer, node, detail)
 		s.wg.Done()
 	}()
 	for {
@@ -308,6 +388,7 @@ func (s *Server) handleConn(sc *srvConn) {
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				s.counters.DeadlineTrips.Add(1)
+				detail = "deadline"
 			}
 			return
 		}
@@ -315,31 +396,54 @@ func (s *Server) handleConn(sc *srvConn) {
 		case wire.TypeHello:
 			h, err := wire.DecodeHello(payload)
 			if err != nil {
+				detail = "decode"
 				return
+			}
+			if s.tel != nil {
+				s.tel.readHello.Inc()
 			}
 			nodeID, hasNode = h.Node, true
 			s.registerNode(sc, h)
 		case wire.TypeUpdate:
 			u, err := wire.DecodeUpdate(payload)
 			if err != nil {
+				detail = "decode"
 				return
+			}
+			if s.tel != nil {
+				s.tel.readUpdate.Inc()
 			}
 			s.ingest(sc, u)
 		case wire.TypeQuery:
 			q, err := wire.DecodeQuery(payload)
 			if err != nil {
+				detail = "decode"
 				return
+			}
+			if s.tel != nil {
+				s.tel.readQuery.Inc()
 			}
 			s.registerQuery(sc, q)
 		case wire.TypePing:
 			p, err := wire.DecodePing(payload)
 			if err != nil {
+				detail = "decode"
 				return
+			}
+			if s.tel != nil {
+				s.tel.readPing.Inc()
 			}
 			sc.send(wire.AppendPong(nil, wire.Pong{Token: p.Token}))
 		case wire.TypePong:
 			// Tolerated: keeps the read deadline fresh.
+			if s.tel != nil {
+				s.tel.readPong.Inc()
+			}
 		default:
+			if s.tel != nil {
+				s.tel.readBad.Inc()
+			}
+			detail = "protocol"
 			return // protocol violation: drop the connection
 		}
 	}
@@ -354,6 +458,9 @@ func (s *Server) dropConn(sc *srvConn, nodeID uint32, hasNode bool) {
 	if hasNode && s.nodeConns[nodeID] == sc {
 		delete(s.nodeConns, nodeID)
 		delete(s.nodeStation, nodeID)
+		if s.tel != nil {
+			s.tel.connectedNodes.Set(float64(len(s.nodeConns)))
+		}
 	}
 	kept := s.queryRegs[:0]
 	removed := false
@@ -392,8 +499,14 @@ func (s *Server) registerNode(sc *srvConn, h wire.Hello) {
 	if st >= 0 && st < len(s.frames) {
 		frame = s.frames[st]
 	}
+	if s.tel != nil {
+		s.tel.connectedNodes.Set(float64(len(s.nodeConns)))
+	}
 	s.mu.Unlock()
 	if frame != nil {
+		if s.tel != nil {
+			s.tel.sentAssignment.Inc()
+		}
 		sc.send(frame)
 	}
 }
@@ -431,6 +544,9 @@ func (s *Server) ingest(sc *srvConn, u wire.Update) {
 	}
 	s.mu.Unlock()
 	if frame != nil {
+		if s.tel != nil {
+			s.tel.sentAssignment.Inc()
+		}
 		sc.send(frame)
 	}
 }
@@ -456,6 +572,9 @@ func (s *Server) registerQuery(sc *srvConn, q wire.Query) {
 	results := s.core.Evaluate(now)
 	frame := resultFrame(q.ID, results[idx])
 	s.mu.Unlock()
+	if s.tel != nil {
+		s.tel.sentResult.Inc()
+	}
 	sc.send(frame)
 }
 
@@ -510,9 +629,64 @@ func (s *Server) backgroundLoop() {
 		}
 		s.mu.Unlock()
 		for _, p := range pushes {
+			if s.tel != nil {
+				s.tel.sentResult.Inc()
+			}
 			p.sc.send(p.frame)
 		}
 	}
+}
+
+// RegionView is one shedding region in an Introspection: its area, the
+// statistics GRIDREDUCE aggregated for it, and its assigned throttler Δᵢ.
+type RegionView struct {
+	Area  geo.Rect `json:"area"`
+	N     float64  `json:"n"`
+	M     float64  `json:"m"`
+	S     float64  `json:"s"`
+	Delta float64  `json:"delta"`
+}
+
+// Introspection is a point-in-time view of the shedding pipeline, shaped
+// for the /debug/lira endpoint: the current throttle fraction, the region
+// partitioning with its Δᵢ table, and the serving state around it.
+type Introspection struct {
+	Now            float64             `json:"now"`
+	Z              float64             `json:"z"`
+	BudgetMet      bool                `json:"budget_met"`
+	Regions        []RegionView        `json:"regions"`
+	ConnectedNodes int                 `json:"connected_nodes"`
+	Queries        int                 `json:"queries"`
+	QueueLen       int                 `json:"queue_len"`
+	QueueCap       int                 `json:"queue_cap"`
+	Applied        int64               `json:"updates_applied"`
+	Net            metrics.NetSnapshot `json:"net"`
+}
+
+// Introspect returns the current pipeline state under the server mutex,
+// so the region list and Δᵢ table come from the same adaptation.
+func (s *Server) Introspect() Introspection {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	in := Introspection{
+		Now:            s.cfg.Clock(),
+		Z:              s.cfg.Z,
+		ConnectedNodes: len(s.nodeConns),
+		Queries:        len(s.queryRegs),
+		QueueLen:       s.core.Queue().Len(),
+		QueueCap:       s.core.Queue().Cap(),
+		Applied:        s.core.Applied(),
+		Net:            s.counters.Snapshot(),
+	}
+	if ad := s.lastAdapt; ad != nil {
+		in.Z = ad.Z
+		in.BudgetMet = ad.BudgetMet
+		in.Regions = make([]RegionView, len(ad.Partitioning.Regions))
+		for i, r := range ad.Partitioning.Regions {
+			in.Regions[i] = RegionView{Area: r.Area, N: r.N, M: r.M, S: r.S, Delta: ad.Deltas[i]}
+		}
+	}
+	return in
 }
 
 // observeStatsLocked snapshots the motion table into the statistics grid.

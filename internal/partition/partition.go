@@ -35,11 +35,26 @@ func (r Region) Stat() throttler.RegionStat {
 	return throttler.RegionStat{N: r.N, M: r.M, S: r.S}
 }
 
+// DrillStats summarizes the Stage-II drill-down decisions behind a
+// partitioning, for the telemetry decision journal.
+type DrillStats struct {
+	// SplitsTaken counts gain-driven expansions of a region into its four
+	// children; SplitsRejected counts popped regions that turned out to be
+	// unsplittable grid-cell leaves; ProtectSplits counts splits spent by
+	// the query-protection phase.
+	SplitsTaken    int
+	SplitsRejected int
+	ProtectSplits  int
+}
+
 // Partitioning is a disjoint cover of the monitored space by shedding
 // regions.
 type Partitioning struct {
 	Space   geo.Rect
 	Regions []Region
+	// Drill reports how GridReduce arrived at the regions; zero for the
+	// Uniform and Single constructions.
+	Drill DrillStats
 }
 
 // Stats returns the per-region statistics in the optimizer's input form.
@@ -292,6 +307,7 @@ func GridReduce(g *statgrid.Grid, cfg Config) (*Partitioning, error) {
 	}
 	mainTarget := target - 3*protectSplits
 
+	var drill DrillStats
 	var leaves []nodeRef
 	push(nodeRef{0, 0, 0})
 	for len(leaves)+h.Len() < mainTarget && h.Len() > 0 {
@@ -299,9 +315,11 @@ func GridReduce(g *statgrid.Grid, cfg Config) (*Partitioning, error) {
 		ref := refByID[id]
 		delete(refByID, id)
 		if ref.level == t.depth {
+			drill.SplitsRejected++
 			leaves = append(leaves, ref)
 			continue
 		}
+		drill.SplitsTaken++
 		for _, ch := range t.children(ref) {
 			push(ch)
 		}
@@ -338,13 +356,14 @@ func GridReduce(g *statgrid.Grid, cfg Config) (*Partitioning, error) {
 			ref := refByID[bestID]
 			h.Remove(bestID)
 			delete(refByID, bestID)
+			drill.ProtectSplits++
 			for _, ch := range t.children(ref) {
 				push(ch)
 			}
 		}
 	}
 
-	p := &Partitioning{Space: t.space}
+	p := &Partitioning{Space: t.space, Drill: drill}
 	emit := func(ref nodeRef) {
 		st := t.stat(ref)
 		p.Regions = append(p.Regions, Region{Area: t.rect(ref), N: st.N, M: st.M, S: st.S})

@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsHandler serves the hub in the Prometheus text exposition format
+// (version 0.0.4), including the bridged lira_net_* counter families.
+func MetricsHandler(h *Hub) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = h.WritePrometheus(w)
+	})
+}
+
+// DebugHandler serves a JSON introspection snapshot: the hub snapshot
+// (registry, net counters, last journalTail journal records) plus, when
+// state is non-nil, a pipeline view supplied by the serving layer (current
+// z, shedding-region tree, Δᵢ table, …). The ?tail=N query overrides
+// journalTail.
+func DebugHandler(h *Hub, state func() any, journalTail int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tail := journalTail
+		if q := r.URL.Query().Get("tail"); q != "" {
+			var n int
+			for _, c := range q {
+				if c < '0' || c > '9' {
+					n = -1
+					break
+				}
+				n = n*10 + int(c-'0')
+			}
+			if n >= 0 {
+				tail = n
+			}
+		}
+		payload := struct {
+			HubSnapshot
+			State any `json:"state,omitempty"`
+		}{HubSnapshot: h.Snapshot(tail)}
+		if state != nil {
+			payload.State = state()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(payload)
+	})
+}
+
+// NewMux returns an http.ServeMux serving /metrics and /debug/lira, and —
+// only when enablePprof is set — the net/http/pprof handlers under
+// /debug/pprof/. state may be nil when no pipeline view is available.
+func NewMux(h *Hub, state func() any, enablePprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(h))
+	mux.Handle("/debug/lira", DebugHandler(h, state, 64))
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}

@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"lira/internal/metrics"
+)
+
+// Hub bundles one Registry and one Journal with the simulation clock they
+// stamp records from, and bridges the deployment layer's metrics.NetCounters
+// so a single Snapshot call returns net and shedding counters coherently.
+//
+// A nil *Hub is valid everywhere a Hub is accepted: instrumented components
+// check for nil once and skip telemetry entirely, keeping the disabled cost
+// at one predictable branch.
+type Hub struct {
+	Registry *Registry
+	Journal  *Journal
+
+	mu    sync.RWMutex
+	clock func() float64
+	nc    *metrics.NetCounters
+}
+
+// NewHub returns a hub with an empty registry and a journal retaining the
+// last journalCap records (<= 0 selects 1024).
+func NewHub(journalCap int) *Hub {
+	return &Hub{
+		Registry: NewRegistry(),
+		Journal:  NewJournal(journalCap),
+	}
+}
+
+// SetClock installs the tick source used to stamp journal records and
+// period series. In simulation mode this must be a closure over the
+// simulated time — never the wall clock — so journals reproduce under a
+// fixed seed. Passing nil resets to the zero clock.
+func (h *Hub) SetClock(fn func() float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.clock = fn
+	h.mu.Unlock()
+}
+
+// EnsureClock installs fn only if no clock is set yet, so an embedding
+// layer (e.g. the experiment runner) wins over a component default.
+func (h *Hub) EnsureClock(fn func() float64) {
+	if h == nil || fn == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.clock == nil {
+		h.clock = fn
+	}
+	h.mu.Unlock()
+}
+
+// Now returns the current tick (0 with no clock installed).
+func (h *Hub) Now() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.RLock()
+	fn := h.clock
+	h.mu.RUnlock()
+	if fn == nil {
+		return 0
+	}
+	return fn()
+}
+
+// Record appends a journal record stamped with the hub clock. It is the
+// one journaling entry point instrumented components use; on a nil hub it
+// is a no-op.
+func (h *Hub) Record(rec Record) {
+	if h == nil {
+		return
+	}
+	rec.Tick = h.Now()
+	h.Journal.Append(rec)
+}
+
+// BindNetCounters attaches the deployment layer's counter block. The same
+// pointer may be shared by a server and all of its clients; binding twice
+// with the same pointer is a no-op, binding a different pointer replaces
+// the previous one.
+func (h *Hub) BindNetCounters(nc *metrics.NetCounters) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.nc = nc
+	h.mu.Unlock()
+}
+
+// NetCounters returns the bound counter block, or nil.
+func (h *Hub) NetCounters() *metrics.NetCounters {
+	if h == nil {
+		return nil
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.nc
+}
+
+// HubSnapshot is one coherent observation of everything the hub knows:
+// the registry, the bridged net-layer counters, and the journal tail.
+// Every scalar inside is read with a single atomic load during one pass,
+// so no individual value is torn; the set as a whole is as coherent as a
+// lock-free system allows (values keep moving while the pass runs).
+type HubSnapshot struct {
+	Tick     float64              `json:"tick"`
+	Registry RegistrySnapshot     `json:"registry"`
+	Net      *metrics.NetSnapshot `json:"net,omitempty"`
+	Journal  []Record             `json:"journal,omitempty"`
+}
+
+// Snapshot gathers the registry, net counters, and the most recent
+// journalTail records (<= 0 means the whole retained journal) in one pass.
+func (h *Hub) Snapshot(journalTail int) HubSnapshot {
+	if h == nil {
+		return HubSnapshot{}
+	}
+	s := HubSnapshot{
+		Tick:     h.Now(),
+		Registry: h.Registry.Snapshot(),
+		Journal:  h.Journal.Tail(journalTail),
+	}
+	if nc := h.NetCounters(); nc != nil {
+		ns := nc.Snapshot()
+		s.Net = &ns
+	}
+	return s
+}
+
+// WritePrometheus renders the registry and, when bound, the net-layer
+// counters as lira_net_* counter families, in one exposition document.
+func (h *Hub) WritePrometheus(w io.Writer) error {
+	if h == nil {
+		return nil
+	}
+	if err := h.Registry.WritePrometheus(w); err != nil {
+		return err
+	}
+	nc := h.NetCounters()
+	if nc == nil {
+		return nil
+	}
+	ns := nc.Snapshot()
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"lira_net_disconnects_total", ns.Disconnects},
+		{"lira_net_reconnects_total", ns.Reconnects},
+		{"lira_net_deadline_trips_total", ns.DeadlineTrips},
+		{"lira_net_shed_frames_total", ns.ShedFrames},
+		{"lira_net_lost_updates_total", ns.LostUpdates},
+		{"lira_net_heartbeats_total", ns.Heartbeats},
+		{"lira_net_panics_total", ns.Panics},
+	} {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -16,10 +16,11 @@ import "fmt"
 // Controller adapts the throttle fraction. The zero value is unusable;
 // construct with New.
 type Controller struct {
-	b      int
-	z      float64
-	minZ   float64
-	rounds int
+	b        int
+	z        float64
+	minZ     float64
+	rounds   int
+	recorder func(rho, z float64, b int)
 }
 
 // New returns a controller for a queue of maximum size b. The initial
@@ -44,6 +45,14 @@ func (c *Controller) SetFloor(min float64) {
 	c.minZ = min
 }
 
+// SetRecorder installs a callback invoked after every Observe with the
+// observed utilization, the resulting throttle fraction, and the queue
+// size B. It exists for the telemetry decision journal; the controller's
+// arithmetic is unaffected. A nil recorder disables recording.
+func (c *Controller) SetRecorder(fn func(rho, z float64, b int)) {
+	c.recorder = fn
+}
+
 // Z returns the current throttle fraction.
 func (c *Controller) Z() float64 { return c.z }
 
@@ -62,15 +71,18 @@ func (c *Controller) Observe(rho float64) float64 {
 	c.rounds++
 	if rho <= 0 {
 		c.z = 1
-		return c.z
+	} else {
+		u := rho / c.TargetUtilization()
+		c.z = c.z / u
+		if c.z > 1 {
+			c.z = 1
+		}
+		if c.z < c.minZ {
+			c.z = c.minZ
+		}
 	}
-	u := rho / c.TargetUtilization()
-	c.z = c.z / u
-	if c.z > 1 {
-		c.z = 1
-	}
-	if c.z < c.minZ {
-		c.z = c.minZ
+	if c.recorder != nil {
+		c.recorder(rho, c.z, c.b)
 	}
 	return c.z
 }

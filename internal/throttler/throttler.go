@@ -65,6 +65,12 @@ type Result struct {
 	BudgetMet bool
 	// InAcc is the objective value Σ mᵢ·Δᵢ.
 	InAcc float64
+	// Gains holds the final update gain Sᵢ = (wᵢ/mᵢ)·r(Δᵢ) per region at
+	// the assigned Δᵢ (+Inf for query-free regions with expenditure left).
+	Gains []float64
+	// FairnessClamps counts greedy steps parked at the fairness limit Δ⇔,
+	// including re-parks after re-admission.
+	FairnessClamps int
 }
 
 // SetThrottlers runs GREEDYINCREMENT over the given regions. It returns an
@@ -115,18 +121,6 @@ func SetThrottlers(stats []RegionStat, curve *fmodel.Curve, opts Options) (*Resu
 		}
 	}
 
-	fAtMin := curve.Eval(dl) // == 1 by construction
-	u := totalN * fAtMin
-	budget := opts.Z * u
-	res.Budget = budget
-	if u <= budget {
-		// Nothing to shed.
-		res.Expenditure = u
-		res.BudgetMet = true
-		res.InAcc = inAcc(stats, res.Deltas)
-		return res, nil
-	}
-
 	// gain returns the update gain Sᵢ at the region's current Δ. Regions
 	// with no queries have unbounded gain (+Inf): shedding there is free.
 	gain := func(i int) float64 {
@@ -141,6 +135,26 @@ func SetThrottlers(stats []RegionStat, curve *fmodel.Curve, opts Options) (*Resu
 			return 0
 		}
 		return w[i] / st.M * r
+	}
+	finalGains := func() []float64 {
+		out := make([]float64, l)
+		for i := range out {
+			out[i] = gain(i)
+		}
+		return out
+	}
+
+	fAtMin := curve.Eval(dl) // == 1 by construction
+	u := totalN * fAtMin
+	budget := opts.Z * u
+	res.Budget = budget
+	if u <= budget {
+		// Nothing to shed.
+		res.Expenditure = u
+		res.BudgetMet = true
+		res.InAcc = inAcc(stats, res.Deltas)
+		res.Gains = finalGains()
+		return res, nil
 	}
 
 	var h iheap.Heap
@@ -175,6 +189,7 @@ func SetThrottlers(stats []RegionStat, curve *fmodel.Curve, opts Options) (*Resu
 			// with everything equal, or it is already at the limit).
 			// Park it; it re-enters when the minimum moves.
 			blocked = append(blocked, i)
+			res.FairnessClamps++
 			continue
 		}
 
@@ -186,6 +201,7 @@ func SetThrottlers(stats []RegionStat, curve *fmodel.Curve, opts Options) (*Resu
 		switch {
 		case next-newMin >= opts.Fairness-eps && next < dh:
 			blocked = append(blocked, i)
+			res.FairnessClamps++
 		case next < dh:
 			h.Push(i, gain(i))
 		}
@@ -207,6 +223,7 @@ func SetThrottlers(stats []RegionStat, curve *fmodel.Curve, opts Options) (*Resu
 	res.Expenditure = u
 	res.BudgetMet = u <= budget+eps*budget+eps
 	res.InAcc = inAcc(stats, res.Deltas)
+	res.Gains = finalGains()
 	return res, nil
 }
 

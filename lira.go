@@ -40,6 +40,8 @@
 package lira
 
 import (
+	"net/http"
+
 	"lira/internal/basestation"
 	"lira/internal/cqserver"
 	"lira/internal/experiment"
@@ -55,6 +57,7 @@ import (
 	"lira/internal/roadnet"
 	"lira/internal/routemodel"
 	"lira/internal/shedding"
+	"lira/internal/telemetry"
 	"lira/internal/throtloop"
 	"lira/internal/throttler"
 	"lira/internal/trace"
@@ -335,6 +338,39 @@ func DialQueryConfig(addr string, cfg NetQueryConfig) (*NetQuery, error) {
 // dials and listeners in it to chaos-test a deployment reproducibly.
 func NewFaultFabric(seed uint64, cfg FaultConfig) *FaultFabric {
 	return faultnet.New(seed, cfg)
+}
+
+// Telemetry: passive metric registry, decision journal, and HTTP
+// introspection for the shedding pipeline (see DESIGN.md §5d).
+type (
+	// TelemetryHub bundles a metric registry, decision journal, and the
+	// net-layer counter bridge; attach one via ServerConfig.Telemetry,
+	// NetServerConfig.Telemetry, or RunConfig.Telemetry.
+	TelemetryHub = telemetry.Hub
+	// MetricRegistry holds named counters, gauges, histograms, and period
+	// series behind lock-cheap atomic operations.
+	MetricRegistry = telemetry.Registry
+	// DecisionJournal is the bounded ring of control-loop decision
+	// records, optionally streamed to a JSONL sink.
+	DecisionJournal = telemetry.Journal
+	// DecisionRecord is one journaled decision (THROTLOOP observation,
+	// GRIDREDUCE repartition, GREEDYINCREMENT assignment, or a network
+	// degradation event).
+	DecisionRecord = telemetry.Record
+	// Introspection is the /debug/lira state snapshot of a NetServer.
+	Introspection = netsvc.Introspection
+)
+
+// NewTelemetryHub returns a hub retaining the last journalCap decision
+// records (<= 0 selects the default capacity).
+func NewTelemetryHub(journalCap int) *TelemetryHub { return telemetry.NewHub(journalCap) }
+
+// NewTelemetryMux returns an http.Handler serving /metrics (Prometheus
+// text format) and /debug/lira (JSON snapshot); state supplies the
+// pipeline view (e.g. NetServer.Introspect), and enablePprof adds the
+// net/http/pprof handlers.
+func NewTelemetryMux(h *TelemetryHub, state func() any, enablePprof bool) *http.ServeMux {
+	return telemetry.NewMux(h, state, enablePprof)
 }
 
 // Metrics and experiments.

@@ -27,4 +27,7 @@ go test -race -count 1 -run 'Chaos|LossDegrades|Reconnect|ClientErr|Overflow|Dra
 echo "== bench smoke (Fig04, 1 iteration) =="
 go test -run '^$' -bench Fig04 -benchtime 1x .
 
+echo "== telemetry smoke (introspection endpoints + zero-diff sim) =="
+sh scripts/obs_smoke.sh
+
 echo "check: OK"
