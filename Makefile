@@ -3,12 +3,21 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke chaos bench-smoke obs-smoke obs-demo bench-report bench-report-obs clean
+.PHONY: check vet doc-gate build test race fuzz-smoke chaos bench-smoke shard-smoke obs-smoke obs-demo bench-report bench-report-obs bench-report-shard clean
 
-check: vet build race fuzz-smoke chaos bench-smoke obs-smoke
+check: vet doc-gate build race fuzz-smoke chaos bench-smoke shard-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Every package must carry a doc comment (// Package … or // Command …);
+# godoc and the README package map depend on them.
+doc-gate:
+	@missing="$$($(GO) list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...)"; \
+	if [ -n "$$missing" ]; then \
+		echo "packages missing a doc comment:"; echo "$$missing"; exit 1; \
+	fi; \
+	echo "all packages documented"
 
 build:
 	$(GO) build ./...
@@ -41,6 +50,11 @@ chaos:
 bench-smoke:
 	$(GO) test -run '^$$' -bench Fig04 -benchtime 1x .
 
+# Quick sweep of the sharded engine: errors unless every K produced
+# byte-identical query results to the unsharded baseline.
+shard-smoke:
+	$(GO) run ./cmd/lirabench -shards 1,4 -nodes 400 -duration 40
+
 # Telemetry smoke: lirad introspection endpoints plus the zero-diff
 # passivity check (same seed, same output, journal on or off).
 obs-smoke:
@@ -61,6 +75,11 @@ bench-report:
 # per-stage breakdown, on/off overhead).
 bench-report-obs:
 	$(GO) run ./cmd/lirabench -exp fig9 -nodes 1500 -duration 300 -parallel 4 -obs -json BENCH_PR3.json
+
+# Regenerate the shard-scaling artifact (per-K timing plus the cross-K
+# result-identity verdict).
+bench-report-shard:
+	$(GO) run ./cmd/lirabench -shards 1,2,4,8 -shardjson BENCH_PR4.json
 
 clean:
 	$(GO) clean ./...

@@ -10,6 +10,7 @@
 //	lirabench -nodes 4000 -exp fig9
 //	lirabench -parallel 4              # 4 sweep workers, same tables
 //	lirabench -json BENCH_PR1.json     # serial-vs-parallel timing report
+//	lirabench -shards 1,2,4,8 -shardjson BENCH_PR4.json
 //
 // Scales: "quick" (default) runs a reduced environment in a couple of
 // minutes; "paper" uses the full Table 2 parameters (10 000 nodes, ≈200
@@ -47,8 +48,28 @@ func main() {
 		parallel = flag.Int("parallel", 0, "sweep worker count: 0 = GOMAXPROCS, 1 = serial")
 		jsonOut  = flag.String("json", "", "write a serial-vs-parallel benchmark report to this path instead of printing tables")
 		obs      = flag.Bool("obs", false, "measure telemetry overhead and print the Evaluate-latency histogram and per-stage breakdown (embedded in the -json report when both are set)")
+		shards   = flag.String("shards", "", "shard-scaling mode: comma-separated shard counts (e.g. 1,2,4,8); compares shard.Server at each K against the unsharded server on one deterministic workload")
+		shardOut = flag.String("shardjson", "", "write the shard-scaling JSON report (BENCH_PR4.json) to this path; implies nothing unless -shards is set")
 	)
 	flag.Parse()
+
+	if *shards != "" {
+		ks, err := parseShardList(*shards)
+		if err != nil {
+			fatal(err)
+		}
+		sNodes, sTicks := 2000, 150
+		if *nodes > 0 {
+			sNodes = *nodes
+		}
+		if *duration > 0 {
+			sTicks = *duration
+		}
+		if err := runShardBench(ks, sNodes, sTicks, 24, *seed, *shardOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	envCfg, sweep := configsFor(*scale)
 	if *nodes > 0 {

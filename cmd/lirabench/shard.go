@@ -1,0 +1,294 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"lira/internal/cqserver"
+	"lira/internal/fmodel"
+	"lira/internal/geo"
+	"lira/internal/motion"
+	"lira/internal/rng"
+	"lira/internal/shard"
+)
+
+// shardEntry is one shard count's measurement in the -shards benchmark.
+type shardEntry struct {
+	K          int     `json:"k"`
+	IngestMS   float64 `json:"ingest_ms"`
+	DrainMS    float64 `json:"drain_ms"`
+	EvaluateMS float64 `json:"evaluate_ms"`
+	TotalMS    float64 `json:"total_ms"`
+	// UpdatesPerSec is ingest+drain throughput over the whole run.
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	Applied       int64   `json:"updates_applied"`
+	Compactions   int64   `json:"index_compactions"`
+	// ResultHash fingerprints every evaluation round's results;
+	// IdenticalToK1 is the cross-K determinism check.
+	ResultHash    uint64  `json:"result_hash"`
+	IdenticalToK1 bool    `json:"identical_to_k1"`
+	SpeedupVsK1   float64 `json:"speedup_vs_k1"`
+}
+
+// shardReport is the schema of the -shardjson artifact (BENCH_PR4.json).
+type shardReport struct {
+	Command    string       `json:"command"`
+	Nodes      int          `json:"nodes"`
+	Ticks      int          `json:"ticks"`
+	Queries    int          `json:"queries"`
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Entries    []shardEntry `json:"shards"`
+	// BaselineHash is the unsharded cqserver.Server's result fingerprint
+	// over the identical workload; every entry must match it.
+	BaselineHash    uint64  `json:"baseline_hash"`
+	AllIdentical    bool    `json:"all_identical"`
+	BaselineTotalMS float64 `json:"baseline_total_ms"`
+}
+
+// parseShardList parses "1,2,4,8" into shard counts.
+func parseShardList(s string) ([]int, error) {
+	var ks []int
+	for _, part := range strings.Split(s, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || k <= 0 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		ks = append(ks, k)
+	}
+	return ks, nil
+}
+
+// shardWorkload generates the deterministic bouncing-node update stream
+// shared by every engine in the comparison.
+type shardWorkload struct {
+	r      *rng.Rand
+	space  geo.Rect
+	pos    []geo.Point
+	vel    []geo.Vector
+	speeds []float64
+}
+
+func newShardWorkload(seed uint64, nodes int, space geo.Rect) *shardWorkload {
+	w := &shardWorkload{
+		r:      rng.New(seed),
+		space:  space,
+		pos:    make([]geo.Point, nodes),
+		vel:    make([]geo.Vector, nodes),
+		speeds: make([]float64, nodes),
+	}
+	for i := range w.pos {
+		w.pos[i] = geo.Point{X: w.r.Range(space.MinX, space.MaxX), Y: w.r.Range(space.MinY, space.MaxY)}
+		w.vel[i] = geo.Vector{X: w.r.Range(-30, 30), Y: w.r.Range(-30, 30)}
+	}
+	return w
+}
+
+func (w *shardWorkload) step(t float64) []cqserver.Update {
+	var ups []cqserver.Update
+	for i := range w.pos {
+		w.pos[i].X += w.vel[i].X
+		w.pos[i].Y += w.vel[i].Y
+		if w.pos[i].X < w.space.MinX || w.pos[i].X > w.space.MaxX {
+			w.vel[i].X = -w.vel[i].X
+			w.pos[i].X += 2 * w.vel[i].X
+		}
+		if w.pos[i].Y < w.space.MinY || w.pos[i].Y > w.space.MaxY {
+			w.vel[i].Y = -w.vel[i].Y
+			w.pos[i].Y += 2 * w.vel[i].Y
+		}
+		w.pos[i] = w.space.ClampPoint(w.pos[i])
+		w.speeds[i] = math.Hypot(w.vel[i].X, w.vel[i].Y)
+		if w.r.Bool(0.5) {
+			ups = append(ups, cqserver.Update{
+				Node:   i,
+				Report: motion.Report{Pos: w.pos[i], Vel: w.vel[i], Time: t},
+			})
+		}
+	}
+	return ups
+}
+
+func shardQueries(r *rng.Rand, space geo.Rect, n int) []geo.Rect {
+	qs := []geo.Rect{space}
+	for len(qs) < n {
+		x0, y0 := r.Range(space.MinX, space.MaxX), r.Range(space.MinY, space.MaxY)
+		qs = append(qs, geo.Rect{
+			MinX: x0, MinY: y0,
+			MaxX: math.Min(space.MaxX, x0+r.Range(50, space.Width()/2)),
+			MaxY: math.Min(space.MaxY, y0+r.Range(50, space.Height()/2)),
+		})
+	}
+	return qs
+}
+
+func hashResults(h io.Writer, results [][]int) {
+	var buf [8]byte
+	for _, ids := range results {
+		for _, id := range ids {
+			buf[0] = byte(id)
+			buf[1] = byte(id >> 8)
+			buf[2] = byte(id >> 16)
+			buf[3] = byte(id >> 24)
+			h.Write(buf[:4])
+		}
+		buf[0], buf[1], buf[2], buf[3] = 0xff, 0xff, 0xff, 0xff
+		h.Write(buf[:4])
+	}
+}
+
+// shardEngine is the slice of cqserver.Server/shard.Server the benchmark
+// drives.
+type shardEngine interface {
+	RegisterQueries(qs []geo.Rect)
+	Drain(limit int) int
+	Evaluate(now float64) [][]int
+	ObserveStatistics(positions []geo.Point, speeds []float64)
+	Applied() int64
+}
+
+// driveShardEngine runs the common benchmark loop, with ingest abstracted
+// over the two queue APIs.
+func driveShardEngine(eng shardEngine, ingest func(cqserver.Update) bool,
+	seed uint64, nodes, ticks, queries int, space geo.Rect) (entry shardEntry, err error) {
+	eng.RegisterQueries(shardQueries(rng.New(seed).Split(42), space, queries))
+	w := newShardWorkload(seed, nodes, space)
+	h := fnv.New64a()
+	var ingestD, drainD, evalD time.Duration
+	for tick := 1; tick <= ticks; tick++ {
+		now := float64(tick)
+		ups := w.step(now)
+		t0 := time.Now()
+		for _, u := range ups {
+			if !ingest(u) {
+				return entry, fmt.Errorf("overflow at tick %d (queue sized for no-overflow)", tick)
+			}
+		}
+		t1 := time.Now()
+		eng.Drain(-1)
+		t2 := time.Now()
+		eng.ObserveStatistics(w.pos, w.speeds)
+		res := eng.Evaluate(now)
+		t3 := time.Now()
+		hashResults(h, res)
+		ingestD += t1.Sub(t0)
+		drainD += t2.Sub(t1)
+		evalD += t3.Sub(t2)
+	}
+	total := ingestD + drainD + evalD
+	entry = shardEntry{
+		IngestMS:   float64(ingestD.Microseconds()) / 1e3,
+		DrainMS:    float64(drainD.Microseconds()) / 1e3,
+		EvaluateMS: float64(evalD.Microseconds()) / 1e3,
+		TotalMS:    float64(total.Microseconds()) / 1e3,
+		Applied:    eng.Applied(),
+		ResultHash: h.Sum64(),
+	}
+	if secs := total.Seconds(); secs > 0 {
+		entry.UpdatesPerSec = float64(eng.Applied()) / secs
+	}
+	return entry, nil
+}
+
+// runShardBench compares the unsharded server against shard.Server at
+// each requested K over one deterministic workload, checking that every
+// engine produced byte-identical query results, and writes the table to
+// stdout (and the JSON report to jsonPath when set).
+func runShardBench(ks []int, nodes, ticks, queries int, seed uint64, jsonPath string) error {
+	space := geo.Rect{MinX: 0, MinY: 0, MaxX: 10000, MaxY: 10000}
+	coreCfg := cqserver.Config{
+		Space:     space,
+		Nodes:     nodes,
+		L:         100,
+		Curve:     fmodel.Hyperbolic(5, 100, 95),
+		QueueSize: nodes * 2, // no-overflow regime: determinism is exact
+	}
+	report := shardReport{
+		Command:    strings.Join(os.Args, " "),
+		Nodes:      nodes,
+		Ticks:      ticks,
+		Queries:    queries,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	fmt.Fprintf(os.Stderr, "shard bench: %d nodes, %d ticks, %d queries\n", nodes, ticks, queries)
+	ref, err := cqserver.New(coreCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "  baseline (cqserver)...")
+	base, err := driveShardEngine(ref, ref.Ingest, seed, nodes, ticks, queries, space)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, " %8.0fms\n", base.TotalMS)
+	report.BaselineHash = base.ResultHash
+	report.BaselineTotalMS = base.TotalMS
+
+	report.AllIdentical = true
+	var k1Total float64
+	for _, k := range ks {
+		s, err := shard.New(shard.Config{Core: coreCfg, Shards: k})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "  K=%-3d...", k)
+		entry, err := driveShardEngine(s, s.Ingest, seed, nodes, ticks, queries, space)
+		if err != nil {
+			return err
+		}
+		entry.K = k
+		entry.IdenticalToK1 = entry.ResultHash == report.BaselineHash
+		report.AllIdentical = report.AllIdentical && entry.IdenticalToK1
+		if k == 1 {
+			k1Total = entry.TotalMS
+		}
+		if k1Total > 0 && entry.TotalMS > 0 {
+			entry.SpeedupVsK1 = k1Total / entry.TotalMS
+		}
+		report.Entries = append(report.Entries, entry)
+		fmt.Fprintf(os.Stderr, " %8.0fms  identical=%v\n", entry.TotalMS, entry.IdenticalToK1)
+	}
+
+	fmt.Printf("shard scaling (%d nodes, %d ticks, %d queries, %d CPUs)\n",
+		nodes, ticks, queries, report.NumCPU)
+	fmt.Printf("%-10s %10s %10s %10s %10s %12s %10s %s\n",
+		"engine", "ingest", "drain", "evaluate", "total", "updates/s", "speedup", "identical")
+	fmt.Printf("%-10s %9.0fms %9.0fms %9.0fms %9.0fms %12.0f %10s %v\n",
+		"cqserver", base.IngestMS, base.DrainMS, base.EvaluateMS, base.TotalMS,
+		base.UpdatesPerSec, "-", true)
+	for _, e := range report.Entries {
+		sp := "-"
+		if e.SpeedupVsK1 > 0 {
+			sp = fmt.Sprintf("%.2f×", e.SpeedupVsK1)
+		}
+		fmt.Printf("K=%-8d %9.0fms %9.0fms %9.0fms %9.0fms %12.0f %10s %v\n",
+			e.K, e.IngestMS, e.DrainMS, e.EvaluateMS, e.TotalMS,
+			e.UpdatesPerSec, sp, e.IdenticalToK1)
+	}
+	if !report.AllIdentical {
+		return fmt.Errorf("determinism violation: sharded results diverged from the unsharded baseline")
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

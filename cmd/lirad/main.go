@@ -9,6 +9,11 @@
 //	lirad -listen 127.0.0.1:7400 -nodes 10000 -l 250 -z 0.5 \
 //	      -http 127.0.0.1:7401
 //
+// With -shards K (K > 1) the daemon deploys the spatially sharded
+// evaluation engine: position updates enqueue onto per-shard lock-free
+// rings without touching the server mutex, and /metrics grows
+// lira_shard<N>_* gauges. Query results are byte-identical at any K.
+//
 // With -http set, the daemon serves live introspection: /metrics in the
 // Prometheus text format, /debug/lira as a JSON snapshot of the shedding
 // pipeline (current z, region tree, Δᵢ table, decision-journal tail), and
@@ -46,6 +51,7 @@ func main() {
 		adapt    = flag.Duration("adapt", 30*time.Second, "adaptation period")
 		eval     = flag.Duration("eval", 2*time.Second, "query evaluation period")
 		stations = flag.Float64("station-radius", 0, "uniform station radius; 0 = one station")
+		shards   = flag.Int("shards", 1, "spatial shard count K (1 = unsharded engine; >1 enables lock-free sharded ingest)")
 		httpAddr = flag.String("http", "", "introspection listen address (/metrics, /debug/lira); empty disables")
 		pprof    = flag.Bool("pprof", false, "also serve net/http/pprof on the -http address")
 		journal  = flag.String("journal", "", "append decision-journal records to this JSONL file")
@@ -71,6 +77,7 @@ func main() {
 			Curve:    fmodel.Hyperbolic(5, 100, 95),
 			Fairness: *fairness,
 		},
+		Shards:     *shards,
 		Z:          *z,
 		AdaptEvery: *adapt,
 		EvalEvery:  *eval,
@@ -87,8 +94,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "lirad: serving %v (l=%d, z=%.2f, %d stations)\n",
-		srv.Addr(), *l, *z, max(1, len(cfg.Stations)))
+	fmt.Fprintf(os.Stderr, "lirad: serving %v (l=%d, z=%.2f, %d stations, %d shards)\n",
+		srv.Addr(), *l, *z, max(1, len(cfg.Stations)), srv.Sharded())
 
 	var obs *http.Server
 	if *httpAddr != "" {

@@ -1,0 +1,201 @@
+package cqindex
+
+import (
+	"fmt"
+	"sort"
+
+	"lira/internal/geo"
+)
+
+// Inc is an incrementally maintained bucketed grid index. Where Grid is
+// rebuilt wholesale each evaluation round, Inc is kept current by
+// insert/delete/move deltas: a point that stays inside its bucket between
+// rounds costs one comparison, a point that crosses a bucket boundary
+// costs one O(1) swap-delete plus one append, and untouched points cost
+// nothing at all. That is the index-maintenance profile the sharded CQ
+// server wants — between consecutive evaluations most dead-reckoned
+// positions drift within one bucket, so the per-round work is
+// proportional to the number of bucket crossings, not to the population.
+//
+// Incremental maintenance trades layout quality for speed: swap-deletes
+// scramble the in-bucket id order and appends can leave buckets with
+// slack capacity. Inc therefore tracks a delta debt — the number of
+// structural mutations (cross-bucket moves, inserts, deletes) since the
+// last compaction — and callers fall back to Compact, the full-rebuild
+// equivalent, once the debt exceeds their threshold (the shard server
+// uses debt > factor·size). Query results are independent of layout:
+// Inc reports the same id set as a fresh Grid over the same points, in
+// unspecified order, and the CQ servers canonicalize result order
+// downstream.
+//
+// Inc is not safe for concurrent mutation; the sharded server gives each
+// shard its own Inc and mutates it only from that shard's evaluation
+// slot. Query is safe concurrently with other Queries.
+type Inc struct {
+	space geo.Rect
+	cells int
+
+	buckets [][]int32
+
+	// Per-id bookkeeping, indexed by dense node id: the bucket holding the
+	// id (-1 when absent), the id's slot within that bucket, and the
+	// indexed point.
+	bucketOf []int32
+	slotOf   []int32
+	points   []geo.Point
+
+	size int
+	debt int
+}
+
+// NewInc returns an empty incremental index over space with cells buckets
+// per side, sized for ids in [0, maxID).
+func NewInc(space geo.Rect, cells, maxID int) *Inc {
+	if cells <= 0 {
+		panic(fmt.Sprintf("cqindex: non-positive cell count %d", cells))
+	}
+	if space.Empty() {
+		panic("cqindex: empty space")
+	}
+	if maxID < 0 {
+		panic("cqindex: negative id capacity")
+	}
+	x := &Inc{
+		space:    space,
+		cells:    cells,
+		buckets:  make([][]int32, cells*cells),
+		bucketOf: make([]int32, maxID),
+		slotOf:   make([]int32, maxID),
+		points:   make([]geo.Point, maxID),
+	}
+	for i := range x.bucketOf {
+		x.bucketOf[i] = -1
+	}
+	return x
+}
+
+// Len returns the number of indexed points.
+func (x *Inc) Len() int { return x.size }
+
+// Debt returns the number of structural mutations (inserts, deletes,
+// cross-bucket moves) accumulated since the last Compact. Same-bucket
+// position refreshes are free: they never degrade the layout.
+func (x *Inc) Debt() int { return x.debt }
+
+func (x *Inc) bucketIndex(p geo.Point) int32 {
+	i := int((p.X - x.space.MinX) / x.space.Width() * float64(x.cells))
+	j := int((p.Y - x.space.MinY) / x.space.Height() * float64(x.cells))
+	return int32(clampInt(j, 0, x.cells-1)*x.cells + clampInt(i, 0, x.cells-1))
+}
+
+// Put installs or refreshes id at point p: an insert when id is absent, a
+// move when its bucket changes, and a point refresh otherwise.
+func (x *Inc) Put(id int, p geo.Point) {
+	b := x.bucketIndex(p)
+	cur := x.bucketOf[id]
+	if cur == b {
+		x.points[id] = p
+		return
+	}
+	if cur >= 0 {
+		x.removeFromBucket(id, cur)
+	} else {
+		x.size++
+	}
+	x.slotOf[id] = int32(len(x.buckets[b]))
+	x.buckets[b] = append(x.buckets[b], int32(id))
+	x.bucketOf[id] = b
+	x.points[id] = p
+	x.debt++
+}
+
+// Delete removes id from the index; absent ids are a no-op.
+func (x *Inc) Delete(id int) {
+	b := x.bucketOf[id]
+	if b < 0 {
+		return
+	}
+	x.removeFromBucket(id, b)
+	x.bucketOf[id] = -1
+	x.size--
+	x.debt++
+}
+
+// removeFromBucket swap-deletes id out of bucket b in O(1), fixing the
+// displaced id's slot.
+func (x *Inc) removeFromBucket(id int, b int32) {
+	bucket := x.buckets[b]
+	slot := x.slotOf[id]
+	last := int32(len(bucket) - 1)
+	moved := bucket[last]
+	bucket[slot] = moved
+	x.slotOf[moved] = slot
+	x.buckets[b] = bucket[:last]
+}
+
+// Compact is the full-rebuild fallback: it restores the canonical layout
+// an offline rebuild would produce — ids ascending within each bucket,
+// bucket capacity trimmed to at most twice its population — and clears
+// the delta debt. O(n log n) worst case; call it when Debt crosses the
+// caller's threshold.
+func (x *Inc) Compact() {
+	for b, bucket := range x.buckets {
+		if len(bucket) == 0 {
+			if cap(bucket) > 0 {
+				x.buckets[b] = nil
+			}
+			continue
+		}
+		if cap(bucket) > 2*len(bucket) {
+			trimmed := make([]int32, len(bucket))
+			copy(trimmed, bucket)
+			bucket = trimmed
+			x.buckets[b] = bucket
+		}
+		sort.Slice(bucket, func(i, j int) bool { return bucket[i] < bucket[j] })
+		for slot, id := range bucket {
+			x.slotOf[id] = int32(slot)
+		}
+	}
+	x.debt = 0
+}
+
+// Query calls fn for every indexed id whose point lies inside r (closed
+// containment, matching Grid.Query). Degenerate rects — zero width or
+// height, as produced by closed-intersecting a query with a shard-cell
+// boundary — still match points exactly on them. Order is unspecified.
+func (x *Inc) Query(r geo.Rect, fn func(id int)) {
+	x.QueryIn(r, r, fn)
+}
+
+// QueryIn is Query with a narrowed bucket scan: only buckets touching
+// bounds (inflated by one bucket on each side to absorb boundary
+// rounding) are visited, while containment is still tested against r.
+// The sharded CQ server passes the query's shard-cell fragment as bounds
+// and the original query as r, so a cross-shard query scans each shard's
+// slice of the bucket grid yet keeps the exact closed-containment
+// semantics of the unsharded evaluator.
+func (x *Inc) QueryIn(bounds, r geo.Rect, fn func(id int)) {
+	clip := bounds.Intersect(x.space)
+	if clip.Empty() {
+		// Same boundary convention as Grid.Query: a rect that only touches
+		// the space (or is degenerate) clips empty under the half-open
+		// convention; fall back to the raw corners for cell selection.
+		clip = bounds
+	}
+	b0 := x.bucketIndex(geo.Point{X: clip.MinX, Y: clip.MinY})
+	b1 := x.bucketIndex(geo.Point{X: clip.MaxX, Y: clip.MaxY})
+	i0, j0 := int(b0)%x.cells, int(b0)/x.cells
+	i1, j1 := int(b1)%x.cells, int(b1)/x.cells
+	i0, j0 = clampInt(i0-1, 0, x.cells-1), clampInt(j0-1, 0, x.cells-1)
+	i1, j1 = clampInt(i1+1, 0, x.cells-1), clampInt(j1+1, 0, x.cells-1)
+	for cj := j0; cj <= j1; cj++ {
+		for ci := i0; ci <= i1; ci++ {
+			for _, id := range x.buckets[cj*x.cells+ci] {
+				if r.ContainsClosed(x.points[id]) {
+					fn(int(id))
+				}
+			}
+		}
+	}
+}

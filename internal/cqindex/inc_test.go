@@ -1,0 +1,149 @@
+package cqindex
+
+import (
+	"sort"
+	"testing"
+
+	"lira/internal/geo"
+	"lira/internal/rng"
+)
+
+// collect returns the sorted id set an index reports for r.
+func collectIDs(idx interface {
+	Query(geo.Rect, func(int))
+}, r geo.Rect) []int {
+	var ids []int
+	idx.Query(r, func(id int) { ids = append(ids, id) })
+	sort.Ints(ids)
+	return ids
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIncMatchesRebuild is the incremental-vs-full-rebuild equivalence
+// property test: after any sequence of Put/Delete/Compact deltas, Inc
+// must report exactly the id set a freshly rebuilt Grid (and the Linear
+// reference) reports over the same surviving points.
+func TestIncMatchesRebuild(t *testing.T) {
+	space := geo.NewRect(0, 0, 1000, 800)
+	for _, seed := range []uint64{1, 7, 42} {
+		r := rng.New(seed)
+		const n = 400
+		inc := NewInc(space, 16, n)
+		points := make([]geo.Point, n)
+		alive := make([]bool, n)
+
+		randPoint := func() geo.Point {
+			return geo.Point{X: r.Range(0, 1000), Y: r.Range(0, 800)}
+		}
+		check := func(step int) {
+			grid := NewGrid(space, 16)
+			grid.Rebuild(points, alive)
+			lin := NewLinear()
+			lin.Rebuild(points, alive)
+			for q := 0; q < 8; q++ {
+				rect := geo.NewRect(r.Range(-50, 900), r.Range(-50, 700),
+					r.Range(0, 1100), r.Range(0, 900))
+				if rect.Empty() {
+					continue
+				}
+				want := collectIDs(grid, rect)
+				got := collectIDs(inc, rect)
+				if !equalIDs(got, want) {
+					t.Fatalf("seed %d step %d: inc %v != rebuild %v for %v",
+						seed, step, got, want, rect)
+				}
+				if ref := collectIDs(lin, rect); !equalIDs(want, ref) {
+					t.Fatalf("seed %d step %d: grid %v != linear %v", seed, step, want, ref)
+				}
+			}
+		}
+
+		for step := 0; step < 30; step++ {
+			// A burst of random deltas: inserts, small drifts (mostly
+			// same-bucket), long jumps (cross-bucket moves), deletes.
+			for op := 0; op < 120; op++ {
+				id := int(r.Intn(n))
+				switch {
+				case !alive[id] || r.Bool(0.15):
+					points[id] = randPoint()
+					alive[id] = true
+					inc.Put(id, points[id])
+				case r.Bool(0.1):
+					alive[id] = false
+					inc.Delete(id)
+				case r.Bool(0.5):
+					p := points[id]
+					points[id] = space.ClampPoint(geo.Point{X: p.X + r.Range(-3, 3), Y: p.Y + r.Range(-3, 3)})
+					inc.Put(id, points[id])
+				default:
+					points[id] = randPoint()
+					inc.Put(id, points[id])
+				}
+			}
+			if step%7 == 3 {
+				inc.Compact()
+				if inc.Debt() != 0 {
+					t.Fatalf("Compact left debt %d", inc.Debt())
+				}
+			}
+			check(step)
+		}
+	}
+}
+
+func TestIncDebtAccounting(t *testing.T) {
+	space := geo.NewRect(0, 0, 100, 100)
+	inc := NewInc(space, 10, 4)
+	if inc.Len() != 0 || inc.Debt() != 0 {
+		t.Fatal("fresh index should be empty and debt-free")
+	}
+	inc.Put(0, geo.Point{X: 5, Y: 5}) // insert
+	if inc.Len() != 1 || inc.Debt() != 1 {
+		t.Fatalf("after insert: len %d debt %d", inc.Len(), inc.Debt())
+	}
+	inc.Put(0, geo.Point{X: 6, Y: 6}) // same bucket: free refresh
+	if inc.Debt() != 1 {
+		t.Fatalf("same-bucket refresh should not add debt, got %d", inc.Debt())
+	}
+	inc.Put(0, geo.Point{X: 95, Y: 95}) // cross-bucket move
+	if inc.Debt() != 2 {
+		t.Fatalf("cross-bucket move debt = %d, want 2", inc.Debt())
+	}
+	inc.Delete(0)
+	if inc.Len() != 0 || inc.Debt() != 3 {
+		t.Fatalf("after delete: len %d debt %d", inc.Len(), inc.Debt())
+	}
+	inc.Delete(0) // absent: no-op
+	if inc.Debt() != 3 {
+		t.Fatalf("deleting an absent id changed debt: %d", inc.Debt())
+	}
+	inc.Compact()
+	if inc.Debt() != 0 {
+		t.Fatalf("debt after Compact = %d", inc.Debt())
+	}
+}
+
+// TestIncBoundaryQuery mirrors Grid.Query's convention for queries that
+// only touch the space boundary: a node clamped onto the space edge must
+// be found by a degenerate rect sitting exactly on that edge.
+func TestIncBoundaryQuery(t *testing.T) {
+	space := geo.NewRect(0, 0, 100, 100)
+	inc := NewInc(space, 8, 2)
+	inc.Put(0, geo.Point{X: 100, Y: 50}) // on the closed max edge
+	inc.Put(1, geo.Point{X: 10, Y: 10})
+	got := collectIDs(inc, geo.NewRect(100, 0, 100, 100))
+	if !equalIDs(got, []int{0}) {
+		t.Fatalf("degenerate edge query = %v, want [0]", got)
+	}
+}

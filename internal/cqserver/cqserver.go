@@ -9,6 +9,7 @@ package cqserver
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"lira/internal/cqindex"
@@ -310,8 +311,15 @@ func (s *Server) ObserveStatistics(positions []geo.Point, speeds []float64) {
 }
 
 // Evaluate re-evaluates every registered query at time now against the
-// dead-reckoned node positions. results[q] lists node ids; the backing
-// arrays are reused across calls, so callers must copy what they keep.
+// dead-reckoned node positions. results[q] lists node ids in ascending
+// order; the backing arrays are reused across calls, so callers must copy
+// what they keep.
+//
+// Ascending node-id order is the canonical result order shared by every
+// LIRA evaluator: it is independent of the index structure's internal
+// layout, which is what lets the sharded server (internal/shard) promise
+// results byte-identical to this one at any shard count, and the
+// incremental index reuse buckets freely.
 //
 // The prediction pass is chunked across goroutines, and the per-query
 // index scans run concurrently over the rebuilt CSR grid (which is
@@ -343,6 +351,7 @@ func (s *Server) Evaluate(now float64) [][]int {
 		for qi := lo; qi < hi; qi++ {
 			ids := s.results[qi][:0]
 			s.index.Query(s.queries[qi], func(id int) { ids = append(ids, id) })
+			sort.Ints(ids)
 			s.results[qi] = ids
 		}
 	})

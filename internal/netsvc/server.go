@@ -4,10 +4,16 @@
 // subscribers. Messages use the wire package's binary formats, so the
 // broadcast sizes match the paper's §4.3.2 accounting.
 //
-// The server is single-writer over the embedded cqserver.Server: every
-// connection goroutine funnels decoded messages through a mutex. Periodic
-// work — draining the input queue, refreshing statistics, re-running the
-// adaptation, evaluating queries — happens on one background loop.
+// The server drives an Engine — the unsharded cqserver.Server, or the
+// spatially sharded shard.Server when ServerConfig.Shards > 1; both
+// produce byte-identical query results, so sharding is purely a
+// concurrency knob. Periodic work — draining the input queue(s),
+// refreshing statistics, re-running the adaptation, evaluating queries —
+// happens on one background loop under the server mutex. Connection
+// goroutines funnel decoded messages through the same mutex, with one
+// exception: in sharded mode position updates enqueue onto the engine's
+// lock-free rings without taking the mutex at all, so ingest scales with
+// connections instead of serializing on the evaluator.
 //
 // The layer is built for lossy, partition-prone links (the network the
 // paper's mobile CQ system actually runs over): connections carry read
@@ -59,6 +65,11 @@ const defaultReadTimeout = 30 * time.Second
 type ServerConfig struct {
 	// Core configures the embedded mobile CQ server.
 	Core cqserver.Config
+	// Shards selects the evaluation engine: values above 1 deploy the
+	// spatially sharded shard.Server with that many shard cells and a
+	// lock-free ingest path; 0 and 1 deploy the unsharded
+	// cqserver.Server. Query results are byte-identical either way.
+	Shards int
 	// Stations is the base-station layout. Empty selects a single
 	// station covering the whole space.
 	Stations []basestation.Station
@@ -98,8 +109,13 @@ type Server struct {
 	counters *metrics.NetCounters
 	tel      *netTelemetry
 
+	// eng is the evaluation engine; lockFreeIngest marks its ingest path
+	// safe for concurrent producers (sharded mode), letting update frames
+	// skip the server mutex entirely.
+	eng            Engine
+	lockFreeIngest bool
+
 	mu          sync.Mutex
-	core        *cqserver.Server
 	deployment  *basestation.Deployment
 	frames      [][]byte // cached per-station assignment frames
 	nodeConns   map[uint32]*srvConn
@@ -222,7 +238,7 @@ func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
 			cfg.Core.Telemetry = cfg.Telemetry
 		}
 	}
-	core, err := cqserver.New(cfg.Core)
+	eng, lockFree, err := newEngine(cfg.Core, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -235,14 +251,15 @@ func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
 		}}
 	}
 	s := &Server{
-		cfg:         cfg,
-		ln:          ln,
-		counters:    cfg.Counters,
-		tel:         newNetTelemetry(cfg.Telemetry),
-		core:        core,
-		nodeConns:   make(map[uint32]*srvConn),
-		nodeStation: make(map[uint32]int),
-		done:        make(chan struct{}),
+		cfg:            cfg,
+		ln:             ln,
+		counters:       cfg.Counters,
+		tel:            newNetTelemetry(cfg.Telemetry),
+		eng:            eng,
+		lockFreeIngest: lockFree,
+		nodeConns:      make(map[uint32]*srvConn),
+		nodeStation:    make(map[uint32]int),
+		done:           make(chan struct{}),
 	}
 	if err := s.adaptLocked(); err != nil {
 		return nil, err
@@ -293,13 +310,22 @@ func (s *Server) Close() error {
 	s.wg.Wait()
 	// All connection goroutines and the background loop are gone: drain
 	// whatever the input queue still holds.
-	s.core.Drain(-1)
+	s.eng.Drain(-1)
 	return err
 }
 
-// Core exposes the embedded CQ server for inspection (tests, metrics).
+// Core exposes the evaluation engine for inspection (tests, metrics).
 // Callers must not mutate it concurrently with a running server.
-func (s *Server) Core() *cqserver.Server { return s.core }
+func (s *Server) Core() Engine { return s.eng }
+
+// Sharded returns the shard count the server was deployed with: 1 for
+// the unsharded engine, K for the sharded one.
+func (s *Server) Sharded() int {
+	if s.cfg.Shards > 1 {
+		return s.cfg.Shards
+	}
+	return 1
+}
 
 // Adapt re-runs the LIRA adaptation at the configured throttle fraction
 // and broadcasts fresh assignments to every connected node.
@@ -310,7 +336,7 @@ func (s *Server) Adapt() error {
 }
 
 func (s *Server) adaptLocked() error {
-	ad, err := s.core.Adapt(s.cfg.Z)
+	ad, err := s.eng.Adapt(s.cfg.Z)
 	if err != nil {
 		return err
 	}
@@ -484,7 +510,7 @@ func (s *Server) syncQueriesLocked() {
 	for i, r := range s.queryRegs {
 		qs[i] = r.rect
 	}
-	s.core.RegisterQueries(qs)
+	s.eng.RegisterQueries(qs)
 }
 
 func (s *Server) registerNode(sc *srvConn, h wire.Hello) {
@@ -518,14 +544,24 @@ func (s *Server) ingest(sc *srvConn, u wire.Update) {
 	if int(u.Node) >= s.cfg.Core.Nodes {
 		return
 	}
-	s.mu.Lock()
 	// Bounded admission with graceful overflow: a saturated queue sheds
 	// its oldest report to admit the freshest. The shed counts as a drop
 	// in the queue's accounting — the same λ-side signal THROTLOOP's
 	// utilization estimate is built from — so sustained overflow shows up
-	// as overload, not as an OOM.
-	if s.core.Queue().OfferShedOldest(cqserver.Update{Node: int(u.Node), Report: u.Report}) {
-		s.counters.ShedFrames.Add(1)
+	// as overload, not as an OOM. In sharded mode the enqueue hits the
+	// engine's lock-free rings before the mutex, so concurrent
+	// connections never serialize on admission; either way each frame
+	// counts exactly one arrival (the λ single-count contract).
+	if s.lockFreeIngest {
+		if s.eng.IngestShedOldest(cqserver.Update{Node: int(u.Node), Report: u.Report}) {
+			s.counters.ShedFrames.Add(1)
+		}
+	}
+	s.mu.Lock()
+	if !s.lockFreeIngest {
+		if s.eng.IngestShedOldest(cqserver.Update{Node: int(u.Node), Report: u.Report}) {
+			s.counters.ShedFrames.Add(1)
+		}
 	}
 	// Hand-off check: a node that moved outside its station's coverage
 	// gets the new station's subset.
@@ -568,8 +604,8 @@ func (s *Server) registerQuery(sc *srvConn, q wire.Query) {
 	}
 	s.syncQueriesLocked()
 	now := s.cfg.Clock()
-	s.core.Drain(-1)
-	results := s.core.Evaluate(now)
+	s.eng.Drain(-1)
+	results := s.eng.Evaluate(now)
 	frame := resultFrame(q.ID, results[idx])
 	s.mu.Unlock()
 	if s.tel != nil {
@@ -607,7 +643,7 @@ func (s *Server) backgroundLoop() {
 		if limit == 0 {
 			limit = -1
 		}
-		s.core.Drain(limit)
+		s.eng.Drain(limit)
 		// Refresh the statistics grid from the server's own beliefs (the
 		// paper's "explicitly maintained by processing position updates"
 		// mode): predicted positions and reported speeds.
@@ -622,7 +658,7 @@ func (s *Server) backgroundLoop() {
 		}
 		var pushes []push
 		if s.cfg.EvalEvery > 0 && len(s.queryRegs) > 0 {
-			results := s.core.Evaluate(now)
+			results := s.eng.Evaluate(now)
 			for qi, reg := range s.queryRegs {
 				pushes = append(pushes, push{reg.owner, resultFrame(reg.clientID, results[qi])})
 			}
@@ -657,6 +693,7 @@ type Introspection struct {
 	Regions        []RegionView        `json:"regions"`
 	ConnectedNodes int                 `json:"connected_nodes"`
 	Queries        int                 `json:"queries"`
+	Shards         int                 `json:"shards"`
 	QueueLen       int                 `json:"queue_len"`
 	QueueCap       int                 `json:"queue_cap"`
 	Applied        int64               `json:"updates_applied"`
@@ -673,9 +710,10 @@ func (s *Server) Introspect() Introspection {
 		Z:              s.cfg.Z,
 		ConnectedNodes: len(s.nodeConns),
 		Queries:        len(s.queryRegs),
-		QueueLen:       s.core.Queue().Len(),
-		QueueCap:       s.core.Queue().Cap(),
-		Applied:        s.core.Applied(),
+		Shards:         s.Sharded(),
+		QueueLen:       s.eng.QueueLen(),
+		QueueCap:       s.eng.QueueCap(),
+		Applied:        s.eng.Applied(),
 		Net:            s.counters.Snapshot(),
 	}
 	if ad := s.lastAdapt; ad != nil {
@@ -691,7 +729,7 @@ func (s *Server) Introspect() Introspection {
 
 // observeStatsLocked snapshots the motion table into the statistics grid.
 func (s *Server) observeStatsLocked(now float64) {
-	table := s.core.Table()
+	table := s.eng.Table()
 	n := table.Len()
 	var positions []geo.Point
 	var speeds []float64
@@ -704,6 +742,6 @@ func (s *Server) observeStatsLocked(now float64) {
 		speeds = append(speeds, rep.Vel.Len())
 	}
 	if len(positions) > 0 {
-		s.core.ObserveStatistics(positions, speeds)
+		s.eng.ObserveStatistics(positions, speeds)
 	}
 }

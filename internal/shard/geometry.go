@@ -1,0 +1,131 @@
+package shard
+
+import (
+	"fmt"
+
+	"lira/internal/geo"
+)
+
+// Geometry partitions the monitored space into K shard cells. Cells are
+// contiguous vertical bands of statistics-grid columns, so every shard
+// boundary coincides with an α×α grid-cell boundary: each statistics
+// cell — and therefore each GRIDREDUCE quad-tree leaf — belongs wholly
+// to one shard, which is what makes the per-shard statistics grids merge
+// exactly (statgrid.MergeObservations) and keeps GRIDREDUCE's region
+// math untouched by sharding.
+//
+// Geometry is immutable after construction and safe for concurrent use.
+type Geometry struct {
+	space geo.Rect
+	alpha int
+	k     int
+
+	// colShard maps a statistics-grid column to its shard; colStart[s] is
+	// the first column of shard s (len k+1, colStart[k] == alpha).
+	colShard []int32
+	colStart []int
+	cells    []geo.Rect
+}
+
+// NewGeometry returns a K-way sharding of space aligned to an alpha×alpha
+// statistics grid. K must be in [1, alpha]; columns are distributed as
+// evenly as ⌊alpha·s/K⌋ boundaries allow, a pure function of (alpha, K).
+func NewGeometry(space geo.Rect, alpha, k int) (*Geometry, error) {
+	if space.Empty() {
+		return nil, fmt.Errorf("shard: empty space")
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("shard: non-positive alpha %d", alpha)
+	}
+	if k <= 0 || k > alpha {
+		return nil, fmt.Errorf("shard: shard count %d outside [1, alpha=%d]", k, alpha)
+	}
+	g := &Geometry{
+		space:    space,
+		alpha:    alpha,
+		k:        k,
+		colShard: make([]int32, alpha),
+		colStart: make([]int, k+1),
+		cells:    make([]geo.Rect, k),
+	}
+	for s := 0; s <= k; s++ {
+		g.colStart[s] = alpha * s / k
+	}
+	w := space.Width() / float64(alpha)
+	for s := 0; s < k; s++ {
+		for c := g.colStart[s]; c < g.colStart[s+1]; c++ {
+			g.colShard[c] = int32(s)
+		}
+		minX := space.MinX + float64(g.colStart[s])*w
+		maxX := space.MinX + float64(g.colStart[s+1])*w
+		if s == k-1 {
+			maxX = space.MaxX // absorb float error at the far edge
+		}
+		g.cells[s] = geo.Rect{MinX: minX, MinY: space.MinY, MaxX: maxX, MaxY: space.MaxY}
+	}
+	return g, nil
+}
+
+// K returns the shard count.
+func (g *Geometry) K() int { return g.k }
+
+// Space returns the monitored space.
+func (g *Geometry) Space() geo.Rect { return g.space }
+
+// Cell returns shard s's cell. Cells tile the space exactly: every point
+// of the space belongs to exactly one shard under ShardFor.
+func (g *Geometry) Cell(s int) geo.Rect { return g.cells[s] }
+
+// ShardFor returns the shard owning point p. Ownership is defined by the
+// very boundary coordinates the cells are built from — the largest s with
+// Cell(s).MinX ≤ p.X — never by a re-derived column computation, so a
+// point always lies inside its owning cell under closed containment and
+// fragment clipping can never miss a boundary node to float rounding.
+// Points outside the space are clamped to the border shards, mirroring
+// the statistics grid's own clamping, so routing never fails.
+func (g *Geometry) ShardFor(p geo.Point) int {
+	lo, hi := 0, g.k-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if g.cells[mid].MinX <= p.X {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Fragment clips rect to shard s's cell under closed intersection:
+// degenerate fragments (zero width or height) are kept when rect touches
+// the cell exactly on a boundary, because closed-containment evaluation
+// — the convention of every LIRA index — can still match nodes sitting
+// on that boundary. The second result is false when rect and the cell do
+// not even touch.
+func (g *Geometry) Fragment(s int, rect geo.Rect) (geo.Rect, bool) {
+	c := g.cells[s]
+	f := geo.Rect{
+		MinX: maxF(rect.MinX, c.MinX),
+		MinY: maxF(rect.MinY, c.MinY),
+		MaxX: minF(rect.MaxX, c.MaxX),
+		MaxY: minF(rect.MaxY, c.MaxY),
+	}
+	if f.MinX > f.MaxX || f.MinY > f.MaxY {
+		return geo.Rect{}, false
+	}
+	return f, true
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,211 @@
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lira/internal/cqserver"
+)
+
+// entry is one queued position update stamped with its global arrival
+// sequence number. The stamp makes update application commutative: the
+// motion table keeps the entry with the highest sequence per node, so
+// rings can be drained in any deterministic order — a node whose
+// boundary-crossing reports land in two different shard rings still
+// converges to the report that arrived last, exactly as a single FIFO
+// queue would.
+type entry struct {
+	u   cqserver.Update
+	seq int64
+}
+
+// ringSlot is one cell of the ring's slot array. The sequence field is
+// the Vyukov turn counter: slot i is writable when seq == ticket and
+// readable when seq == ticket+1.
+type ringSlot struct {
+	seq atomic.Uint64
+	val entry
+}
+
+// Ring is the lock-free bounded ingest queue in front of each shard: a
+// Vyukov-style MPMC ring buffer carrying the same accounting contract as
+// queue.Bounded — total arrived/dropped/served counters plus windowed
+// arrival and service counters for THROTLOOP's λ and μ estimation.
+//
+// Producers (connection goroutines) offer concurrently without locks;
+// the drain loop is the only consumer of queued work, but the shed-oldest
+// overflow path also dequeues from the producer side, which is why the
+// ring is MPMC rather than SPSC.
+//
+// # Accounting contract (the THROTLOOP λ audit)
+//
+// Every offered update increments the arrival counters exactly once, at
+// the top of Offer/OfferShedOldest — never inside the internal retry or
+// shed loops. An update that sheds a victim, races another producer, or
+// is re-attempted after its victim's slot was stolen still counts one
+// arrival; the shed victim counts one drop and zero services. Summing
+// ring windows across shards therefore measures the true offered load,
+// not the number of internal queue hops — the double-count failure mode
+// the regression tests in ring_test.go pin down.
+//
+// The logical capacity is enforced exactly under any serialized offer
+// sequence (the determinism tests' regime). Racing producers may
+// transiently overshoot the logical bound by at most one slot per
+// concurrent producer, never past the power-of-two slot array.
+type Ring struct {
+	slots []ringSlot
+	mask  uint64
+	cap   int // logical capacity (≤ len(slots))
+
+	enq atomic.Uint64
+	deq atomic.Uint64
+
+	arrived atomic.Int64
+	dropped atomic.Int64
+	served  atomic.Int64
+
+	winArrived atomic.Int64
+	winServed  atomic.Int64
+}
+
+// NewRing returns a ring with logical capacity b. It panics if b <= 0.
+func NewRing(b int) *Ring {
+	if b <= 0 {
+		panic(fmt.Sprintf("shard: non-positive ring capacity %d", b))
+	}
+	n := 1
+	for n < b {
+		n <<= 1
+	}
+	r := &Ring{slots: make([]ringSlot, n), mask: uint64(n - 1), cap: b}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the logical capacity.
+func (r *Ring) Cap() int { return r.cap }
+
+// Len returns the current queue length. It is exact when producers and
+// the consumer are quiescent, and a snapshot otherwise.
+func (r *Ring) Len() int {
+	n := int64(r.enq.Load()) - int64(r.deq.Load())
+	if n < 0 {
+		n = 0
+	}
+	if n > int64(r.cap) {
+		n = int64(r.cap)
+	}
+	return int(n)
+}
+
+// full reports whether the logical capacity is reached.
+func (r *Ring) full() bool {
+	return int64(r.enq.Load())-int64(r.deq.Load()) >= int64(r.cap)
+}
+
+// Offer attempts to enqueue e, mirroring queue.Bounded.Offer: a full ring
+// counts a drop and rejects the newcomer.
+func (r *Ring) Offer(e entry) bool {
+	r.arrived.Add(1)
+	r.winArrived.Add(1)
+	if !r.tryEnqueue(e) {
+		r.dropped.Add(1)
+		return false
+	}
+	return true
+}
+
+// OfferShedOldest enqueues e unconditionally, mirroring
+// queue.Bounded.OfferShedOldest: when the ring is full the oldest entry
+// is shed — counted as a drop, not as served work — to make room for the
+// freshest. The returned flag reports whether an entry was shed.
+func (r *Ring) OfferShedOldest(e entry) (shed bool) {
+	r.arrived.Add(1)
+	r.winArrived.Add(1)
+	for {
+		if r.tryEnqueue(e) {
+			return shed
+		}
+		// Full: discard the head to admit the freshest. Under races the
+		// victim may already be gone, in which case the next enqueue
+		// attempt succeeds without a drop.
+		if _, ok := r.dequeue(false); ok {
+			r.dropped.Add(1)
+			shed = true
+		}
+	}
+}
+
+// tryEnqueue claims the next enqueue ticket and writes e; it fails only
+// when the ring is at logical capacity.
+func (r *Ring) tryEnqueue(e entry) bool {
+	for {
+		if r.full() {
+			return false
+		}
+		ticket := r.enq.Load()
+		slot := &r.slots[ticket&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == ticket:
+			if r.enq.CompareAndSwap(ticket, ticket+1) {
+				slot.val = e
+				slot.seq.Store(ticket + 1)
+				return true
+			}
+		case seq < ticket:
+			// The slot still holds an unconsumed entry a full lap behind:
+			// structurally full (possible only under producer overshoot).
+			return false
+		default:
+			// Another producer advanced enq; reload.
+		}
+	}
+}
+
+// Poll dequeues the oldest entry, counting it as served work.
+func (r *Ring) Poll() (entry, bool) {
+	return r.dequeue(true)
+}
+
+func (r *Ring) dequeue(serve bool) (entry, bool) {
+	for {
+		ticket := r.deq.Load()
+		slot := &r.slots[ticket&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == ticket+1:
+			if r.deq.CompareAndSwap(ticket, ticket+1) {
+				e := slot.val
+				slot.val = entry{}
+				slot.seq.Store(ticket + r.mask + 1)
+				if serve {
+					r.served.Add(1)
+					r.winServed.Add(1)
+				}
+				return e, true
+			}
+		case seq <= ticket:
+			return entry{}, false // empty
+		default:
+			// Another consumer advanced deq; reload.
+		}
+	}
+}
+
+// Arrived returns the total number of updates offered to the ring.
+func (r *Ring) Arrived() int64 { return r.arrived.Load() }
+
+// Dropped returns the total number of updates shed or rejected on a full
+// ring.
+func (r *Ring) Dropped() int64 { return r.dropped.Load() }
+
+// Served returns the total number of updates drained as work.
+func (r *Ring) Served() int64 { return r.served.Load() }
+
+// takeWindow returns and resets the windowed arrival/service counters.
+func (r *Ring) takeWindow() (arrived, served int64) {
+	return r.winArrived.Swap(0), r.winServed.Swap(0)
+}

@@ -1,0 +1,217 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"lira/internal/cqserver"
+	"lira/internal/geo"
+	"lira/internal/motion"
+	"lira/internal/queue"
+)
+
+func ent(node int, seq int64) entry {
+	return entry{u: cqserver.Update{Node: node}, seq: seq}
+}
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing(4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", r.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		if !r.Offer(ent(i, int64(i))) {
+			t.Fatalf("Offer %d failed below capacity", i)
+		}
+	}
+	if r.Offer(ent(4, 4)) {
+		t.Fatal("Offer succeeded on full ring")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	for i := 0; i < 4; i++ {
+		e, ok := r.Poll()
+		if !ok || e.u.Node != i {
+			t.Fatalf("Poll %d = (%v, %v), want node %d", i, e.u.Node, ok, i)
+		}
+	}
+	if _, ok := r.Poll(); ok {
+		t.Fatal("Poll succeeded on empty ring")
+	}
+	if a, d, s := r.Arrived(), r.Dropped(), r.Served(); a != 5 || d != 1 || s != 4 {
+		t.Fatalf("counters arrived=%d dropped=%d served=%d, want 5/1/4", a, d, s)
+	}
+}
+
+func TestRingNonPow2Capacity(t *testing.T) {
+	// Logical capacity 3 over a 4-slot array: the logical bound, not the
+	// slot count, must gate admission.
+	r := NewRing(3)
+	for i := 0; i < 3; i++ {
+		if !r.Offer(ent(i, int64(i))) {
+			t.Fatalf("Offer %d failed", i)
+		}
+	}
+	if r.Offer(ent(3, 3)) {
+		t.Fatal("Offer exceeded logical capacity")
+	}
+	if shed := r.OfferShedOldest(ent(4, 4)); !shed {
+		t.Fatal("OfferShedOldest on full ring must shed")
+	}
+	want := []int{1, 2, 4}
+	for i, w := range want {
+		e, ok := r.Poll()
+		if !ok || e.u.Node != w {
+			t.Fatalf("Poll %d = (%v, %v), want %d", i, e.u.Node, ok, w)
+		}
+	}
+}
+
+// TestRingShedOldestMatchesBounded pins the K=1 overflow-equality claim:
+// the same offer/poll trace through a Ring and a queue.Bounded must agree
+// on admissions, drain order, and every counter.
+func TestRingShedOldestMatchesBounded(t *testing.T) {
+	const b = 8
+	r := NewRing(b)
+	q := queue.NewBounded[cqserver.Update](b)
+	rep := func(i int) motion.Report {
+		return motion.Report{Pos: geo.Point{X: float64(i), Y: 1}, Time: float64(i)}
+	}
+	step := 0
+	for round := 0; round < 50; round++ {
+		// Offer a burst larger than the bound, then drain part of it.
+		for i := 0; i < b+3; i++ {
+			u := cqserver.Update{Node: step, Report: rep(step)}
+			step++
+			rs := r.OfferShedOldest(entry{u: u, seq: int64(step)})
+			qs := q.OfferShedOldest(u)
+			if rs != qs {
+				t.Fatalf("round %d offer %d: ring shed=%v, bounded shed=%v", round, i, rs, qs)
+			}
+		}
+		for i := 0; i < b/2; i++ {
+			re, rok := r.Poll()
+			qe, qok := q.Poll()
+			if rok != qok || (rok && re.u.Node != qe.Node) {
+				t.Fatalf("round %d poll %d: ring (%v,%v) vs bounded (%v,%v)",
+					round, i, re.u.Node, rok, qe.Node, qok)
+			}
+		}
+		if r.Len() != q.Len() {
+			t.Fatalf("round %d: ring len %d vs bounded len %d", round, r.Len(), q.Len())
+		}
+	}
+	if r.Arrived() != q.Arrived() || r.Dropped() != q.Dropped() || r.Served() != q.Served() {
+		t.Fatalf("counters diverged: ring %d/%d/%d vs bounded %d/%d/%d",
+			r.Arrived(), r.Dropped(), r.Served(), q.Arrived(), q.Dropped(), q.Served())
+	}
+}
+
+// TestRingLambdaSingleCount is the double-count regression test for
+// THROTLOOP's λ estimate: an update that triggers shedding — potentially
+// looping internally — must contribute exactly one windowed arrival, and
+// shed victims must contribute drops, never arrivals or services. A
+// shed-oldest path that re-counted arrivals per internal hop would
+// inflate λ on exactly the overloaded shards THROTLOOP is trying to
+// stabilize, driving z below the true operating point.
+func TestRingLambdaSingleCount(t *testing.T) {
+	const b, offers = 4, 100
+	r := NewRing(b)
+	for i := 0; i < offers; i++ {
+		r.OfferShedOldest(ent(i, int64(i)))
+	}
+	arrived, served := r.takeWindow()
+	if arrived != offers {
+		t.Fatalf("windowed arrivals = %d, want %d (one per offered update)", arrived, offers)
+	}
+	if served != 0 {
+		t.Fatalf("windowed services = %d, want 0 (sheds are not services)", served)
+	}
+	if r.Dropped() != offers-b {
+		t.Fatalf("dropped = %d, want %d", r.Dropped(), offers-b)
+	}
+	// Conservation at quiescence: every arrival was shed or is queued.
+	if got := r.Dropped() + int64(r.Len()); got != offers {
+		t.Fatalf("dropped + len = %d, want %d", got, offers)
+	}
+}
+
+// TestServerLambdaSingleCount runs the same audit end to end: updates
+// funnelled through Server.IngestShedOldest count one arrival each in the
+// summed Rates window no matter how many sheds they cause or which shard
+// they land on.
+func TestServerLambdaSingleCount(t *testing.T) {
+	s := testSharded(t, 4, func(c *Config) { c.Core.QueueSize = 8 })
+	const offers = 200
+	for i := 0; i < offers; i++ {
+		x := float64(i%100) * 10 // spread across shards
+		s.IngestShedOldest(cqserver.Update{
+			Node:   i % 100,
+			Report: motion.Report{Pos: geo.Point{X: x, Y: 500}, Time: float64(i)},
+		})
+	}
+	s.ObserveBusy(1)
+	lambda, _ := s.Rates(1)
+	if lambda != offers {
+		t.Fatalf("summed λ = %v, want %v (one arrival per ingested update)", lambda, offers)
+	}
+	if got := s.Dropped() + int64(s.QueueLen()); got != offers {
+		t.Fatalf("dropped + queued = %d, want %d", got, offers)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	const producers, perProducer = 4, 2000
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if i%2 == 0 {
+					r.Offer(ent(p, int64(i)))
+				} else {
+					r.OfferShedOldest(ent(p, int64(i)))
+				}
+			}
+		}(p)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var consumed int64
+	go func() {
+		defer close(done)
+		for {
+			if _, ok := r.Poll(); ok {
+				consumed++
+				continue
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-done
+	// Producers are quiescent; drain whatever the concurrent consumer left.
+	for {
+		if _, ok := r.Poll(); !ok {
+			break
+		}
+		consumed++
+	}
+	if r.Arrived() != producers*perProducer {
+		t.Fatalf("arrived = %d, want %d", r.Arrived(), producers*perProducer)
+	}
+	if got := r.Served() + r.Dropped(); got != producers*perProducer {
+		t.Fatalf("served+dropped = %d, want %d (conservation)", got, producers*perProducer)
+	}
+	if consumed != r.Served() {
+		t.Fatalf("consumer saw %d entries, ring served %d", consumed, r.Served())
+	}
+}

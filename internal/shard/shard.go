@@ -1,0 +1,690 @@
+// Package shard implements the spatially sharded mobile CQ server: K
+// shard cells aligned to the α×α statistics grid, each with a lock-free
+// batched ingest ring, a private statistics grid, and an incrementally
+// maintained query index, behind one global LIRA adaptation loop.
+//
+// The unsharded cqserver.Server is a single logical evaluator: one
+// mutex-guarded input queue, one full index rebuild per evaluation. This
+// package splits the monitored space into K vertical bands (Geometry),
+// routes each position update to its band's ring without locks (Ring),
+// drains rings in batches into a shared motion table whose per-node
+// last-writer is decided by a global arrival sequence number, and keeps
+// each shard's cqindex.Inc current with insert/delete/move deltas —
+// falling back to a full compaction only when a shard's delta debt
+// exceeds DebtFactor times its population. Cross-shard queries are
+// clipped into per-shard fragments; per-shard result lists are merged in
+// shard order and canonicalized to ascending node id, the same order
+// cqserver.Evaluate reports.
+//
+// # Determinism contract
+//
+// For one ingest sequence, query results are a pure function of the
+// inputs and are byte-identical to the unsharded server's at every shard
+// count: residency assigns each node to exactly one shard, fragments
+// cover each query exactly once per shard, and the ascending-id merge
+// erases shard layout from the output. THROTLOOP sees one global (λ, μ)
+// summed over the shard rings, so z is exact at any K. The adaptation's
+// Δᵢ values are bit-identical to the unsharded server at K = 1 (the
+// merged statistics reduce in shard order, degenerating to the identity)
+// and seed-stable at any fixed K; at K > 1 they may differ from K = 1 in
+// final ulps because cross-shard scalar sums reassociate floating-point
+// addition. Concurrency never changes results: producers only contend on
+// the rings, and every parallel evaluation phase writes per-shard state
+// merged in shard order (see package par).
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"lira/internal/cqindex"
+	"lira/internal/cqserver"
+	"lira/internal/geo"
+	"lira/internal/history"
+	"lira/internal/motion"
+	"lira/internal/par"
+	"lira/internal/partition"
+	"lira/internal/queue"
+	"lira/internal/statgrid"
+	"lira/internal/telemetry"
+	"lira/internal/throtloop"
+	"lira/internal/throttler"
+)
+
+// Config parameterizes a sharded server.
+type Config struct {
+	// Core carries the LIRA pipeline parameters, interpreted exactly as
+	// cqserver.New interprets them (defaults included). Core.QueueSize is
+	// the global bound B, split evenly across the shard rings.
+	Core cqserver.Config
+	// Shards is the shard count K ∈ [1, α]; zero selects 1. Shard cells
+	// are vertical bands of statistics-grid columns, so K may not exceed
+	// the grid resolution.
+	Shards int
+	// DebtFactor is the incremental-index rebuild threshold: a shard
+	// compacts its index when accumulated structural deltas exceed
+	// DebtFactor × residents. Zero selects 0.5; negative compacts every
+	// evaluation (the always-rebuild reference mode).
+	DebtFactor float64
+}
+
+// shardState is the per-shard slice of the server: the shard's cell, its
+// ingest ring, private statistics grid, incremental index, resident
+// list, query fragments, and evaluation scratch.
+type shardState struct {
+	cell  geo.Rect
+	ring  *Ring
+	grid  *statgrid.Grid
+	index *cqindex.Inc
+
+	residents []int32
+
+	frags []frag
+	// fragBuf[i] collects the ids frag i matched this evaluation round;
+	// backing arrays are reused across rounds.
+	fragBuf [][]int
+
+	// outbox collects residents whose predicted position left the cell
+	// this round; migrations apply serially in shard order.
+	outbox []migration
+
+	// Observation-routing scratch, reused across rounds.
+	obsPos []geo.Point
+	obsSpd []float64
+}
+
+// frag is one per-shard fragment of a registered query: the query index
+// and the closed clip of its rect to the shard cell (used to narrow the
+// bucket scan; containment is tested against the original rect).
+type frag struct {
+	q      int32
+	bounds geo.Rect
+}
+
+type migration struct {
+	id int32
+	p  geo.Point
+}
+
+// Server is a spatially sharded mobile CQ server. Ingest and
+// IngestShedOldest are safe for concurrent use by any number of
+// producers; all other methods are single-caller (the owner's drive
+// loop), concurrent only with producers.
+type Server struct {
+	cfg  Config
+	geom *Geometry
+	k    int
+
+	shards []*shardState
+
+	table   *motion.Table
+	lastSeq []int64 // per node: arrival seq of the applied report, -1 none
+	seq     atomic.Int64
+
+	// shardOf/resSlot are the residency maps: the shard currently owning
+	// each node (-1 until its first report) and the node's slot in that
+	// shard's resident list.
+	shardOf []int32
+	resSlot []int32
+
+	merged  *statgrid.Grid // merge target; also holds the query census
+	loop    *throtloop.Controller
+	history *history.Store
+
+	queries []geo.Rect
+	results [][]int
+
+	applied int64
+	winBusy float64
+
+	tel *shardTelemetry
+}
+
+// evaluate decomposes shards one per par chunk.
+const shardChunk = 1
+
+// New validates cfg and returns a sharded server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	core := cfg.Core
+	if core.Space.Empty() {
+		return nil, fmt.Errorf("shard: empty space")
+	}
+	if core.Nodes <= 0 {
+		return nil, fmt.Errorf("shard: non-positive node count %d", core.Nodes)
+	}
+	if core.L <= 0 {
+		return nil, fmt.Errorf("shard: non-positive region count %d", core.L)
+	}
+	if core.Curve == nil {
+		return nil, fmt.Errorf("shard: nil update reduction curve")
+	}
+	if core.Alpha == 0 {
+		core.Alpha = partition.AlphaFor(core.L, 10)
+	}
+	if core.QueueSize == 0 {
+		core.QueueSize = 1000
+	}
+	if core.IndexCells == 0 {
+		core.IndexCells = 64
+	}
+	if core.Fairness == 0 {
+		core.Fairness = throttler.NoFairness(core.Curve)
+	}
+	if cfg.DebtFactor == 0 {
+		cfg.DebtFactor = 0.5
+	}
+	cfg.Core = core
+	geom, err := NewGeometry(core.Space, core.Alpha, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	loop, err := throtloop.New(core.QueueSize)
+	if err != nil {
+		return nil, err
+	}
+	var hist *history.Store
+	if core.HistoryPerNode > 0 {
+		hist, err = history.NewStore(core.Nodes, core.HistoryPerNode)
+		if err != nil {
+			return nil, err
+		}
+	}
+	k := cfg.Shards
+	ringCap := (core.QueueSize + k - 1) / k
+	s := &Server{
+		cfg:     cfg,
+		geom:    geom,
+		k:       k,
+		shards:  make([]*shardState, k),
+		table:   motion.NewTable(core.Nodes),
+		lastSeq: make([]int64, core.Nodes),
+		shardOf: make([]int32, core.Nodes),
+		resSlot: make([]int32, core.Nodes),
+		merged:  statgrid.New(core.Space, core.Alpha),
+		loop:    loop,
+		history: hist,
+	}
+	for i := range s.lastSeq {
+		s.lastSeq[i] = -1
+		s.shardOf[i] = -1
+	}
+	for i := 0; i < k; i++ {
+		s.shards[i] = &shardState{
+			cell:  geom.Cell(i),
+			ring:  NewRing(ringCap),
+			grid:  statgrid.New(core.Space, core.Alpha),
+			index: cqindex.NewInc(core.Space, core.IndexCells, core.Nodes),
+		}
+	}
+	s.tel = newShardTelemetry(core.Telemetry, k)
+	if s.tel != nil {
+		hub := s.tel.hub
+		zGauge := s.tel.zGauge
+		zGauge.Set(1)
+		b := core.QueueSize
+		s.loop.SetRecorder(func(rho, z float64, _ int) {
+			zGauge.Set(z)
+			hub.Record(telemetry.Record{
+				Kind:      telemetry.KindThrotloop,
+				Throtloop: &telemetry.ThrotloopEvent{Rho: rho, Z: z, B: b},
+			})
+		})
+	}
+	return s, nil
+}
+
+// Shards returns the shard count K.
+func (s *Server) Shards() int { return s.k }
+
+// Geometry returns the shard geometry.
+func (s *Server) Geometry() *Geometry { return s.geom }
+
+// Table exposes the shared motion table.
+func (s *Server) Table() *motion.Table { return s.table }
+
+// Throttle exposes the global THROTLOOP controller.
+func (s *Server) Throttle() *throtloop.Controller { return s.loop }
+
+// History returns the report history store, or nil when disabled.
+func (s *Server) History() *history.Store { return s.history }
+
+// Applied returns the number of updates drained or applied directly.
+func (s *Server) Applied() int64 { return s.applied }
+
+// Queries returns the registered queries.
+func (s *Server) Queries() []geo.Rect { return s.queries }
+
+// QueueLen returns the summed length of the shard rings.
+func (s *Server) QueueLen() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.ring.Len()
+	}
+	return n
+}
+
+// QueueCap returns the summed logical capacity of the shard rings.
+func (s *Server) QueueCap() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.ring.Cap()
+	}
+	return n
+}
+
+// Dropped returns the total updates shed or rejected across all rings.
+func (s *Server) Dropped() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.ring.Dropped()
+	}
+	return n
+}
+
+// Arrived returns the total updates offered across all rings.
+func (s *Server) Arrived() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.ring.Arrived()
+	}
+	return n
+}
+
+// route returns the shard ring owning u's report position.
+func (s *Server) route(u cqserver.Update) *shardState {
+	return s.shards[s.geom.ShardFor(s.cfg.Core.Space.ClampPoint(u.Report.Pos))]
+}
+
+// stamp assigns u its global arrival sequence number.
+func (s *Server) stamp(u cqserver.Update) entry {
+	return entry{u: u, seq: s.seq.Add(1) - 1}
+}
+
+// Ingest offers an update to its shard's ring; a full ring drops it.
+// This is the drop-newest admission cqserver.Ingest uses. Safe for
+// concurrent use.
+func (s *Server) Ingest(u cqserver.Update) bool {
+	sh := s.route(u)
+	ok := sh.ring.Offer(s.stamp(u))
+	if s.tel != nil {
+		if !ok {
+			s.tel.dropped.Inc()
+		}
+		s.tel.queueDepth.Set(float64(s.QueueLen()))
+	}
+	return ok
+}
+
+// IngestShedOldest enqueues an update unconditionally: a full ring sheds
+// its oldest entry — counted as a drop in the same λ-side accounting
+// THROTLOOP watches — to admit the freshest. This is the network layer's
+// overflow policy. Safe for concurrent use.
+func (s *Server) IngestShedOldest(u cqserver.Update) (shed bool) {
+	sh := s.route(u)
+	shed = sh.ring.OfferShedOldest(s.stamp(u))
+	if s.tel != nil {
+		if shed {
+			s.tel.dropped.Inc()
+		}
+		s.tel.queueDepth.Set(float64(s.QueueLen()))
+	}
+	return shed
+}
+
+// Drain applies up to limit queued updates to the motion table and
+// returns the number applied. A negative limit drains everything. Rings
+// drain in shard order; the arrival sequence number decides each node's
+// last writer, so the final table state matches a single global FIFO's
+// regardless of how updates were distributed across rings.
+func (s *Server) Drain(limit int) int {
+	applied := 0
+	for _, sh := range s.shards {
+		for limit < 0 || applied < limit {
+			e, ok := sh.ring.Poll()
+			if !ok {
+				break
+			}
+			s.applyEntry(e)
+			applied++
+		}
+	}
+	s.applied += int64(applied)
+	if s.tel != nil {
+		s.tel.applied.Add(int64(applied))
+		s.tel.queueDepth.Set(float64(s.QueueLen()))
+		// Refresh the per-shard gauges here as well as in Evaluate:
+		// a deployment with no registered queries drains without ever
+		// evaluating, and residency still moves with the reports.
+		for si, sh := range s.shards {
+			s.tel.shardResidents[si].Set(float64(len(sh.residents)))
+			s.tel.shardDepth[si].Set(float64(sh.ring.Len()))
+		}
+	}
+	return applied
+}
+
+// Apply installs an update directly, bypassing the rings (the harness's
+// infinitely provisioned reference path). Not safe concurrently with
+// producers of the same node.
+func (s *Server) Apply(u cqserver.Update) {
+	s.applyEntry(s.stamp(u))
+	s.applied++
+}
+
+func (s *Server) applyEntry(e entry) {
+	id := e.u.Node
+	if s.history != nil {
+		// History orders by report time and rejects regressions itself.
+		_ = s.history.Append(id, e.u.Report)
+	}
+	if e.seq < s.lastSeq[id] {
+		return // superseded by a later arrival drained from another ring
+	}
+	s.lastSeq[id] = e.seq
+	s.table.Apply(id, e.u.Report)
+	// Residency follows the report position; Evaluate re-homes the node
+	// if its dead-reckoned position later drifts across a shard boundary.
+	target := int32(s.geom.ShardFor(s.cfg.Core.Space.ClampPoint(e.u.Report.Pos)))
+	cur := s.shardOf[id]
+	if cur == target {
+		return
+	}
+	if cur >= 0 {
+		s.removeResident(cur, int32(id))
+		s.shards[cur].index.Delete(id)
+		if s.tel != nil {
+			s.tel.migrations.Inc()
+		}
+	}
+	s.addResident(target, int32(id))
+}
+
+func (s *Server) addResident(shard, id int32) {
+	sh := s.shards[shard]
+	s.resSlot[id] = int32(len(sh.residents))
+	sh.residents = append(sh.residents, id)
+	s.shardOf[id] = shard
+}
+
+func (s *Server) removeResident(shard, id int32) {
+	sh := s.shards[shard]
+	slot := s.resSlot[id]
+	last := int32(len(sh.residents) - 1)
+	moved := sh.residents[last]
+	sh.residents[slot] = moved
+	s.resSlot[moved] = slot
+	sh.residents = sh.residents[:last]
+}
+
+// RegisterQueries replaces the registered continuous range queries,
+// refreshes the merged grid's query census, and recomputes the per-shard
+// query fragments.
+func (s *Server) RegisterQueries(qs []geo.Rect) {
+	s.queries = append(s.queries[:0], qs...)
+	s.merged.SetQueries(qs)
+	for len(s.results) < len(qs) {
+		s.results = append(s.results, nil)
+	}
+	s.results = s.results[:len(qs)]
+	for si, sh := range s.shards {
+		sh.frags = sh.frags[:0]
+		for qi, q := range qs {
+			if bounds, ok := s.geom.Fragment(si, q); ok {
+				sh.frags = append(sh.frags, frag{q: int32(qi), bounds: bounds})
+			}
+		}
+		for len(sh.fragBuf) < len(sh.frags) {
+			sh.fragBuf = append(sh.fragBuf, nil)
+		}
+		sh.fragBuf = sh.fragBuf[:len(sh.frags)]
+	}
+}
+
+// ObserveStatistics routes one sampling round of node positions and
+// speeds into the per-shard statistics grids. Every shard folds a round
+// every call — possibly an empty one — so the grids stay merge-compatible
+// (statgrid.MergeObservations requires equal round counts).
+func (s *Server) ObserveStatistics(positions []geo.Point, speeds []float64) {
+	if len(positions) != len(speeds) {
+		panic("shard: positions and speeds length mismatch")
+	}
+	for _, sh := range s.shards {
+		sh.obsPos = sh.obsPos[:0]
+		sh.obsSpd = sh.obsSpd[:0]
+	}
+	for i, p := range positions {
+		sh := s.shards[s.geom.ShardFor(p)]
+		sh.obsPos = append(sh.obsPos, p)
+		sh.obsSpd = append(sh.obsSpd, speeds[i])
+	}
+	par.ForChunks(s.k, shardChunk, func(shard, _, _ int) {
+		sh := s.shards[shard]
+		sh.grid.Observe(sh.obsPos, sh.obsSpd)
+	})
+	if s.tel != nil {
+		var totalN, totalM float64
+		for si, sh := range s.shards {
+			n, m := sh.grid.Totals()
+			s.tel.shardNodes[si].Set(n)
+			totalN += n
+			totalM += m
+		}
+		s.tel.gridNodes.Set(totalN)
+		s.tel.gridQueries.Set(totalM)
+	}
+}
+
+// Evaluate re-evaluates every registered query at time now against the
+// dead-reckoned node positions. results[q] lists node ids in ascending
+// order — byte-identical to cqserver.Evaluate over the same ingest
+// sequence at any shard count; the backing arrays are reused across
+// calls, so callers must copy what they keep.
+//
+// The round has four phases: (1) each shard, in parallel, dead-reckons
+// its residents and refreshes its incremental index in place, collecting
+// boundary-crossers into an outbox; (2) migrations apply serially in
+// shard order; (3) each shard, in parallel, compacts its index if the
+// delta debt crossed the threshold and scans its query fragments; (4)
+// per-shard fragment results merge in shard order and sort ascending.
+// Phases 1 and 3 write only per-shard state, so the output is identical
+// at any worker count.
+func (s *Server) Evaluate(now float64) [][]int {
+	var t0, t1, t2 time.Time
+	if s.tel != nil {
+		t0 = time.Now()
+	}
+	space := s.cfg.Core.Space
+	// Phase 1: per-shard dead reckoning + in-place index refresh.
+	par.ForChunks(s.k, shardChunk, func(shard, _, _ int) {
+		sh := s.shards[shard]
+		sh.outbox = sh.outbox[:0]
+		for _, id := range sh.residents {
+			rep, _ := s.table.Report(int(id))
+			p := space.ClampPoint(rep.Predict(now))
+			if s.geom.ShardFor(p) == shard {
+				sh.index.Put(int(id), p)
+			} else {
+				sh.outbox = append(sh.outbox, migration{id: id, p: p})
+			}
+		}
+	})
+	// Phase 2: serial cross-shard migrations, in shard order.
+	migrated := 0
+	for si, sh := range s.shards {
+		for _, m := range sh.outbox {
+			s.removeResident(int32(si), m.id)
+			sh.index.Delete(int(m.id))
+			target := int32(s.geom.ShardFor(m.p))
+			s.addResident(target, m.id)
+			s.shards[target].index.Put(int(m.id), m.p)
+			migrated++
+		}
+	}
+	if s.tel != nil {
+		t1 = time.Now()
+		if migrated > 0 {
+			s.tel.migrations.Add(int64(migrated))
+		}
+	}
+	// Phase 3: debt-triggered compaction + fragment scans.
+	var compactions atomic.Int64
+	par.ForChunks(s.k, shardChunk, func(shard, _, _ int) {
+		sh := s.shards[shard]
+		if float64(sh.index.Debt()) > s.cfg.DebtFactor*float64(len(sh.residents)) {
+			sh.index.Compact()
+			compactions.Add(1)
+		}
+		for fi, f := range sh.frags {
+			ids := sh.fragBuf[fi][:0]
+			sh.index.QueryIn(f.bounds, s.queries[f.q], func(id int) { ids = append(ids, id) })
+			sh.fragBuf[fi] = ids
+		}
+	})
+	// Phase 4: deterministic merge — shard order, then ascending ids.
+	for qi := range s.results {
+		s.results[qi] = s.results[qi][:0]
+	}
+	for _, sh := range s.shards {
+		for fi, f := range sh.frags {
+			s.results[f.q] = append(s.results[f.q], sh.fragBuf[fi]...)
+		}
+	}
+	for qi := range s.results {
+		sort.Ints(s.results[qi])
+	}
+	if s.tel != nil {
+		t2 = time.Now()
+		if c := compactions.Load(); c > 0 {
+			s.tel.compactions.Add(c)
+		}
+		s.tel.predictHist.Observe(t1.Sub(t0).Seconds())
+		s.tel.scanHist.Observe(t2.Sub(t1).Seconds())
+		s.tel.evalHist.Observe(t2.Sub(t0).Seconds())
+		s.tel.evals.Inc()
+		for si, sh := range s.shards {
+			s.tel.shardResidents[si].Set(float64(len(sh.residents)))
+			s.tel.shardDepth[si].Set(float64(sh.ring.Len()))
+		}
+	}
+	return s.results
+}
+
+// PredictedPosition returns the server's belief about a node's position.
+func (s *Server) PredictedPosition(id int, now float64) (geo.Point, bool) {
+	return s.table.Predict(id, now)
+}
+
+// MergedGrid merges the per-shard statistics grids and returns the
+// global view (valid until the next merge). The merge runs on every
+// Adapt; expose it for introspection and tests.
+func (s *Server) MergedGrid() *statgrid.Grid {
+	grids := make([]*statgrid.Grid, s.k)
+	for i, sh := range s.shards {
+		grids[i] = sh.grid
+	}
+	statgrid.MergeObservations(s.merged, grids)
+	return s.merged
+}
+
+// Adapt runs one LIRA adaptation cycle at throttle fraction z over the
+// merged shard statistics: GRIDREDUCE partitions the merged grid,
+// GREEDYINCREMENT sets the throttlers. At K = 1 the output is
+// bit-identical to cqserver.Adapt.
+func (s *Server) Adapt(z float64) (*cqserver.Adaptation, error) {
+	start := time.Now()
+	grid := s.MergedGrid()
+	p, err := partition.GridReduce(grid, partition.Config{
+		L: s.cfg.Core.L, Z: z, Curve: s.cfg.Core.Curve, ProtectQueries: s.cfg.Core.ProtectQueries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var mid time.Time
+	if s.tel != nil {
+		mid = time.Now()
+	}
+	res, err := throttler.SetThrottlers(p.Stats(), s.cfg.Core.Curve, throttler.Options{
+		Z:        z,
+		Fairness: s.cfg.Core.Fairness,
+		UseSpeed: s.cfg.Core.UseSpeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if s.tel != nil {
+		end := time.Now()
+		s.tel.gridReduceHist.Observe(mid.Sub(start).Seconds())
+		s.tel.setThrottlersHist.Observe(end.Sub(mid).Seconds())
+		s.tel.adapts.Inc()
+		s.tel.hub.Record(telemetry.Record{
+			Kind: telemetry.KindRepartition,
+			Repartition: &telemetry.RepartitionEvent{
+				Z:              z,
+				Regions:        len(p.Regions),
+				SplitsTaken:    p.Drill.SplitsTaken,
+				SplitsRejected: p.Drill.SplitsRejected,
+				ProtectSplits:  p.Drill.ProtectSplits,
+			},
+		})
+		s.tel.hub.Record(telemetry.Record{
+			Kind: telemetry.KindAssign,
+			Assign: &telemetry.AssignEvent{
+				Z:              z,
+				Regions:        len(p.Regions),
+				Deltas:         append([]float64(nil), res.Deltas...),
+				Gains:          append([]float64(nil), res.Gains...),
+				FairnessClamps: res.FairnessClamps,
+				BudgetMet:      res.BudgetMet,
+			},
+		})
+	}
+	return &cqserver.Adaptation{
+		Z:            z,
+		Partitioning: p,
+		Deltas:       res.Deltas,
+		BudgetMet:    res.BudgetMet,
+		Elapsed:      time.Since(start),
+	}, nil
+}
+
+// ObserveBusy accumulates the fraction of the current measurement window
+// the drain/evaluate loop spent busy; AdaptAuto divides through by the
+// window length (the same μ estimation queue.Bounded provides).
+func (s *Server) ObserveBusy(busy float64) { s.winBusy += busy }
+
+// Rates returns the global arrival rate λ and service rate μ measured
+// over the window (seconds) by summing the shard rings' windowed
+// counters, and resets the window. Each ingested update contributes to
+// exactly one ring's window exactly once, so the sum is the true offered
+// load — see the Ring accounting contract.
+func (s *Server) Rates(window float64) (lambda, mu float64) {
+	if window <= 0 {
+		return 0, 0
+	}
+	var arrived, served int64
+	for _, sh := range s.shards {
+		a, sv := sh.ring.takeWindow()
+		arrived += a
+		served += sv
+	}
+	lambda = float64(arrived) / window
+	if s.winBusy > 0 {
+		mu = float64(served) / s.winBusy
+	}
+	s.winBusy = 0
+	return lambda, mu
+}
+
+// AdaptAuto measures the summed ring signals over the window, steps the
+// global THROTLOOP, and adapts at the resulting throttle fraction.
+func (s *Server) AdaptAuto(window float64) (*cqserver.Adaptation, error) {
+	lambda, mu := s.Rates(window)
+	rho := queue.Utilization(lambda, mu)
+	z := s.loop.Observe(rho)
+	return s.Adapt(z)
+}

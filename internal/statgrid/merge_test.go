@@ -1,0 +1,91 @@
+package statgrid
+
+import (
+	"testing"
+
+	"lira/internal/geo"
+	"lira/internal/rng"
+)
+
+// TestMergeObservationsMatchesUnsharded routes the same observation
+// stream (a) into one grid and (b) into K per-shard grids split by
+// vertical bands, then merges the shards and checks every cell statistic
+// and global aggregate is bit-identical to the unsharded grid.
+func TestMergeObservationsMatchesUnsharded(t *testing.T) {
+	space := geo.NewRect(0, 0, 1000, 1000)
+	const alpha = 16
+	for _, k := range []int{1, 2, 4, 8} {
+		whole := New(space, alpha)
+		shards := make([]*Grid, k)
+		for i := range shards {
+			shards[i] = New(space, alpha)
+		}
+		bandOf := func(p geo.Point) int {
+			col := int(p.X / 1000 * alpha)
+			if col >= alpha {
+				col = alpha - 1
+			}
+			return col * k / alpha
+		}
+		r := rng.New(99)
+		for round := 0; round < 3; round++ {
+			var pos []geo.Point
+			var spd []float64
+			for i := 0; i < 500; i++ {
+				pos = append(pos, geo.Point{X: r.Range(0, 1000), Y: r.Range(0, 1000)})
+				spd = append(spd, r.Range(1, 30))
+			}
+			whole.Observe(pos, spd)
+			parts := make([][]geo.Point, k)
+			speeds := make([][]float64, k)
+			for i, p := range pos {
+				b := bandOf(p)
+				parts[b] = append(parts[b], p)
+				speeds[b] = append(speeds[b], spd[i])
+			}
+			for s := 0; s < k; s++ {
+				shards[s].Observe(parts[s], speeds[s]) // every shard, every round
+			}
+		}
+		queries := []geo.Rect{geo.NewRect(100, 100, 400, 400), geo.NewRect(600, 50, 950, 800)}
+		whole.SetQueries(queries)
+
+		merged := New(space, alpha)
+		merged.SetQueries(queries)
+		MergeObservations(merged, shards)
+
+		if merged.Samples() != whole.Samples() {
+			t.Fatalf("k=%d: samples %d != %d", k, merged.Samples(), whole.Samples())
+		}
+		wn, wm := whole.Totals()
+		mn, mm := merged.Totals()
+		if wn != mn || wm != mm {
+			t.Fatalf("k=%d: totals (%v,%v) != (%v,%v)", k, mn, mm, wn, wm)
+		}
+		for j := 0; j < alpha; j++ {
+			for i := 0; i < alpha; i++ {
+				n0, m0, s0 := whole.Cell(i, j)
+				n1, m1, s1 := merged.Cell(i, j)
+				if n0 != n1 || m0 != m1 {
+					t.Fatalf("k=%d cell (%d,%d): n/m (%v,%v) != (%v,%v)", k, i, j, n1, m1, n0, m0)
+				}
+				// Empty cells fall back to the global mean speed, whose
+				// cross-shard sum order differs from the point order at
+				// k>1; occupied cells must match exactly at any k.
+				if s0 != s1 && (k == 1 || whole.obsNodes[j*alpha+i] > 0) {
+					t.Fatalf("k=%d cell (%d,%d): speed %v != %v", k, i, j, s1, s0)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeObservationsGeometryMismatch(t *testing.T) {
+	space := geo.NewRect(0, 0, 100, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on geometry mismatch")
+		}
+	}()
+	MergeObservations(New(space, 8), []*Grid{New(space, 4)})
+}

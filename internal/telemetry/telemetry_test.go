@@ -66,7 +66,7 @@ func TestHistogramCumulativeExposition(t *testing.T) {
 func TestSeriesWraparound(t *testing.T) {
 	s := newSeries(4)
 	for i := 0; i < 10; i++ {
-		s.Append(float64(i), float64(i * i))
+		s.Append(float64(i), float64(i*i))
 	}
 	if s.Len() != 4 || s.Cap() != 4 {
 		t.Fatalf("len=%d cap=%d, want 4/4", s.Len(), s.Cap())

@@ -8,6 +8,15 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
+echo "== package docs (every package must carry a doc comment) =="
+missing="$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...)"
+if [ -n "$missing" ]; then
+	echo "packages missing a doc comment:" >&2
+	echo "$missing" >&2
+	exit 1
+fi
+echo "all $(go list ./... | wc -l | tr -d ' ') packages documented"
+
 echo "== go build =="
 go build ./...
 
@@ -26,6 +35,9 @@ go test -race -count 1 -run 'Chaos|LossDegrades|Reconnect|ClientErr|Overflow|Dra
 
 echo "== bench smoke (Fig04, 1 iteration) =="
 go test -run '^$' -bench Fig04 -benchtime 1x .
+
+echo "== shard smoke (K sweep, byte-identical results enforced) =="
+go run ./cmd/lirabench -shards 1,4 -nodes 400 -duration 40
 
 echo "== telemetry smoke (introspection endpoints + zero-diff sim) =="
 sh scripts/obs_smoke.sh
