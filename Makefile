@@ -3,12 +3,33 @@
 
 GO ?= go
 
-.PHONY: check vet doc-gate build test race fuzz-smoke chaos bench-smoke shard-smoke obs-smoke obs-demo bench-report bench-report-obs bench-report-shard clean
+.PHONY: check vet fmt-gate wiring-guard doc-gate build test race fuzz-smoke chaos bench-smoke shard-smoke policy-smoke obs-smoke obs-demo bench-report bench-report-obs bench-report-shard bench-report-policy clean
 
-check: vet doc-gate build race fuzz-smoke chaos bench-smoke shard-smoke obs-smoke
+check: vet fmt-gate wiring-guard doc-gate build race fuzz-smoke chaos bench-smoke shard-smoke policy-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
+
+fmt-gate:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "files not gofmt-formatted:"; echo "$$unformatted"; exit 1; \
+	fi; \
+	echo "gofmt clean"
+
+# The GRIDREDUCE -> GREEDYINCREMENT wiring must exist exactly once, in
+# internal/controlplane (plus partition's internal helper and the facade
+# passthrough). See scripts/check.sh for the same guard without make.
+wiring-guard:
+	@bad="$$(grep -rn --include='*.go' -e 'throttler\.SetThrottlers(' -e 'partition\.GridReduce(' . \
+		| grep -v '_test\.go' \
+		| grep -v '^\./internal/controlplane/' \
+		| grep -v '^\./internal/partition/partition\.go' \
+		| grep -v '^\./lira\.go' || true)"; \
+	if [ -n "$$bad" ]; then \
+		echo "adaptation pipeline wired outside internal/controlplane:"; echo "$$bad"; exit 1; \
+	fi; \
+	echo "wiring single-homed"
 
 # Every package must carry a doc comment (// Package … or // Command …);
 # godoc and the README package map depend on them.
@@ -55,6 +76,11 @@ bench-smoke:
 shard-smoke:
 	$(GO) run ./cmd/lirabench -shards 1,4 -nodes 400 -duration 40
 
+# One-seed run of the §4-style policy comparison: LIRA vs the baseline
+# policies at equal throttle fraction over a spatially skewed workload.
+policy-smoke:
+	$(GO) run ./cmd/lirabench -policy -nodes 600 -duration 60
+
 # Telemetry smoke: lirad introspection endpoints plus the zero-diff
 # passivity check (same seed, same output, journal on or off).
 obs-smoke:
@@ -80,6 +106,11 @@ bench-report-obs:
 # result-identity verdict).
 bench-report-shard:
 	$(GO) run ./cmd/lirabench -shards 1,2,4,8 -shardjson BENCH_PR4.json
+
+# Regenerate the policy-comparison artifact (modeled inaccuracy of LIRA
+# vs uniform-Δ vs single-Δ at equal z).
+bench-report-policy:
+	$(GO) run ./cmd/lirabench -policy -policyjson BENCH_PR5.json
 
 clean:
 	$(GO) clean ./...

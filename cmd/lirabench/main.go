@@ -11,6 +11,7 @@
 //	lirabench -parallel 4              # 4 sweep workers, same tables
 //	lirabench -json BENCH_PR1.json     # serial-vs-parallel timing report
 //	lirabench -shards 1,2,4,8 -shardjson BENCH_PR4.json
+//	lirabench -policy -policyjson BENCH_PR5.json
 //
 // Scales: "quick" (default) runs a reduced environment in a couple of
 // minutes; "paper" uses the full Table 2 parameters (10 000 nodes, ≈200
@@ -50,8 +51,24 @@ func main() {
 		obs      = flag.Bool("obs", false, "measure telemetry overhead and print the Evaluate-latency histogram and per-stage breakdown (embedded in the -json report when both are set)")
 		shards   = flag.String("shards", "", "shard-scaling mode: comma-separated shard counts (e.g. 1,2,4,8); compares shard.Server at each K against the unsharded server on one deterministic workload")
 		shardOut = flag.String("shardjson", "", "write the shard-scaling JSON report (BENCH_PR4.json) to this path; implies nothing unless -shards is set")
+		policy   = flag.Bool("policy", false, "policy-comparison mode: evaluate every control-plane shedding policy (single-delta, uniform-delta, uniform-grid, lira) over one warmed statistics grid at equal throttle fractions")
+		polOut   = flag.String("policyjson", "", "write the policy-comparison JSON report (BENCH_PR5.json) to this path; implies nothing unless -policy is set")
 	)
 	flag.Parse()
+
+	if *policy {
+		pNodes, pTicks := 2000, 120
+		if *nodes > 0 {
+			pNodes = *nodes
+		}
+		if *duration > 0 {
+			pTicks = *duration
+		}
+		if err := runPolicyBench(pNodes, pTicks, 100, *seed, *polOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *shards != "" {
 		ks, err := parseShardList(*shards)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"lira/internal/cqserver"
+	"lira/internal/engine"
 	"lira/internal/fmodel"
 	"lira/internal/geo"
 	"lira/internal/motion"
@@ -145,19 +146,10 @@ func hashResults(h io.Writer, results [][]int) {
 	}
 }
 
-// shardEngine is the slice of cqserver.Server/shard.Server the benchmark
-// drives.
-type shardEngine interface {
-	RegisterQueries(qs []geo.Rect)
-	Drain(limit int) int
-	Evaluate(now float64) [][]int
-	ObserveStatistics(positions []geo.Point, speeds []float64)
-	Applied() int64
-}
-
-// driveShardEngine runs the common benchmark loop, with ingest abstracted
-// over the two queue APIs.
-func driveShardEngine(eng shardEngine, ingest func(cqserver.Update) bool,
+// driveShardEngine runs the common benchmark loop over any engine.Engine
+// — the unsharded baseline and every shard count go through the identical
+// drive code.
+func driveShardEngine(eng engine.Engine,
 	seed uint64, nodes, ticks, queries int, space geo.Rect) (entry shardEntry, err error) {
 	eng.RegisterQueries(shardQueries(rng.New(seed).Split(42), space, queries))
 	w := newShardWorkload(seed, nodes, space)
@@ -168,7 +160,7 @@ func driveShardEngine(eng shardEngine, ingest func(cqserver.Update) bool,
 		ups := w.step(now)
 		t0 := time.Now()
 		for _, u := range ups {
-			if !ingest(u) {
+			if !eng.Ingest(u) {
 				return entry, fmt.Errorf("overflow at tick %d (queue sized for no-overflow)", tick)
 			}
 		}
@@ -221,12 +213,12 @@ func runShardBench(ks []int, nodes, ticks, queries int, seed uint64, jsonPath st
 	}
 
 	fmt.Fprintf(os.Stderr, "shard bench: %d nodes, %d ticks, %d queries\n", nodes, ticks, queries)
-	ref, err := cqserver.New(coreCfg)
+	ref, err := engine.New(coreCfg, 1)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "  baseline (cqserver)...")
-	base, err := driveShardEngine(ref, ref.Ingest, seed, nodes, ticks, queries, space)
+	base, err := driveShardEngine(ref, seed, nodes, ticks, queries, space)
 	if err != nil {
 		return err
 	}
@@ -242,7 +234,7 @@ func runShardBench(ks []int, nodes, ticks, queries int, seed uint64, jsonPath st
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "  K=%-3d...", k)
-		entry, err := driveShardEngine(s, s.Ingest, seed, nodes, ticks, queries, space)
+		entry, err := driveShardEngine(s, seed, nodes, ticks, queries, space)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,350 @@
+package controlplane
+
+import (
+	"math"
+	"testing"
+
+	"lira/internal/fmodel"
+	"lira/internal/geo"
+	"lira/internal/rng"
+	"lira/internal/statgrid"
+	"lira/internal/telemetry"
+	"lira/internal/throttler"
+)
+
+func testSpace() geo.Rect { return geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000} }
+
+func testCurve() *fmodel.Curve { return fmodel.Hyperbolic(5, 100, 95) }
+
+func testEnv() Env {
+	c := testCurve()
+	return Env{L: 13, Curve: c, Fairness: throttler.NoFairness(c)}
+}
+
+// warmGrid builds a statistics grid with a few observation rounds of
+// deterministic random density, so partitionings have structure to split.
+func warmGrid(seed uint64) *statgrid.Grid {
+	sp := testSpace()
+	g := statgrid.New(sp, 16)
+	g.SetQueries([]geo.Rect{sp, {MinX: 100, MinY: 100, MaxX: 400, MaxY: 400}})
+	r := rng.New(seed)
+	pos := make([]geo.Point, 200)
+	speeds := make([]float64, 200)
+	for round := 0; round < 10; round++ {
+		for i := range pos {
+			pos[i] = geo.Point{X: r.Range(sp.MinX, sp.MaxX), Y: r.Range(sp.MinY, sp.MaxY)}
+			speeds[i] = r.Range(0, 30)
+		}
+		g.Observe(pos, speeds)
+	}
+	return g
+}
+
+// gridStats is a StatsSource stub over a fixed grid.
+type gridStats struct{ g *statgrid.Grid }
+
+func (s gridStats) StatsGrid() *statgrid.Grid { return s.g }
+
+// fixedRates is a RateSource stub reporting a constant (λ, μ), with the
+// bounded queue's zero-window convention: a non-positive window measures
+// nothing and reports (0, 0).
+type fixedRates struct{ lambda, mu float64 }
+
+func (r *fixedRates) Rates(window float64) (lambda, mu float64) {
+	if window <= 0 {
+		return 0, 0
+	}
+	return r.lambda, r.mu
+}
+
+func testPlane(t *testing.T, rates RateSource) *Plane {
+	t.Helper()
+	p, err := New(Config{
+		Env:      testEnv(),
+		Stats:    gridStats{warmGrid(1)},
+		Rates:    rates,
+		QueueCap: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	env := testEnv()
+	stats := gridStats{warmGrid(1)}
+	rates := &fixedRates{}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil stats", Config{Env: env, Rates: rates, QueueCap: 64}},
+		{"nil rates", Config{Env: env, Stats: stats, QueueCap: 64}},
+		{"nil curve", Config{Env: Env{L: 13}, Stats: stats, Rates: rates, QueueCap: 64}},
+		{"tiny queue", Config{Env: env, Stats: stats, Rates: rates, QueueCap: 1}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: New accepted an invalid config", tc.name)
+		}
+	}
+}
+
+// TestAdaptAutoZeroWindow pins the zero-length-window edge case: the
+// rate source measures nothing, ρ is 0, and THROTLOOP resets to z = 1 —
+// even when previous overload had driven z down.
+func TestAdaptAutoZeroWindow(t *testing.T) {
+	rates := &fixedRates{lambda: 4, mu: 2} // ρ = 2: heavy overload
+	p := testPlane(t, rates)
+	a, err := p.AdaptAuto(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Z >= 1 {
+		t.Fatalf("overloaded window should shrink z below 1, got %v", a.Z)
+	}
+	a, err = p.AdaptAuto(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Z != 1 {
+		t.Fatalf("zero-length window must reset z to 1, got %v", a.Z)
+	}
+	if p.Throttle().Z() != 1 {
+		t.Fatalf("controller z not reset: %v", p.Throttle().Z())
+	}
+}
+
+// TestAdaptAutoIdleWindow pins the no-arrivals case: λ = 0 with a live
+// μ means ρ = 0, which is underload — z returns to 1 and the adaptation
+// still runs (regions are recomputed for the relaxed budget).
+func TestAdaptAutoIdleWindow(t *testing.T) {
+	rates := &fixedRates{lambda: 4, mu: 2}
+	p := testPlane(t, rates)
+	if _, err := p.AdaptAuto(1); err != nil {
+		t.Fatal(err)
+	}
+	rates.lambda = 0
+	a, err := p.AdaptAuto(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Z != 1 {
+		t.Fatalf("idle window must reset z to 1, got %v", a.Z)
+	}
+	if a.Partitioning == nil || len(a.Deltas) == 0 {
+		t.Fatal("idle-window adaptation must still produce a configuration")
+	}
+}
+
+// TestAdaptAutoBackToBack pins repeated closed-loop calls without any
+// drain in between: under sustained overload each call divides z by
+// u = ρ/ρ* exactly (no hidden state besides the controller's), and the
+// returned Z always equals the controller's.
+func TestAdaptAutoBackToBack(t *testing.T) {
+	rates := &fixedRates{lambda: 3, mu: 2} // ρ = 1.5, constant
+	p := testPlane(t, rates)
+	u := 1.5 / p.Throttle().TargetUtilization()
+	want := 1.0
+	for round := 1; round <= 4; round++ {
+		a, err := p.AdaptAuto(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want /= u
+		if math.Abs(a.Z-want) > 1e-12 {
+			t.Fatalf("round %d: z = %v, want %v", round, a.Z, want)
+		}
+		if a.Z != p.Throttle().Z() {
+			t.Fatalf("round %d: adaptation z %v != controller z %v",
+				round, a.Z, p.Throttle().Z())
+		}
+		if !sorted(a.Deltas) {
+			// Not a strict invariant of the optimizer, but Δᵢ must at
+			// least be a plausible table: finite and within the curve.
+			for _, d := range a.Deltas {
+				if math.IsNaN(d) || math.IsInf(d, 0) {
+					t.Fatalf("round %d: non-finite Δ %v", round, d)
+				}
+			}
+		}
+		if p.Throttle().Rounds() != round {
+			t.Fatalf("controller counted %d rounds, want %d", p.Throttle().Rounds(), round)
+		}
+	}
+}
+
+func sorted(xs []float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSetPolicySurvivesThrottleState pins the policy-swap contract: z is
+// a property of the load, so swapping policies keeps THROTLOOP state,
+// and a nil swap restores the default LIRA policy.
+func TestSetPolicySurvivesThrottleState(t *testing.T) {
+	p := testPlane(t, &fixedRates{lambda: 3, mu: 2})
+	if _, err := p.AdaptAuto(1); err != nil {
+		t.Fatal(err)
+	}
+	z := p.Throttle().Z()
+	if z >= 1 {
+		t.Fatalf("precondition: overload should have shrunk z, got %v", z)
+	}
+	p.SetPolicy(SingleDeltaPolicy{})
+	if p.Throttle().Z() != z {
+		t.Fatalf("policy swap changed z: %v -> %v", z, p.Throttle().Z())
+	}
+	if p.Policy().Name() != "single-delta" {
+		t.Fatalf("policy not swapped: %s", p.Policy().Name())
+	}
+	a, err := p.Adapt(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Deltas) != 1 {
+		t.Fatalf("single-delta policy produced %d regions", len(a.Deltas))
+	}
+	p.SetPolicy(nil)
+	if p.Policy().Name() != "lira" {
+		t.Fatalf("nil swap must restore lira, got %s", p.Policy().Name())
+	}
+}
+
+// TestTelemetryPassive pins the telemetry contract at the control-plane
+// level: a Plane with a hub makes bit-identical decisions to one
+// without, and the migrated metric names are registered.
+func TestTelemetryPassive(t *testing.T) {
+	hub := telemetry.NewHub(0)
+	mk := func(h *telemetry.Hub) *Plane {
+		p, err := New(Config{
+			Env:       testEnv(),
+			Stats:     gridStats{warmGrid(3)},
+			Rates:     &fixedRates{lambda: 3, mu: 2},
+			QueueCap:  64,
+			Telemetry: h,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	quiet, loud := mk(nil), mk(hub)
+	for round := 0; round < 3; round++ {
+		qa, err := quiet.AdaptAuto(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		la, err := loud.AdaptAuto(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qa.Z != la.Z {
+			t.Fatalf("round %d: telemetry changed z: %v vs %v", round, qa.Z, la.Z)
+		}
+		if len(qa.Deltas) != len(la.Deltas) {
+			t.Fatalf("round %d: telemetry changed region count", round)
+		}
+		for i := range qa.Deltas {
+			if qa.Deltas[i] != la.Deltas[i] {
+				t.Fatalf("round %d: telemetry changed Δ[%d]", round, i)
+			}
+		}
+	}
+	snap := hub.Registry.Snapshot()
+	for _, name := range []string{"lira_gridreduce_seconds", "lira_set_throttlers_seconds"} {
+		if _, ok := snap.Histograms[name]; !ok {
+			t.Errorf("histogram %s not registered by the control plane", name)
+		}
+	}
+	if _, ok := snap.Gauges["lira_throttle_z"]; !ok {
+		t.Error("gauge lira_throttle_z not registered by the control plane")
+	}
+	if _, ok := snap.Counters["lira_adaptations_total"]; !ok {
+		t.Error("counter lira_adaptations_total not registered by the control plane")
+	}
+}
+
+func TestPoliciesCatalog(t *testing.T) {
+	want := []string{"single-delta", "uniform-delta", "uniform-grid", "lira"}
+	pols := Policies()
+	if len(pols) != len(want) {
+		t.Fatalf("got %d policies, want %d", len(pols), len(want))
+	}
+	for i, pol := range pols {
+		if pol.Name() != want[i] {
+			t.Errorf("policy %d: got %s, want %s", i, pol.Name(), want[i])
+		}
+	}
+}
+
+// TestUniformDeltaAnalytic pins the analytic baseline: every region gets
+// the identical threshold Δ = f⁻¹(z), that threshold spends the budget
+// exactly (f(Δ) = z up to the curve's knot resolution), and the plan
+// reports the budget as met.
+func TestUniformDeltaAnalytic(t *testing.T) {
+	g := warmGrid(5)
+	env := testEnv()
+	for _, z := range []float64{0.8, 0.5, 0.25} {
+		plan, err := Evaluate(UniformDeltaPolicy{}, g, z, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Result.Deltas) != len(plan.Partitioning.Regions) {
+			t.Fatalf("z=%.2f: %d deltas for %d regions",
+				z, len(plan.Result.Deltas), len(plan.Partitioning.Regions))
+		}
+		d0 := plan.Result.Deltas[0]
+		for i, d := range plan.Result.Deltas {
+			if d != d0 {
+				t.Fatalf("z=%.2f: Δ[%d]=%v differs from Δ[0]=%v", z, i, d, d0)
+			}
+		}
+		if got := env.Curve.Eval(d0); math.Abs(got-z) > 1e-6 {
+			t.Fatalf("z=%.2f: f(Δ) = %v, want the budget exactly", z, got)
+		}
+		if !plan.Result.BudgetMet {
+			t.Fatalf("z=%.2f: analytic assignment must meet its budget", z)
+		}
+	}
+}
+
+// TestSingleDeltaOneRegion pins the region-oblivious floor: one
+// space-wide region, one threshold, read straight off the inverted curve.
+func TestSingleDeltaOneRegion(t *testing.T) {
+	g := warmGrid(5)
+	env := testEnv()
+	plan, err := Evaluate(SingleDeltaPolicy{}, g, 0.5, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(plan.Partitioning.Regions); n != 1 {
+		t.Fatalf("single-delta produced %d regions", n)
+	}
+	if n := len(plan.Result.Deltas); n != 1 {
+		t.Fatalf("single-delta produced %d deltas", n)
+	}
+	if want := env.Curve.Invert(0.5); plan.Result.Deltas[0] != want {
+		t.Fatalf("Δ = %v, want f⁻¹(z) = %v", plan.Result.Deltas[0], want)
+	}
+}
+
+// TestEvaluateDefaultsToLira pins the nil-policy convention shared with
+// Plane: nil selects the paper's full pipeline.
+func TestEvaluateDefaultsToLira(t *testing.T) {
+	plan, err := Evaluate(nil, warmGrid(5), 0.5, testEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Policy != "lira" {
+		t.Fatalf("nil policy evaluated as %s", plan.Policy)
+	}
+	if len(plan.Partitioning.Regions) == 0 {
+		t.Fatal("empty partitioning")
+	}
+}

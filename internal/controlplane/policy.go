@@ -1,0 +1,140 @@
+package controlplane
+
+import (
+	"lira/internal/partition"
+	"lira/internal/statgrid"
+	"lira/internal/throttler"
+)
+
+// Policy is a pluggable shedding policy: how to partition the space and
+// how to assign per-region throttlers under the budget z. Both stages are
+// deterministic pure functions of their inputs, which is what keeps
+// engine adaptations bit-reproducible under any policy.
+type Policy interface {
+	// Name identifies the policy in plans, benchmarks, and journals.
+	Name() string
+	// Partition covers the space with shedding regions for budget z.
+	Partition(g *statgrid.Grid, z float64, env Env) (*partition.Partitioning, error)
+	// Assign sets the per-region throttlers Δᵢ for budget z.
+	Assign(p *partition.Partitioning, z float64, env Env) (*throttler.Result, error)
+}
+
+// Policies lists the built-in policies in comparison order: the paper's
+// baselines first, the full region-aware system last.
+func Policies() []Policy {
+	return []Policy{SingleDeltaPolicy{}, UniformDeltaPolicy{}, UniformGridPolicy{}, LiraPolicy{}}
+}
+
+// LiraPolicy is the paper's full region-aware pipeline: GRIDREDUCE
+// (α,l)-partitioning followed by GREEDYINCREMENT throttler setting.
+type LiraPolicy struct{}
+
+// Name implements Policy.
+func (LiraPolicy) Name() string { return "lira" }
+
+// Partition implements Policy via GRIDREDUCE.
+func (LiraPolicy) Partition(g *statgrid.Grid, z float64, env Env) (*partition.Partitioning, error) {
+	return partition.GridReduce(g, partition.Config{
+		L: env.L, Z: z, Curve: env.Curve, ProtectQueries: env.ProtectQueries,
+	})
+}
+
+// Assign implements Policy via GREEDYINCREMENT.
+func (LiraPolicy) Assign(p *partition.Partitioning, z float64, env Env) (*throttler.Result, error) {
+	return throttler.SetThrottlers(p.Stats(), env.Curve, throttler.Options{
+		Z:        z,
+		Fairness: env.Fairness,
+		UseSpeed: env.UseSpeed,
+	})
+}
+
+// UniformGridPolicy is the Lira-Grid ablation (§4.2): a uniform
+// l-partitioning instead of GRIDREDUCE, still with GREEDYINCREMENT
+// setting region-dependent throttlers.
+type UniformGridPolicy struct{}
+
+// Name implements Policy.
+func (UniformGridPolicy) Name() string { return "uniform-grid" }
+
+// Partition implements Policy via the uniform l-partitioning.
+func (UniformGridPolicy) Partition(g *statgrid.Grid, z float64, env Env) (*partition.Partitioning, error) {
+	return partition.Uniform(g, env.L)
+}
+
+// Assign implements Policy via GREEDYINCREMENT.
+func (UniformGridPolicy) Assign(p *partition.Partitioning, z float64, env Env) (*throttler.Result, error) {
+	return LiraPolicy{}.Assign(p, z, env)
+}
+
+// UniformDeltaPolicy is the uniform-Δ baseline: the uniform
+// l-partitioning of Lira-Grid, but with every region assigned the same
+// threshold instead of a greedily optimized one. Because all thresholds
+// are equal, the (speed-weighted) expenditure Σ wᵢ·f(Δ) factors to
+// f(Δ)·Σwᵢ, so the shared threshold that exactly meets the budget is
+// Δ = f⁻¹(z) — no greedy optimization is needed. The policy is
+// region-aware in its broadcast structure (l regions, per-region
+// accounting) yet region-oblivious in assignment, isolating how much of
+// LIRA's advantage comes from differentiated thresholds alone.
+type UniformDeltaPolicy struct{}
+
+// Name implements Policy.
+func (UniformDeltaPolicy) Name() string { return "uniform-delta" }
+
+// Partition implements Policy via the uniform l-partitioning.
+func (UniformDeltaPolicy) Partition(g *statgrid.Grid, z float64, env Env) (*partition.Partitioning, error) {
+	return partition.Uniform(g, env.L)
+}
+
+// Assign implements Policy: Δᵢ = f⁻¹(z) for every region, with the
+// accounting fields filled from the region statistics.
+func (UniformDeltaPolicy) Assign(p *partition.Partitioning, z float64, env Env) (*throttler.Result, error) {
+	stats := p.Stats()
+	delta := env.Curve.Invert(z)
+	deltas := make([]float64, len(stats))
+	for i := range deltas {
+		deltas[i] = delta
+	}
+	return analyticResult(stats, deltas, z, env), nil
+}
+
+// SingleDeltaPolicy is the region-oblivious single-Δ baseline (the
+// paper's "uniform threshold" comparison strategy): one space-wide
+// region whose threshold is read off the inverted reduction curve,
+// Δ = f⁻¹(z). No greedy optimization runs at all — this is the cheapest
+// possible policy and the floor every region-aware policy must beat.
+type SingleDeltaPolicy struct{}
+
+// Name implements Policy.
+func (SingleDeltaPolicy) Name() string { return "single-delta" }
+
+// Partition implements Policy: the whole space as one region.
+func (SingleDeltaPolicy) Partition(g *statgrid.Grid, z float64, env Env) (*partition.Partitioning, error) {
+	return partition.Single(g), nil
+}
+
+// Assign implements Policy: Δ = f⁻¹(z), with the result's accounting
+// fields (expenditure, budget, objective) filled from the single region's
+// statistics so plans are comparable across policies.
+func (SingleDeltaPolicy) Assign(p *partition.Partitioning, z float64, env Env) (*throttler.Result, error) {
+	return analyticResult(p.Stats(), []float64{env.Curve.Invert(z)}, z, env), nil
+}
+
+// analyticResult packages an analytically chosen assignment in the same
+// Result shape GREEDYINCREMENT produces, so plans stay comparable across
+// policies. Gains are left nil: no greedy step ran. BudgetMet checks the
+// shared threshold against the curve (f(Δ) ≤ z up to the curve's knot
+// resolution), matching the factored expenditure argument above.
+func analyticResult(stats []throttler.RegionStat, deltas []float64, z float64, env Env) *throttler.Result {
+	res := &throttler.Result{
+		Deltas:      deltas,
+		Expenditure: throttler.Expenditure(stats, env.Curve, deltas, env.UseSpeed),
+		InAcc:       throttler.InAccuracy(stats, deltas),
+		BudgetMet:   len(deltas) == 0 || env.Curve.Eval(deltas[0]) <= z+1e-9,
+	}
+	var totalN float64
+	for _, st := range stats {
+		totalN += st.N
+	}
+	res.Budget = z * totalN * env.Curve.Eval(env.Curve.MinDelta())
+	return res
+}

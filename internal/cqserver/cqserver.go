@@ -12,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"lira/internal/controlplane"
 	"lira/internal/cqindex"
 	"lira/internal/fmodel"
 	"lira/internal/geo"
@@ -76,7 +77,7 @@ type Server struct {
 	grid    *statgrid.Grid
 	input   *queue.Bounded[Update]
 	index   *cqindex.Grid
-	loop    *throtloop.Controller
+	plane   *controlplane.Plane
 	queries []geo.Rect
 
 	// Scratch buffers for query evaluation, reused across rounds: the
@@ -98,21 +99,17 @@ type Server struct {
 type serverTelemetry struct {
 	hub *telemetry.Hub
 
-	evalHist          *telemetry.Histogram // lira_evaluate_seconds
-	predictHist       *telemetry.Histogram // lira_evaluate_predict_seconds
-	scanHist          *telemetry.Histogram // lira_evaluate_scan_seconds
-	gridReduceHist    *telemetry.Histogram // lira_gridreduce_seconds
-	setThrottlersHist *telemetry.Histogram // lira_set_throttlers_seconds
+	evalHist    *telemetry.Histogram // lira_evaluate_seconds
+	predictHist *telemetry.Histogram // lira_evaluate_predict_seconds
+	scanHist    *telemetry.Histogram // lira_evaluate_scan_seconds
 
 	queueDepth  *telemetry.Gauge // lira_queue_depth
-	zGauge      *telemetry.Gauge // lira_throttle_z
 	gridNodes   *telemetry.Gauge // lira_statgrid_nodes
 	gridQueries *telemetry.Gauge // lira_statgrid_queries
 
 	dropped *telemetry.Counter // lira_queue_dropped_total
 	applied *telemetry.Counter // lira_updates_applied_total
 	evals   *telemetry.Counter // lira_evaluations_total
-	adapts  *telemetry.Counter // lira_adaptations_total
 }
 
 func newServerTelemetry(hub *telemetry.Hub) *serverTelemetry {
@@ -121,20 +118,16 @@ func newServerTelemetry(hub *telemetry.Hub) *serverTelemetry {
 	}
 	r := hub.Registry
 	return &serverTelemetry{
-		hub:               hub,
-		evalHist:          r.Histogram("lira_evaluate_seconds", nil),
-		predictHist:       r.Histogram("lira_evaluate_predict_seconds", nil),
-		scanHist:          r.Histogram("lira_evaluate_scan_seconds", nil),
-		gridReduceHist:    r.Histogram("lira_gridreduce_seconds", nil),
-		setThrottlersHist: r.Histogram("lira_set_throttlers_seconds", nil),
-		queueDepth:        r.Gauge("lira_queue_depth"),
-		zGauge:            r.Gauge("lira_throttle_z"),
-		gridNodes:         r.Gauge("lira_statgrid_nodes"),
-		gridQueries:       r.Gauge("lira_statgrid_queries"),
-		dropped:           r.Counter("lira_queue_dropped_total"),
-		applied:           r.Counter("lira_updates_applied_total"),
-		evals:             r.Counter("lira_evaluations_total"),
-		adapts:            r.Counter("lira_adaptations_total"),
+		hub:         hub,
+		evalHist:    r.Histogram("lira_evaluate_seconds", nil),
+		predictHist: r.Histogram("lira_evaluate_predict_seconds", nil),
+		scanHist:    r.Histogram("lira_evaluate_scan_seconds", nil),
+		queueDepth:  r.Gauge("lira_queue_depth"),
+		gridNodes:   r.Gauge("lira_statgrid_nodes"),
+		gridQueries: r.Gauge("lira_statgrid_queries"),
+		dropped:     r.Counter("lira_queue_dropped_total"),
+		applied:     r.Counter("lira_updates_applied_total"),
+		evals:       r.Counter("lira_evaluations_total"),
 	}
 }
 
@@ -172,11 +165,8 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Fairness == 0 {
 		cfg.Fairness = throttler.NoFairness(cfg.Curve)
 	}
-	loop, err := throtloop.New(cfg.QueueSize)
-	if err != nil {
-		return nil, err
-	}
 	var hist *history.Store
+	var err error
 	if cfg.HistoryPerNode > 0 {
 		hist, err = history.NewStore(cfg.Nodes, cfg.HistoryPerNode)
 		if err != nil {
@@ -190,23 +180,25 @@ func New(cfg Config) (*Server, error) {
 		grid:      statgrid.New(cfg.Space, cfg.Alpha),
 		input:     queue.NewBounded[Update](cfg.QueueSize),
 		index:     cqindex.NewGrid(cfg.Space, cfg.IndexCells),
-		loop:      loop,
 		predicted: make([]geo.Point, cfg.Nodes),
 		active:    make([]bool, cfg.Nodes),
 		tel:       newServerTelemetry(cfg.Telemetry),
 	}
-	if s.tel != nil {
-		hub := s.tel.hub
-		zGauge := s.tel.zGauge
-		zGauge.Set(1)
-		b := cfg.QueueSize
-		s.loop.SetRecorder(func(rho, z float64, _ int) {
-			zGauge.Set(z)
-			hub.Record(telemetry.Record{
-				Kind:      telemetry.KindThrotloop,
-				Throtloop: &telemetry.ThrotloopEvent{Rho: rho, Z: z, B: b},
-			})
-		})
+	s.plane, err = controlplane.New(controlplane.Config{
+		Env: controlplane.Env{
+			L:              cfg.L,
+			Curve:          cfg.Curve,
+			Fairness:       cfg.Fairness,
+			UseSpeed:       cfg.UseSpeed,
+			ProtectQueries: cfg.ProtectQueries,
+		},
+		Stats:     s,
+		Rates:     s.input,
+		QueueCap:  cfg.QueueSize,
+		Telemetry: cfg.Telemetry,
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -215,6 +207,11 @@ func New(cfg Config) (*Server, error) {
 // feeds it samples).
 func (s *Server) Grid() *statgrid.Grid { return s.grid }
 
+// StatsGrid implements controlplane.StatsSource: the grid an adaptation
+// partitions. It is the same grid Grid returns; the second name exists so
+// both engines satisfy the control plane with one spelling.
+func (s *Server) StatsGrid() *statgrid.Grid { return s.grid }
+
 // Table exposes the server's motion table.
 func (s *Server) Table() *motion.Table { return s.table }
 
@@ -222,7 +219,11 @@ func (s *Server) Table() *motion.Table { return s.table }
 func (s *Server) Queue() *queue.Bounded[Update] { return s.input }
 
 // Throttle exposes the THROTLOOP controller.
-func (s *Server) Throttle() *throtloop.Controller { return s.loop }
+func (s *Server) Throttle() *throtloop.Controller { return s.plane.Throttle() }
+
+// ControlPlane exposes the server's control plane, e.g. to swap the
+// shedding policy.
+func (s *Server) ControlPlane() *controlplane.Plane { return s.plane }
 
 // RegisterQueries replaces the registered continuous range queries and
 // refreshes the statistics grid's query census.
@@ -371,83 +372,87 @@ func (s *Server) PredictedPosition(id int, now float64) (geo.Point, bool) {
 }
 
 // Adaptation is the output of one LIRA adaptation cycle, ready for the
-// base-station layer.
-type Adaptation struct {
-	Z            float64
-	Partitioning *partition.Partitioning
-	Deltas       []float64
-	// BudgetMet is false when z is below the system's minimum achievable
-	// expenditure and every throttler saturated at Δ⊣.
-	BudgetMet bool
-	// Elapsed is the wall-clock cost of the cycle (GRIDREDUCE +
-	// GREEDYINCREMENT; THROTLOOP is O(1) and included).
-	Elapsed time.Duration
-}
+// base-station layer. It is the control plane's adaptation record; the
+// alias keeps the historical cqserver.Adaptation name compiling.
+type Adaptation = controlplane.Adaptation
 
 // Adapt runs one adaptation cycle with an explicit throttle fraction z —
 // the manually-set budget mode of §2.1. Use AdaptAuto for closed-loop
-// control.
+// control. The pipeline itself (GRIDREDUCE → GREEDYINCREMENT under the
+// active policy) lives in internal/controlplane.
 func (s *Server) Adapt(z float64) (*Adaptation, error) {
-	start := time.Now()
-	p, err := partition.GridReduce(s.grid, partition.Config{
-		L: s.cfg.L, Z: z, Curve: s.cfg.Curve, ProtectQueries: s.cfg.ProtectQueries,
-	})
-	if err != nil {
-		return nil, err
-	}
-	var mid time.Time
-	if s.tel != nil {
-		mid = time.Now()
-	}
-	res, err := throttler.SetThrottlers(p.Stats(), s.cfg.Curve, throttler.Options{
-		Z:        z,
-		Fairness: s.cfg.Fairness,
-		UseSpeed: s.cfg.UseSpeed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if s.tel != nil {
-		end := time.Now()
-		s.tel.gridReduceHist.Observe(mid.Sub(start).Seconds())
-		s.tel.setThrottlersHist.Observe(end.Sub(mid).Seconds())
-		s.tel.adapts.Inc()
-		s.tel.hub.Record(telemetry.Record{
-			Kind: telemetry.KindRepartition,
-			Repartition: &telemetry.RepartitionEvent{
-				Z:              z,
-				Regions:        len(p.Regions),
-				SplitsTaken:    p.Drill.SplitsTaken,
-				SplitsRejected: p.Drill.SplitsRejected,
-				ProtectSplits:  p.Drill.ProtectSplits,
-			},
-		})
-		s.tel.hub.Record(telemetry.Record{
-			Kind: telemetry.KindAssign,
-			Assign: &telemetry.AssignEvent{
-				Z:              z,
-				Regions:        len(p.Regions),
-				Deltas:         append([]float64(nil), res.Deltas...),
-				Gains:          append([]float64(nil), res.Gains...),
-				FairnessClamps: res.FairnessClamps,
-				BudgetMet:      res.BudgetMet,
-			},
-		})
-	}
-	return &Adaptation{
-		Z:            z,
-		Partitioning: p,
-		Deltas:       res.Deltas,
-		BudgetMet:    res.BudgetMet,
-		Elapsed:      time.Since(start),
-	}, nil
+	return s.plane.Adapt(z)
 }
 
 // AdaptAuto measures the queue over the given window, steps THROTLOOP, and
 // runs the adaptation cycle at the resulting throttle fraction.
 func (s *Server) AdaptAuto(window float64) (*Adaptation, error) {
-	lambda, mu := s.input.Rates(window)
-	rho := queue.Utilization(lambda, mu)
-	z := s.loop.Observe(rho)
-	return s.Adapt(z)
+	return s.plane.AdaptAuto(window)
+}
+
+// IngestShedOldest enqueues an update, shedding the oldest on overflow to
+// make room for the freshest; the flag reports whether a shed happened.
+// This is the network layer's saturation policy — see
+// queue.Bounded.OfferShedOldest.
+func (s *Server) IngestShedOldest(u Update) bool {
+	shed := s.input.OfferShedOldest(u)
+	if s.tel != nil {
+		if shed {
+			s.tel.dropped.Inc()
+		}
+		s.tel.queueDepth.Set(float64(s.input.Len()))
+	}
+	return shed
+}
+
+// QueueLen returns the current input-queue length.
+func (s *Server) QueueLen() int { return s.input.Len() }
+
+// QueueCap returns the input-queue bound B.
+func (s *Server) QueueCap() int { return s.input.Cap() }
+
+// Dropped counts updates shed or rejected on queue overflow.
+func (s *Server) Dropped() int64 { return s.input.Dropped() }
+
+// ObserveBusy accumulates busy time into the current rate window; see
+// queue.Bounded.ObserveBusy.
+func (s *Server) ObserveBusy(busy float64) { s.input.ObserveBusy(busy) }
+
+// ConcurrentIngest reports whether Ingest/IngestShedOldest may be called
+// from concurrent producers. The unsharded server's bounded queue is
+// single-writer, so callers must serialize ingest.
+func (s *Server) ConcurrentIngest() bool { return false }
+
+// EngineInfo is a point-in-time engine snapshot for introspection
+// endpoints and operator tooling. Both engines report the same shape.
+type EngineInfo struct {
+	// Engine is the implementation name: "cqserver" or "shard".
+	Engine string `json:"engine"`
+	// Shards is the shard count (1 for the unsharded server).
+	Shards int `json:"shards"`
+	// QueueLen and QueueCap describe the input queue (summed/min across
+	// shards when sharded).
+	QueueLen int `json:"queue_len"`
+	QueueCap int `json:"queue_cap"`
+	// Dropped and Applied count shed and integrated updates.
+	Dropped int64 `json:"dropped"`
+	Applied int64 `json:"applied"`
+	// Queries is the number of registered continuous queries.
+	Queries int `json:"queries"`
+	// Z is the current throttle fraction.
+	Z float64 `json:"z"`
+}
+
+// Introspect returns a point-in-time engine snapshot.
+func (s *Server) Introspect() EngineInfo {
+	return EngineInfo{
+		Engine:   "cqserver",
+		Shards:   1,
+		QueueLen: s.input.Len(),
+		QueueCap: s.input.Cap(),
+		Dropped:  s.input.Dropped(),
+		Applied:  s.applied,
+		Queries:  len(s.queries),
+		Z:        s.plane.Throttle().Z(),
+	}
 }

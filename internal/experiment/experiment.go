@@ -16,6 +16,7 @@ import (
 
 	"lira/internal/basestation"
 	"lira/internal/cqserver"
+	"lira/internal/engine"
 	"lira/internal/fmodel"
 	"lira/internal/geo"
 	"lira/internal/metrics"
@@ -169,6 +170,12 @@ type RunConfig struct {
 	// ProtectQueries enables the query-protective drill-down extension
 	// for the Lira strategy; 0 is the paper's exact algorithm.
 	ProtectQueries float64
+	// Shards selects the candidate evaluation engine via engine.New:
+	// values above 1 run the spatially sharded engine with that many
+	// shard cells; 0 and 1 run the unsharded server. Query results are
+	// byte-identical either way, so sharding never changes a Result —
+	// it exercises the same simulation through the concurrent engine.
+	Shards int
 	// StationRadius selects uniform station placement with that coverage
 	// radius; 0 selects the density-aware placement.
 	StationRadius float64
@@ -290,12 +297,15 @@ func Run(env *Env, cfg RunConfig) (*Result, error) {
 	runRng := rng.New(cfg.Seed)
 	admitRng := runRng.Split(1)
 
-	// Candidate server (owns the statistics grid and adaptation); the
+	// Candidate engine (owns the statistics grid and adaptation); the
 	// reference server only evaluates queries over its own motion table.
 	// Telemetry observes the candidate only — the reference models an
-	// infinitely provisioned system nobody needs to debug.
-	mk := func(hub *telemetry.Hub) (*cqserver.Server, error) {
-		return cqserver.New(cqserver.Config{
+	// infinitely provisioned system nobody needs to debug. The candidate
+	// runs whichever engine cfg.Shards selects; the reference stays
+	// unsharded (both engines evaluate byte-identically, so the cheaper
+	// one serves as ground truth either way).
+	mk := func(hub *telemetry.Hub, shards int) (engine.Engine, error) {
+		return engine.New(cqserver.Config{
 			Space:          env.Space,
 			Nodes:          n,
 			Alpha:          cfg.Alpha,
@@ -305,13 +315,13 @@ func Run(env *Env, cfg RunConfig) (*Result, error) {
 			UseSpeed:       cfg.UseSpeed,
 			ProtectQueries: cfg.ProtectQueries,
 			Telemetry:      hub,
-		})
+		}, shards)
 	}
-	srvCand, err := mk(cfg.Telemetry)
+	srvCand, err := mk(cfg.Telemetry, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
-	srvRef, err := mk(nil)
+	srvRef, err := mk(nil, 1)
 	if err != nil {
 		return nil, err
 	}

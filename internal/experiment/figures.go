@@ -9,12 +9,12 @@ import (
 	"time"
 
 	"lira/internal/basestation"
+	"lira/internal/controlplane"
 	"lira/internal/fmodel"
 	"lira/internal/partition"
 	"lira/internal/shedding"
 	"lira/internal/statgrid"
 	"lira/internal/telemetry"
-	"lira/internal/throttler"
 	"lira/internal/workload"
 )
 
@@ -188,7 +188,8 @@ func Figure3(env *Env, cfg RunConfig) (*Figure, *partition.Partitioning, error) 
 	if err != nil {
 		return nil, nil, err
 	}
-	p, err := partition.GridReduce(grid, partition.Config{L: cfg.L, Z: cfg.Z, Curve: env.Curve})
+	p, err := controlplane.LiraPolicy{}.Partition(grid, cfg.Z,
+		controlplane.Env{L: cfg.L, Curve: env.Curve})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -558,21 +559,15 @@ func Figure14(env *Env, sw Sweep) (*Figure, error) {
 	return f, nil
 }
 
-// configCost times one GRIDREDUCE + GREEDYINCREMENT cycle, repeating short
-// cycles for a stable measurement.
+// configCost times one GRIDREDUCE + GREEDYINCREMENT cycle (one stateless
+// control-plane evaluation), repeating short cycles for a stable
+// measurement.
 func configCost(g *statgrid.Grid, curve *fmodel.Curve, l int, cfg RunConfig) (time.Duration, error) {
 	const reps = 5
+	env := controlplane.Env{L: l, Curve: curve, Fairness: cfg.Fairness, UseSpeed: cfg.UseSpeed}
 	start := time.Now()
 	for i := 0; i < reps; i++ {
-		p, err := partition.GridReduce(g, partition.Config{L: l, Z: cfg.Z, Curve: curve})
-		if err != nil {
-			return 0, err
-		}
-		if _, err := throttler.SetThrottlers(p.Stats(), curve, throttler.Options{
-			Z:        cfg.Z,
-			Fairness: cfg.Fairness,
-			UseSpeed: cfg.UseSpeed,
-		}); err != nil {
+		if _, err := controlplane.Evaluate(controlplane.LiraPolicy{}, g, cfg.Z, env); err != nil {
 			return 0, err
 		}
 	}
@@ -589,16 +584,12 @@ func Table3(env *Env, sw Sweep) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := partition.GridReduce(grid, partition.Config{L: cfg.L, Z: cfg.Z, Curve: env.Curve})
+	plan, err := controlplane.Evaluate(controlplane.LiraPolicy{}, grid, cfg.Z,
+		controlplane.Env{L: cfg.L, Curve: env.Curve, Fairness: cfg.Fairness, UseSpeed: cfg.UseSpeed})
 	if err != nil {
 		return nil, err
 	}
-	res, err := throttler.SetThrottlers(p.Stats(), env.Curve, throttler.Options{
-		Z: cfg.Z, Fairness: cfg.Fairness, UseSpeed: cfg.UseSpeed,
-	})
-	if err != nil {
-		return nil, err
-	}
+	p, res := plan.Partitioning, plan.Result
 	f := &Figure{
 		ID:      "table3",
 		Title:   "Number of shedding regions per base station",

@@ -1,76 +1,13 @@
 package netsvc
 
 import (
-	"lira/internal/cqserver"
-	"lira/internal/geo"
-	"lira/internal/motion"
-	"lira/internal/shard"
+	"lira/internal/engine"
 )
 
-// Engine is the CQ evaluation core behind the network layer: either the
-// single-threaded cqserver.Server (ServerConfig.Shards ≤ 1) or the
-// spatially sharded shard.Server. Both produce byte-identical query
-// results over the same ingest sequence, so the deployment layer treats
-// the choice purely as a concurrency/throughput knob.
+// Engine is the CQ evaluation core behind the network layer.
 //
-// The method set is the slice of the two servers the deployment layer
-// actually drives; anything engine-specific (per-shard state, the raw
-// bounded queue) stays behind the concrete types.
-type Engine interface {
-	// RegisterQueries replaces the registered continuous range queries.
-	RegisterQueries(qs []geo.Rect)
-	// Queries returns the registered queries.
-	Queries() []geo.Rect
-	// IngestShedOldest enqueues an update, shedding the oldest on
-	// overflow; the flag reports whether a shed happened.
-	IngestShedOldest(u cqserver.Update) bool
-	// Drain applies up to limit queued updates (negative: all).
-	Drain(limit int) int
-	// Evaluate re-evaluates every query at time now, ids ascending.
-	Evaluate(now float64) [][]int
-	// Adapt runs one LIRA adaptation cycle at throttle fraction z.
-	Adapt(z float64) (*cqserver.Adaptation, error)
-	// ObserveStatistics folds one sampling round into the statistics grid.
-	ObserveStatistics(positions []geo.Point, speeds []float64)
-	// Table exposes the motion table.
-	Table() *motion.Table
-	// Applied returns the number of updates integrated so far.
-	Applied() int64
-	// QueueLen and QueueCap describe the input queue, and Dropped counts
-	// updates shed or rejected on overflow (each summed across shards
-	// when sharded).
-	QueueLen() int
-	QueueCap() int
-	Dropped() int64
-}
-
-// coreEngine adapts the unsharded cqserver.Server to Engine: the only
-// impedance is the queue accessors, which Engine flattens so callers
-// need not know whether one bounded queue or K rings sit underneath.
-type coreEngine struct{ *cqserver.Server }
-
-func (e coreEngine) QueueLen() int  { return e.Queue().Len() }
-func (e coreEngine) QueueCap() int  { return e.Queue().Cap() }
-func (e coreEngine) Dropped() int64 { return e.Queue().Dropped() }
-func (e coreEngine) IngestShedOldest(u cqserver.Update) bool {
-	return e.Queue().OfferShedOldest(u)
-}
-
-// newEngine builds the engine selected by shards. The sharded engine's
-// ingest path is safe for concurrent producers (lock-free rings); the
-// unsharded one must be serialized by the caller — Server.ingest uses
-// lockFreeIngest to pick the path.
-func newEngine(core cqserver.Config, shards int) (Engine, bool, error) {
-	if shards > 1 {
-		s, err := shard.New(shard.Config{Core: core, Shards: shards})
-		if err != nil {
-			return nil, false, err
-		}
-		return s, true, nil
-	}
-	s, err := cqserver.New(core)
-	if err != nil {
-		return nil, false, err
-	}
-	return coreEngine{s}, false, nil
-}
+// Deprecated: the interface now lives in the neutral internal/engine
+// package so engine-generic code (experiments, simulators, benchmarks)
+// need not depend on the network layer. This alias is kept for one
+// release; use engine.Engine.
+type Engine = engine.Engine

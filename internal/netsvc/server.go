@@ -34,6 +34,7 @@ import (
 
 	"lira/internal/basestation"
 	"lira/internal/cqserver"
+	"lira/internal/engine"
 	"lira/internal/geo"
 	"lira/internal/metrics"
 	"lira/internal/telemetry"
@@ -65,10 +66,11 @@ const defaultReadTimeout = 30 * time.Second
 type ServerConfig struct {
 	// Core configures the embedded mobile CQ server.
 	Core cqserver.Config
-	// Shards selects the evaluation engine: values above 1 deploy the
-	// spatially sharded shard.Server with that many shard cells and a
-	// lock-free ingest path; 0 and 1 deploy the unsharded
-	// cqserver.Server. Query results are byte-identical either way.
+	// Shards selects the evaluation engine via engine.New (see
+	// internal/engine): values above 1 deploy the spatially sharded
+	// shard.Server with that many shard cells and a lock-free ingest
+	// path; 0 and 1 deploy the unsharded cqserver.Server. Query results
+	// are byte-identical either way.
 	Shards int
 	// Stations is the base-station layout. Empty selects a single
 	// station covering the whole space.
@@ -238,7 +240,7 @@ func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
 			cfg.Core.Telemetry = cfg.Telemetry
 		}
 	}
-	eng, lockFree, err := newEngine(cfg.Core, cfg.Shards)
+	eng, err := engine.New(cfg.Core, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -256,7 +258,7 @@ func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
 		counters:       cfg.Counters,
 		tel:            newNetTelemetry(cfg.Telemetry),
 		eng:            eng,
-		lockFreeIngest: lockFree,
+		lockFreeIngest: eng.ConcurrentIngest(),
 		nodeConns:      make(map[uint32]*srvConn),
 		nodeStation:    make(map[uint32]int),
 		done:           make(chan struct{}),

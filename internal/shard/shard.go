@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lira/internal/controlplane"
 	"lira/internal/cqindex"
 	"lira/internal/cqserver"
 	"lira/internal/geo"
@@ -46,9 +47,7 @@ import (
 	"lira/internal/motion"
 	"lira/internal/par"
 	"lira/internal/partition"
-	"lira/internal/queue"
 	"lira/internal/statgrid"
-	"lira/internal/telemetry"
 	"lira/internal/throtloop"
 	"lira/internal/throttler"
 )
@@ -130,7 +129,7 @@ type Server struct {
 	resSlot []int32
 
 	merged  *statgrid.Grid // merge target; also holds the query census
-	loop    *throtloop.Controller
+	plane   *controlplane.Plane
 	history *history.Store
 
 	queries []geo.Rect
@@ -183,10 +182,6 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	loop, err := throtloop.New(core.QueueSize)
-	if err != nil {
-		return nil, err
-	}
 	var hist *history.Store
 	if core.HistoryPerNode > 0 {
 		hist, err = history.NewStore(core.Nodes, core.HistoryPerNode)
@@ -206,7 +201,6 @@ func New(cfg Config) (*Server, error) {
 		shardOf: make([]int32, core.Nodes),
 		resSlot: make([]int32, core.Nodes),
 		merged:  statgrid.New(core.Space, core.Alpha),
-		loop:    loop,
 		history: hist,
 	}
 	for i := range s.lastSeq {
@@ -222,18 +216,21 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.tel = newShardTelemetry(core.Telemetry, k)
-	if s.tel != nil {
-		hub := s.tel.hub
-		zGauge := s.tel.zGauge
-		zGauge.Set(1)
-		b := core.QueueSize
-		s.loop.SetRecorder(func(rho, z float64, _ int) {
-			zGauge.Set(z)
-			hub.Record(telemetry.Record{
-				Kind:      telemetry.KindThrotloop,
-				Throtloop: &telemetry.ThrotloopEvent{Rho: rho, Z: z, B: b},
-			})
-		})
+	s.plane, err = controlplane.New(controlplane.Config{
+		Env: controlplane.Env{
+			L:              core.L,
+			Curve:          core.Curve,
+			Fairness:       core.Fairness,
+			UseSpeed:       core.UseSpeed,
+			ProtectQueries: core.ProtectQueries,
+		},
+		Stats:     s,
+		Rates:     s,
+		QueueCap:  core.QueueSize,
+		Telemetry: core.Telemetry,
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -248,7 +245,11 @@ func (s *Server) Geometry() *Geometry { return s.geom }
 func (s *Server) Table() *motion.Table { return s.table }
 
 // Throttle exposes the global THROTLOOP controller.
-func (s *Server) Throttle() *throtloop.Controller { return s.loop }
+func (s *Server) Throttle() *throtloop.Controller { return s.plane.Throttle() }
+
+// ControlPlane exposes the server's control plane, e.g. to swap the
+// shedding policy.
+func (s *Server) ControlPlane() *controlplane.Plane { return s.plane }
 
 // History returns the report history store, or nil when disabled.
 func (s *Server) History() *history.Store { return s.history }
@@ -591,65 +592,15 @@ func (s *Server) MergedGrid() *statgrid.Grid {
 	return s.merged
 }
 
+// StatsGrid implements controlplane.StatsSource: each adaptation
+// partitions the merge of the per-shard statistics grids.
+func (s *Server) StatsGrid() *statgrid.Grid { return s.MergedGrid() }
+
 // Adapt runs one LIRA adaptation cycle at throttle fraction z over the
-// merged shard statistics: GRIDREDUCE partitions the merged grid,
-// GREEDYINCREMENT sets the throttlers. At K = 1 the output is
-// bit-identical to cqserver.Adapt.
+// merged shard statistics, through the shared control plane. At K = 1 the
+// output is bit-identical to cqserver.Adapt.
 func (s *Server) Adapt(z float64) (*cqserver.Adaptation, error) {
-	start := time.Now()
-	grid := s.MergedGrid()
-	p, err := partition.GridReduce(grid, partition.Config{
-		L: s.cfg.Core.L, Z: z, Curve: s.cfg.Core.Curve, ProtectQueries: s.cfg.Core.ProtectQueries,
-	})
-	if err != nil {
-		return nil, err
-	}
-	var mid time.Time
-	if s.tel != nil {
-		mid = time.Now()
-	}
-	res, err := throttler.SetThrottlers(p.Stats(), s.cfg.Core.Curve, throttler.Options{
-		Z:        z,
-		Fairness: s.cfg.Core.Fairness,
-		UseSpeed: s.cfg.Core.UseSpeed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if s.tel != nil {
-		end := time.Now()
-		s.tel.gridReduceHist.Observe(mid.Sub(start).Seconds())
-		s.tel.setThrottlersHist.Observe(end.Sub(mid).Seconds())
-		s.tel.adapts.Inc()
-		s.tel.hub.Record(telemetry.Record{
-			Kind: telemetry.KindRepartition,
-			Repartition: &telemetry.RepartitionEvent{
-				Z:              z,
-				Regions:        len(p.Regions),
-				SplitsTaken:    p.Drill.SplitsTaken,
-				SplitsRejected: p.Drill.SplitsRejected,
-				ProtectSplits:  p.Drill.ProtectSplits,
-			},
-		})
-		s.tel.hub.Record(telemetry.Record{
-			Kind: telemetry.KindAssign,
-			Assign: &telemetry.AssignEvent{
-				Z:              z,
-				Regions:        len(p.Regions),
-				Deltas:         append([]float64(nil), res.Deltas...),
-				Gains:          append([]float64(nil), res.Gains...),
-				FairnessClamps: res.FairnessClamps,
-				BudgetMet:      res.BudgetMet,
-			},
-		})
-	}
-	return &cqserver.Adaptation{
-		Z:            z,
-		Partitioning: p,
-		Deltas:       res.Deltas,
-		BudgetMet:    res.BudgetMet,
-		Elapsed:      time.Since(start),
-	}, nil
+	return s.plane.Adapt(z)
 }
 
 // ObserveBusy accumulates the fraction of the current measurement window
@@ -681,10 +632,27 @@ func (s *Server) Rates(window float64) (lambda, mu float64) {
 }
 
 // AdaptAuto measures the summed ring signals over the window, steps the
-// global THROTLOOP, and adapts at the resulting throttle fraction.
+// global THROTLOOP, and adapts at the resulting throttle fraction —
+// through the shared control plane, whose rate source is Rates.
 func (s *Server) AdaptAuto(window float64) (*cqserver.Adaptation, error) {
-	lambda, mu := s.Rates(window)
-	rho := queue.Utilization(lambda, mu)
-	z := s.loop.Observe(rho)
-	return s.Adapt(z)
+	return s.plane.AdaptAuto(window)
+}
+
+// ConcurrentIngest reports whether Ingest/IngestShedOldest may be called
+// from concurrent producers. The shard rings are lock-free multi-producer
+// queues, so they may.
+func (s *Server) ConcurrentIngest() bool { return true }
+
+// Introspect returns a point-in-time engine snapshot.
+func (s *Server) Introspect() cqserver.EngineInfo {
+	return cqserver.EngineInfo{
+		Engine:   "shard",
+		Shards:   s.k,
+		QueueLen: s.QueueLen(),
+		QueueCap: s.QueueCap(),
+		Dropped:  s.Dropped(),
+		Applied:  s.applied,
+		Queries:  len(s.queries),
+		Z:        s.plane.Throttle().Z(),
+	}
 }

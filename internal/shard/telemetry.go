@@ -16,21 +16,17 @@ import (
 type shardTelemetry struct {
 	hub *telemetry.Hub
 
-	evalHist          *telemetry.Histogram // lira_evaluate_seconds
-	predictHist       *telemetry.Histogram // lira_evaluate_predict_seconds
-	scanHist          *telemetry.Histogram // lira_evaluate_scan_seconds
-	gridReduceHist    *telemetry.Histogram // lira_gridreduce_seconds
-	setThrottlersHist *telemetry.Histogram // lira_set_throttlers_seconds
+	evalHist    *telemetry.Histogram // lira_evaluate_seconds
+	predictHist *telemetry.Histogram // lira_evaluate_predict_seconds
+	scanHist    *telemetry.Histogram // lira_evaluate_scan_seconds
 
 	queueDepth  *telemetry.Gauge // lira_queue_depth (summed over rings)
-	zGauge      *telemetry.Gauge // lira_throttle_z
 	gridNodes   *telemetry.Gauge // lira_statgrid_nodes (summed over shards)
 	gridQueries *telemetry.Gauge // lira_statgrid_queries (summed over shards)
 
 	dropped     *telemetry.Counter // lira_queue_dropped_total
 	applied     *telemetry.Counter // lira_updates_applied_total
 	evals       *telemetry.Counter // lira_evaluations_total
-	adapts      *telemetry.Counter // lira_adaptations_total
 	migrations  *telemetry.Counter // lira_shard_migrations_total
 	compactions *telemetry.Counter // lira_shard_compactions_total
 
@@ -46,25 +42,21 @@ func newShardTelemetry(hub *telemetry.Hub, k int) *shardTelemetry {
 	}
 	r := hub.Registry
 	t := &shardTelemetry{
-		hub:               hub,
-		evalHist:          r.Histogram("lira_evaluate_seconds", nil),
-		predictHist:       r.Histogram("lira_evaluate_predict_seconds", nil),
-		scanHist:          r.Histogram("lira_evaluate_scan_seconds", nil),
-		gridReduceHist:    r.Histogram("lira_gridreduce_seconds", nil),
-		setThrottlersHist: r.Histogram("lira_set_throttlers_seconds", nil),
-		queueDepth:        r.Gauge("lira_queue_depth"),
-		zGauge:            r.Gauge("lira_throttle_z"),
-		gridNodes:         r.Gauge("lira_statgrid_nodes"),
-		gridQueries:       r.Gauge("lira_statgrid_queries"),
-		dropped:           r.Counter("lira_queue_dropped_total"),
-		applied:           r.Counter("lira_updates_applied_total"),
-		evals:             r.Counter("lira_evaluations_total"),
-		adapts:            r.Counter("lira_adaptations_total"),
-		migrations:        r.Counter("lira_shard_migrations_total"),
-		compactions:       r.Counter("lira_shard_compactions_total"),
-		shardDepth:        make([]*telemetry.Gauge, k),
-		shardResidents:    make([]*telemetry.Gauge, k),
-		shardNodes:        make([]*telemetry.Gauge, k),
+		hub:            hub,
+		evalHist:       r.Histogram("lira_evaluate_seconds", nil),
+		predictHist:    r.Histogram("lira_evaluate_predict_seconds", nil),
+		scanHist:       r.Histogram("lira_evaluate_scan_seconds", nil),
+		queueDepth:     r.Gauge("lira_queue_depth"),
+		gridNodes:      r.Gauge("lira_statgrid_nodes"),
+		gridQueries:    r.Gauge("lira_statgrid_queries"),
+		dropped:        r.Counter("lira_queue_dropped_total"),
+		applied:        r.Counter("lira_updates_applied_total"),
+		evals:          r.Counter("lira_evaluations_total"),
+		migrations:     r.Counter("lira_shard_migrations_total"),
+		compactions:    r.Counter("lira_shard_compactions_total"),
+		shardDepth:     make([]*telemetry.Gauge, k),
+		shardResidents: make([]*telemetry.Gauge, k),
+		shardNodes:     make([]*telemetry.Gauge, k),
 	}
 	for i := 0; i < k; i++ {
 		t.shardDepth[i] = r.Gauge(fmt.Sprintf("lira_shard%d_queue_depth", i))

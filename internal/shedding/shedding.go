@@ -9,16 +9,24 @@
 //     modeled update volume meets the throttle fraction.
 //   - RandomDrop — no source-side throttling at all: every node reports
 //     at Δ⊢ and the server randomly admits a z fraction.
+//
+// The throttler-based strategies are thin wrappers over the control
+// plane's pluggable policies (internal/controlplane): Lira runs the
+// engine's own adaptation (LiraPolicy through its Plane, stepping
+// telemetry), LiraGrid evaluates UniformGridPolicy statelessly, and
+// UniformDelta evaluates SingleDeltaPolicy. RandomDrop is the one
+// strategy with no source-side policy at all — it sheds at the server —
+// so it stays special-cased here.
 package shedding
 
 import (
 	"fmt"
 	"time"
 
-	"lira/internal/cqserver"
+	"lira/internal/controlplane"
 	"lira/internal/fmodel"
 	"lira/internal/partition"
-	"lira/internal/throttler"
+	"lira/internal/statgrid"
 )
 
 // Kind identifies a strategy.
@@ -65,6 +73,14 @@ type Options struct {
 	UseSpeed bool
 }
 
+// Target is the slice of an engine Configure needs: the Lira strategy
+// runs the engine's own adaptation, the rest read the statistics grid.
+// Both engine.Engine implementations satisfy it.
+type Target interface {
+	Adapt(z float64) (*controlplane.Adaptation, error)
+	StatsGrid() *statgrid.Grid
+}
+
 // Outcome is a configured shedding policy, ready for distribution to the
 // base-station layer.
 type Outcome struct {
@@ -87,8 +103,8 @@ type Outcome struct {
 }
 
 // Configure computes the shedding policy of the given kind at throttle
-// fraction z using the server's statistics grid.
-func Configure(kind Kind, s *cqserver.Server, z float64, opts Options) (*Outcome, error) {
+// fraction z using the target engine's statistics grid.
+func Configure(kind Kind, t Target, z float64, opts Options) (*Outcome, error) {
 	if z < 0 || z > 1 {
 		return nil, fmt.Errorf("shedding: throttle fraction %v outside [0,1]", z)
 	}
@@ -97,9 +113,12 @@ func Configure(kind Kind, s *cqserver.Server, z float64, opts Options) (*Outcome
 	}
 	start := time.Now()
 	out := &Outcome{Kind: kind, Z: z, AdmitProbability: 1}
+	env := controlplane.Env{
+		L: opts.L, Curve: opts.Curve, Fairness: opts.Fairness, UseSpeed: opts.UseSpeed,
+	}
 	switch kind {
 	case Lira:
-		ad, err := s.Adapt(z)
+		ad, err := t.Adapt(z)
 		if err != nil {
 			return nil, err
 		}
@@ -109,32 +128,27 @@ func Configure(kind Kind, s *cqserver.Server, z float64, opts Options) (*Outcome
 		out.Elapsed = ad.Elapsed
 
 	case LiraGrid:
-		p, err := partition.Uniform(s.Grid(), opts.L)
+		plan, err := controlplane.Evaluate(controlplane.UniformGridPolicy{}, t.StatsGrid(), z, env)
 		if err != nil {
 			return nil, err
 		}
-		res, err := throttler.SetThrottlers(p.Stats(), opts.Curve, throttler.Options{
-			Z:        z,
-			Fairness: opts.Fairness,
-			UseSpeed: opts.UseSpeed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		out.Partitioning = p
-		out.Deltas = res.Deltas
-		out.BudgetMet = res.BudgetMet
+		out.Partitioning = plan.Partitioning
+		out.Deltas = plan.Result.Deltas
+		out.BudgetMet = plan.Result.BudgetMet
 		out.Elapsed = time.Since(start)
 
 	case UniformDelta:
-		delta := opts.Curve.Invert(z)
-		out.Partitioning = partition.Single(s.Grid())
-		out.Deltas = []float64{delta}
-		out.BudgetMet = opts.Curve.Eval(delta) <= z+1e-9
+		plan, err := controlplane.Evaluate(controlplane.SingleDeltaPolicy{}, t.StatsGrid(), z, env)
+		if err != nil {
+			return nil, err
+		}
+		out.Partitioning = plan.Partitioning
+		out.Deltas = plan.Result.Deltas
+		out.BudgetMet = plan.Result.BudgetMet
 		out.Elapsed = time.Since(start)
 
 	case RandomDrop:
-		out.Partitioning = partition.Single(s.Grid())
+		out.Partitioning = partition.Single(t.StatsGrid())
 		out.Deltas = []float64{opts.Curve.MinDelta()}
 		out.AdmitProbability = z
 		out.BudgetMet = true

@@ -8,6 +8,31 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "files not gofmt-formatted:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== wiring guard (adaptation pipeline single-homed in controlplane) =="
+# The GRIDREDUCE -> GREEDYINCREMENT wiring must exist exactly once.
+# Allowed qualified call sites outside tests: the control plane itself,
+# partition's internal accuracy-gain helper, and the public facade
+# passthrough. Anything else reintroduces the PR-4 duplication.
+bad="$(grep -rn --include='*.go' -e 'throttler\.SetThrottlers(' -e 'partition\.GridReduce(' . \
+	| grep -v '_test\.go' \
+	| grep -v '^\./internal/controlplane/' \
+	| grep -v '^\./internal/partition/partition\.go' \
+	| grep -v '^\./lira\.go' || true)"
+if [ -n "$bad" ]; then
+	echo "adaptation pipeline wired outside internal/controlplane:" >&2
+	echo "$bad" >&2
+	exit 1
+fi
+echo "wiring single-homed"
+
 echo "== package docs (every package must carry a doc comment) =="
 missing="$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...)"
 if [ -n "$missing" ]; then
@@ -38,6 +63,9 @@ go test -run '^$' -bench Fig04 -benchtime 1x .
 
 echo "== shard smoke (K sweep, byte-identical results enforced) =="
 go run ./cmd/lirabench -shards 1,4 -nodes 400 -duration 40
+
+echo "== policy smoke (baseline policies, one seed) =="
+go run ./cmd/lirabench -policy -nodes 600 -duration 60
 
 echo "== telemetry smoke (introspection endpoints + zero-diff sim) =="
 sh scripts/obs_smoke.sh
