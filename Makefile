@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt-gate wiring-guard doc-gate build test race fuzz-smoke chaos bench-smoke shard-smoke policy-smoke obs-smoke obs-demo bench-report bench-report-obs bench-report-shard bench-report-policy clean
+.PHONY: check vet fmt-gate wiring-guard doc-gate build test race fuzz-smoke chaos bench-smoke shard-smoke policy-smoke obs-smoke obs-demo allocs-gate saturate-smoke bench-report bench-report-obs bench-report-shard bench-report-policy bench-report-saturate clean
 
-check: vet fmt-gate wiring-guard doc-gate build race fuzz-smoke chaos bench-smoke shard-smoke policy-smoke obs-smoke
+check: vet fmt-gate wiring-guard doc-gate build race allocs-gate fuzz-smoke chaos bench-smoke shard-smoke policy-smoke saturate-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -53,7 +53,8 @@ race:
 # malformed input must error, never panic or over-allocate. `go test`
 # accepts a single -fuzz target at a time, hence the loop.
 FUZZ_TARGETS := FuzzDecodeHello FuzzDecodeUpdate FuzzDecodeAssignment \
-	FuzzDecodeQuery FuzzDecodeResult FuzzDecodePing FuzzReadFrame
+	FuzzDecodeQuery FuzzDecodeResult FuzzDecodePing FuzzDecodeUpdateBatch \
+	FuzzReadFrame
 
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
@@ -86,6 +87,16 @@ policy-smoke:
 obs-smoke:
 	sh scripts/obs_smoke.sh
 
+# AllocsPerRun gates: the ingest hot path's memory model (0 allocations
+# for ingest/drain/apply, ≤1 per Evaluate, zero-alloc batch decode).
+allocs-gate:
+	sh scripts/allocs_gate.sh
+
+# Tiny saturation ramp: proves -saturate runs, writes schema-complete
+# JSON, and ramps the offered rate monotonically. Not a measurement.
+saturate-smoke:
+	sh scripts/saturate_smoke.sh
+
 # Interactive observability demo: boots lirad with /metrics and
 # /debug/lira (plus pprof) on :17401 and leaves it running — curl away,
 # ^C to stop. See README "Observability" for a sample session.
@@ -111,6 +122,11 @@ bench-report-shard:
 # vs uniform-Δ vs single-Δ at equal z).
 bench-report-policy:
 	$(GO) run ./cmd/lirabench -policy -policyjson BENCH_PR5.json
+
+# Regenerate the ingest-saturation artifact: offered-rate ramp to the
+# knee plus the single-core per-update-vs-batched path comparison.
+bench-report-saturate:
+	$(GO) run ./cmd/lirabench -saturate -saturatejson BENCH_PR6.json
 
 clean:
 	$(GO) clean ./...

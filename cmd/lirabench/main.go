@@ -53,8 +53,26 @@ func main() {
 		shardOut = flag.String("shardjson", "", "write the shard-scaling JSON report (BENCH_PR4.json) to this path; implies nothing unless -shards is set")
 		policy   = flag.Bool("policy", false, "policy-comparison mode: evaluate every control-plane shedding policy (single-delta, uniform-delta, uniform-grid, lira) over one warmed statistics grid at equal throttle fractions")
 		polOut   = flag.String("policyjson", "", "write the policy-comparison JSON report (BENCH_PR5.json) to this path; implies nothing unless -policy is set")
+		saturate = flag.Bool("saturate", false, "saturation mode: ramp the offered update rate against the batched ingest hot path and report achieved throughput, p99 Evaluate latency, and GC stats per step, plus the single-core per-update-vs-batch path comparison")
+		satOut   = flag.String("saturatejson", "", "write the saturation JSON report (BENCH_PR6.json) to this path; stdout when empty")
+		satBase  = flag.Float64("satbase", 100000, "saturation mode: offered rate of the first ramp step, updates/sec (doubles each step)")
+		satSteps = flag.Int("satsteps", 7, "saturation mode: ramp step count")
+		satSlice = flag.Duration("satslice", 400*time.Millisecond, "saturation mode: wall-clock slice per ramp step")
+		satK     = flag.Int("satshards", 1, "saturation mode: engine shard count")
+		satBatch = flag.Int("satbatch", 64, "saturation mode: records per wire batch")
 	)
 	flag.Parse()
+
+	if *saturate {
+		sNodes := 2000
+		if *nodes > 0 {
+			sNodes = *nodes
+		}
+		if err := runSaturate(sNodes, *satK, *satBatch, *satSteps, *satBase, *satSlice, *satOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *policy {
 		pNodes, pTicks := 2000, 120

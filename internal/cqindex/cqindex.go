@@ -213,6 +213,30 @@ func (g *Grid) Query(r geo.Rect, fn func(id int)) {
 	}
 }
 
+// QueryAppend appends every indexed id whose point lies inside r to dst
+// and returns the extended slice, visiting ids in the same order Query
+// does. It exists for the zero-allocation evaluate path: a caller-owned
+// result buffer replaces the per-query callback closure.
+func (g *Grid) QueryAppend(r geo.Rect, dst []int) []int {
+	clip := r.Intersect(g.space)
+	if clip.Empty() {
+		clip = r
+	}
+	i0, j0 := g.cellOf(geo.Point{X: clip.MinX, Y: clip.MinY})
+	i1, j1 := g.cellOf(geo.Point{X: clip.MaxX, Y: clip.MaxY})
+	for cj := j0; cj <= j1; cj++ {
+		for ci := i0; ci <= i1; ci++ {
+			b := cj*g.cells + ci
+			for _, id := range g.ids[g.start[b]:g.start[b+1]] {
+				if r.ContainsClosed(g.points[id]) {
+					dst = append(dst, int(id))
+				}
+			}
+		}
+	}
+	return dst
+}
+
 // Linear is the brute-force reference index used for differential tests
 // and tiny workloads.
 type Linear struct {

@@ -2,7 +2,7 @@ package cqindex
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"lira/internal/geo"
 )
@@ -152,7 +152,7 @@ func (x *Inc) Compact() {
 			bucket = trimmed
 			x.buckets[b] = bucket
 		}
-		sort.Slice(bucket, func(i, j int) bool { return bucket[i] < bucket[j] })
+		slices.Sort(bucket) // zero-alloc, unlike a sort.Slice closure per bucket
 		for slot, id := range bucket {
 			x.slotOf[id] = int32(slot)
 		}
@@ -198,4 +198,30 @@ func (x *Inc) QueryIn(bounds, r geo.Rect, fn func(id int)) {
 			}
 		}
 	}
+}
+
+// QueryInAppend is QueryIn with the matches appended to a caller-owned
+// buffer instead of delivered through a callback, for the
+// zero-allocation evaluate path. Visit order matches QueryIn's.
+func (x *Inc) QueryInAppend(bounds, r geo.Rect, dst []int) []int {
+	clip := bounds.Intersect(x.space)
+	if clip.Empty() {
+		clip = bounds
+	}
+	b0 := x.bucketIndex(geo.Point{X: clip.MinX, Y: clip.MinY})
+	b1 := x.bucketIndex(geo.Point{X: clip.MaxX, Y: clip.MaxY})
+	i0, j0 := int(b0)%x.cells, int(b0)/x.cells
+	i1, j1 := int(b1)%x.cells, int(b1)/x.cells
+	i0, j0 = clampInt(i0-1, 0, x.cells-1), clampInt(j0-1, 0, x.cells-1)
+	i1, j1 = clampInt(i1+1, 0, x.cells-1), clampInt(j1+1, 0, x.cells-1)
+	for cj := j0; cj <= j1; cj++ {
+		for ci := i0; ci <= i1; ci++ {
+			for _, id := range x.buckets[cj*x.cells+ci] {
+				if r.ContainsClosed(x.points[id]) {
+					dst = append(dst, int(id))
+				}
+			}
+		}
+	}
+	return dst
 }

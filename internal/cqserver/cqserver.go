@@ -87,6 +87,16 @@ type Server struct {
 	active    []bool
 	results   [][]int
 
+	// Hot-path state hoisted out of Evaluate so the steady state performs
+	// zero allocations: the motion table's column view, the evaluation
+	// timestamp the chunk workers read, and the chunk-worker funcs bound
+	// once at construction (a closure literal inside Evaluate would
+	// allocate on every call).
+	cols      motion.Columns
+	evalNow   float64
+	predictFn func(shard, lo, hi int)
+	scanFn    func(shard, lo, hi int)
+
 	history *history.Store
 	applied int64
 
@@ -200,6 +210,9 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.cols = s.table.Columns()
+	s.predictFn = s.predictRange
+	s.scanFn = s.scanRange
 	return s, nil
 }
 
@@ -255,18 +268,16 @@ func (s *Server) Ingest(u Update) bool {
 // Drain applies up to limit queued updates to the motion table and
 // returns the number applied. A negative limit drains everything.
 func (s *Server) Drain(limit int) int {
-	applied := 0
-	for limit < 0 || applied < limit {
-		u, ok := s.input.Poll()
-		if !ok {
-			break
+	a, b := s.input.ServeSegments(limit)
+	for _, seg := range [2][]Update{a, b} {
+		for i := range seg {
+			s.table.Apply(seg[i].Node, seg[i].Report)
+			if s.history != nil {
+				_ = s.history.Append(seg[i].Node, seg[i].Report)
+			}
 		}
-		s.table.Apply(u.Node, u.Report)
-		if s.history != nil {
-			_ = s.history.Append(u.Node, u.Report)
-		}
-		applied++
 	}
+	applied := len(a) + len(b)
 	s.applied += int64(applied)
 	if s.tel != nil {
 		s.tel.applied.Add(int64(applied))
@@ -335,27 +346,13 @@ func (s *Server) Evaluate(now float64) [][]int {
 	if s.tel != nil {
 		t0 = time.Now()
 	}
-	par.ForChunks(s.cfg.Nodes, predictChunk, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			p, ok := s.table.Predict(i, now)
-			s.active[i] = ok
-			if ok {
-				s.predicted[i] = s.cfg.Space.ClampPoint(p)
-			}
-		}
-	})
+	s.evalNow = now
+	par.ForChunks(s.cfg.Nodes, predictChunk, s.predictFn)
 	if s.tel != nil {
 		t1 = time.Now()
 	}
 	s.index.Rebuild(s.predicted, s.active)
-	par.ForChunks(len(s.queries), queryChunk, func(_, lo, hi int) {
-		for qi := lo; qi < hi; qi++ {
-			ids := s.results[qi][:0]
-			s.index.Query(s.queries[qi], func(id int) { ids = append(ids, id) })
-			sort.Ints(ids)
-			s.results[qi] = ids
-		}
-	})
+	par.ForChunks(len(s.queries), queryChunk, s.scanFn)
 	if s.tel != nil {
 		t2 = time.Now()
 		s.tel.predictHist.Observe(t1.Sub(t0).Seconds())
@@ -364,6 +361,35 @@ func (s *Server) Evaluate(now float64) [][]int {
 		s.tel.evals.Inc()
 	}
 	return s.results
+}
+
+// predictRange is the predict-phase chunk worker: it streams the motion
+// table's columns — five contiguous float64 slices — instead of loading
+// per-node report structs, and writes the clamped dead-reckoned position
+// plus the active mask for [lo, hi). The arithmetic is exactly
+// Report.Predict's, so results are bit-identical to the per-id path.
+func (s *Server) predictRange(_, lo, hi int) {
+	now := s.evalNow
+	cols := s.cols
+	for i := lo; i < hi; i++ {
+		ok := cols.Known[i]
+		s.active[i] = ok
+		if ok {
+			s.predicted[i] = s.cfg.Space.ClampPoint(cols.Predict(i, now))
+		}
+	}
+}
+
+// scanRange is the scan-phase chunk worker: each query in [lo, hi) fills
+// its own pooled result slice via the index's append API — no per-query
+// callback closure, no per-round allocation once the backing arrays have
+// grown to their working size.
+func (s *Server) scanRange(_, lo, hi int) {
+	for qi := lo; qi < hi; qi++ {
+		ids := s.index.QueryAppend(s.queries[qi], s.results[qi][:0])
+		sort.Ints(ids)
+		s.results[qi] = ids
+	}
 }
 
 // PredictedPosition returns the server's belief about a node's position.
@@ -399,6 +425,54 @@ func (s *Server) IngestShedOldest(u Update) bool {
 	if s.tel != nil {
 		if shed {
 			s.tel.dropped.Inc()
+		}
+		s.tel.queueDepth.Set(float64(s.input.Len()))
+	}
+	return shed
+}
+
+// IngestShedOldestBatch enqueues a slice of updates in arrival order
+// under the shed-oldest policy and returns how many entries were shed. A
+// batch of n counts exactly n arrivals in the λ accounting THROTLOOP
+// watches — identical to n IngestShedOldest calls — but admission costs
+// two copies instead of n ring operations. This is the vectored hot path
+// the batched wire format feeds.
+func (s *Server) IngestShedOldestBatch(us []Update) int {
+	shed := s.input.OfferShedOldestBulk(us)
+	if s.tel != nil {
+		if shed > 0 {
+			s.tel.dropped.Add(int64(shed))
+		}
+		s.tel.queueDepth.Set(float64(s.input.Len()))
+	}
+	return shed
+}
+
+// IngestShedOldestColumns is the columnar variant of
+// IngestShedOldestBatch: records arrive as the parallel column slices a
+// decoded wire batch already holds, and each survivor is scattered
+// directly into its ring slot — one write per record, no intermediate
+// contiguous staging. All slices must have equal length; behavior and λ
+// accounting are identical to offering the records one at a time.
+func (s *Server) IngestShedOldestColumns(nodes []uint32, xs, ys, vxs, vys, times []float64) int {
+	n := len(nodes)
+	a, b, shed := s.input.ReserveShedOldestBulk(n)
+	// When n exceeds the ring, only the trailing len(a)+len(b) records
+	// survive admission; the reservation already counted the rest as shed.
+	i := n - len(a) - len(b)
+	for _, seg := range [2][]Update{a, b} {
+		for j := range seg {
+			seg[j] = Update{Node: int(nodes[i]), Report: motion.Report{
+				Pos:  geo.Point{X: xs[i], Y: ys[i]},
+				Vel:  geo.Vector{X: vxs[i], Y: vys[i]},
+				Time: times[i],
+			}}
+			i++
+		}
+	}
+	if s.tel != nil {
+		if shed > 0 {
+			s.tel.dropped.Add(int64(shed))
 		}
 		s.tel.queueDepth.Set(float64(s.input.Len()))
 	}

@@ -44,6 +44,18 @@ type Engine interface {
 	// IngestShedOldest enqueues an update, shedding the oldest on
 	// overflow; the flag reports whether a shed happened.
 	IngestShedOldest(u cqserver.Update) bool
+	// IngestShedOldestBatch enqueues a slice of updates in arrival order
+	// under the shed-oldest policy and returns how many were shed. A
+	// batch of n counts exactly n arrivals — identical to n
+	// IngestShedOldest calls — but admission is vectored, which is what
+	// the batched wire format feeds.
+	IngestShedOldestBatch(us []cqserver.Update) int
+	// IngestShedOldestColumns is the columnar variant of
+	// IngestShedOldestBatch: records arrive as the parallel column
+	// slices a decoded wire batch already holds (all equal length), so
+	// survivors scatter straight into ring slots with no intermediate
+	// contiguous staging.
+	IngestShedOldestColumns(nodes []uint32, xs, ys, vxs, vys, times []float64) int
 	// ConcurrentIngest reports whether Ingest/IngestShedOldest are safe
 	// for concurrent producers.
 	ConcurrentIngest() bool

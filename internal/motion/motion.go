@@ -62,22 +62,38 @@ func (d *DeadReckoner) Observe(pos geo.Point, vel geo.Vector, t, delta float64) 
 
 // Table is the server-side motion table: the last known report per node,
 // from which query-time positions are predicted. Index is the node id.
+//
+// Storage is structure-of-arrays: one dense column per report field,
+// indexed by node id. The prediction sweep — the hottest loop in the
+// server — reads x, vx, y, vy, time as five contiguous streams instead
+// of striding through 40-byte report structs, which keeps the loop
+// cache-dense and trivially vectorizable. Columns exposes the raw
+// slices for such loops; the per-id accessors below stay the API for
+// everything that is not a bulk sweep.
 type Table struct {
-	reports []Report
-	known   []bool
+	px, py []float64 // report position
+	vx, vy []float64 // report velocity
+	rt     []float64 // report time
+	known  []bool
 }
 
 // NewTable returns a table for n nodes with no reports yet.
 func NewTable(n int) *Table {
-	return &Table{reports: make([]Report, n), known: make([]bool, n)}
+	return &Table{
+		px: make([]float64, n), py: make([]float64, n),
+		vx: make([]float64, n), vy: make([]float64, n),
+		rt: make([]float64, n), known: make([]bool, n),
+	}
 }
 
 // Len returns the table capacity (number of node slots).
-func (t *Table) Len() int { return len(t.reports) }
+func (t *Table) Len() int { return len(t.known) }
 
 // Apply installs a report for node id.
 func (t *Table) Apply(id int, rep Report) {
-	t.reports[id] = rep
+	t.px[id], t.py[id] = rep.Pos.X, rep.Pos.Y
+	t.vx[id], t.vy[id] = rep.Vel.X, rep.Vel.Y
+	t.rt[id] = rep.Time
 	t.known[id] = true
 }
 
@@ -90,7 +106,8 @@ func (t *Table) Predict(id int, now float64) (geo.Point, bool) {
 	if !t.known[id] {
 		return geo.Point{}, false
 	}
-	return t.reports[id].Predict(now), true
+	dt := now - t.rt[id]
+	return geo.Point{X: t.px[id] + t.vx[id]*dt, Y: t.py[id] + t.vy[id]*dt}, true
 }
 
 // Report returns the stored report for node id. The second result is false
@@ -99,5 +116,31 @@ func (t *Table) Report(id int) (Report, bool) {
 	if !t.known[id] {
 		return Report{}, false
 	}
-	return t.reports[id], true
+	return Report{
+		Pos:  geo.Point{X: t.px[id], Y: t.py[id]},
+		Vel:  geo.Vector{X: t.vx[id], Y: t.vy[id]},
+		Time: t.rt[id],
+	}, true
+}
+
+// Columns is a read view of the table's column slices, handed to bulk
+// prediction sweeps. The slices alias the table: Apply calls between a
+// Columns call and its use are visible, and callers must not mutate.
+type Columns struct {
+	X, Y, VX, VY, Time []float64
+	Known              []bool
+}
+
+// Columns exposes the table's structure-of-arrays storage.
+func (t *Table) Columns() Columns {
+	return Columns{X: t.px, Y: t.py, VX: t.vx, VY: t.vy, Time: t.rt, Known: t.known}
+}
+
+// Predict dead-reckons slot i at time now without a known check; the
+// caller is expected to have consulted Known. The arithmetic is exactly
+// Report.Predict's, so column sweeps are bit-identical to the per-id
+// path.
+func (c Columns) Predict(i int, now float64) geo.Point {
+	dt := now - c.Time[i]
+	return geo.Point{X: c.X[i] + c.VX[i]*dt, Y: c.Y[i] + c.VY[i]*dt}
 }

@@ -29,6 +29,7 @@ package netsvc
 
 import (
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -126,6 +127,12 @@ type Server struct {
 	lastAdapt   *cqserver.Adaptation
 	closed      bool
 
+	// obsPos/obsSpd are the pooled statistics-observation buffers: one
+	// snapshot per background tick reuses them instead of allocating two
+	// population-sized slices per tick. Guarded by mu.
+	obsPos []geo.Point
+	obsSpd []float64
+
 	wg   sync.WaitGroup
 	done chan struct{}
 }
@@ -138,6 +145,7 @@ type netTelemetry struct {
 
 	readHello  *telemetry.Counter // lira_frames_read_hello_total
 	readUpdate *telemetry.Counter // lira_frames_read_update_total
+	readBatch  *telemetry.Counter // lira_frames_read_update_batch_total
 	readQuery  *telemetry.Counter // lira_frames_read_query_total
 	readPing   *telemetry.Counter // lira_frames_read_ping_total
 	readPong   *telemetry.Counter // lira_frames_read_pong_total
@@ -147,6 +155,10 @@ type netTelemetry struct {
 	sentResult     *telemetry.Counter // lira_frames_sent_result_total
 
 	connectedNodes *telemetry.Gauge // lira_connected_nodes
+
+	batchSize     *telemetry.Histogram // lira_ingest_batch_size
+	decodeSeconds *telemetry.Histogram // lira_batch_decode_seconds
+	gcPause       *telemetry.Gauge     // lira_gc_pause_seconds
 }
 
 func newNetTelemetry(hub *telemetry.Hub) *netTelemetry {
@@ -158,6 +170,7 @@ func newNetTelemetry(hub *telemetry.Hub) *netTelemetry {
 		hub:            hub,
 		readHello:      r.Counter("lira_frames_read_hello_total"),
 		readUpdate:     r.Counter("lira_frames_read_update_total"),
+		readBatch:      r.Counter("lira_frames_read_update_batch_total"),
 		readQuery:      r.Counter("lira_frames_read_query_total"),
 		readPing:       r.Counter("lira_frames_read_ping_total"),
 		readPong:       r.Counter("lira_frames_read_pong_total"),
@@ -165,6 +178,9 @@ func newNetTelemetry(hub *telemetry.Hub) *netTelemetry {
 		sentAssignment: r.Counter("lira_frames_sent_assignment_total"),
 		sentResult:     r.Counter("lira_frames_sent_result_total"),
 		connectedNodes: r.Gauge("lira_connected_nodes"),
+		batchSize:      r.Histogram("lira_ingest_batch_size", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
+		decodeSeconds:  r.Histogram("lira_batch_decode_seconds", nil),
+		gcPause:        r.Gauge("lira_gc_pause_seconds"),
 	}
 }
 
@@ -408,11 +424,17 @@ func (s *Server) handleConn(sc *srvConn) {
 		s.tel.recordNet(event, peer, node, detail)
 		s.wg.Done()
 	}()
+	// One FrameReader and one batch scratch per connection: the read loop's
+	// steady state (update and batch frames from a camped node) touches no
+	// allocator at all — headers, payloads, and decoded columns all live in
+	// connection-owned buffers grown once to their high-water size.
+	fr := wire.NewFrameReader(sc.c)
+	var batch wire.UpdateBatch
 	for {
 		if s.cfg.ReadTimeout > 0 {
 			sc.c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		}
-		typ, payload, err := wire.ReadFrame(sc.c)
+		typ, payload, err := fr.Next()
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				s.counters.DeadlineTrips.Add(1)
@@ -442,6 +464,21 @@ func (s *Server) handleConn(sc *srvConn) {
 				s.tel.readUpdate.Inc()
 			}
 			s.ingest(sc, u)
+		case wire.TypeUpdateBatch:
+			var start time.Time
+			if s.tel != nil {
+				start = time.Now()
+			}
+			if err := wire.DecodeUpdateBatchInto(&batch, payload); err != nil {
+				detail = "decode"
+				return
+			}
+			if s.tel != nil {
+				s.tel.decodeSeconds.Observe(time.Since(start).Seconds())
+				s.tel.readBatch.Inc()
+				s.tel.batchSize.Observe(float64(batch.Len()))
+			}
+			s.ingestBatch(sc, &batch)
 		case wire.TypeQuery:
 			q, err := wire.DecodeQuery(payload)
 			if err != nil {
@@ -531,12 +568,112 @@ func (s *Server) registerNode(sc *srvConn, h wire.Hello) {
 		s.tel.connectedNodes.Set(float64(len(s.nodeConns)))
 	}
 	s.mu.Unlock()
+	// Capability ack: a v2 Hello advertising batch support. New clients
+	// switch their flusher to vectored UpdateBatch frames on seeing it;
+	// old clients ignore unsolicited Hello frames (their read loop's
+	// default case), so the handshake is invisible to them — and an old
+	// server never sends one, so a new client talking to it stays on
+	// per-update frames. See DESIGN.md §5g.
+	sc.send(wire.AppendHello(nil, wire.Hello{
+		Node: h.Node, Pos: h.Pos,
+		Version: wire.HelloV2, Flags: wire.HelloFlagBatch,
+	}))
 	if frame != nil {
 		if s.tel != nil {
 			s.tel.sentAssignment.Inc()
 		}
 		sc.send(frame)
 	}
+}
+
+// ingestBatch admits every record of a decoded batch frame. Each record
+// passes the same trust-boundary id check and shed-oldest admission as a
+// standalone update frame — a batch of n records counts exactly n
+// arrivals, so the λ estimate THROTLOOP adapts against is independent of
+// how clients choose to frame their updates. Hand-off checks for all
+// records share one mutex hold (instead of n), and hand-off frames are
+// collected lazily: a batch from a camped, in-coverage node — the steady
+// state — allocates nothing here.
+func (s *Server) ingestBatch(sc *srvConn, b *wire.UpdateBatch) {
+	n := b.Len()
+	// Trust boundary: scan the id column once. A batch of in-range ids —
+	// the steady-state case — is admitted through the vectored columnar
+	// path; a corrupt id forces per-record admission so that only the bad
+	// records are discarded. Either way each record counts exactly one
+	// arrival (the λ single-count contract).
+	vectored := true
+	for i := 0; i < n; i++ {
+		if int(b.Node[i]) >= s.cfg.Core.Nodes {
+			vectored = false
+			break
+		}
+	}
+	ingest := func() {
+		shed := 0
+		if vectored {
+			shed = s.eng.IngestShedOldestColumns(b.Node, b.X, b.Y, b.VX, b.VY, b.Time)
+		} else {
+			for i := 0; i < n; i++ {
+				u := b.Update(i)
+				if int(u.Node) >= s.cfg.Core.Nodes {
+					continue
+				}
+				if s.eng.IngestShedOldest(cqserver.Update{Node: int(u.Node), Report: u.Report}) {
+					shed++
+				}
+			}
+		}
+		if shed > 0 {
+			s.counters.ShedFrames.Add(int64(shed))
+		}
+	}
+	// Sharded engine: records go straight onto the lock-free rings before
+	// the mutex, so concurrent connections never serialize on admission
+	// (same path as single-update ingest).
+	if s.lockFreeIngest {
+		ingest()
+	}
+	var handoffs [][]byte
+	s.mu.Lock()
+	if !s.lockFreeIngest {
+		ingest()
+	}
+	for i := 0; i < n; i++ {
+		node := b.Node[i]
+		if int(node) >= s.cfg.Core.Nodes {
+			continue
+		}
+		if frame := s.handoffLocked(node, geo.Point{X: b.X[i], Y: b.Y[i]}); frame != nil {
+			handoffs = append(handoffs, frame)
+		}
+	}
+	s.mu.Unlock()
+	for _, frame := range handoffs {
+		if s.tel != nil {
+			s.tel.sentAssignment.Inc()
+		}
+		sc.send(frame)
+	}
+}
+
+// handoffLocked checks whether a node's report moved it outside its
+// station's coverage and, if so, reassigns it and returns the new
+// station's subset frame. Callers hold s.mu.
+func (s *Server) handoffLocked(node uint32, pos geo.Point) []byte {
+	st, known := s.nodeStation[node]
+	if !known {
+		return nil
+	}
+	if st >= 0 && s.cfg.Stations[st].Covers(pos) {
+		return nil
+	}
+	if next := basestation.StationFor(s.cfg.Stations, pos); next != st && next >= 0 {
+		s.nodeStation[node] = next
+		if next < len(s.frames) {
+			return s.frames[next]
+		}
+	}
+	return nil
 }
 
 func (s *Server) ingest(sc *srvConn, u wire.Update) {
@@ -633,11 +770,23 @@ func (s *Server) backgroundLoop() {
 	ticker := time.NewTicker(tick)
 	defer ticker.Stop()
 	var lastAdapt time.Time
+	var mem runtime.MemStats
+	ticks := 0
 	for {
 		select {
 		case <-s.done:
 			return
 		case <-ticker.C:
+		}
+		// GC-pause visibility: surface the most recent stop-the-world pause
+		// on /metrics so a saturation run can correlate latency spikes with
+		// collections. ReadMemStats briefly stops the world itself, so it
+		// runs on every 10th tick, off the server mutex.
+		if ticks++; s.tel != nil && ticks%10 == 1 {
+			runtime.ReadMemStats(&mem)
+			if mem.NumGC > 0 {
+				s.tel.gcPause.Set(float64(mem.PauseNs[(mem.NumGC+255)%256]) / 1e9)
+			}
 		}
 		now := s.cfg.Clock()
 		s.mu.Lock()
@@ -730,20 +879,21 @@ func (s *Server) Introspect() Introspection {
 }
 
 // observeStatsLocked snapshots the motion table into the statistics grid.
+// The snapshot buffers are pooled on the server (neither engine retains
+// them past the call), so a steady-state tick allocates nothing here.
 func (s *Server) observeStatsLocked(now float64) {
 	table := s.eng.Table()
 	n := table.Len()
-	var positions []geo.Point
-	var speeds []float64
+	s.obsPos, s.obsSpd = s.obsPos[:0], s.obsSpd[:0]
 	for i := 0; i < n; i++ {
 		rep, ok := table.Report(i)
 		if !ok {
 			continue
 		}
-		positions = append(positions, s.cfg.Core.Space.ClampPoint(rep.Predict(now)))
-		speeds = append(speeds, rep.Vel.Len())
+		s.obsPos = append(s.obsPos, s.cfg.Core.Space.ClampPoint(rep.Predict(now)))
+		s.obsSpd = append(s.obsSpd, rep.Vel.Len())
 	}
-	if len(positions) > 0 {
-		s.eng.ObserveStatistics(positions, speeds)
+	if len(s.obsPos) > 0 {
+		s.eng.ObserveStatistics(s.obsPos, s.obsSpd)
 	}
 }

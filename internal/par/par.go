@@ -77,6 +77,15 @@ func ForChunks(n, chunk int, fn func(shard, lo, hi int)) {
 		}
 		return
 	}
+	forChunksParallel(n, chunk, shards, workers, fn)
+}
+
+// forChunksParallel is ForChunks' goroutine fan-out, split into its own
+// function so the serial fast path allocates nothing: the worker closure
+// captures (and the compiler heap-moves) its surrounding locals, and
+// keeping them out of ForChunks keeps single-worker calls — the steady
+// state of every K=1 deployment and GOMAXPROCS=1 gate — off the heap.
+func forChunksParallel(n, chunk, shards, workers int, fn func(shard, lo, hi int)) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)

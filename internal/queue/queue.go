@@ -51,7 +51,9 @@ func (q *Bounded[T]) Offer(item T) bool {
 		return false
 	}
 	q.buf[q.tail] = item
-	q.tail = (q.tail + 1) % len(q.buf)
+	if q.tail++; q.tail == len(q.buf) {
+		q.tail = 0
+	}
 	q.size++
 	return true
 }
@@ -66,15 +68,78 @@ func (q *Bounded[T]) OfferShedOldest(item T) (shed bool) {
 	q.arrived++
 	q.winArrived++
 	if q.size == len(q.buf) {
-		q.head = (q.head + 1) % len(q.buf)
+		if q.head++; q.head == len(q.buf) {
+			q.head = 0
+		}
 		q.size--
 		q.dropped++
 		shed = true
 	}
 	q.buf[q.tail] = item
-	q.tail = (q.tail + 1) % len(q.buf)
+	if q.tail++; q.tail == len(q.buf) {
+		q.tail = 0
+	}
 	q.size++
 	return shed
+}
+
+// OfferShedOldestBulk enqueues items in arrival order under the
+// shed-oldest policy and returns how many entries were shed. It is
+// behaviorally identical to calling OfferShedOldest once per item — each
+// item counts one arrival, the ring ends holding the freshest Cap()
+// entries, and every displaced entry counts one drop — but the loop is
+// replaced by at most two copies and O(1) accounting, which is what makes
+// the vectored ingest path cheaper than the per-update one.
+func (q *Bounded[T]) OfferShedOldestBulk(items []T) (shed int) {
+	a, b, shed := q.ReserveShedOldestBulk(len(items))
+	items = items[len(items)-len(a)-len(b):]
+	copy(a, items)
+	copy(b, items[len(a):])
+	return shed
+}
+
+// ReserveShedOldestBulk makes room for n arrivals under the shed-oldest
+// policy and returns up to two writable views — in arrival order — over
+// the min(n, Cap()) slots the survivors occupy. The caller must
+// immediately fill them with the LAST min(n, Cap()) of its n items; when
+// n exceeds capacity the leading overflow counts as shed here, exactly as
+// if the items had been offered one at a time. This is the scatter
+// variant of OfferShedOldestBulk: a columnar producer writes each record
+// directly into its ring slot instead of staging a contiguous batch.
+func (q *Bounded[T]) ReserveShedOldestBulk(n int) (a, b []T, shed int) {
+	if n == 0 {
+		return nil, nil, 0
+	}
+	q.arrived += int64(n)
+	q.winArrived += int64(n)
+	capacity := len(q.buf)
+	if n >= capacity {
+		shed = q.size + n - capacity
+		q.head, q.tail, q.size = 0, 0, capacity
+		q.dropped += int64(shed)
+		return q.buf, nil, shed
+	}
+	if over := q.size + n - capacity; over > 0 {
+		if q.head += over; q.head >= capacity {
+			q.head -= capacity
+		}
+		q.size -= over
+		q.dropped += int64(over)
+		shed = over
+	}
+	first := capacity - q.tail
+	if first >= n {
+		a = q.buf[q.tail : q.tail+n]
+		if q.tail += n; q.tail == capacity {
+			q.tail = 0
+		}
+	} else {
+		a = q.buf[q.tail:]
+		b = q.buf[:n-first]
+		q.tail = n - first
+	}
+	q.size += n
+	return a, b, shed
 }
 
 // Poll dequeues the oldest item. The second result is false when the queue
@@ -85,11 +150,44 @@ func (q *Bounded[T]) Poll() (T, bool) {
 		return zero, false
 	}
 	item := q.buf[q.head]
-	q.head = (q.head + 1) % len(q.buf)
+	if q.head++; q.head == len(q.buf) {
+		q.head = 0
+	}
 	q.size--
 	q.served++
 	q.winServed++
 	return item, true
+}
+
+// ServeSegments dequeues up to limit items (negative: all) and returns
+// them as up to two contiguous views into the ring's backing array,
+// oldest first. This is the vectored Poll used by the drain hot path:
+// counters advance once per call instead of once per item. The views
+// alias the ring's storage and are valid only until the next Offer —
+// callers must consume them before enqueuing again.
+func (q *Bounded[T]) ServeSegments(limit int) (a, b []T) {
+	n := q.size
+	if limit >= 0 && limit < n {
+		n = limit
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	first := len(q.buf) - q.head
+	if first > n {
+		first = n
+	}
+	a = q.buf[q.head : q.head+first]
+	if rest := n - first; rest > 0 {
+		b = q.buf[:rest]
+	}
+	if q.head += n; q.head >= len(q.buf) {
+		q.head -= len(q.buf)
+	}
+	q.size -= n
+	q.served += int64(n)
+	q.winServed += int64(n)
+	return a, b
 }
 
 // Arrived returns the total number of updates offered to the queue.

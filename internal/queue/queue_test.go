@@ -145,3 +145,88 @@ func TestRatesZeroWindow(t *testing.T) {
 		t.Errorf("zero window: lambda=%v mu=%v", lambda, mu)
 	}
 }
+
+// TestBulkMatchesPerItem drives a bulk queue and a per-item reference
+// through the same randomized schedule of offers and drains and demands
+// identical observable behavior: dequeued sequences, shed counts, and
+// every counter. This is the contract that lets the vectored ingest path
+// substitute OfferShedOldestBulk/ServeSegments for the per-item calls.
+func TestBulkMatchesPerItem(t *testing.T) {
+	for _, capacity := range []int{1, 3, 8, 64} {
+		// Deterministic xorshift so failures reproduce.
+		seed := uint64(0x9e3779b97f4a7c15)
+		next := func(n int) int {
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			return int(seed % uint64(n))
+		}
+		bulk := NewBounded[int64](capacity)
+		ref := NewBounded[int64](capacity)
+		id := int64(0)
+		for step := 0; step < 500; step++ {
+			if next(3) < 2 { // offer a batch, possibly larger than capacity
+				n := next(2*capacity + 3)
+				items := make([]int64, n)
+				for i := range items {
+					id++
+					items[i] = id
+				}
+				var shedBulk int
+				if next(2) == 0 {
+					shedBulk = bulk.OfferShedOldestBulk(items)
+				} else {
+					// The scatter variant: reserve slots, fill by hand with
+					// the trailing survivors.
+					a, b, shed := bulk.ReserveShedOldestBulk(n)
+					rest := items[n-len(a)-len(b):]
+					copy(a, rest)
+					copy(b, rest[len(a):])
+					shedBulk = shed
+				}
+				shedRef := 0
+				for _, it := range items {
+					if ref.OfferShedOldest(it) {
+						shedRef++
+					}
+				}
+				if shedBulk != shedRef {
+					t.Fatalf("cap=%d step=%d: bulk shed %d, per-item shed %d", capacity, step, shedBulk, shedRef)
+				}
+			} else { // drain a prefix
+				limit := next(capacity+2) - 1 // occasionally -1: drain all
+				a, b := bulk.ServeSegments(limit)
+				for _, seg := range [2][]int64{a, b} {
+					for _, got := range seg {
+						want, ok := ref.Poll()
+						if !ok || got != want {
+							t.Fatalf("cap=%d step=%d: segment item %d, reference (%d, %v)", capacity, step, got, want, ok)
+						}
+					}
+				}
+				if extra := len(a) + len(b); limit >= 0 && extra > limit {
+					t.Fatalf("cap=%d step=%d: ServeSegments(%d) returned %d items", capacity, step, limit, extra)
+				}
+			}
+			if bulk.Len() != ref.Len() || bulk.Arrived() != ref.Arrived() ||
+				bulk.Dropped() != ref.Dropped() || bulk.Served() != ref.Served() {
+				t.Fatalf("cap=%d step=%d: counters diverged: bulk len=%d arr=%d drop=%d srv=%d, ref len=%d arr=%d drop=%d srv=%d",
+					capacity, step, bulk.Len(), bulk.Arrived(), bulk.Dropped(), bulk.Served(),
+					ref.Len(), ref.Arrived(), ref.Dropped(), ref.Served())
+			}
+		}
+		// Drain both to the bottom and confirm the tails agree too.
+		a, b := bulk.ServeSegments(-1)
+		for _, seg := range [2][]int64{a, b} {
+			for _, got := range seg {
+				want, ok := ref.Poll()
+				if !ok || got != want {
+					t.Fatalf("cap=%d final drain: got %d, reference (%d, %v)", capacity, got, want, ok)
+				}
+			}
+		}
+		if _, ok := ref.Poll(); ok {
+			t.Fatalf("cap=%d: reference still has items after full bulk drain", capacity)
+		}
+	}
+}

@@ -80,6 +80,18 @@ type shardState struct {
 
 	residents []int32
 
+	// Structure-of-arrays mirror of the residents' reports, parallel to
+	// residents slot for slot (dense, swap-removed in lockstep). The
+	// phase-1 dead-reckoning sweep streams these contiguous columns
+	// instead of gathering 40-byte report structs from the shared table
+	// by node id — the shard-order gather is what made the old loop
+	// cache-hostile. The mirror is updated wherever the table is (under
+	// the same last-writer seq check), so its values are bit-identical
+	// to the table's.
+	resX, resY   []float64
+	resVX, resVY []float64
+	resT         []float64
+
 	frags []frag
 	// fragBuf[i] collects the ids frag i matched this evaluation round;
 	// backing arrays are reused across rounds.
@@ -137,6 +149,17 @@ type Server struct {
 
 	applied int64
 	winBusy float64
+
+	// Hot-path state hoisted out of Evaluate/ObserveStatistics so the
+	// steady state performs zero allocations: the evaluation timestamp
+	// the phase workers read, the per-phase worker funcs bound once at
+	// construction (closure literals inside Evaluate would allocate every
+	// call), and the compaction tally phase 3 accumulates.
+	evalNow     float64
+	phase1Fn    func(shard, lo, hi int)
+	phase3Fn    func(shard, lo, hi int)
+	obsFn       func(shard, lo, hi int)
+	compactions atomic.Int64
 
 	tel *shardTelemetry
 }
@@ -232,6 +255,9 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.phase1Fn = s.predictShard
+	s.phase3Fn = s.scanShard
+	s.obsFn = s.observeShard
 	return s, nil
 }
 
@@ -337,6 +363,53 @@ func (s *Server) IngestShedOldest(u cqserver.Update) (shed bool) {
 	return shed
 }
 
+// IngestShedOldestBatch enqueues a slice of updates in arrival order
+// under the shed-oldest policy and returns how many entries were shed.
+// Each record is stamped and routed to its shard ring exactly as
+// IngestShedOldest would — a batch of n counts n arrivals — but
+// interface dispatch and telemetry cost once per batch instead of once
+// per record. Safe for concurrent use.
+func (s *Server) IngestShedOldestBatch(us []cqserver.Update) int {
+	shed := 0
+	for i := range us {
+		sh := s.route(us[i])
+		if sh.ring.OfferShedOldest(s.stamp(us[i])) {
+			shed++
+		}
+	}
+	if s.tel != nil {
+		if shed > 0 {
+			s.tel.dropped.Add(int64(shed))
+		}
+		s.tel.queueDepth.Set(float64(s.QueueLen()))
+	}
+	return shed
+}
+
+// IngestShedOldestColumns is the columnar variant of
+// IngestShedOldestBatch: records arrive as parallel column slices and
+// each is stamped and routed to its shard ring. Safe for concurrent use.
+func (s *Server) IngestShedOldestColumns(nodes []uint32, xs, ys, vxs, vys, times []float64) int {
+	shed := 0
+	for i := range nodes {
+		u := cqserver.Update{Node: int(nodes[i]), Report: motion.Report{
+			Pos:  geo.Point{X: xs[i], Y: ys[i]},
+			Vel:  geo.Vector{X: vxs[i], Y: vys[i]},
+			Time: times[i],
+		}}
+		if s.route(u).ring.OfferShedOldest(s.stamp(u)) {
+			shed++
+		}
+	}
+	if s.tel != nil {
+		if shed > 0 {
+			s.tel.dropped.Add(int64(shed))
+		}
+		s.tel.queueDepth.Set(float64(s.QueueLen()))
+	}
+	return shed
+}
+
 // Drain applies up to limit queued updates to the motion table and
 // returns the number applied. A negative limit drains everything. Rings
 // drain in shard order; the arrival sequence number decides each node's
@@ -393,6 +466,7 @@ func (s *Server) applyEntry(e entry) {
 	target := int32(s.geom.ShardFor(s.cfg.Core.Space.ClampPoint(e.u.Report.Pos)))
 	cur := s.shardOf[id]
 	if cur == target {
+		s.setResidentReport(cur, int32(id), e.u.Report)
 		return
 	}
 	if cur >= 0 {
@@ -402,13 +476,26 @@ func (s *Server) applyEntry(e entry) {
 			s.tel.migrations.Inc()
 		}
 	}
-	s.addResident(target, int32(id))
+	s.addResident(target, int32(id), e.u.Report)
 }
 
-func (s *Server) addResident(shard, id int32) {
+// setResidentReport refreshes the SoA mirror slot of an already-resident
+// node after its table report changed.
+func (s *Server) setResidentReport(shard, id int32, rep motion.Report) {
+	sh := s.shards[shard]
+	slot := s.resSlot[id]
+	sh.resX[slot], sh.resY[slot] = rep.Pos.X, rep.Pos.Y
+	sh.resVX[slot], sh.resVY[slot] = rep.Vel.X, rep.Vel.Y
+	sh.resT[slot] = rep.Time
+}
+
+func (s *Server) addResident(shard, id int32, rep motion.Report) {
 	sh := s.shards[shard]
 	s.resSlot[id] = int32(len(sh.residents))
 	sh.residents = append(sh.residents, id)
+	sh.resX, sh.resY = append(sh.resX, rep.Pos.X), append(sh.resY, rep.Pos.Y)
+	sh.resVX, sh.resVY = append(sh.resVX, rep.Vel.X), append(sh.resVY, rep.Vel.Y)
+	sh.resT = append(sh.resT, rep.Time)
 	s.shardOf[id] = shard
 }
 
@@ -420,6 +507,12 @@ func (s *Server) removeResident(shard, id int32) {
 	sh.residents[slot] = moved
 	s.resSlot[moved] = slot
 	sh.residents = sh.residents[:last]
+	sh.resX[slot], sh.resY[slot] = sh.resX[last], sh.resY[last]
+	sh.resVX[slot], sh.resVY[slot] = sh.resVX[last], sh.resVY[last]
+	sh.resT[slot] = sh.resT[last]
+	sh.resX, sh.resY = sh.resX[:last], sh.resY[:last]
+	sh.resVX, sh.resVY = sh.resVX[:last], sh.resVY[:last]
+	sh.resT = sh.resT[:last]
 }
 
 // RegisterQueries replaces the registered continuous range queries,
@@ -463,10 +556,7 @@ func (s *Server) ObserveStatistics(positions []geo.Point, speeds []float64) {
 		sh.obsPos = append(sh.obsPos, p)
 		sh.obsSpd = append(sh.obsSpd, speeds[i])
 	}
-	par.ForChunks(s.k, shardChunk, func(shard, _, _ int) {
-		sh := s.shards[shard]
-		sh.grid.Observe(sh.obsPos, sh.obsSpd)
-	})
+	par.ForChunks(s.k, shardChunk, s.obsFn)
 	if s.tel != nil {
 		var totalN, totalM float64
 		for si, sh := range s.shards {
@@ -499,29 +589,20 @@ func (s *Server) Evaluate(now float64) [][]int {
 	if s.tel != nil {
 		t0 = time.Now()
 	}
-	space := s.cfg.Core.Space
+	s.evalNow = now
 	// Phase 1: per-shard dead reckoning + in-place index refresh.
-	par.ForChunks(s.k, shardChunk, func(shard, _, _ int) {
-		sh := s.shards[shard]
-		sh.outbox = sh.outbox[:0]
-		for _, id := range sh.residents {
-			rep, _ := s.table.Report(int(id))
-			p := space.ClampPoint(rep.Predict(now))
-			if s.geom.ShardFor(p) == shard {
-				sh.index.Put(int(id), p)
-			} else {
-				sh.outbox = append(sh.outbox, migration{id: id, p: p})
-			}
-		}
-	})
-	// Phase 2: serial cross-shard migrations, in shard order.
+	par.ForChunks(s.k, shardChunk, s.phase1Fn)
+	// Phase 2: serial cross-shard migrations, in shard order. The moved
+	// node's report is read back from the motion table: migration only
+	// re-homes residency, the report itself is unchanged.
 	migrated := 0
 	for si, sh := range s.shards {
 		for _, m := range sh.outbox {
 			s.removeResident(int32(si), m.id)
 			sh.index.Delete(int(m.id))
 			target := int32(s.geom.ShardFor(m.p))
-			s.addResident(target, m.id)
+			rep, _ := s.table.Report(int(m.id))
+			s.addResident(target, m.id, rep)
 			s.shards[target].index.Put(int(m.id), m.p)
 			migrated++
 		}
@@ -533,19 +614,8 @@ func (s *Server) Evaluate(now float64) [][]int {
 		}
 	}
 	// Phase 3: debt-triggered compaction + fragment scans.
-	var compactions atomic.Int64
-	par.ForChunks(s.k, shardChunk, func(shard, _, _ int) {
-		sh := s.shards[shard]
-		if float64(sh.index.Debt()) > s.cfg.DebtFactor*float64(len(sh.residents)) {
-			sh.index.Compact()
-			compactions.Add(1)
-		}
-		for fi, f := range sh.frags {
-			ids := sh.fragBuf[fi][:0]
-			sh.index.QueryIn(f.bounds, s.queries[f.q], func(id int) { ids = append(ids, id) })
-			sh.fragBuf[fi] = ids
-		}
-	})
+	s.compactions.Store(0)
+	par.ForChunks(s.k, shardChunk, s.phase3Fn)
 	// Phase 4: deterministic merge — shard order, then ascending ids.
 	for qi := range s.results {
 		s.results[qi] = s.results[qi][:0]
@@ -560,7 +630,7 @@ func (s *Server) Evaluate(now float64) [][]int {
 	}
 	if s.tel != nil {
 		t2 = time.Now()
-		if c := compactions.Load(); c > 0 {
+		if c := s.compactions.Load(); c > 0 {
 			s.tel.compactions.Add(c)
 		}
 		s.tel.predictHist.Observe(t1.Sub(t0).Seconds())
@@ -573,6 +643,52 @@ func (s *Server) Evaluate(now float64) [][]int {
 		}
 	}
 	return s.results
+}
+
+// predictShard is the phase-1 worker for one shard: it dead-reckons the
+// shard's residents by streaming the SoA mirror columns (the arithmetic
+// is exactly Report.Predict's, and the mirror holds the table's bits, so
+// predictions are bit-identical to the table path), refreshes the
+// incremental index in place, and collects boundary-crossers into the
+// shard's outbox.
+func (s *Server) predictShard(shard, _, _ int) {
+	sh := s.shards[shard]
+	space := s.cfg.Core.Space
+	now := s.evalNow
+	sh.outbox = sh.outbox[:0]
+	for si, id := range sh.residents {
+		dt := now - sh.resT[si]
+		p := space.ClampPoint(geo.Point{
+			X: sh.resX[si] + sh.resVX[si]*dt,
+			Y: sh.resY[si] + sh.resVY[si]*dt,
+		})
+		if s.geom.ShardFor(p) == shard {
+			sh.index.Put(int(id), p)
+		} else {
+			sh.outbox = append(sh.outbox, migration{id: id, p: p})
+		}
+	}
+}
+
+// scanShard is the phase-3 worker for one shard: debt-triggered index
+// compaction, then each query fragment fills its pooled buffer via the
+// index's append API — no per-fragment callback closure.
+func (s *Server) scanShard(shard, _, _ int) {
+	sh := s.shards[shard]
+	if float64(sh.index.Debt()) > s.cfg.DebtFactor*float64(len(sh.residents)) {
+		sh.index.Compact()
+		s.compactions.Add(1)
+	}
+	for fi, f := range sh.frags {
+		sh.fragBuf[fi] = sh.index.QueryInAppend(f.bounds, s.queries[f.q], sh.fragBuf[fi][:0])
+	}
+}
+
+// observeShard folds one shard's routed observation sample into its
+// private statistics grid.
+func (s *Server) observeShard(shard, _, _ int) {
+	sh := s.shards[shard]
+	sh.grid.Observe(sh.obsPos, sh.obsSpd)
 }
 
 // PredictedPosition returns the server's belief about a node's position.

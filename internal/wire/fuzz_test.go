@@ -133,6 +133,47 @@ func FuzzDecodePing(f *testing.F) {
 	})
 }
 
+func FuzzDecodeUpdateBatch(f *testing.F) {
+	f.Add(payloadOf(AppendUpdateBatch(nil, &UpdateBatch{})))
+	one := &UpdateBatch{}
+	one.Append(Update{Node: 3, Report: motion.Report{Pos: geo.Point{X: 1, Y: 2}, Vel: geo.Vector{X: 3, Y: 4}, Time: 5}})
+	f.Add(payloadOf(AppendUpdateBatch(nil, one)))
+	multi := &UpdateBatch{}
+	for i := 0; i < 17; i++ {
+		multi.Append(Update{Node: uint32(1000 - i), Report: motion.Report{
+			Pos: geo.Point{X: float64(i) * 3.25, Y: -float64(i)}, Time: float64(i),
+		}})
+	}
+	f.Add(payloadOf(AppendUpdateBatch(nil, multi)))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var batch UpdateBatch
+		err := DecodeUpdateBatchInto(&batch, b)
+		if err != nil {
+			return
+		}
+		// The decoder must size its columns from bytes the payload
+		// actually paid for (≥6 per record), never from the raw count.
+		if cap(batch.Node)*6 > len(b) && cap(batch.Node) > 0 {
+			t.Fatalf("over-allocation: cap %d records from %d payload bytes", cap(batch.Node), len(b))
+		}
+		// Decoded values are fixed points of the wire quantization, so a
+		// re-encode must reproduce the batch exactly.
+		var again UpdateBatch
+		if err := DecodeUpdateBatchInto(&again, payloadOf(AppendUpdateBatch(nil, &batch))); err != nil {
+			t.Fatalf("re-encode failed to decode: %v", err)
+		}
+		if again.Len() != batch.Len() {
+			t.Fatalf("re-encode length %d, want %d", again.Len(), batch.Len())
+		}
+		for i := 0; i < batch.Len(); i++ {
+			if again.Update(i) != batch.Update(i) {
+				t.Fatalf("record %d: %+v vs %+v", i, again.Update(i), batch.Update(i))
+			}
+		}
+	})
+}
+
 func FuzzReadFrame(f *testing.F) {
 	f.Add(AppendHello(nil, Hello{Node: 1, Pos: geo.Point{X: 1, Y: 1}}))
 	f.Add(AppendAssignment(nil, Assignment{Station: 0, DefaultDelta: 5}))

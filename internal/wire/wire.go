@@ -60,6 +60,8 @@ func (t Type) String() string {
 		return "ping"
 	case TypePong:
 		return "pong"
+	case TypeUpdateBatch:
+		return "update_batch"
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
@@ -73,10 +75,35 @@ const MaxPayload = 1 << 20
 // headerLen is the frame header size: 4-byte length + 1-byte type.
 const headerLen = 5
 
-// Hello is a node's first contact with the serving infrastructure.
+// Hello protocol versions. HelloV1 is the original 12-byte payload
+// (node id + position); HelloV2 appends a version byte and a capability
+// flags byte. A zero-valued Hello encodes as v1, so every pre-existing
+// call site stays wire-compatible with old peers.
+const (
+	HelloV1 uint8 = 1
+	HelloV2 uint8 = 2
+)
+
+// HelloFlagBatch advertises that the sender accepts TypeUpdateBatch
+// frames. The server sets it in the capability hello it echoes back to a
+// connecting node; clients that predate the flag ignore the echo (their
+// read loops drop unknown frames) and keep sending per-update frames,
+// while old servers never echo and new clients fall back likewise.
+const HelloFlagBatch uint8 = 1 << 0
+
+// Hello is a node's first contact with the serving infrastructure. The
+// server answers a node hello with a hello of its own carrying Version
+// HelloV2 and its capability flags.
 type Hello struct {
 	Node uint32
 	Pos  geo.Point
+	// Version is the hello format version: HelloV1 for the legacy
+	// 12-byte payload (the zero value encodes as v1), HelloV2 when
+	// Version and Flags ride along.
+	Version uint8
+	// Flags carries capability bits (HelloFlag*); v1 hellos decode with
+	// Flags 0.
+	Flags uint8
 }
 
 // Update carries one dead-reckoning report.
@@ -216,12 +243,17 @@ func (r *reader) done() error {
 	return nil
 }
 
-// AppendHello encodes h into a frame appended to dst.
+// AppendHello encodes h into a frame appended to dst. Hellos with
+// Version < HelloV2 encode as the legacy 12-byte payload old peers
+// expect; HelloV2 and later append the version and flags bytes.
 func AppendHello(dst []byte, h Hello) []byte {
 	var w writer
 	w.u32(h.Node)
 	w.f32(h.Pos.X)
 	w.f32(h.Pos.Y)
+	if h.Version >= HelloV2 {
+		w.buf = append(w.buf, h.Version, h.Flags)
+	}
 	return appendFrame(dst, TypeHello, w.buf)
 }
 
@@ -293,10 +325,26 @@ func appendFrame(dst []byte, t Type, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
-// DecodeHello decodes a hello payload.
+// DecodeHello decodes a hello payload. A 12-byte payload is a legacy v1
+// hello (Version HelloV1, Flags 0); a 14-byte payload must carry a
+// version byte ≥ HelloV2, so re-encoding a decoded hello reproduces the
+// original bytes for either shape.
 func DecodeHello(payload []byte) (Hello, error) {
 	r := reader{buf: payload}
 	h := Hello{Node: r.u32(), Pos: geo.Point{X: r.f32(), Y: r.f32()}}
+	if r.err == nil && r.off < len(payload) {
+		if !r.ensure(2) {
+			return h, r.err
+		}
+		h.Version = payload[r.off]
+		h.Flags = payload[r.off+1]
+		r.off += 2
+		if h.Version < HelloV2 {
+			return h, fmt.Errorf("wire: hello version %d with v2 payload length", h.Version)
+		}
+	} else {
+		h.Version = HelloV1
+	}
 	return h, r.done()
 }
 

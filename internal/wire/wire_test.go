@@ -26,13 +26,45 @@ func roundTrip(t *testing.T, frame []byte, wantType Type) []byte {
 
 func TestHelloRoundTrip(t *testing.T) {
 	h := Hello{Node: 42, Pos: geo.Point{X: 123.5, Y: -7.25}}
-	payload := roundTrip(t, AppendHello(nil, h), TypeHello)
+	frame := AppendHello(nil, h)
+	// A zero-version hello must stay the legacy 12-byte payload so old
+	// peers keep decoding it.
+	if len(frame) != 5+12 {
+		t.Fatalf("v1 hello frame = %d bytes, want 17", len(frame))
+	}
+	payload := roundTrip(t, frame, TypeHello)
 	got, err := DecodeHello(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Version = HelloV1
+	if got != h {
+		t.Errorf("got %+v, want %+v", got, h)
+	}
+}
+
+func TestHelloV2RoundTrip(t *testing.T) {
+	h := Hello{Node: 9, Pos: geo.Point{X: 1, Y: 2}, Version: HelloV2, Flags: HelloFlagBatch}
+	frame := AppendHello(nil, h)
+	if len(frame) != 5+14 {
+		t.Fatalf("v2 hello frame = %d bytes, want 19", len(frame))
+	}
+	got, err := DecodeHello(roundTrip(t, frame, TypeHello))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != h {
 		t.Errorf("got %+v, want %+v", got, h)
+	}
+	// A v2-length payload claiming a v1 version byte is malformed: it
+	// could not have been produced by AppendHello.
+	bad := append([]byte{}, frame[5:]...)
+	bad[12] = HelloV1
+	if _, err := DecodeHello(bad); err == nil {
+		t.Error("v2-length hello with v1 version byte accepted")
+	}
+	if _, err := DecodeHello(frame[5:18]); err == nil {
+		t.Error("13-byte hello accepted")
 	}
 }
 

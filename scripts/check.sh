@@ -48,9 +48,13 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== allocation gates (zero-alloc hot paths) =="
+sh scripts/allocs_gate.sh
+
 echo "== fuzz smoke (wire decoders, 5s each) =="
 for t in FuzzDecodeHello FuzzDecodeUpdate FuzzDecodeAssignment \
-         FuzzDecodeQuery FuzzDecodeResult FuzzDecodePing FuzzReadFrame; do
+         FuzzDecodeQuery FuzzDecodeResult FuzzDecodePing \
+         FuzzDecodeUpdateBatch FuzzReadFrame; do
 	echo "fuzz $t"
 	go test -run '^$' -fuzz "^${t}\$" -fuzztime 5s ./internal/wire
 done
@@ -66,6 +70,9 @@ go run ./cmd/lirabench -shards 1,4 -nodes 400 -duration 40
 
 echo "== policy smoke (baseline policies, one seed) =="
 go run ./cmd/lirabench -policy -nodes 600 -duration 60
+
+echo "== saturate smoke (tiny ramp; schema + monotone offered rates) =="
+sh scripts/saturate_smoke.sh
 
 echo "== telemetry smoke (introspection endpoints + zero-diff sim) =="
 sh scripts/obs_smoke.sh
