@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt-gate wiring-guard doc-gate build test race fuzz-smoke chaos bench-smoke shard-smoke policy-smoke obs-smoke obs-demo allocs-gate saturate-smoke bench-report bench-report-obs bench-report-shard bench-report-policy bench-report-saturate clean
+.PHONY: check vet fmt-gate wiring-guard doc-gate build test race fuzz-smoke chaos bench-smoke shard-smoke policy-smoke obs-smoke obs-demo allocs-gate saturate-smoke admission-smoke bench-report bench-report-obs bench-report-shard bench-report-policy bench-report-saturate bench-report-admission clean
 
-check: vet fmt-gate wiring-guard doc-gate build race allocs-gate fuzz-smoke chaos bench-smoke shard-smoke policy-smoke saturate-smoke obs-smoke
+check: vet fmt-gate wiring-guard doc-gate build race allocs-gate fuzz-smoke chaos bench-smoke shard-smoke policy-smoke saturate-smoke obs-smoke admission-smoke
 
 vet:
 	$(GO) vet ./...
@@ -97,6 +97,12 @@ allocs-gate:
 saturate-smoke:
 	sh scripts/saturate_smoke.sh
 
+# Degradation-ladder smoke: lirad with -admission, a liranode flood past
+# the shed threshold, and the full escalate → pre-shed → recover round
+# trip asserted through /metrics and /debug/lira.
+admission-smoke:
+	sh scripts/admission_smoke.sh
+
 # Interactive observability demo: boots lirad with /metrics and
 # /debug/lira (plus pprof) on :17401 and leaves it running — curl away,
 # ^C to stop. See README "Observability" for a sample session.
@@ -127,6 +133,12 @@ bench-report-policy:
 # knee plus the single-core per-update-vs-batched path comparison.
 bench-report-saturate:
 	$(GO) run ./cmd/lirabench -saturate -saturatejson BENCH_PR6.json
+
+# Regenerate the degradation-ladder artifact: flash-crowd overload
+# timeline (escalation, pre-shed, recovery) plus the healthy-state
+# overhead budget check.
+bench-report-admission:
+	$(GO) run ./cmd/lirabench -admission -admissionjson BENCH_PR7.json
 
 clean:
 	$(GO) clean ./...

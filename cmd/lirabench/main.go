@@ -12,6 +12,8 @@
 //	lirabench -json BENCH_PR1.json     # serial-vs-parallel timing report
 //	lirabench -shards 1,2,4,8 -shardjson BENCH_PR4.json
 //	lirabench -policy -policyjson BENCH_PR5.json
+//	lirabench -exp fig9 -expshards 4   # same tables on the K=4 sharded engine
+//	lirabench -admission -admissionjson BENCH_PR7.json
 //
 // Scales: "quick" (default) runs a reduced environment in a couple of
 // minutes; "paper" uses the full Table 2 parameters (10 000 nodes, ≈200
@@ -60,8 +62,27 @@ func main() {
 		satSlice = flag.Duration("satslice", 400*time.Millisecond, "saturation mode: wall-clock slice per ramp step")
 		satK     = flag.Int("satshards", 1, "saturation mode: engine shard count")
 		satBatch = flag.Int("satbatch", 64, "saturation mode: records per wire batch")
+
+		expShards = flag.Int("expshards", 0, "figure mode: run every -exp sweep on the K-sharded engine (0 = unsharded); results are byte-identical at any K")
+
+		adm    = flag.Bool("admission", false, "admission mode: drive a seeded flash-crowd overload through the admission controller's degradation ladder and report the ladder timeline, escalation/recovery ticks, pre-ring shedding, and healthy-state overhead (on vs off)")
+		admOut = flag.String("admissionjson", "", "write the admission overload JSON report (BENCH_PR7.json) to this path; stdout when empty")
 	)
 	flag.Parse()
+
+	if *adm {
+		aNodes, aTicks := 2000, 0
+		if *nodes > 0 {
+			aNodes = *nodes
+		}
+		if *duration > 0 {
+			aTicks = *duration
+		}
+		if err := runAdmissionBench(aNodes, aTicks, *seed, *admOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *saturate {
 		sNodes := 2000
@@ -116,6 +137,12 @@ func main() {
 	envCfg.Net.Seed = *seed
 	envCfg.TraceSeed = *seed + 1
 	sweep.Parallel = *parallel
+	// Engine selection for every figure driver: each driver copies
+	// sweep.Base, so one assignment here runs the whole -exp set at K
+	// shards (RunConfig.Shards threads it through experiment.Run).
+	if *expShards > 0 {
+		sweep.Base.Shards = *expShards
+	}
 
 	fmt.Fprintf(os.Stderr, "building environment: %d nodes, %.0f km² space, calibrating f(Δ)...\n",
 		envCfg.Nodes, spaceArea(envCfg)/1e6)

@@ -14,6 +14,14 @@
 // rings without touching the server mutex, and /metrics grows
 // lira_shard<N>_* gauges. Query results are byte-identical at any K.
 //
+// With -admission the daemon walks the health-driven degradation
+// ladder (healthy → warning → shed → critical) each control tick:
+// warning tightens the effective z, shed pre-rejects the oldest
+// fraction of ingest ahead of the rings and defers index compaction,
+// and critical answers queries from prediction alone. The ladder state
+// appears in /debug/lira under "admission" and as lira_admission_*
+// metrics; every rung change is journaled.
+//
 // With -http set, the daemon serves live introspection: /metrics in the
 // Prometheus text format, /debug/lira as a JSON snapshot of the shedding
 // pipeline (current z, region tree, Δᵢ table, decision-journal tail), and
@@ -26,12 +34,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"lira/internal/admission"
 	"lira/internal/basestation"
 	"lira/internal/cqserver"
 	"lira/internal/fmodel"
@@ -40,87 +50,190 @@ import (
 	"lira/internal/telemetry"
 )
 
-func main() {
-	var (
-		listen   = flag.String("listen", "127.0.0.1:7400", "listen address")
-		nodes    = flag.Int("nodes", 10000, "maximum node id + 1")
-		l        = flag.Int("l", 250, "number of shedding regions")
-		z        = flag.Float64("z", 0.5, "throttle fraction")
-		side     = flag.Float64("side", 14142, "space side length (meters)")
-		fairness = flag.Float64("fairness", 50, "fairness threshold Δ⇔ (meters)")
-		adapt    = flag.Duration("adapt", 30*time.Second, "adaptation period")
-		eval     = flag.Duration("eval", 2*time.Second, "query evaluation period")
-		stations = flag.Float64("station-radius", 0, "uniform station radius; 0 = one station")
-		shards   = flag.Int("shards", 1, "spatial shard count K (1 = unsharded engine; >1 enables lock-free sharded ingest)")
-		httpAddr = flag.String("http", "", "introspection listen address (/metrics, /debug/lira); empty disables")
-		pprof    = flag.Bool("pprof", false, "also serve net/http/pprof on the -http address")
-		journal  = flag.String("journal", "", "append decision-journal records to this JSONL file")
-	)
-	flag.Parse()
+// options is the daemon configuration, one field per flag.
+type options struct {
+	listen    string
+	nodes     int
+	l         int
+	z         float64
+	side      float64
+	fairness  float64
+	queue     int
+	drain     int
+	adapt     time.Duration
+	eval      time.Duration
+	stations  float64
+	shards    int
+	admission bool
+	httpAddr  string
+	pprof     bool
+	journal   string
+	logf      func(format string, args ...any) // nil silences progress output
+}
 
-	hub := telemetry.NewHub(0)
-	if *journal != "" {
-		f, err := os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func parseFlags() options {
+	var o options
+	flag.StringVar(&o.listen, "listen", "127.0.0.1:7400", "listen address")
+	flag.IntVar(&o.nodes, "nodes", 10000, "maximum node id + 1")
+	flag.IntVar(&o.l, "l", 250, "number of shedding regions")
+	flag.Float64Var(&o.z, "z", 0.5, "throttle fraction")
+	flag.Float64Var(&o.side, "side", 14142, "space side length (meters)")
+	flag.Float64Var(&o.fairness, "fairness", 50, "fairness threshold Δ⇔ (meters)")
+	flag.IntVar(&o.queue, "queue", 0, "ingest queue capacity (0 = engine default)")
+	flag.IntVar(&o.drain, "drain", 0, "max updates drained per background tick (0 = unbounded)")
+	flag.DurationVar(&o.adapt, "adapt", 30*time.Second, "adaptation period")
+	flag.DurationVar(&o.eval, "eval", 2*time.Second, "query evaluation period")
+	flag.Float64Var(&o.stations, "station-radius", 0, "uniform station radius; 0 = one station")
+	flag.IntVar(&o.shards, "shards", 1, "spatial shard count K (1 = unsharded engine; >1 enables lock-free sharded ingest)")
+	flag.BoolVar(&o.admission, "admission", false, "enable the health-driven admission ladder (default thresholds)")
+	flag.StringVar(&o.httpAddr, "http", "", "introspection listen address (/metrics, /debug/lira); empty disables")
+	flag.BoolVar(&o.pprof, "pprof", false, "also serve net/http/pprof on the -http address")
+	flag.StringVar(&o.journal, "journal", "", "append decision-journal records to this JSONL file")
+	flag.Parse()
+	o.logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format, args...) }
+	return o
+}
+
+// daemon is one running lirad: the CQ server, the optional
+// introspection listener, and the journal sink. start builds it;
+// shutdown unwinds it in reverse order, draining every goroutine.
+type daemon struct {
+	srv     *netsvc.Server
+	hub     *telemetry.Hub
+	obs     *http.Server
+	obsLn   net.Listener
+	obsDone chan struct{}
+	sink    *os.File
+}
+
+// start boots a daemon from o. On error, everything partially started
+// is torn back down.
+func start(o options) (*daemon, error) {
+	d := &daemon{hub: telemetry.NewHub(0)}
+	logf := o.logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if o.journal != "" {
+		f, err := os.OpenFile(o.journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
-		defer f.Close()
-		hub.Journal.SetSink(f)
+		d.sink = f
+		d.hub.Journal.SetSink(f)
 	}
 
-	space := geo.Rect{MinX: 0, MinY: 0, MaxX: *side, MaxY: *side}
+	space := geo.Rect{MinX: 0, MinY: 0, MaxX: o.side, MaxY: o.side}
 	cfg := netsvc.ServerConfig{
 		Core: cqserver.Config{
-			Space:    space,
-			Nodes:    *nodes,
-			L:        *l,
-			Curve:    fmodel.Hyperbolic(5, 100, 95),
-			Fairness: *fairness,
+			Space:     space,
+			Nodes:     o.nodes,
+			L:         o.l,
+			QueueSize: o.queue,
+			Curve:     fmodel.Hyperbolic(5, 100, 95),
+			Fairness:  o.fairness,
 		},
-		Shards:     *shards,
-		Z:          *z,
-		AdaptEvery: *adapt,
-		EvalEvery:  *eval,
-		Telemetry:  hub,
+		Shards:       o.shards,
+		Z:            o.z,
+		AdaptEvery:   o.adapt,
+		EvalEvery:    o.eval,
+		DrainPerTick: o.drain,
+		Telemetry:    d.hub,
 	}
-	if *stations > 0 {
-		sts, err := basestation.PlaceUniform(space, *stations)
+	if o.admission {
+		cfg.Admission = &admission.Config{} // zero value → default ladder
+	}
+	if o.stations > 0 {
+		sts, err := basestation.PlaceUniform(space, o.stations)
 		if err != nil {
-			fatal(err)
+			d.closeSink()
+			return nil, err
 		}
 		cfg.Stations = sts
 	}
-	srv, err := netsvc.Listen(*listen, cfg)
+	srv, err := netsvc.Listen(o.listen, cfg)
 	if err != nil {
-		fatal(err)
+		d.closeSink()
+		return nil, err
 	}
-	fmt.Fprintf(os.Stderr, "lirad: serving %v (l=%d, z=%.2f, %d stations, %d shards)\n",
-		srv.Addr(), *l, *z, max(1, len(cfg.Stations)), srv.Sharded())
+	d.srv = srv
+	logf("lirad: serving %v (l=%d, z=%.2f, %d stations, %d shards, admission=%v)\n",
+		srv.Addr(), o.l, o.z, max(1, len(cfg.Stations)), srv.Sharded(), o.admission)
 
-	var obs *http.Server
-	if *httpAddr != "" {
-		mux := telemetry.NewMux(hub, func() any { return srv.Introspect() }, *pprof)
-		obs = &http.Server{Addr: *httpAddr, Handler: mux}
+	if o.httpAddr != "" {
+		ln, err := net.Listen("tcp", o.httpAddr)
+		if err != nil {
+			d.shutdown()
+			return nil, err
+		}
+		mux := telemetry.NewMux(d.hub, func() any { return srv.Introspect() }, o.pprof)
+		d.obsLn = ln
+		d.obs = &http.Server{Handler: mux}
+		d.obsDone = make(chan struct{})
 		go func() {
-			if err := obs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fatal(err)
+			defer close(d.obsDone)
+			if err := d.obs.Serve(ln); err != nil && err != http.ErrServerClosed {
+				logf("lirad: introspection server: %v\n", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "lirad: introspection on http://%s/metrics and /debug/lira\n", *httpAddr)
+		logf("lirad: introspection on http://%s/metrics and /debug/lira\n", ln.Addr())
+	}
+	return d, nil
+}
+
+// httpAddr returns the bound introspection address ("" when disabled).
+func (d *daemon) httpAddr() string {
+	if d.obsLn == nil {
+		return ""
+	}
+	return d.obsLn.Addr().String()
+}
+
+// shutdown stops the daemon: the introspection server first (waiting
+// for its serve goroutine), then the CQ server (which drains every
+// per-connection goroutine), then the journal sink.
+func (d *daemon) shutdown() error {
+	var first error
+	if d.obs != nil {
+		if err := d.obs.Close(); err != nil && first == nil {
+			first = err
+		}
+		<-d.obsDone
+		d.obs, d.obsLn = nil, nil
+	}
+	if d.srv != nil {
+		if err := d.srv.Close(); err != nil && first == nil {
+			first = err
+		}
+		d.srv = nil
+	}
+	if err := d.hub.Journal.Err(); err != nil && first == nil {
+		first = fmt.Errorf("journal sink: %w", err)
+	}
+	d.closeSink()
+	return first
+}
+
+func (d *daemon) closeSink() {
+	if d.sink != nil {
+		d.sink.Close()
+		d.sink = nil
+	}
+}
+
+func main() {
+	o := parseFlags()
+	d, err := start(o)
+	if err != nil {
+		fatal(err)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Fprintln(os.Stderr, "lirad: shutting down")
-	if obs != nil {
-		obs.Close()
-	}
-	if err := srv.Close(); err != nil {
+	if err := d.shutdown(); err != nil {
 		fatal(err)
-	}
-	if err := hub.Journal.Err(); err != nil {
-		fatal(fmt.Errorf("journal sink: %w", err))
 	}
 }
 

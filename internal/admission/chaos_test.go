@@ -1,0 +1,126 @@
+package admission
+
+import (
+	"encoding/json"
+	"testing"
+
+	"lira/internal/rng"
+	"lira/internal/telemetry"
+)
+
+// chaosTrace synthesizes the health-signal sequence of a combined
+// overload + partition incident, deterministically from seed: load ramps
+// into sustained overload (queue saturating, p99 inflating), a partition
+// mid-incident spikes goroutines and stalls the queue at full, then the
+// partition heals and load subsides to calm. Jitter comes from the
+// seeded generator only, so a seed pins the whole trace.
+func chaosTrace(seed uint64, ticks int) []Signals {
+	r := rng.New(seed)
+	trace := make([]Signals, ticks)
+	ramp, hold, heal := ticks/4, ticks/2, 3*ticks/4
+	for t := range trace {
+		var s Signals
+		switch {
+		case t < ramp: // calm baseline
+			s.QueueFrac = r.Range(0.05, 0.25)
+			s.Goroutines = r.Range(20, 60)
+			s.EvalP99 = r.Range(0.001, 0.010)
+			s.GCPause = r.Range(0, 0.002)
+		case t < hold: // overload ramp: queue and p99 climb together
+			frac := float64(t-ramp) / float64(hold-ramp)
+			s.QueueFrac = 0.3 + 0.7*frac + r.Range(-0.02, 0.02)
+			s.Goroutines = 50 + 400*frac
+			s.EvalP99 = 0.010 + 0.3*frac
+			s.GCPause = r.Range(0, 0.01)
+		case t < heal: // partition on top: stalled full queue, conn pileup
+			s.QueueFrac = r.Range(0.96, 1.0)
+			s.Goroutines = r.Range(3000, 12000)
+			s.EvalP99 = r.Range(0.4, 0.9)
+			s.GCPause = r.Range(0.01, 0.08)
+		default: // healed and drained
+			s.QueueFrac = r.Range(0.0, 0.15)
+			s.Goroutines = r.Range(20, 60)
+			s.EvalP99 = r.Range(0.001, 0.008)
+			s.GCPause = r.Range(0, 0.002)
+		}
+		trace[t] = s
+	}
+	return trace
+}
+
+// runChaos feeds one trace through a fresh controller on a model-time
+// clock and returns the state walk plus the marshaled journal.
+func runChaos(t *testing.T, trace []Signals) ([]State, []byte) {
+	t.Helper()
+	hub := telemetry.NewHub(4 * len(trace))
+	tick := 0.0
+	hub.SetClock(func() float64 { return tick })
+	cfg := Config{EscalateAfter: 2, RecoverAfter: 5, Telemetry: hub, Actions: &fakeActions{}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk := make([]State, len(trace))
+	for i, sig := range trace {
+		tick = float64(i)
+		walk[i] = c.Observe(sig)
+		// A little pre-ring traffic so the preshed counter moves too; the
+		// offered count is tick-determined, hence reproducible.
+		c.AdmitN(1 + i%7)
+	}
+	j, err := json.Marshal(hub.Journal.Tail(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return walk, j
+}
+
+// TestChaosLadderDeterministicAndBounded drives the ladder through a
+// seeded overload + partition incident, three seeds, two runs each:
+//
+//   - the two runs of a seed produce byte-identical journals (the
+//     reproducibility contract);
+//   - escalation during the incident is monotone — the walk never steps
+//     down while the incident phases are still demanding;
+//   - the incident reaches at least the shed rung;
+//   - after the trace goes calm the ladder recovers to healthy within
+//     the hysteresis bound (3 rungs × RecoverAfter ticks plus slack) and
+//     stays there.
+func TestChaosLadderDeterministicAndBounded(t *testing.T) {
+	const ticks = 120
+	for _, seed := range []uint64{1, 42, 20260808} {
+		trace := chaosTrace(seed, ticks)
+		walk1, j1 := runChaos(t, trace)
+		_, j2 := runChaos(t, trace)
+		if string(j1) != string(j2) {
+			t.Fatalf("seed %d: journals differ between identical runs", seed)
+		}
+
+		heal := 3 * ticks / 4
+		peak := Healthy
+		for i := 0; i < heal; i++ {
+			if walk1[i] > peak {
+				peak = walk1[i]
+			}
+			if walk1[i] < peak && i < heal {
+				// The overload phases only ever demand more: any step-down
+				// before the heal point is a hysteresis bug.
+				t.Fatalf("seed %d: non-monotone escalation at tick %d: %v after peak %v", seed, i, walk1[i], peak)
+			}
+		}
+		if peak < Shed {
+			t.Fatalf("seed %d: incident peaked at %v, want at least shed", seed, peak)
+		}
+
+		// Bounded recovery: ladder home and stable before the trace ends.
+		recoverBound := heal + 3*5 + 10 // 3 rungs × RecoverAfter + slack
+		if recoverBound >= ticks {
+			t.Fatalf("trace too short for the recovery bound")
+		}
+		for i := recoverBound; i < ticks; i++ {
+			if walk1[i] != Healthy {
+				t.Fatalf("seed %d: tick %d still %v, want healthy by %d", seed, i, walk1[i], recoverBound)
+			}
+		}
+	}
+}

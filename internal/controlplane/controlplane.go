@@ -130,10 +130,11 @@ type Config struct {
 // policy-driven adaptation pipeline. Methods are single-caller, like the
 // engine drive loops that own them.
 type Plane struct {
-	cfg  Config
-	pol  Policy
-	loop *throtloop.Controller
-	tel  *planeTelemetry
+	cfg    Config
+	pol    Policy
+	loop   *throtloop.Controller
+	zClamp func(float64) float64
+	tel    *planeTelemetry
 }
 
 // planeTelemetry holds the control plane's pre-resolved metric pointers
@@ -213,10 +214,22 @@ func (p *Plane) SetPolicy(pol Policy) {
 // Throttle exposes the THROTLOOP controller.
 func (p *Plane) Throttle() *throtloop.Controller { return p.loop }
 
+// SetZClamp installs a tightening applied to every throttle fraction
+// entering the pipeline — Adapt's explicit z and AdaptAuto's THROTLOOP
+// output alike. The admission controller uses it to hand the plane a
+// health-capped effective z (warning/shed cap it, critical forces the
+// floor); nil removes the clamp. The clamped z is what the partitioning,
+// the Δᵢ assignment, and the journal records see: it is the fraction
+// actually spent. fn must be safe to call from the plane's caller.
+func (p *Plane) SetZClamp(fn func(float64) float64) { p.zClamp = fn }
+
 // Adapt runs one adaptation cycle with an explicit throttle fraction z —
 // the manually-set budget mode of §2.1. Use AdaptAuto for closed-loop
 // control.
 func (p *Plane) Adapt(z float64) (*Adaptation, error) {
+	if p.zClamp != nil {
+		z = p.zClamp(z)
+	}
 	start := time.Now()
 	part, err := p.pol.Partition(p.cfg.Stats.StatsGrid(), z, p.cfg.Env)
 	if err != nil {

@@ -100,6 +100,10 @@ type Server struct {
 	history *history.Store
 	applied int64
 
+	// degradedEval switches Evaluate to the prediction-only refresh (the
+	// admission ladder's critical rung). Single-caller, like Evaluate.
+	degradedEval bool
+
 	tel *serverTelemetry
 }
 
@@ -117,9 +121,10 @@ type serverTelemetry struct {
 	gridNodes   *telemetry.Gauge // lira_statgrid_nodes
 	gridQueries *telemetry.Gauge // lira_statgrid_queries
 
-	dropped *telemetry.Counter // lira_queue_dropped_total
-	applied *telemetry.Counter // lira_updates_applied_total
-	evals   *telemetry.Counter // lira_evaluations_total
+	dropped       *telemetry.Counter // lira_queue_dropped_total
+	applied       *telemetry.Counter // lira_updates_applied_total
+	evals         *telemetry.Counter // lira_evaluations_total
+	degradedEvals *telemetry.Counter // lira_evaluate_degraded_total
 }
 
 func newServerTelemetry(hub *telemetry.Hub) *serverTelemetry {
@@ -128,16 +133,17 @@ func newServerTelemetry(hub *telemetry.Hub) *serverTelemetry {
 	}
 	r := hub.Registry
 	return &serverTelemetry{
-		hub:         hub,
-		evalHist:    r.Histogram("lira_evaluate_seconds", nil),
-		predictHist: r.Histogram("lira_evaluate_predict_seconds", nil),
-		scanHist:    r.Histogram("lira_evaluate_scan_seconds", nil),
-		queueDepth:  r.Gauge("lira_queue_depth"),
-		gridNodes:   r.Gauge("lira_statgrid_nodes"),
-		gridQueries: r.Gauge("lira_statgrid_queries"),
-		dropped:     r.Counter("lira_queue_dropped_total"),
-		applied:     r.Counter("lira_updates_applied_total"),
-		evals:       r.Counter("lira_evaluations_total"),
+		hub:           hub,
+		evalHist:      r.Histogram("lira_evaluate_seconds", nil),
+		predictHist:   r.Histogram("lira_evaluate_predict_seconds", nil),
+		scanHist:      r.Histogram("lira_evaluate_scan_seconds", nil),
+		queueDepth:    r.Gauge("lira_queue_depth"),
+		gridNodes:     r.Gauge("lira_statgrid_nodes"),
+		gridQueries:   r.Gauge("lira_statgrid_queries"),
+		dropped:       r.Counter("lira_queue_dropped_total"),
+		applied:       r.Counter("lira_updates_applied_total"),
+		evals:         r.Counter("lira_evaluations_total"),
+		degradedEvals: r.Counter("lira_evaluate_degraded_total"),
 	}
 }
 
@@ -339,6 +345,9 @@ func (s *Server) ObserveStatistics(positions []geo.Point, speeds []float64) {
 // and each scan visits buckets in the serial order, so the output is
 // byte-identical at any worker count.
 func (s *Server) Evaluate(now float64) [][]int {
+	if s.degradedEval {
+		return s.evaluateDegraded(now)
+	}
 	// Wall-clock stamps are taken only with telemetry attached; durations
 	// feed latency histograms and never the simulation state, preserving
 	// determinism (see the telemetry package's contract).
@@ -390,6 +399,50 @@ func (s *Server) scanRange(_, lo, hi int) {
 		sort.Ints(ids)
 		s.results[qi] = ids
 	}
+}
+
+// SetDegradedEval switches Evaluate to prediction-only mode (see
+// evaluateDegraded). Single-caller, like Evaluate.
+func (s *Server) SetDegradedEval(on bool) { s.degradedEval = on }
+
+// SetCompactionDeferred is a no-op on the unsharded server: its index is
+// rebuilt in full every evaluation round, so there is no compaction debt
+// to defer. It exists so both engines expose the admission ladder's shed
+// seam.
+func (s *Server) SetCompactionDeferred(bool) {}
+
+// evaluateDegraded is the critical-rung Evaluate: each query's previous
+// members are re-tested against the query rect at their dead-reckoned
+// positions — departures drop out, but no index rebuild and no scans run,
+// so no new entrants are discovered. Accuracy degrades (results can only
+// shrink between normal rounds); availability and result ordering do not.
+// The containment test (clamped prediction, closed rect) matches the
+// index scan's exactly, and ascending id order is preserved by in-place
+// filtering, so the path answers bit-identically to a full evaluation
+// whenever no node entered a query since the last normal round — and both
+// engines produce identical degraded results over the same prior results.
+func (s *Server) evaluateDegraded(now float64) [][]int {
+	var t0 time.Time
+	if s.tel != nil {
+		t0 = time.Now()
+	}
+	for qi := range s.results {
+		q := s.queries[qi]
+		ids := s.results[qi]
+		kept := ids[:0]
+		for _, id := range ids {
+			if p, ok := s.table.Predict(id, now); ok && q.ContainsClosed(s.cfg.Space.ClampPoint(p)) {
+				kept = append(kept, id)
+			}
+		}
+		s.results[qi] = kept
+	}
+	if s.tel != nil {
+		s.tel.evalHist.Observe(time.Since(t0).Seconds())
+		s.tel.evals.Inc()
+		s.tel.degradedEvals.Inc()
+	}
+	return s.results
 }
 
 // PredictedPosition returns the server's belief about a node's position.

@@ -67,6 +67,19 @@ type Engine interface {
 
 	// Evaluate re-evaluates every query at time now, ids ascending.
 	Evaluate(now float64) [][]int
+	// SetDegradedEval switches Evaluate to prediction-only mode while on
+	// (the admission ladder's critical rung): each query's previous
+	// members are refreshed by dead reckoning and departures dropped, but
+	// no index maintenance or fragment scans run and no new entrants are
+	// discovered — accuracy degrades, availability does not. Reversible;
+	// both engines produce identical degraded results over the same prior
+	// results. Single-caller, like Evaluate.
+	SetDegradedEval(on bool)
+	// SetCompactionDeferred defers debt-triggered index compaction while
+	// on (the admission ladder's shed rung). A no-op on engines that
+	// rebuild their index in full each round. Safe to call concurrently
+	// with Evaluate's readers.
+	SetCompactionDeferred(on bool)
 	// PredictedPosition returns the engine's belief about a node.
 	PredictedPosition(id int, now float64) (geo.Point, bool)
 

@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"lira/internal/admission"
 	"lira/internal/basestation"
 	"lira/internal/cqserver"
 	"lira/internal/engine"
@@ -103,6 +104,16 @@ type ServerConfig struct {
 	// net-counter bridge is bound to Counters and its clock defaults to
 	// the server's Clock.
 	Telemetry *telemetry.Hub
+	// Admission, when non-nil, enables the health-driven admission
+	// controller: once per background tick the server samples queue
+	// occupancy (pre-drain), the goroutine census, Evaluate p99, and the
+	// last GC pause, and walks the degradation ladder. The controller's
+	// Actions and Telemetry default to the server's engine and hub; its
+	// z clamp is installed on the engine's control plane.
+	Admission *admission.Config
+	// AdmissionSample, when non-nil, replaces the built-in health-signal
+	// sampler (deterministic chaos tests inject signal traces).
+	AdmissionSample func() admission.Signals
 }
 
 // Server hosts the CQ server and base stations behind a TCP listener.
@@ -117,6 +128,11 @@ type Server struct {
 	// skip the server mutex entirely.
 	eng            Engine
 	lockFreeIngest bool
+
+	// adm is the degradation ladder (nil unless ServerConfig.Admission is
+	// set). Its lock-free methods (AdmitN, ClampZ) gate the ingest paths
+	// and the adaptation; Observe runs on the background tick.
+	adm *admission.Controller
 
 	mu          sync.Mutex
 	deployment  *basestation.Deployment
@@ -159,6 +175,10 @@ type netTelemetry struct {
 	batchSize     *telemetry.Histogram // lira_ingest_batch_size
 	decodeSeconds *telemetry.Histogram // lira_batch_decode_seconds
 	gcPause       *telemetry.Gauge     // lira_gc_pause_seconds
+
+	// evalSeconds is the engines' Evaluate-latency histogram (shared by
+	// registry name); the admission sampler reads its p99 in-process.
+	evalSeconds *telemetry.Histogram // lira_evaluate_seconds
 }
 
 func newNetTelemetry(hub *telemetry.Hub) *netTelemetry {
@@ -181,6 +201,7 @@ func newNetTelemetry(hub *telemetry.Hub) *netTelemetry {
 		batchSize:      r.Histogram("lira_ingest_batch_size", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
 		decodeSeconds:  r.Histogram("lira_batch_decode_seconds", nil),
 		gcPause:        r.Gauge("lira_gc_pause_seconds"),
+		evalSeconds:    r.Histogram("lira_evaluate_seconds", nil),
 	}
 }
 
@@ -278,6 +299,25 @@ func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
 		nodeConns:      make(map[uint32]*srvConn),
 		nodeStation:    make(map[uint32]int),
 		done:           make(chan struct{}),
+	}
+	if cfg.Admission != nil {
+		ac := *cfg.Admission
+		if ac.Actions == nil {
+			ac.Actions = eng
+		}
+		if ac.Telemetry == nil {
+			ac.Telemetry = cfg.Telemetry
+		}
+		adm, err := admission.New(ac)
+		if err != nil {
+			return nil, err
+		}
+		s.adm = adm
+		// The ladder's z cap applies inside the control plane, so manual
+		// Adapt calls, the periodic re-adaptation, and AdaptAuto all spend
+		// the health-clamped budget — and journals record the z actually
+		// used.
+		eng.ControlPlane().SetZClamp(adm.ClampZ)
 	}
 	if err := s.adaptLocked(); err != nil {
 		return nil, err
@@ -596,13 +636,26 @@ func (s *Server) registerNode(sc *srvConn, h wire.Hello) {
 // state — allocates nothing here.
 func (s *Server) ingestBatch(sc *srvConn, b *wire.UpdateBatch) {
 	n := b.Len()
+	// Degradation ladder: at the shed and critical rungs only a fraction
+	// of offered records is admitted, oldest-first — the batch's leading
+	// (stalest) records are rejected before they touch the rings, and the
+	// freshest suffix survives. Pre-shed records never count as queue
+	// arrivals, so λ measures the load the system actually accepted.
+	off := 0
+	if s.adm != nil {
+		admit := s.adm.AdmitN(n)
+		if admit == 0 {
+			return
+		}
+		off = n - admit
+	}
 	// Trust boundary: scan the id column once. A batch of in-range ids —
 	// the steady-state case — is admitted through the vectored columnar
 	// path; a corrupt id forces per-record admission so that only the bad
-	// records are discarded. Either way each record counts exactly one
-	// arrival (the λ single-count contract).
+	// records are discarded. Either way each admitted record counts
+	// exactly one arrival (the λ single-count contract).
 	vectored := true
-	for i := 0; i < n; i++ {
+	for i := off; i < n; i++ {
 		if int(b.Node[i]) >= s.cfg.Core.Nodes {
 			vectored = false
 			break
@@ -611,9 +664,9 @@ func (s *Server) ingestBatch(sc *srvConn, b *wire.UpdateBatch) {
 	ingest := func() {
 		shed := 0
 		if vectored {
-			shed = s.eng.IngestShedOldestColumns(b.Node, b.X, b.Y, b.VX, b.VY, b.Time)
+			shed = s.eng.IngestShedOldestColumns(b.Node[off:], b.X[off:], b.Y[off:], b.VX[off:], b.VY[off:], b.Time[off:])
 		} else {
-			for i := 0; i < n; i++ {
+			for i := off; i < n; i++ {
 				u := b.Update(i)
 				if int(u.Node) >= s.cfg.Core.Nodes {
 					continue
@@ -638,7 +691,7 @@ func (s *Server) ingestBatch(sc *srvConn, b *wire.UpdateBatch) {
 	if !s.lockFreeIngest {
 		ingest()
 	}
-	for i := 0; i < n; i++ {
+	for i := off; i < n; i++ {
 		node := b.Node[i]
 		if int(node) >= s.cfg.Core.Nodes {
 			continue
@@ -681,6 +734,12 @@ func (s *Server) ingest(sc *srvConn, u wire.Update) {
 	// a bit-flipped node id must be discarded here, at the trust
 	// boundary, not crash the background drain loop.
 	if int(u.Node) >= s.cfg.Core.Nodes {
+		return
+	}
+	// Degradation ladder: at the shed/critical rungs the controller
+	// rejects a deterministic fraction of offered frames before they
+	// reach the rings (oldest-first over the arrival sequence).
+	if s.adm != nil && s.adm.AdmitN(1) == 0 {
 		return
 	}
 	// Bounded admission with graceful overflow: a saturated queue sheds
@@ -790,6 +849,17 @@ func (s *Server) backgroundLoop() {
 		}
 		now := s.cfg.Clock()
 		s.mu.Lock()
+		// Admission tick: sample health BEFORE draining — pre-drain
+		// occupancy is the honest backlog signal (post-drain it is ~0 by
+		// construction) — and walk the degradation ladder. A rung change
+		// re-runs the adaptation immediately so nodes hear the new clamped
+		// z this tick, not an AdaptEvery later. The sample runs under the
+		// mutex because the unsharded engine's queue is mutex-guarded.
+		rungChanged := false
+		if s.adm != nil {
+			before := s.adm.State()
+			rungChanged = s.adm.Observe(s.sampleSignals()) != before
+		}
 		limit := s.cfg.DrainPerTick
 		if limit == 0 {
 			limit = -1
@@ -799,7 +869,7 @@ func (s *Server) backgroundLoop() {
 		// paper's "explicitly maintained by processing position updates"
 		// mode): predicted positions and reported speeds.
 		s.observeStatsLocked(now)
-		if s.cfg.AdaptEvery > 0 && time.Since(lastAdapt) >= s.cfg.AdaptEvery {
+		if rungChanged || (s.cfg.AdaptEvery > 0 && time.Since(lastAdapt) >= s.cfg.AdaptEvery) {
 			lastAdapt = time.Now()
 			s.adaptLocked()
 		}
@@ -823,6 +893,32 @@ func (s *Server) backgroundLoop() {
 		}
 	}
 }
+
+// sampleSignals assembles the health vector the admission ladder walks
+// on: input-queue occupancy (before this tick's drain), the process-wide
+// goroutine census, the Evaluate p99 read from the shared latency
+// histogram, and the most recent GC pause. Tests override the whole
+// sampler via ServerConfig.AdmissionSample for deterministic traces.
+// Callers hold s.mu (the unsharded engine's queue is mutex-guarded).
+func (s *Server) sampleSignals() admission.Signals {
+	if s.cfg.AdmissionSample != nil {
+		return s.cfg.AdmissionSample()
+	}
+	var sig admission.Signals
+	if c := s.eng.QueueCap(); c > 0 {
+		sig.QueueFrac = float64(s.eng.QueueLen()) / float64(c)
+	}
+	sig.Goroutines = float64(runtime.NumGoroutine())
+	if s.tel != nil {
+		sig.EvalP99 = s.tel.evalSeconds.Quantile(0.99)
+		sig.GCPause = s.tel.gcPause.Value()
+	}
+	return sig
+}
+
+// Admission exposes the degradation-ladder controller (nil when admission
+// control is not configured).
+func (s *Server) Admission() *admission.Controller { return s.adm }
 
 // RegionView is one shedding region in an Introspection: its area, the
 // statistics GRIDREDUCE aggregated for it, and its assigned throttler Δᵢ.
@@ -849,6 +945,7 @@ type Introspection struct {
 	QueueCap       int                 `json:"queue_cap"`
 	Applied        int64               `json:"updates_applied"`
 	Net            metrics.NetSnapshot `json:"net"`
+	Admission      *admission.View     `json:"admission,omitempty"`
 }
 
 // Introspect returns the current pipeline state under the server mutex,
@@ -866,6 +963,10 @@ func (s *Server) Introspect() Introspection {
 		QueueCap:       s.eng.QueueCap(),
 		Applied:        s.eng.Applied(),
 		Net:            s.counters.Snapshot(),
+	}
+	if s.adm != nil {
+		v := s.adm.View()
+		in.Admission = &v
 	}
 	if ad := s.lastAdapt; ad != nil {
 		in.Z = ad.Z

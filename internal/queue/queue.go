@@ -41,6 +41,15 @@ func (q *Bounded[T]) Cap() int { return len(q.buf) }
 // Len returns the current queue length.
 func (q *Bounded[T]) Len() int { return q.size }
 
+// Occupancy returns Len/Cap in [0, 1] — the queue-pressure signal the
+// admission controller's degradation ladder samples each control tick.
+func (q *Bounded[T]) Occupancy() float64 {
+	if len(q.buf) == 0 {
+		return 0
+	}
+	return float64(q.size) / float64(len(q.buf))
+}
+
 // Offer attempts to enqueue item. It returns false — and counts a drop —
 // when the queue is full.
 func (q *Bounded[T]) Offer(item T) bool {

@@ -230,3 +230,27 @@ func TestBulkMatchesPerItem(t *testing.T) {
 		}
 	}
 }
+
+// TestOccupancy pins the admission controller's queue-pressure signal:
+// Len/Cap across fill, overflow (capped at 1), and drain.
+func TestOccupancy(t *testing.T) {
+	q := NewBounded[int](4)
+	if got := q.Occupancy(); got != 0 {
+		t.Errorf("empty occupancy = %v, want 0", got)
+	}
+	q.Offer(1)
+	if got := q.Occupancy(); got != 0.25 {
+		t.Errorf("1/4 occupancy = %v, want 0.25", got)
+	}
+	for i := 0; i < 10; i++ {
+		q.OfferShedOldest(i)
+	}
+	if got := q.Occupancy(); got != 1 {
+		t.Errorf("overflowed occupancy = %v, want 1 (never above)", got)
+	}
+	q.Poll()
+	q.Poll()
+	if got := q.Occupancy(); got != 0.5 {
+		t.Errorf("half-drained occupancy = %v, want 0.5", got)
+	}
+}

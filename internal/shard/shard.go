@@ -161,6 +161,13 @@ type Server struct {
 	obsFn       func(shard, lo, hi int)
 	compactions atomic.Int64
 
+	// Admission-ladder seams: deferCompact suppresses phase 3's
+	// debt-triggered compaction (atomic — the phase workers read it);
+	// degraded switches Evaluate to the prediction-only refresh
+	// (single-caller, like Evaluate itself).
+	deferCompact atomic.Bool
+	degraded     bool
+
 	tel *shardTelemetry
 }
 
@@ -585,6 +592,9 @@ func (s *Server) ObserveStatistics(positions []geo.Point, speeds []float64) {
 // Phases 1 and 3 write only per-shard state, so the output is identical
 // at any worker count.
 func (s *Server) Evaluate(now float64) [][]int {
+	if s.degraded {
+		return s.evaluateDegraded(now)
+	}
 	var t0, t1, t2 time.Time
 	if s.tel != nil {
 		t0 = time.Now()
@@ -675,7 +685,10 @@ func (s *Server) predictShard(shard, _, _ int) {
 // index's append API — no per-fragment callback closure.
 func (s *Server) scanShard(shard, _, _ int) {
 	sh := s.shards[shard]
-	if float64(sh.index.Debt()) > s.cfg.DebtFactor*float64(len(sh.residents)) {
+	// The admission ladder's shed rung defers compaction: the incremental
+	// index stays exact (deltas keep applying in place), debt just
+	// accumulates until the flag clears and the next scan pays it off.
+	if !s.deferCompact.Load() && float64(sh.index.Debt()) > s.cfg.DebtFactor*float64(len(sh.residents)) {
 		sh.index.Compact()
 		s.compactions.Add(1)
 	}
@@ -689,6 +702,51 @@ func (s *Server) scanShard(shard, _, _ int) {
 func (s *Server) observeShard(shard, _, _ int) {
 	sh := s.shards[shard]
 	sh.grid.Observe(sh.obsPos, sh.obsSpd)
+}
+
+// SetDegradedEval switches Evaluate to prediction-only mode (see
+// evaluateDegraded). Single-caller, like Evaluate.
+func (s *Server) SetDegradedEval(on bool) { s.degraded = on }
+
+// SetCompactionDeferred defers phase 3's debt-triggered index compaction
+// while on (the admission ladder's shed rung). Safe to call concurrently
+// with the phase workers.
+func (s *Server) SetCompactionDeferred(on bool) { s.deferCompact.Store(on) }
+
+// evaluateDegraded is the critical-rung Evaluate: it filters each query's
+// previous merged result by dead reckoning against the query rect — the
+// same clamped-prediction, closed-rect containment the fragment scans
+// apply — touching neither the per-shard indexes nor residency. Results
+// can only shrink until normal evaluation resumes (no new entrants are
+// discovered), which is the deliberate trade: accuracy degrades,
+// availability does not. The filter reads the shared motion table, so it
+// is bit-identical to the unsharded engine's degraded path over the same
+// prior results; ascending id order is preserved by in-place filtering.
+// Residency and the indexes re-converge on the next normal round: phase 1
+// re-Puts every resident and migrations re-home movers.
+func (s *Server) evaluateDegraded(now float64) [][]int {
+	var t0 time.Time
+	if s.tel != nil {
+		t0 = time.Now()
+	}
+	space := s.cfg.Core.Space
+	for qi := range s.results {
+		q := s.queries[qi]
+		ids := s.results[qi]
+		kept := ids[:0]
+		for _, id := range ids {
+			if p, ok := s.table.Predict(id, now); ok && q.ContainsClosed(space.ClampPoint(p)) {
+				kept = append(kept, id)
+			}
+		}
+		s.results[qi] = kept
+	}
+	if s.tel != nil {
+		s.tel.evalHist.Observe(time.Since(t0).Seconds())
+		s.tel.evals.Inc()
+		s.tel.degradedEvals.Inc()
+	}
+	return s.results
 }
 
 // PredictedPosition returns the server's belief about a node's position.

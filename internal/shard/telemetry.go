@@ -24,11 +24,12 @@ type shardTelemetry struct {
 	gridNodes   *telemetry.Gauge // lira_statgrid_nodes (summed over shards)
 	gridQueries *telemetry.Gauge // lira_statgrid_queries (summed over shards)
 
-	dropped     *telemetry.Counter // lira_queue_dropped_total
-	applied     *telemetry.Counter // lira_updates_applied_total
-	evals       *telemetry.Counter // lira_evaluations_total
-	migrations  *telemetry.Counter // lira_shard_migrations_total
-	compactions *telemetry.Counter // lira_shard_compactions_total
+	dropped       *telemetry.Counter // lira_queue_dropped_total
+	applied       *telemetry.Counter // lira_updates_applied_total
+	evals         *telemetry.Counter // lira_evaluations_total
+	degradedEvals *telemetry.Counter // lira_evaluate_degraded_total
+	migrations    *telemetry.Counter // lira_shard_migrations_total
+	compactions   *telemetry.Counter // lira_shard_compactions_total
 
 	// Per-shard gauges, indexed by shard: lira_shard<N>_…
 	shardDepth     []*telemetry.Gauge // ring length
@@ -52,6 +53,7 @@ func newShardTelemetry(hub *telemetry.Hub, k int) *shardTelemetry {
 		dropped:        r.Counter("lira_queue_dropped_total"),
 		applied:        r.Counter("lira_updates_applied_total"),
 		evals:          r.Counter("lira_evaluations_total"),
+		degradedEvals:  r.Counter("lira_evaluate_degraded_total"),
 		migrations:     r.Counter("lira_shard_migrations_total"),
 		compactions:    r.Counter("lira_shard_compactions_total"),
 		shardDepth:     make([]*telemetry.Gauge, k),

@@ -24,6 +24,9 @@ const (
 	// KindNet is one deployment-layer degradation event (disconnect,
 	// reconnect, panic isolation, reconnect give-up).
 	KindNet Kind = "net"
+	// KindAdmission is one admission-control tick: the sampled health
+	// signals and the degradation-ladder state they produced.
+	KindAdmission Kind = "admission"
 )
 
 // ThrotloopEvent records one feedback-controller observation (ρ, z, B).
@@ -74,6 +77,24 @@ type NetEvent struct {
 	Detail string `json:"detail,omitempty"`
 }
 
+// AdmissionEvent records one admission-control tick: the per-tick health
+// signal vector and the ladder state after the hysteresis-damped walk.
+// From is set only on transitions (the rung just left); Demanded is the
+// rung the raw signals asked for before damping.
+type AdmissionEvent struct {
+	State    string `json:"state"`
+	From     string `json:"from,omitempty"`
+	Demanded string `json:"demanded"`
+
+	QueueFrac  float64 `json:"queue_frac"`
+	Goroutines float64 `json:"goroutines"`
+	EvalP99    float64 `json:"eval_p99"`
+	GCPause    float64 `json:"gc_pause"`
+	// ZCap is the effective throttle-fraction ceiling the rung imposes
+	// (1 at healthy, the configured floor at critical).
+	ZCap float64 `json:"z_cap"`
+}
+
 // Record is one journal entry. Exactly one of the event pointers is
 // non-nil, selected by Kind. Seq is assigned by the journal; Tick is the
 // simulation time of the decision (never wall clock in simulation mode).
@@ -86,6 +107,7 @@ type Record struct {
 	Repartition *RepartitionEvent `json:"repartition,omitempty"`
 	Assign      *AssignEvent      `json:"assign,omitempty"`
 	Net         *NetEvent         `json:"net,omitempty"`
+	Admission   *AdmissionEvent   `json:"admission,omitempty"`
 }
 
 // Journal is a bounded in-memory ring of decision records with an

@@ -106,6 +106,44 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Quantile returns the q-quantile of the observed values as a bucket
+// upper edge: the smallest bound whose cumulative count reaches ⌈q·n⌉.
+// The estimate is boundary-exact — an observation equal to a bucket bound
+// lands in that bucket (inclusive upper edges), so its own bound is
+// reported, never the next one. q is clamped to (0, 1]; rank clamps keep
+// q ≤ 0 at the first populated bucket and q ≥ 1 at the last. Mass in the
+// implicit +Inf bucket reports the largest finite bound (+Inf would
+// poison threshold comparisons); 0 is returned before the first
+// observation or when the histogram has no finite bounds. Like Snapshot,
+// the read is not atomic across buckets — concurrent observers can skew
+// the estimate by at most the in-flight observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	// Buckets were mid-update (count ahead of bucket increments): report
+	// the largest populated edge.
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Mean returns Sum/Count, or 0 before the first observation.
 func (h *Histogram) Mean() float64 {
 	if n := h.Count(); n > 0 {

@@ -266,3 +266,46 @@ func TestHTTPEndpoints(t *testing.T) {
 		t.Errorf("/debug/pprof/cmdline: %d", rec.Code)
 	}
 }
+
+// TestHistogramQuantile pins the boundary behavior of the bucketed
+// quantile estimate: exact edge ranks, the empty histogram, q clamping,
+// and the +Inf bucket reporting the largest finite bound.
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+
+	// 4 observations, one per bucket (incl. +Inf): cumulative counts are
+	// 1, 2, 3, 4 — every rank boundary is exact.
+	for _, v := range []float64{0.5, 2, 3, 9} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.25, 1},  // rank 1 → first bucket edge
+		{0.5, 2},   // rank 2 → second edge (observation exactly on it)
+		{0.75, 4},  // rank 3 → third edge
+		{0.76, 4},  // rank 4 lands in +Inf → largest finite bound
+		{1.0, 4},   // rank n in +Inf → largest finite bound
+		{0.0, 1},   // q below 1/n clamps to rank 1
+		{-1, 1},    // negative q clamps to rank 1
+		{2, 4},     // q above 1 clamps to rank n
+		{0.249, 1}, // just below a boundary stays in the lower bucket
+		{0.251, 2}, // just above it moves up
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// No finite bounds: always 0, regardless of observations.
+	inf := newHistogram(nil)
+	inf.Observe(5)
+	if got := inf.Quantile(0.5); got != 0 {
+		t.Errorf("boundless Quantile = %v, want 0", got)
+	}
+}

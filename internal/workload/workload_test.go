@@ -139,3 +139,93 @@ func TestDistributionString(t *testing.T) {
 		t.Error("unknown distribution should still print")
 	}
 }
+
+// TestFlashCrowdDeterministic: two generators with equal configs emit
+// byte-identical report sequences — the reproducibility contract the
+// admission chaos runs and BENCH_PR7 lean on.
+func TestFlashCrowdDeterministic(t *testing.T) {
+	space := geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	cfg := FlashCrowdConfig{Nodes: 50, Seed: 7}
+	type report struct {
+		node int
+		pos  geo.Point
+		vel  geo.Vector
+	}
+	run := func() []report {
+		f, err := NewFlashCrowd(space, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []report
+		for tick := 0; tick < f.Ticks(); tick++ {
+			f.Emit(float64(tick), func(n int, p geo.Point, v geo.Vector) {
+				out = append(out, report{n, p, v})
+			})
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs emitted %d vs %d reports", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("report %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFlashCrowdEnvelope: the rate profile is the documented piecewise
+// shape — base, linear ramp, hold at peak, linear decay, base — and the
+// emitted positions stay inside the space.
+func TestFlashCrowdEnvelope(t *testing.T) {
+	space := geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	f, err := NewFlashCrowd(space, FlashCrowdConfig{
+		Nodes: 100, BaseRate: 10, PeakRate: 40,
+		RampTicks: 10, HoldTicks: 5, DecayTicks: 20, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Rate(0); got != 10 {
+		t.Errorf("Rate(0) = %v, want base 10", got)
+	}
+	if got := f.Rate(5); got != 25 {
+		t.Errorf("Rate(5) = %v, want mid-ramp 25", got)
+	}
+	for _, tk := range []int{10, 12, 15} {
+		if got := f.Rate(tk); got != 40 {
+			t.Errorf("Rate(%d) = %v, want peak 40", tk, got)
+		}
+	}
+	if got := f.Rate(25); got != 25 {
+		t.Errorf("Rate(25) = %v, want mid-decay 25", got)
+	}
+	if got := f.Rate(100); got != 10 {
+		t.Errorf("Rate(100) = %v, want base after decay", got)
+	}
+	// Monotone ramp, monotone decay.
+	for tk := 1; tk <= 10; tk++ {
+		if f.Rate(tk) < f.Rate(tk-1) {
+			t.Errorf("ramp not monotone at tick %d", tk)
+		}
+	}
+	for tk := 16; tk <= 35; tk++ {
+		if f.Rate(tk) > f.Rate(tk-1) {
+			t.Errorf("decay not monotone at tick %d", tk)
+		}
+	}
+	if _, err := NewFlashCrowd(space, FlashCrowdConfig{}); err == nil {
+		t.Error("NewFlashCrowd accepted a zero population")
+	}
+	for tick := 0; tick < f.Ticks(); tick++ {
+		f.Emit(float64(tick), func(n int, p geo.Point, v geo.Vector) {
+			if n < 0 || n >= 100 {
+				t.Fatalf("tick %d: node %d out of range", tick, n)
+			}
+			if !space.ContainsClosed(p) {
+				t.Fatalf("tick %d: position %v escapes the space", tick, p)
+			}
+		})
+	}
+}

@@ -1,0 +1,133 @@
+#!/bin/sh
+# Admission smoke: boot lirad with the degradation ladder enabled and a
+# deliberately tiny queue, flood it past the shed threshold with
+# liranode fleets, and assert (1) the ladder escalates and pre-rejects
+# ingest, (2) the lira_admission_* metric families and the /debug/lira
+# ladder view are live, and (3) once the flood stops the ladder walks
+# back down to healthy — the graceful-degradation round trip, end to
+# end over real sockets.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+LIRAD_PID=""
+NODE_PID=""
+cleanup() {
+	[ -n "$NODE_PID" ] && kill "$NODE_PID" 2>/dev/null || true
+	[ -n "$LIRAD_PID" ] && kill "$LIRAD_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+LISTEN=127.0.0.1:17410
+HTTP=127.0.0.1:17411
+
+echo "-- lirad with admission ladder --"
+go build -o "$TMP/lirad" ./cmd/lirad
+go build -o "$TMP/liranode" ./cmd/liranode
+# Tiny queue + bounded drain: a modest fleet saturates it in seconds.
+"$TMP/lirad" -listen "$LISTEN" -http "$HTTP" -nodes 512 -l 13 \
+	-side 2000 -queue 64 -drain 4 -adapt 5s -eval 100ms -admission \
+	2>"$TMP/lirad.log" &
+LIRAD_PID=$!
+
+i=0
+until curl -sf "http://$HTTP/metrics" >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -ge 50 ]; then
+		echo "lirad introspection endpoint never came up" >&2
+		cat "$TMP/lirad.log" >&2
+		exit 1
+	fi
+	kill -0 "$LIRAD_PID" 2>/dev/null || { cat "$TMP/lirad.log" >&2; exit 1; }
+	sleep 0.1
+done
+
+# Let a couple of control ticks land so the ladder gauges exist.
+sleep 0.3
+curl -sf "http://$HTTP/metrics" >"$TMP/metrics0.txt"
+for family in lira_admission_state lira_admission_transitions_total \
+	lira_admission_queue_frac; do
+	grep -q "^$family" "$TMP/metrics0.txt" || {
+		echo "metric family $family missing from /metrics" >&2
+		cat "$TMP/metrics0.txt" >&2
+		exit 1
+	}
+done
+grep -q '^lira_admission_state 0$' "$TMP/metrics0.txt" || {
+	echo "ladder not healthy at boot" >&2
+	grep '^lira_admission' "$TMP/metrics0.txt" >&2
+	exit 1
+}
+echo "   ladder boots healthy; metric families present"
+
+echo "-- flood until the ladder sheds --"
+"$TMP/liranode" -server "$LISTEN" -nodes 256 -side 2000 -speedup 200 \
+	-duration 60s 2>"$TMP/node.log" &
+NODE_PID=$!
+
+i=0
+STATE=0
+while [ "$i" -lt 200 ]; do
+	STATE="$(curl -sf "http://$HTTP/metrics" | awk '/^lira_admission_state /{print $2}')"
+	[ "${STATE:-0}" -ge 2 ] && break
+	kill -0 "$NODE_PID" 2>/dev/null || { echo "node fleet died early" >&2; cat "$TMP/node.log" >&2; exit 1; }
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ "${STATE:-0}" -lt 2 ]; then
+	echo "ladder never reached shed under flood (state=$STATE)" >&2
+	curl -sf "http://$HTTP/metrics" | grep '^lira_admission' >&2 || true
+	cat "$TMP/lirad.log" >&2
+	exit 1
+fi
+echo "   escalated to state $STATE under flood"
+
+# Give the shed rung a beat to reject live traffic, then check the gate
+# actually fired and the debug view exposes the ladder.
+sleep 1
+curl -sf "http://$HTTP/debug/lira?tail=8" >"$TMP/debug.json"
+for field in '"admission"' '"state"' '"transitions"' '"pre_shed"'; do
+	grep -q "$field" "$TMP/debug.json" || {
+		echo "field $field missing from /debug/lira admission view" >&2
+		cat "$TMP/debug.json" >&2
+		exit 1
+	}
+done
+PRESHED="$(curl -sf "http://$HTTP/metrics" | awk '/^lira_admission_preshed_total /{print $2}')"
+if [ "${PRESHED:-0}" -lt 1 ]; then
+	echo "shed rung admitted everything (lira_admission_preshed_total=$PRESHED)" >&2
+	exit 1
+fi
+echo "   pre-ring gate rejected $PRESHED updates; /debug/lira ladder view present"
+
+echo "-- stop the flood; ladder must recover --"
+kill "$NODE_PID" 2>/dev/null || true
+wait "$NODE_PID" 2>/dev/null || true
+NODE_PID=""
+
+i=0
+while [ "$i" -lt 300 ]; do
+	STATE="$(curl -sf "http://$HTTP/metrics" | awk '/^lira_admission_state /{print $2}')"
+	[ "${STATE:-1}" -eq 0 ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ "${STATE:-1}" -ne 0 ]; then
+	echo "ladder never recovered to healthy (state=$STATE)" >&2
+	curl -sf "http://$HTTP/metrics" | grep '^lira_admission' >&2 || true
+	exit 1
+fi
+TRANS="$(curl -sf "http://$HTTP/metrics" | awk '/^lira_admission_transitions_total /{print $2}')"
+if [ "${TRANS:-0}" -lt 3 ]; then
+	echo "too few ladder transitions for a full round trip ($TRANS)" >&2
+	exit 1
+fi
+echo "   recovered to healthy after $TRANS transitions"
+
+kill "$LIRAD_PID"
+wait "$LIRAD_PID" 2>/dev/null || true
+LIRAD_PID=""
+
+echo "admission smoke: OK"

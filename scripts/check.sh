@@ -77,4 +77,7 @@ sh scripts/saturate_smoke.sh
 echo "== telemetry smoke (introspection endpoints + zero-diff sim) =="
 sh scripts/obs_smoke.sh
 
+echo "== admission smoke (degradation ladder round trip over sockets) =="
+sh scripts/admission_smoke.sh
+
 echo "check: OK"
