@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt-gate wiring-guard doc-gate build test race fuzz-smoke chaos bench-smoke shard-smoke policy-smoke obs-smoke obs-demo allocs-gate saturate-smoke admission-smoke bench-report bench-report-obs bench-report-shard bench-report-policy bench-report-saturate bench-report-admission clean
+.PHONY: check vet fmt-gate wiring-guard doc-gate build test race fuzz-smoke chaos bench-smoke shard-smoke policy-smoke obs-smoke obs-demo allocs-gate saturate-smoke admission-smoke spans-smoke bench-report bench-report-obs bench-report-shard bench-report-policy bench-report-saturate bench-report-admission bench-report-spans clean
 
-check: vet fmt-gate wiring-guard doc-gate build race allocs-gate fuzz-smoke chaos bench-smoke shard-smoke policy-smoke saturate-smoke obs-smoke admission-smoke
+check: vet fmt-gate wiring-guard doc-gate build race allocs-gate fuzz-smoke chaos bench-smoke shard-smoke policy-smoke saturate-smoke obs-smoke admission-smoke spans-smoke
 
 vet:
 	$(GO) vet ./...
@@ -103,6 +103,12 @@ saturate-smoke:
 admission-smoke:
 	sh scripts/admission_smoke.sh
 
+# Span-tracing smoke: lirad with -spans and armed SLOs, the Perfetto
+# trace endpoint, the record-conservation ledger (zero violations), and
+# lirasim's byte-identical trace export under a fixed seed.
+spans-smoke:
+	sh scripts/spans_smoke.sh
+
 # Interactive observability demo: boots lirad with /metrics and
 # /debug/lira (plus pprof) on :17401 and leaves it running — curl away,
 # ^C to stop. See README "Observability" for a sample session.
@@ -139,6 +145,12 @@ bench-report-saturate:
 # overhead budget check.
 bench-report-admission:
 	$(GO) run ./cmd/lirabench -admission -admissionjson BENCH_PR7.json
+
+# Regenerate the span-tracing overhead artifact: the same run at four
+# arming levels (no hub, hub only, 1-in-8 sampled, fully traced) plus
+# the output-identity and export-determinism verdicts.
+bench-report-spans:
+	$(GO) run ./cmd/lirabench -spansoverhead -spansjson BENCH_PR8.json
 
 clean:
 	$(GO) clean ./...

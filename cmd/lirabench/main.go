@@ -67,8 +67,25 @@ func main() {
 
 		adm    = flag.Bool("admission", false, "admission mode: drive a seeded flash-crowd overload through the admission controller's degradation ladder and report the ladder timeline, escalation/recovery ticks, pre-ring shedding, and healthy-state overhead (on vs off)")
 		admOut = flag.String("admissionjson", "", "write the admission overload JSON report (BENCH_PR7.json) to this path; stdout when empty")
+
+		spansOv  = flag.Bool("spansoverhead", false, "span-tracing mode: run the same deterministic sweep with tracing absent, disabled, sampled, and fully on; report the wall-clock overhead at each arming level and verify byte-identical trace exports")
+		spansOut = flag.String("spansjson", "", "write the span-overhead JSON report (BENCH_PR8.json) to this path; stdout when empty")
 	)
 	flag.Parse()
+
+	if *spansOv {
+		sNodes, sTicks := 1500, 240
+		if *nodes > 0 {
+			sNodes = *nodes
+		}
+		if *duration > 0 {
+			sTicks = *duration
+		}
+		if err := runSpansOverhead(sNodes, sTicks, *seed, *spansOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *adm {
 		aNodes, aTicks := 2000, 0

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"lira/internal/experiment"
+	"lira/internal/roadnet"
+	"lira/internal/shedding"
+	"lira/internal/spans"
+	"lira/internal/telemetry"
+)
+
+// spansReport quantifies the span tracer's cost at each arming level.
+// The same deterministic run executes four ways — no telemetry at all,
+// hub attached but no tracer (the spans-disabled steady state every
+// instrumentation site pays: one atomic load and a nil branch), tracer
+// attached with head sampling keeping 1-in-8 traces, and tracer
+// recording everything — each best-of-three after a shared warmup.
+type spansReport struct {
+	Nodes int    `json:"nodes"`
+	Ticks int    `json:"ticks"`
+	Seed  uint64 `json:"seed"`
+
+	RunPlainMS   float64 `json:"run_plain_ms"`
+	RunHubMS     float64 `json:"run_hub_ms"`
+	RunSampledMS float64 `json:"run_sampled_ms"`
+	RunTracedMS  float64 `json:"run_traced_ms"`
+
+	// DisabledOverheadPct is (hub − plain) / plain × 100: the cost of the
+	// entire passive telemetry layer including every span site's nil-
+	// tracer branch — the upper bound on what a deployment pays with
+	// tracing compiled in but not armed. The check gate holds this ≤ 1%.
+	DisabledOverheadPct float64 `json:"disabled_overhead_pct"`
+	// SampledOverheadPct and TracedOverheadPct are measured against the
+	// hub-only run, isolating the tracer itself from the telemetry it
+	// rides on.
+	SampledOverheadPct float64 `json:"sampled_overhead_pct"`
+	TracedOverheadPct  float64 `json:"traced_overhead_pct"`
+
+	// IdenticalOutput reports whether all four arming levels produced the
+	// same accuracy metrics and update accounting (the passivity
+	// contract), and IdenticalExports whether a repeated fully-traced run
+	// re-exported byte-identical trace JSON (the determinism contract).
+	IdenticalOutput  bool `json:"identical_output"`
+	IdenticalExports bool `json:"identical_exports"`
+
+	Spans      int              `json:"spans"`
+	Roots      uint64           `json:"roots"`
+	Evicted    int64            `json:"evicted"`
+	ExportSize int              `json:"export_bytes"`
+	Categories []spans.CatCount `json:"categories"`
+}
+
+// runSpansOverhead measures the span tracer's overhead on a small
+// simulated sweep and writes the JSON report to out (stdout when empty).
+func runSpansOverhead(nodes, ticks int, seed uint64, out string) error {
+	netCfg := roadnet.DefaultConfig()
+	netCfg.Side = 6000
+	netCfg.GridStep = 300
+	netCfg.Seed = seed
+	envCfg := experiment.DefaultEnvConfig()
+	envCfg.Net = netCfg
+	envCfg.Nodes = nodes
+	envCfg.TraceSeed = seed + 1
+	envCfg.CalibNodes = min(nodes, 400)
+	envCfg.CalibTicks = 120
+	fmt.Fprintf(os.Stderr, "spans: building environment (%d nodes)...\n", nodes)
+	env, err := experiment.NewEnv(envCfg)
+	if err != nil {
+		return err
+	}
+	base := experiment.DefaultRunConfig()
+	base.Strategy = shedding.Lira
+	base.L = 49
+	base.WarmupTicks = 60
+	base.DurationTicks = ticks
+	base.Seed = seed + 2
+
+	const reps = 3
+	// measure runs the configured arming level reps times and keeps the
+	// best wall clock; sample 0 = no hub, 1 = trace everything, N>1 =
+	// head-sample 1-in-N, -1 = hub without a tracer.
+	measure := func(sample int) (time.Duration, *spans.Tracer, string, error) {
+		var best time.Duration
+		var tracer *spans.Tracer
+		var fp string
+		for i := 0; i < reps; i++ {
+			cfg := base
+			var tr *spans.Tracer
+			if sample != 0 {
+				hub := telemetry.NewHub(0)
+				cfg.Telemetry = hub
+				if sample > 0 {
+					tr = spans.New(spans.Config{Seed: seed, Sample: sample})
+					hub.SetSpans(tr)
+				}
+			}
+			t0 := time.Now()
+			res, err := experiment.Run(env, cfg)
+			d := time.Since(t0)
+			if err != nil {
+				return 0, nil, "", err
+			}
+			if i == 0 || d < best {
+				best = d
+			}
+			tracer, fp = tr, resultFingerprint(res)
+		}
+		return best, tracer, fp, nil
+	}
+
+	fmt.Fprintf(os.Stderr, "spans: measuring overhead (%d reps per arming level)...", reps)
+	if _, err := experiment.Run(env, base); err != nil { // warmup
+		return fmt.Errorf("spans (warmup): %w", err)
+	}
+	plainD, _, plainFP, err := measure(0)
+	if err != nil {
+		return fmt.Errorf("spans (plain): %w", err)
+	}
+	hubD, _, hubFP, err := measure(-1)
+	if err != nil {
+		return fmt.Errorf("spans (hub): %w", err)
+	}
+	sampledD, _, sampledFP, err := measure(8)
+	if err != nil {
+		return fmt.Errorf("spans (sampled): %w", err)
+	}
+	tracedD, tracer, tracedFP, err := measure(1)
+	if err != nil {
+		return fmt.Errorf("spans (traced): %w", err)
+	}
+	fmt.Fprintf(os.Stderr, " plain=%v hub=%v sampled=%v traced=%v\n",
+		plainD.Round(time.Millisecond), hubD.Round(time.Millisecond),
+		sampledD.Round(time.Millisecond), tracedD.Round(time.Millisecond))
+
+	// Determinism: a repeated fully-traced run must re-export the same
+	// bytes.
+	var exportA bytes.Buffer
+	if err := tracer.WriteJSON(&exportA); err != nil {
+		return err
+	}
+	cfg := base
+	hub := telemetry.NewHub(0)
+	cfg.Telemetry = hub
+	tr2 := spans.New(spans.Config{Seed: seed, Sample: 1})
+	hub.SetSpans(tr2)
+	if _, err := experiment.Run(env, cfg); err != nil {
+		return err
+	}
+	var exportB bytes.Buffer
+	if err := tr2.WriteJSON(&exportB); err != nil {
+		return err
+	}
+
+	rep := &spansReport{
+		Nodes:            nodes,
+		Ticks:            ticks,
+		Seed:             seed,
+		RunPlainMS:       float64(plainD.Microseconds()) / 1e3,
+		RunHubMS:         float64(hubD.Microseconds()) / 1e3,
+		RunSampledMS:     float64(sampledD.Microseconds()) / 1e3,
+		RunTracedMS:      float64(tracedD.Microseconds()) / 1e3,
+		IdenticalOutput:  plainFP == hubFP && hubFP == sampledFP && sampledFP == tracedFP,
+		IdenticalExports: bytes.Equal(exportA.Bytes(), exportB.Bytes()),
+		Spans:            tracer.Len(),
+		Roots:            tracer.Roots(),
+		Evicted:          tracer.Evicted(),
+		ExportSize:       exportA.Len(),
+		Categories:       tracer.ByCategory(),
+	}
+	if plainD > 0 {
+		rep.DisabledOverheadPct = 100 * float64(hubD-plainD) / float64(plainD)
+	}
+	if hubD > 0 {
+		rep.SampledOverheadPct = 100 * float64(sampledD-hubD) / float64(hubD)
+		rep.TracedOverheadPct = 100 * float64(tracedD-hubD) / float64(hubD)
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if out != "" {
+		printSpansReport(os.Stderr, rep)
+	}
+	return nil
+}
+
+// printSpansReport renders the human-readable summary.
+func printSpansReport(w io.Writer, rep *spansReport) {
+	fmt.Fprintf(w, "== span tracing overhead report ==\n")
+	fmt.Fprintf(w, "run wall clock      plain %.0f ms, hub %.0f ms, sampled(1/8) %.0f ms, traced %.0f ms\n",
+		rep.RunPlainMS, rep.RunHubMS, rep.RunSampledMS, rep.RunTracedMS)
+	fmt.Fprintf(w, "overhead            disabled %+.2f%% (vs plain), sampled %+.2f%%, traced %+.2f%% (vs hub)\n",
+		rep.DisabledOverheadPct, rep.SampledOverheadPct, rep.TracedOverheadPct)
+	fmt.Fprintf(w, "spans captured      %d (%d roots, %d evicted, export %d B)\n",
+		rep.Spans, rep.Roots, rep.Evicted, rep.ExportSize)
+	for _, c := range rep.Categories {
+		fmt.Fprintf(w, "  %-14s %d\n", c.Cat, c.N)
+	}
+	fmt.Fprintf(w, "identical output    %v\n", rep.IdenticalOutput)
+	fmt.Fprintf(w, "identical exports   %v\n", rep.IdenticalExports)
+}

@@ -28,6 +28,20 @@
 // — with -pprof — the net/http/pprof profile handlers. -journal streams
 // every decision record to a JSONL file.
 //
+// With -spans the daemon traces the pipeline — frame ingest, batch
+// decode, admission verdicts, drain, the adaptation's GRIDREDUCE /
+// GREEDYINCREMENT / THROTLOOP stages, and query evaluation — into a
+// bounded in-memory ring served as Chrome trace-event JSON at
+// /debug/lira/spans (load it in Perfetto or chrome://tracing).
+// -spanssample N keeps every Nth root trace; -spanscap bounds the ring.
+//
+// The -slo-* flags arm the burn-rate tracker: -slo-evalp99 bounds the
+// Evaluate p99 (seconds), -slo-inaccuracy bounds the shed fraction of
+// offered records, and -slo-rung bounds the admission-ladder state
+// ordinal; each tracks a multi-window error-budget burn against
+// -slo-objective and surfaces lira_slo_* metrics, KindSLO journal
+// records, and an "slo" block in /debug/lira.
+//
 // Drive it with cmd/liranode.
 package main
 
@@ -47,6 +61,8 @@ import (
 	"lira/internal/fmodel"
 	"lira/internal/geo"
 	"lira/internal/netsvc"
+	"lira/internal/slo"
+	"lira/internal/spans"
 	"lira/internal/telemetry"
 )
 
@@ -68,7 +84,18 @@ type options struct {
 	httpAddr  string
 	pprof     bool
 	journal   string
-	logf      func(format string, args ...any) // nil silences progress output
+
+	spans       bool
+	spansSample int
+	spansCap    int
+
+	sloEvalP99    float64
+	sloInaccuracy float64
+	sloRung       float64
+	sloObjective  float64
+	sloWindow     int
+
+	logf func(format string, args ...any) // nil silences progress output
 }
 
 func parseFlags() options {
@@ -89,6 +116,14 @@ func parseFlags() options {
 	flag.StringVar(&o.httpAddr, "http", "", "introspection listen address (/metrics, /debug/lira); empty disables")
 	flag.BoolVar(&o.pprof, "pprof", false, "also serve net/http/pprof on the -http address")
 	flag.StringVar(&o.journal, "journal", "", "append decision-journal records to this JSONL file")
+	flag.BoolVar(&o.spans, "spans", false, "trace the pipeline into /debug/lira/spans (Chrome trace-event JSON)")
+	flag.IntVar(&o.spansSample, "spanssample", 1, "keep every Nth root trace (head sampling)")
+	flag.IntVar(&o.spansCap, "spanscap", 0, "span ring capacity (0 = default 8192)")
+	flag.Float64Var(&o.sloEvalP99, "slo-evalp99", 0, "SLO bound on Evaluate p99 seconds (0 disables)")
+	flag.Float64Var(&o.sloInaccuracy, "slo-inaccuracy", 0, "SLO bound on the shed fraction of offered records (0 disables)")
+	flag.Float64Var(&o.sloRung, "slo-rung", -1, "SLO bound on the admission-ladder rung ordinal (negative disables)")
+	flag.Float64Var(&o.sloObjective, "slo-objective", 0.99, "required good-tick fraction per SLO")
+	flag.IntVar(&o.sloWindow, "slo-window", 0, "SLO long window in ticks (0 = default 240)")
 	flag.Parse()
 	o.logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format, args...) }
 	return o
@@ -122,6 +157,13 @@ func start(o options) (*daemon, error) {
 		d.sink = f
 		d.hub.Journal.SetSink(f)
 	}
+	if o.spans {
+		d.hub.SetSpans(spans.New(spans.Config{
+			Capacity: o.spansCap,
+			Sample:   o.spansSample,
+			Seed:     1,
+		}))
+	}
 
 	space := geo.Rect{MinX: 0, MinY: 0, MaxX: o.side, MaxY: o.side}
 	cfg := netsvc.ServerConfig{
@@ -142,6 +184,24 @@ func start(o options) (*daemon, error) {
 	}
 	if o.admission {
 		cfg.Admission = &admission.Config{} // zero value → default ladder
+	}
+	// SLO targets arm only with a valid objective, so a zero-value
+	// options (tests construct one directly) means "no SLOs" rather
+	// than a config error.
+	if o.sloObjective > 0 && o.sloObjective < 1 {
+		var sloTargets []slo.Target
+		if o.sloEvalP99 > 0 {
+			sloTargets = append(sloTargets, slo.Target{Name: "eval_p99", Bound: o.sloEvalP99, Objective: o.sloObjective})
+		}
+		if o.sloInaccuracy > 0 {
+			sloTargets = append(sloTargets, slo.Target{Name: "inaccuracy", Bound: o.sloInaccuracy, Objective: o.sloObjective})
+		}
+		if o.sloRung >= 0 {
+			sloTargets = append(sloTargets, slo.Target{Name: "rung", Bound: o.sloRung, Objective: o.sloObjective})
+		}
+		if len(sloTargets) > 0 {
+			cfg.SLO = &slo.Config{Targets: sloTargets, Window: o.sloWindow}
+		}
 	}
 	if o.stations > 0 {
 		sts, err := basestation.PlaceUniform(space, o.stations)

@@ -13,8 +13,10 @@
 // contract.
 //
 // -journal captures the control loop's decision journal as JSONL;
-// -series prints the per-evaluation-period telemetry series as a table.
-// Both are deterministic under a fixed seed. -timing=false suppresses
+// -series prints the per-evaluation-period telemetry series as a table;
+// -spans exports the candidate's pipeline span trace (adaptation stages,
+// query evaluation phases) as Chrome trace-event JSON, clocked in
+// simulation time. All are deterministic under a fixed seed. -timing=false suppresses
 // the two wall-clock output lines, making stdout byte-reproducible (the
 // telemetry zero-diff check in scripts/check.sh relies on this).
 package main
@@ -28,6 +30,7 @@ import (
 	"lira/internal/experiment"
 	"lira/internal/roadnet"
 	"lira/internal/shedding"
+	"lira/internal/spans"
 	"lira/internal/telemetry"
 	"lira/internal/workload"
 )
@@ -48,6 +51,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		journal  = flag.String("journal", "", "write the decision journal to this JSONL file")
 		series   = flag.String("series", "", "write the per-period telemetry series table to this file")
+		spansOut = flag.String("spans", "", "write the pipeline span trace to this file (Chrome trace-event JSON)")
 		timing   = flag.Bool("timing", true, "print wall-clock lines (disable for byte-reproducible output)")
 	)
 	flag.Parse()
@@ -93,7 +97,8 @@ func main() {
 	// Telemetry rides along whenever an output wants it. It is passive:
 	// the metric lines below are identical with and without it.
 	var hub *telemetry.Hub
-	if *journal != "" || *series != "" {
+	var tracer *spans.Tracer
+	if *journal != "" || *series != "" || *spansOut != "" {
 		hub = telemetry.NewHub(0)
 		cfg.Telemetry = hub
 		if *journal != "" {
@@ -104,6 +109,13 @@ func main() {
 			defer f.Close()
 			hub.Journal.SetSink(f)
 		}
+		if *spansOut != "" {
+			// The tracer's clock is slaved to the hub clock, which the
+			// experiment drives from simulation time — so the exported
+			// trace is byte-identical under a fixed seed.
+			tracer = spans.New(spans.Config{Seed: *seed})
+			hub.SetSpans(tracer)
+		}
 	}
 
 	start := time.Now()
@@ -113,6 +125,18 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
+	if tracer != nil {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 	if hub != nil {
 		if err := hub.Journal.Err(); err != nil {
 			fatal(fmt.Errorf("journal sink: %w", err))

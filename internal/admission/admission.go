@@ -375,6 +375,13 @@ func (c *Controller) journal(sig Signals, from, to State, demanded State) {
 	if from != to {
 		ev.From = from.String()
 		c.tel.transitions.Inc()
+		// Rung transitions are rare and load-bearing: emit a span so a
+		// trace shows exactly where the ladder moved amid the evaluate
+		// and adapt spans around it. Observe is single-caller (the
+		// background tick), so span creation order stays deterministic.
+		c.tel.hub.Spans().Start("rung_transition", "admission").
+			Str("from", from.String()).Str("to", to.String()).
+			Num("queue_frac", sig.QueueFrac).Num("eval_p99", sig.EvalP99).End()
 	}
 	c.tel.hub.Record(telemetry.Record{Kind: telemetry.KindAdmission, Admission: ev})
 }

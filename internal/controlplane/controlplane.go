@@ -27,6 +27,7 @@ import (
 	"lira/internal/fmodel"
 	"lira/internal/partition"
 	"lira/internal/queue"
+	"lira/internal/spans"
 	"lira/internal/statgrid"
 	"lira/internal/telemetry"
 	"lira/internal/throtloop"
@@ -223,26 +224,52 @@ func (p *Plane) Throttle() *throtloop.Controller { return p.loop }
 // actually spent. fn must be safe to call from the plane's caller.
 func (p *Plane) SetZClamp(fn func(float64) float64) { p.zClamp = fn }
 
+// spans returns the hub's span tracer (nil without a hub or tracer; the
+// returned value is nil-safe either way).
+func (p *Plane) spans() *spans.Tracer {
+	if p.tel == nil {
+		return nil
+	}
+	return p.tel.hub.Spans()
+}
+
 // Adapt runs one adaptation cycle with an explicit throttle fraction z —
 // the manually-set budget mode of §2.1. Use AdaptAuto for closed-loop
 // control.
 func (p *Plane) Adapt(z float64) (*Adaptation, error) {
+	root := p.spans().Start("adapt", "controlplane")
+	ad, err := p.adapt(z, root)
+	if err == nil {
+		root = root.Num("z", ad.Z).Num("regions", float64(len(ad.Partitioning.Regions)))
+	}
+	root.End()
+	return ad, err
+}
+
+// adapt is the cycle body shared by Adapt and AdaptAuto; sub-spans for
+// the GRIDREDUCE and GREEDYINCREMENT stages hang off the caller's root
+// span (inert when tracing is off or the root was unsampled).
+func (p *Plane) adapt(z float64, root spans.Ctx) (*Adaptation, error) {
 	if p.zClamp != nil {
 		z = p.zClamp(z)
 	}
 	start := time.Now()
+	sp := root.Child("gridreduce", "controlplane")
 	part, err := p.pol.Partition(p.cfg.Stats.StatsGrid(), z, p.cfg.Env)
 	if err != nil {
 		return nil, err
 	}
+	sp.Num("z", z).Num("regions", float64(len(part.Regions))).End()
 	var mid time.Time
 	if p.tel != nil {
 		mid = time.Now()
 	}
+	sp = root.Child("greedyincrement", "controlplane")
 	res, err := p.pol.Assign(part, z, p.cfg.Env)
 	if err != nil {
 		return nil, err
 	}
+	sp.Num("fairness_clamps", float64(res.FairnessClamps)).End()
 	if p.tel != nil {
 		end := time.Now()
 		p.tel.gridReduceHist.Observe(mid.Sub(start).Seconds())
@@ -284,8 +311,16 @@ func (p *Plane) Adapt(z float64) (*Adaptation, error) {
 // fraction. A non-positive or idle window measures ρ = 0, which resets
 // the controller to z = 1 (underload: stop shedding).
 func (p *Plane) AdaptAuto(window float64) (*Adaptation, error) {
+	root := p.spans().Start("adapt", "controlplane").Str("mode", "auto")
+	sp := root.Child("throtloop", "controlplane")
 	lambda, mu := p.cfg.Rates.Rates(window)
 	rho := queue.Utilization(lambda, mu)
 	z := p.loop.Observe(rho)
-	return p.Adapt(z)
+	sp.Num("rho", rho).Num("z", z).End()
+	ad, err := p.adapt(z, root)
+	if err == nil {
+		root = root.Num("z", ad.Z).Num("regions", float64(len(ad.Partitioning.Regions)))
+	}
+	root.End()
+	return ad, err
 }

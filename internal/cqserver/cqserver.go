@@ -21,6 +21,7 @@ import (
 	"lira/internal/par"
 	"lira/internal/partition"
 	"lira/internal/queue"
+	"lira/internal/spans"
 	"lira/internal/statgrid"
 	"lira/internal/telemetry"
 	"lira/internal/throtloop"
@@ -350,20 +351,29 @@ func (s *Server) Evaluate(now float64) [][]int {
 	}
 	// Wall-clock stamps are taken only with telemetry attached; durations
 	// feed latency histograms and never the simulation state, preserving
-	// determinism (see the telemetry package's contract).
+	// determinism (see the telemetry package's contract). Spans likewise:
+	// they are created only from this single-caller coordinator (never
+	// inside the par workers), so span ids assign in deterministic order.
 	var t0, t1, t2 time.Time
+	var root, sp spans.Ctx
 	if s.tel != nil {
 		t0 = time.Now()
+		root = s.tel.hub.Spans().Start("evaluate", "engine").Num("nodes", float64(s.cfg.Nodes)).Num("queries", float64(len(s.queries)))
+		sp = root.Child("predict", "engine")
 	}
 	s.evalNow = now
 	par.ForChunks(s.cfg.Nodes, predictChunk, s.predictFn)
 	if s.tel != nil {
 		t1 = time.Now()
+		sp.End()
+		sp = root.Child("scan", "engine")
 	}
 	s.index.Rebuild(s.predicted, s.active)
 	par.ForChunks(len(s.queries), queryChunk, s.scanFn)
 	if s.tel != nil {
 		t2 = time.Now()
+		sp.End()
+		root.End()
 		s.tel.predictHist.Observe(t1.Sub(t0).Seconds())
 		s.tel.scanHist.Observe(t2.Sub(t1).Seconds())
 		s.tel.evalHist.Observe(t2.Sub(t0).Seconds())
@@ -531,6 +541,13 @@ func (s *Server) IngestShedOldestColumns(nodes []uint32, xs, ys, vxs, vys, times
 	}
 	return shed
 }
+
+// Arrived returns the total number of updates ever offered to the input
+// queue (admitted or shed) — the record-conservation ledger's engine-side
+// arrival count: Arrived == Applied + Dropped + QueueLen at quiescence,
+// provided every update entered through the queue (Apply bypasses it and
+// counts only toward Applied).
+func (s *Server) Arrived() int64 { return s.input.Arrived() }
 
 // QueueLen returns the current input-queue length.
 func (s *Server) QueueLen() int { return s.input.Len() }

@@ -106,6 +106,13 @@ type Engine interface {
 	History() *history.Store
 	// Applied returns the number of updates integrated so far.
 	Applied() int64
+	// Arrived returns the number of updates offered to the input queue(s)
+	// so far (admitted or shed). Together with Applied, Dropped, and
+	// QueueLen it carries the engine's record-conservation invariant:
+	// at quiescence Arrived == Applied + Dropped + QueueLen, provided
+	// every record entered through the queue (Apply bypasses it and
+	// counts only toward Applied).
+	Arrived() int64
 	// QueueLen and QueueCap describe the input queue, and Dropped counts
 	// updates shed or rejected on overflow (each summed across shards
 	// when sharded).

@@ -228,5 +228,11 @@ func admissionChaosRun(t *testing.T, seed uint64) {
 	if err := s.Close(); err != nil {
 		t.Errorf("server close: %v", err)
 	}
+	// Conservation holds through the overload storm: pre-shed, ring-shed,
+	// applied, and queued must sum back to offered once Close drains the
+	// rings (panic-free runs only; see chaosRun).
+	if led := s.Ledger(); s.Counters().Panics.Load() == 0 && led.Balance != 0 {
+		t.Errorf("conservation ledger unbalanced after overload chaos: %+v", led)
+	}
 	waitGoroutines(t, baseline+2)
 }

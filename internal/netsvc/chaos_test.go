@@ -266,6 +266,14 @@ drainStale:
 	if err := s.Close(); err != nil {
 		t.Errorf("server close: %v", err)
 	}
+	// Record conservation at quiescence: Close drained the rings, so
+	// every offered update must have exactly one fate. A recovered panic
+	// mid-ingest may leak an in-flight record (counted offered, never
+	// landed), so the zero-balance assertion only binds on panic-free
+	// runs — which these are, unless something else broke first.
+	if led := s.Ledger(); s.Counters().Panics.Load() == 0 && led.Balance != 0 {
+		t.Errorf("conservation ledger unbalanced at quiescence: %+v", led)
+	}
 	// No goroutine leaks: everything the harness spawned must unwind.
 	waitGoroutines(t, baseline+2)
 }

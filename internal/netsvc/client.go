@@ -1,9 +1,11 @@
 package netsvc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -510,6 +512,10 @@ func DialNodeConfig(addr string, cfg NodeConfig) (*NodeClient, error) {
 // client leaks no flusher goroutine.
 func (c *NodeClient) flushLoop() {
 	defer c.wg.Done()
+	// Profiler attribution: name the flusher in CPU/goroutine profiles,
+	// mirroring the server loops' lira_phase labels.
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("lira_phase", "flush")))
 	ticker := time.NewTicker(c.cfg.BatchFlushEvery)
 	defer ticker.Stop()
 	for {

@@ -1,0 +1,46 @@
+package netsvc
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+
+	"lira/internal/geo"
+)
+
+// TestPipelineGoroutineLabels pins the profiler attribution of the two
+// long-lived pipeline goroutines: the server's drain loop carries
+// lira_phase=drain and the node client's batch flusher lira_phase=flush.
+// Both labels are persistent (set once at goroutine start, never
+// cleared), so a goroutine-profile poll observes them deterministically
+// once the goroutines exist.
+func TestPipelineGoroutineLabels(t *testing.T) {
+	clk := &fakeClock{}
+	s := startServer(t, clk.Now, 0.5)
+	c, err := DialNode(s.Addr().String(), 1, geo.Point{X: 100, Y: 100}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	prof := pprof.Lookup("goroutine")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var buf bytes.Buffer
+		if err := prof.WriteTo(&buf, 1); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		haveDrain := strings.Contains(out, `"lira_phase":"drain"`)
+		haveFlush := strings.Contains(out, `"lira_phase":"flush"`)
+		if haveDrain && haveFlush {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("labels missing after 10s: drain=%v flush=%v", haveDrain, haveFlush)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -28,9 +28,12 @@
 package netsvc
 
 import (
+	"context"
 	"net"
 	"runtime"
+	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lira/internal/admission"
@@ -39,6 +42,8 @@ import (
 	"lira/internal/engine"
 	"lira/internal/geo"
 	"lira/internal/metrics"
+	"lira/internal/slo"
+	"lira/internal/spans"
 	"lira/internal/telemetry"
 	"lira/internal/wire"
 )
@@ -114,6 +119,16 @@ type ServerConfig struct {
 	// AdmissionSample, when non-nil, replaces the built-in health-signal
 	// sampler (deterministic chaos tests inject signal traces).
 	AdmissionSample func() admission.Signals
+	// SLO, when non-nil, enables the burn-rate tracker: once per
+	// background tick the server samples each target's indicator and
+	// feeds the multi-window windows. Target names select the indicator:
+	// "eval_p99" (Evaluate p99 seconds), "inaccuracy" (shed fraction of
+	// offered records — the ledger's lost-report proxy for result
+	// inaccuracy), "rung" (admission-ladder state ordinal), "queue_frac"
+	// (input-queue occupancy), "gc_pause" (last GC pause seconds);
+	// unknown names sample 0. The tracker's Telemetry defaults to the
+	// server's hub.
+	SLO *slo.Config
 }
 
 // Server hosts the CQ server and base stations behind a TCP listener.
@@ -133,6 +148,21 @@ type Server struct {
 	// set). Its lock-free methods (AdmitN, ClampZ) gate the ingest paths
 	// and the adaptation; Observe runs on the background tick.
 	adm *admission.Controller
+
+	// offered/invalid feed the record-conservation ledger (ledger.go):
+	// offered counts every update record entering ingest/ingestBatch,
+	// invalid counts the out-of-range ids discarded at the trust
+	// boundary. Always counted (two uncontended atomics per record) so
+	// Ledger works with or without telemetry.
+	offered atomic.Int64
+	invalid atomic.Int64
+
+	// led holds the lira_ledger_* gauges (nil without a hub); slotr is
+	// the optional SLO burn-rate tracker with sloVals its pooled per-tick
+	// sample buffer (guarded by mu).
+	led     *ledgerTelemetry
+	slotr   *slo.Tracker
+	sloVals []float64
 
 	mu          sync.Mutex
 	deployment  *basestation.Deployment
@@ -203,6 +233,16 @@ func newNetTelemetry(hub *telemetry.Hub) *netTelemetry {
 		gcPause:        r.Gauge("lira_gc_pause_seconds"),
 		evalSeconds:    r.Histogram("lira_evaluate_seconds", nil),
 	}
+}
+
+// spans returns the hub's span tracer (nil without a hub or tracer);
+// the returned tracer and the Ctx values it hands out are nil-safe, so
+// call sites chain t.spans().Start(...) unconditionally.
+func (t *netTelemetry) spans() *spans.Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.hub.Spans()
 }
 
 // recordNet appends one degradation record to the journal (no-op without
@@ -318,6 +358,19 @@ func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
 		// the health-clamped budget — and journals record the z actually
 		// used.
 		eng.ControlPlane().SetZClamp(adm.ClampZ)
+	}
+	s.led = newLedgerTelemetry(cfg.Telemetry)
+	if cfg.SLO != nil {
+		sc := *cfg.SLO
+		if sc.Telemetry == nil {
+			sc.Telemetry = cfg.Telemetry
+		}
+		tr, err := slo.New(sc)
+		if err != nil {
+			return nil, err
+		}
+		s.slotr = tr
+		s.sloVals = make([]float64, len(sc.Targets))
 	}
 	if err := s.adaptLocked(); err != nil {
 		return nil, err
@@ -505,11 +558,16 @@ func (s *Server) handleConn(sc *srvConn) {
 			}
 			s.ingest(sc, u)
 		case wire.TypeUpdateBatch:
+			root := s.tel.spans().Start("update_batch", "netsvc")
 			var start time.Time
 			if s.tel != nil {
 				start = time.Now()
 			}
-			if err := wire.DecodeUpdateBatchInto(&batch, payload); err != nil {
+			sp := root.Child("decode", "netsvc")
+			err := wire.DecodeUpdateBatchInto(&batch, payload)
+			sp.End()
+			if err != nil {
+				root.Str("error", "decode").End()
 				detail = "decode"
 				return
 			}
@@ -518,7 +576,8 @@ func (s *Server) handleConn(sc *srvConn) {
 				s.tel.readBatch.Inc()
 				s.tel.batchSize.Observe(float64(batch.Len()))
 			}
-			s.ingestBatch(sc, &batch)
+			s.ingestBatch(sc, &batch, root)
+			root.Num("records", float64(batch.Len())).End()
 		case wire.TypeQuery:
 			q, err := wire.DecodeQuery(payload)
 			if err != nil {
@@ -634,8 +693,11 @@ func (s *Server) registerNode(sc *srvConn, h wire.Hello) {
 // records share one mutex hold (instead of n), and hand-off frames are
 // collected lazily: a batch from a camped, in-coverage node — the steady
 // state — allocates nothing here.
-func (s *Server) ingestBatch(sc *srvConn, b *wire.UpdateBatch) {
+func (s *Server) ingestBatch(sc *srvConn, b *wire.UpdateBatch, root spans.Ctx) {
 	n := b.Len()
+	// Conservation ledger: every record of the batch is offered, whatever
+	// its fate (pre-shed, invalid id, ring shed, applied, queued).
+	s.offered.Add(int64(n))
 	// Degradation ladder: at the shed and critical rungs only a fraction
 	// of offered records is admitted, oldest-first — the batch's leading
 	// (stalest) records are rejected before they touch the rings, and the
@@ -643,7 +705,9 @@ func (s *Server) ingestBatch(sc *srvConn, b *wire.UpdateBatch) {
 	// arrivals, so λ measures the load the system actually accepted.
 	off := 0
 	if s.adm != nil {
+		sp := root.Child("admit", "netsvc")
 		admit := s.adm.AdmitN(n)
+		sp.Num("offered", float64(n)).Num("admitted", float64(admit)).End()
 		if admit == 0 {
 			return
 		}
@@ -662,13 +726,16 @@ func (s *Server) ingestBatch(sc *srvConn, b *wire.UpdateBatch) {
 		}
 	}
 	ingest := func() {
+		sp := root.Child("ingest", "netsvc")
 		shed := 0
+		invalid := 0
 		if vectored {
 			shed = s.eng.IngestShedOldestColumns(b.Node[off:], b.X[off:], b.Y[off:], b.VX[off:], b.VY[off:], b.Time[off:])
 		} else {
 			for i := off; i < n; i++ {
 				u := b.Update(i)
 				if int(u.Node) >= s.cfg.Core.Nodes {
+					invalid++
 					continue
 				}
 				if s.eng.IngestShedOldest(cqserver.Update{Node: int(u.Node), Report: u.Report}) {
@@ -676,9 +743,13 @@ func (s *Server) ingestBatch(sc *srvConn, b *wire.UpdateBatch) {
 				}
 			}
 		}
+		if invalid > 0 {
+			s.invalid.Add(int64(invalid))
+		}
 		if shed > 0 {
 			s.counters.ShedFrames.Add(int64(shed))
 		}
+		sp.Num("shed", float64(shed)).Num("invalid", float64(invalid)).End()
 	}
 	// Sharded engine: records go straight onto the lock-free rings before
 	// the mutex, so concurrent connections never serialize on admission
@@ -730,10 +801,13 @@ func (s *Server) handoffLocked(node uint32, pos geo.Point) []byte {
 }
 
 func (s *Server) ingest(sc *srvConn, u wire.Update) {
+	// Conservation ledger: offered first, whatever the fate.
+	s.offered.Add(1)
 	// Range-check before the frame reaches the fixed-size motion table:
 	// a bit-flipped node id must be discarded here, at the trust
 	// boundary, not crash the background drain loop.
 	if int(u.Node) >= s.cfg.Core.Nodes {
+		s.invalid.Add(1)
 		return
 	}
 	// Degradation ladder: at the shed/critical rungs the controller
@@ -822,6 +896,11 @@ func resultFrame(id uint32, nodes []int) []byte {
 
 func (s *Server) backgroundLoop() {
 	defer s.wg.Done()
+	// Profiler attribution: the drain/adapt/evaluate loop is the server's
+	// hot goroutine; label it once so CPU and goroutine profiles name it
+	// (the shard workers carry lira_phase=predict/scan the same way).
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("lira_phase", "drain")))
 	tick := s.cfg.EvalEvery
 	if tick == 0 {
 		tick = 100 * time.Millisecond
@@ -848,6 +927,7 @@ func (s *Server) backgroundLoop() {
 			}
 		}
 		now := s.cfg.Clock()
+		root := s.tel.spans().Start("tick", "netsvc")
 		s.mu.Lock()
 		// Admission tick: sample health BEFORE draining — pre-drain
 		// occupancy is the honest backlog signal (post-drain it is ~0 by
@@ -857,20 +937,30 @@ func (s *Server) backgroundLoop() {
 		// mutex because the unsharded engine's queue is mutex-guarded.
 		rungChanged := false
 		if s.adm != nil {
+			sp := root.Child("admission_observe", "netsvc")
 			before := s.adm.State()
-			rungChanged = s.adm.Observe(s.sampleSignals()) != before
+			after := s.adm.Observe(s.sampleSignals())
+			rungChanged = after != before
+			sp.Num("rung", float64(after)).End()
 		}
 		limit := s.cfg.DrainPerTick
 		if limit == 0 {
 			limit = -1
 		}
-		s.eng.Drain(limit)
+		sp := root.Child("drain", "netsvc")
+		drained := s.eng.Drain(limit)
+		sp.Num("applied", float64(drained)).End()
 		// Refresh the statistics grid from the server's own beliefs (the
 		// paper's "explicitly maintained by processing position updates"
 		// mode): predicted positions and reported speeds.
+		sp = root.Child("stats", "netsvc")
 		s.observeStatsLocked(now)
+		sp.End()
 		if rungChanged || (s.cfg.AdaptEvery > 0 && time.Since(lastAdapt) >= s.cfg.AdaptEvery) {
 			lastAdapt = time.Now()
+			// adaptLocked's engine Adapt opens its own "adapt" root span
+			// (the control plane owns that trace); no child here to avoid
+			// double-covering it.
 			s.adaptLocked()
 		}
 		type push struct {
@@ -879,12 +969,19 @@ func (s *Server) backgroundLoop() {
 		}
 		var pushes []push
 		if s.cfg.EvalEvery > 0 && len(s.queryRegs) > 0 {
+			sp = root.Child("evaluate", "netsvc")
 			results := s.eng.Evaluate(now)
+			sp.Num("queries", float64(len(results))).End()
 			for qi, reg := range s.queryRegs {
 				pushes = append(pushes, push{reg.owner, resultFrame(reg.clientID, results[qi])})
 			}
 		}
+		// Conservation ledger + SLO burn windows, both on the coherent
+		// under-mutex view of this tick.
+		s.ledgerCheckLocked()
+		s.observeSLOLocked()
 		s.mu.Unlock()
+		root.End()
 		for _, p := range pushes {
 			if s.tel != nil {
 				s.tel.sentResult.Inc()
@@ -920,6 +1017,51 @@ func (s *Server) sampleSignals() admission.Signals {
 // control is not configured).
 func (s *Server) Admission() *admission.Controller { return s.adm }
 
+// observeSLOLocked samples each configured SLO target's indicator (by
+// target name — see ServerConfig.SLO) and feeds the burn-rate windows.
+// Runs once per background tick under s.mu; no-op without a tracker.
+func (s *Server) observeSLOLocked() {
+	if s.slotr == nil {
+		return
+	}
+	for i, t := range s.cfg.SLO.Targets {
+		var v float64
+		switch t.Name {
+		case "eval_p99":
+			if s.tel != nil {
+				v = s.tel.evalSeconds.Quantile(0.99)
+			}
+		case "inaccuracy":
+			// Lost-report fraction from the conservation ledger: the share
+			// of offered records that will never reach the motion table
+			// (pre-shed, invalid, or shed from the rings). Reports the
+			// engine drops are exactly the ones whose staleness the paper's
+			// inaccuracy bound pays for.
+			lv := s.ledgerView()
+			if lv.Offered > 0 {
+				v = float64(lv.Invalid+lv.Preshed+lv.Ringshed) / float64(lv.Offered)
+			}
+		case "rung":
+			if s.adm != nil {
+				v = float64(s.adm.State())
+			}
+		case "queue_frac":
+			if c := s.eng.QueueCap(); c > 0 {
+				v = float64(s.eng.QueueLen()) / float64(c)
+			}
+		case "gc_pause":
+			if s.tel != nil {
+				v = s.tel.gcPause.Value()
+			}
+		}
+		s.sloVals[i] = v
+	}
+	s.slotr.Observe(s.sloVals)
+}
+
+// SLO exposes the burn-rate tracker (nil when no SLOs are configured).
+func (s *Server) SLO() *slo.Tracker { return s.slotr }
+
 // RegionView is one shedding region in an Introspection: its area, the
 // statistics GRIDREDUCE aggregated for it, and its assigned throttler Δᵢ.
 type RegionView struct {
@@ -946,6 +1088,8 @@ type Introspection struct {
 	Applied        int64               `json:"updates_applied"`
 	Net            metrics.NetSnapshot `json:"net"`
 	Admission      *admission.View     `json:"admission,omitempty"`
+	Ledger         LedgerView          `json:"ledger"`
+	SLO            []slo.View          `json:"slo,omitempty"`
 }
 
 // Introspect returns the current pipeline state under the server mutex,
@@ -963,6 +1107,8 @@ func (s *Server) Introspect() Introspection {
 		QueueCap:       s.eng.QueueCap(),
 		Applied:        s.eng.Applied(),
 		Net:            s.counters.Snapshot(),
+		Ledger:         s.ledgerView(),
+		SLO:            s.slotr.Views(),
 	}
 	if s.adm != nil {
 		v := s.adm.View()

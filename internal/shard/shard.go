@@ -34,8 +34,11 @@
 package shard
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -47,6 +50,7 @@ import (
 	"lira/internal/motion"
 	"lira/internal/par"
 	"lira/internal/partition"
+	"lira/internal/spans"
 	"lira/internal/statgrid"
 	"lira/internal/throtloop"
 	"lira/internal/throttler"
@@ -169,6 +173,15 @@ type Server struct {
 	degraded     bool
 
 	tel *shardTelemetry
+
+	// Pre-built runtime/pprof label contexts, one per shard per phase
+	// (lira_phase=predict|scan, lira_shard=<i>), plus the clearing
+	// context. Built once at construction when telemetry is attached;
+	// SetGoroutineLabels with a pre-built context allocates nothing, so
+	// the phase workers stay on the zero-alloc hot-path budget.
+	lblPredict []context.Context
+	lblScan    []context.Context
+	lblClear   context.Context
 }
 
 // evaluate decomposes shards one per par chunk.
@@ -246,6 +259,16 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.tel = newShardTelemetry(core.Telemetry, k)
+	if s.tel != nil {
+		s.lblClear = context.Background()
+		s.lblPredict = make([]context.Context, k)
+		s.lblScan = make([]context.Context, k)
+		for i := 0; i < k; i++ {
+			si := strconv.Itoa(i)
+			s.lblPredict[i] = pprof.WithLabels(s.lblClear, pprof.Labels("lira_phase", "predict", "lira_shard", si))
+			s.lblScan[i] = pprof.WithLabels(s.lblClear, pprof.Labels("lira_phase", "scan", "lira_shard", si))
+		}
+	}
 	s.plane, err = controlplane.New(controlplane.Config{
 		Env: controlplane.Env{
 			L:              core.L,
@@ -595,13 +618,25 @@ func (s *Server) Evaluate(now float64) [][]int {
 	if s.degraded {
 		return s.evaluateDegraded(now)
 	}
+	// Wall stamps and spans exist only with telemetry attached. Spans are
+	// created solely from this coordinator goroutine — never inside the
+	// par phase workers, whose scheduling order is nondeterministic — so
+	// span ids assign in a reproducible order; the workers are attributed
+	// via runtime/pprof labels instead (lira_phase / lira_shard).
 	var t0, t1, t2 time.Time
+	var root, sp spans.Ctx
 	if s.tel != nil {
 		t0 = time.Now()
+		root = s.tel.hub.Spans().Start("evaluate", "engine").Num("k", float64(s.k)).Num("queries", float64(len(s.queries)))
+		sp = root.Child("phase1_predict", "engine")
 	}
 	s.evalNow = now
 	// Phase 1: per-shard dead reckoning + in-place index refresh.
 	par.ForChunks(s.k, shardChunk, s.phase1Fn)
+	if s.tel != nil {
+		sp.End()
+		sp = root.Child("phase2_migrate", "engine")
+	}
 	// Phase 2: serial cross-shard migrations, in shard order. The moved
 	// node's report is read back from the motion table: migration only
 	// re-homes residency, the report itself is unchanged.
@@ -619,6 +654,8 @@ func (s *Server) Evaluate(now float64) [][]int {
 	}
 	if s.tel != nil {
 		t1 = time.Now()
+		sp.Num("migrated", float64(migrated)).End()
+		sp = root.Child("phase3_scan", "engine")
 		if migrated > 0 {
 			s.tel.migrations.Add(int64(migrated))
 		}
@@ -626,6 +663,10 @@ func (s *Server) Evaluate(now float64) [][]int {
 	// Phase 3: debt-triggered compaction + fragment scans.
 	s.compactions.Store(0)
 	par.ForChunks(s.k, shardChunk, s.phase3Fn)
+	if s.tel != nil {
+		sp.End()
+		sp = root.Child("phase4_merge", "engine")
+	}
 	// Phase 4: deterministic merge — shard order, then ascending ids.
 	for qi := range s.results {
 		s.results[qi] = s.results[qi][:0]
@@ -640,6 +681,8 @@ func (s *Server) Evaluate(now float64) [][]int {
 	}
 	if s.tel != nil {
 		t2 = time.Now()
+		sp.End()
+		root.End()
 		if c := s.compactions.Load(); c > 0 {
 			s.tel.compactions.Add(c)
 		}
@@ -662,6 +705,13 @@ func (s *Server) Evaluate(now float64) [][]int {
 // incremental index in place, and collects boundary-crossers into the
 // shard's outbox.
 func (s *Server) predictShard(shard, _, _ int) {
+	// Attribute this worker's CPU samples by phase and shard. The labels
+	// are pre-built contexts (no allocation) and cleared on return so a
+	// pooled par worker never leaks a stale label to its next chunk.
+	if s.tel != nil {
+		pprof.SetGoroutineLabels(s.lblPredict[shard])
+		defer pprof.SetGoroutineLabels(s.lblClear)
+	}
 	sh := s.shards[shard]
 	space := s.cfg.Core.Space
 	now := s.evalNow
@@ -684,6 +734,10 @@ func (s *Server) predictShard(shard, _, _ int) {
 // compaction, then each query fragment fills its pooled buffer via the
 // index's append API — no per-fragment callback closure.
 func (s *Server) scanShard(shard, _, _ int) {
+	if s.tel != nil {
+		pprof.SetGoroutineLabels(s.lblScan[shard])
+		defer pprof.SetGoroutineLabels(s.lblClear)
+	}
 	sh := s.shards[shard]
 	// The admission ladder's shed rung defers compaction: the incremental
 	// index stays exact (deltas keep applying in place), debt just

@@ -1,0 +1,282 @@
+// Package slo tracks service-level objectives for the LIRA pipeline with
+// multi-window burn-rate alerting, the SRE-workbook scheme adapted to
+// model time: each SLO is an indicator sampled once per control tick
+// (Evaluate p99 latency, modeled inaccuracy, admission-ladder rung),
+// a bound the sample must meet, and an objective — the fraction of ticks
+// that must meet it over the long window. The burn rate is how fast the
+// error budget (1 − objective) is being spent: 1.0 means exactly on
+// budget, 2.0 means the budget will be gone in half the window. An SLO
+// alerts only when BOTH windows burn hot — the long window proves the
+// problem is material, the short window proves it is still happening —
+// which is what keeps one transient Evaluate spike from paging.
+//
+// Like every observability component here, the tracker is passive and
+// deterministic: it consumes caller-supplied samples (never the wall
+// clock), exposes per-SLO gauges through the telemetry registry, and
+// journals KindSLO records on alert transitions plus a sparse heartbeat
+// — never every tick, so it cannot crowd bounded journals.
+package slo
+
+import (
+	"fmt"
+	"sync"
+
+	"lira/internal/telemetry"
+)
+
+// Target declares one SLO.
+type Target struct {
+	// Name identifies the SLO in metrics, journal records, and views.
+	// It must be a valid metric-name fragment ([a-z0-9_]).
+	Name string
+	// Bound is the per-tick threshold: a tick is good when the sampled
+	// indicator is <= Bound.
+	Bound float64
+	// Objective is the required good-tick fraction over the long window,
+	// in (0, 1) — e.g. 0.99 tolerates 1% bad ticks.
+	Objective float64
+}
+
+// Config parameterizes a Tracker.
+type Config struct {
+	// Targets are the tracked SLOs, observed in declaration order.
+	Targets []Target
+	// Window is the long window in ticks (<= 0 selects 240 — 8 minutes
+	// at lirad's default 2s evaluation tick).
+	Window int
+	// ShortWindow is the fast window in ticks (<= 0 selects Window/12,
+	// minimum 1).
+	ShortWindow int
+	// BurnAlert is the burn-rate threshold both windows must exceed to
+	// alert (<= 0 selects 2: budget gone in half the window).
+	BurnAlert float64
+	// JournalEvery emits a heartbeat KindSLO record per target every N
+	// observations (<= 0 selects 64); alert transitions always journal.
+	JournalEvery int
+	// Telemetry receives per-SLO gauges and the KindSLO journal records;
+	// nil disables both (the tracker still computes, for Views).
+	Telemetry *telemetry.Hub
+}
+
+// sloState is one target's ring of tick outcomes plus its pre-resolved
+// metrics.
+type sloState struct {
+	t    Target
+	ring []bool // true = bad tick
+	head int
+	size int
+	bad  int // bad count over the ring
+
+	ticks     uint64
+	lastValue float64
+	lastGood  bool
+	burnS     float64
+	burnL     float64
+	alerting  bool
+
+	gBurnShort *telemetry.Gauge   // lira_slo_<name>_burn_short
+	gBurnLong  *telemetry.Gauge   // lira_slo_<name>_burn_long
+	gGood      *telemetry.Gauge   // lira_slo_<name>_good
+	gAlerting  *telemetry.Gauge   // lira_slo_<name>_alerting
+	cAlerts    *telemetry.Counter // lira_slo_<name>_alerts_total
+}
+
+// Tracker evaluates a set of SLOs tick by tick. Observe is single-caller
+// (the serving layer's background tick); Views may be called from any
+// goroutine.
+type Tracker struct {
+	mu    sync.Mutex
+	cfg   Config
+	slos  []*sloState
+	hub   *telemetry.Hub
+	short int
+}
+
+// New validates cfg and returns a Tracker.
+func New(cfg Config) (*Tracker, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("slo: no targets")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 240
+	}
+	if cfg.ShortWindow <= 0 {
+		cfg.ShortWindow = cfg.Window / 12
+	}
+	if cfg.ShortWindow < 1 {
+		cfg.ShortWindow = 1
+	}
+	if cfg.ShortWindow > cfg.Window {
+		return nil, fmt.Errorf("slo: short window %d exceeds window %d", cfg.ShortWindow, cfg.Window)
+	}
+	if cfg.BurnAlert <= 0 {
+		cfg.BurnAlert = 2
+	}
+	if cfg.JournalEvery <= 0 {
+		cfg.JournalEvery = 64
+	}
+	t := &Tracker{cfg: cfg, hub: cfg.Telemetry, short: cfg.ShortWindow}
+	seen := map[string]bool{}
+	for _, target := range cfg.Targets {
+		if target.Name == "" {
+			return nil, fmt.Errorf("slo: unnamed target")
+		}
+		if seen[target.Name] {
+			return nil, fmt.Errorf("slo: duplicate target %q", target.Name)
+		}
+		seen[target.Name] = true
+		if target.Objective <= 0 || target.Objective >= 1 {
+			return nil, fmt.Errorf("slo %q: objective %v outside (0, 1)", target.Name, target.Objective)
+		}
+		st := &sloState{t: target, ring: make([]bool, cfg.Window)}
+		if h := cfg.Telemetry; h != nil {
+			r := h.Registry
+			st.gBurnShort = r.Gauge("lira_slo_" + target.Name + "_burn_short")
+			st.gBurnLong = r.Gauge("lira_slo_" + target.Name + "_burn_long")
+			st.gGood = r.Gauge("lira_slo_" + target.Name + "_good")
+			st.gAlerting = r.Gauge("lira_slo_" + target.Name + "_alerting")
+			st.cAlerts = r.Counter("lira_slo_" + target.Name + "_alerts_total")
+		}
+		t.slos = append(t.slos, st)
+	}
+	return t, nil
+}
+
+// Observe feeds one tick of indicator samples, in Targets order (len
+// must match). It updates the windows, burn rates, gauges, and alert
+// state, journaling KindSLO records on alert transitions and on the
+// sparse heartbeat. Nil-safe: a nil Tracker ignores the call.
+func (t *Tracker) Observe(values []float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(values) != len(t.slos) {
+		return // caller bug; fail closed rather than misattribute samples
+	}
+	for i, st := range t.slos {
+		v := values[i]
+		bad := v > st.t.Bound
+		st.ticks++
+		st.lastValue, st.lastGood = v, !bad
+
+		// Slide the long window.
+		if st.size == len(st.ring) {
+			if st.ring[st.head] {
+				st.bad--
+			}
+		} else {
+			st.size++
+		}
+		st.ring[st.head] = bad
+		if bad {
+			st.bad++
+		}
+		st.head = (st.head + 1) % len(st.ring)
+
+		// Short-window bad count: walk the most recent short ticks. The
+		// short window is small (Window/12) and Observe runs once per
+		// control tick, so the walk is cheap and keeps one ring.
+		shortN := t.short
+		if shortN > st.size {
+			shortN = st.size
+		}
+		shortBad := 0
+		for j := 1; j <= shortN; j++ {
+			if st.ring[(st.head-j+len(st.ring))%len(st.ring)] {
+				shortBad++
+			}
+		}
+
+		budget := 1 - st.t.Objective
+		st.burnL = burn(st.bad, st.size, budget)
+		st.burnS = burn(shortBad, shortN, budget)
+		// Multi-window verdict: alert only once the short window is
+		// fully formed — a single bad first tick is not a page.
+		alerting := shortN >= t.short &&
+			st.burnS >= t.cfg.BurnAlert && st.burnL >= t.cfg.BurnAlert
+		entered := alerting && !st.alerting
+		exited := !alerting && st.alerting
+		st.alerting = alerting
+
+		if st.gBurnShort != nil {
+			st.gBurnShort.Set(st.burnS)
+			st.gBurnLong.Set(st.burnL)
+			st.gGood.Set(b2f(!bad))
+			st.gAlerting.Set(b2f(alerting))
+			if entered {
+				st.cAlerts.Inc()
+			}
+		}
+		if t.hub != nil && (entered || exited || st.ticks%uint64(t.cfg.JournalEvery) == 1) {
+			t.hub.Record(telemetry.Record{
+				Kind: telemetry.KindSLO,
+				SLO: &telemetry.SLOEvent{
+					Name:      st.t.Name,
+					Value:     v,
+					Target:    st.t.Bound,
+					Good:      !bad,
+					BurnShort: st.burnS,
+					BurnLong:  st.burnL,
+					Alerting:  alerting,
+				},
+			})
+		}
+	}
+}
+
+// burn is the burn rate: the bad fraction over a window divided by the
+// error budget. An empty window burns 0; a zero budget cannot happen
+// (Objective is validated inside (0, 1)).
+func burn(bad, n int, budget float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(bad) / float64(n) / budget
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// View is one SLO's current state, shaped for introspection endpoints.
+type View struct {
+	Name      string  `json:"name"`
+	Bound     float64 `json:"bound"`
+	Objective float64 `json:"objective"`
+	Value     float64 `json:"value"`
+	Good      bool    `json:"good"`
+	BurnShort float64 `json:"burn_short"`
+	BurnLong  float64 `json:"burn_long"`
+	Alerting  bool    `json:"alerting"`
+	Ticks     uint64  `json:"ticks"`
+}
+
+// Views returns every SLO's current state, in Targets order (nil on a
+// nil Tracker).
+func (t *Tracker) Views() []View {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]View, len(t.slos))
+	for i, st := range t.slos {
+		out[i] = View{
+			Name:      st.t.Name,
+			Bound:     st.t.Bound,
+			Objective: st.t.Objective,
+			Value:     st.lastValue,
+			Good:      st.lastGood,
+			BurnShort: st.burnS,
+			BurnLong:  st.burnL,
+			Alerting:  st.alerting,
+			Ticks:     st.ticks,
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package slo
+
+import (
+	"testing"
+
+	"lira/internal/telemetry"
+)
+
+func mustNew(t *testing.T, cfg Config) *Tracker {
+	t.Helper()
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tr
+}
+
+func TestNilTrackerIsInert(t *testing.T) {
+	var tr *Tracker
+	tr.Observe([]float64{1, 2})
+	if v := tr.Views(); v != nil {
+		t.Fatalf("nil tracker Views = %v, want nil", v)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []Config{
+		{},
+		{Targets: []Target{{Name: "", Bound: 1, Objective: 0.9}}},
+		{Targets: []Target{{Name: "a", Bound: 1, Objective: 0}}},
+		{Targets: []Target{{Name: "a", Bound: 1, Objective: 1}}},
+		{Targets: []Target{
+			{Name: "a", Bound: 1, Objective: 0.9},
+			{Name: "a", Bound: 2, Objective: 0.9},
+		}},
+		{Targets: []Target{{Name: "a", Bound: 1, Objective: 0.9}}, Window: 10, ShortWindow: 20},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted invalid config %+v", i, cfg)
+		}
+	}
+}
+
+func TestBurnRatesAndAlerting(t *testing.T) {
+	// Objective 0.9 => budget 0.1. Window 12, short 3, alert at burn >= 2
+	// (bad fraction >= 0.2 in both windows).
+	tr := mustNew(t, Config{
+		Targets:     []Target{{Name: "lat", Bound: 10, Objective: 0.9}},
+		Window:      12,
+		ShortWindow: 3,
+		BurnAlert:   2,
+	})
+
+	// 6 good ticks: no burn, no alert.
+	for i := 0; i < 6; i++ {
+		tr.Observe([]float64{1})
+	}
+	v := tr.Views()[0]
+	if v.BurnLong != 0 || v.BurnShort != 0 || v.Alerting || !v.Good {
+		t.Fatalf("after good ticks: %+v", v)
+	}
+
+	// 3 bad ticks: short window all bad (burn 10), long 3/9 (burn ~3.33).
+	for i := 0; i < 3; i++ {
+		tr.Observe([]float64{99})
+	}
+	v = tr.Views()[0]
+	if !v.Alerting {
+		t.Fatalf("want alerting after sustained bad ticks: %+v", v)
+	}
+	if v.BurnShort < 9.99 || v.BurnShort > 10.01 {
+		t.Fatalf("BurnShort = %v, want 10", v.BurnShort)
+	}
+	wantLong := (3.0 / 9.0) / 0.1
+	if diff := v.BurnLong - wantLong; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("BurnLong = %v, want %v", v.BurnLong, wantLong)
+	}
+
+	// Recovery: 3 good ticks empty the short window; alert clears even
+	// though the long window still carries the bad ticks.
+	for i := 0; i < 3; i++ {
+		tr.Observe([]float64{1})
+	}
+	v = tr.Views()[0]
+	if v.Alerting {
+		t.Fatalf("alert should clear once the short window is clean: %+v", v)
+	}
+	if v.BurnLong == 0 {
+		t.Fatalf("long window should still remember bad ticks: %+v", v)
+	}
+
+	// Slide the long window clean: 12 more good ticks evict all bad.
+	for i := 0; i < 12; i++ {
+		tr.Observe([]float64{1})
+	}
+	v = tr.Views()[0]
+	if v.BurnLong != 0 || v.Ticks != 24 {
+		t.Fatalf("after full slide: %+v", v)
+	}
+}
+
+func TestShortWindowWarmup(t *testing.T) {
+	// A single terrible first tick must not alert: the short window is
+	// not formed yet.
+	tr := mustNew(t, Config{
+		Targets:     []Target{{Name: "lat", Bound: 1, Objective: 0.5}},
+		Window:      8,
+		ShortWindow: 4,
+	})
+	tr.Observe([]float64{1e9})
+	if tr.Views()[0].Alerting {
+		t.Fatal("alerted before short window warmed up")
+	}
+}
+
+func TestMetricsAndJournal(t *testing.T) {
+	hub := telemetry.NewHub(64)
+	// Objective 0.75 => budget 0.25; burn >= 2 means bad fraction >= 0.5.
+	tr := mustNew(t, Config{
+		Targets:      []Target{{Name: "rung", Bound: 2, Objective: 0.75}},
+		Window:       4,
+		ShortWindow:  2,
+		JournalEvery: 1000, // heartbeat effectively off: only tick 1 + transitions
+		Telemetry:    hub,
+	})
+	tr.Observe([]float64{0}) // heartbeat (tick 1), good
+	tr.Observe([]float64{5}) // bad: short 1/2, long 1/2 -> alert enters
+	tr.Observe([]float64{5}) // bad: still alerting
+	tr.Observe([]float64{0}) // short 1/2 still burns 2; long 3/4 -> alerting
+	tr.Observe([]float64{0}) // short window clean -> alert exits
+
+	snap := hub.Registry.Snapshot()
+	if got := snap.Counters["lira_slo_rung_alerts_total"]; got != 1 {
+		t.Fatalf("alerts_total = %v, want 1", got)
+	}
+	if got := snap.Gauges["lira_slo_rung_alerting"]; got != 0 {
+		t.Fatalf("alerting gauge = %v, want 0 after recovery", got)
+	}
+	if got := snap.Gauges["lira_slo_rung_good"]; got != 1 {
+		t.Fatalf("good gauge = %v, want 1", got)
+	}
+
+	var sloRecs []telemetry.Record
+	for _, rec := range hub.Journal.Tail(hub.Journal.Len()) {
+		if rec.Kind == telemetry.KindSLO {
+			sloRecs = append(sloRecs, rec)
+		}
+	}
+	// tick 1 heartbeat + alert enter + alert exit = 3.
+	if len(sloRecs) != 3 {
+		t.Fatalf("KindSLO records = %d, want 3: %+v", len(sloRecs), sloRecs)
+	}
+	if sloRecs[1].SLO == nil || !sloRecs[1].SLO.Alerting {
+		t.Fatalf("second SLO record should be the alert entry: %+v", sloRecs[1])
+	}
+	if sloRecs[2].SLO == nil || sloRecs[2].SLO.Alerting {
+		t.Fatalf("third SLO record should be the alert exit: %+v", sloRecs[2])
+	}
+}
+
+func TestObserveLengthMismatchIgnored(t *testing.T) {
+	tr := mustNew(t, Config{Targets: []Target{{Name: "a", Bound: 1, Objective: 0.9}}})
+	tr.Observe([]float64{1, 2})
+	if tr.Views()[0].Ticks != 0 {
+		t.Fatal("mismatched Observe should be ignored")
+	}
+}

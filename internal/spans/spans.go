@@ -1,0 +1,406 @@
+// Package spans is a deterministic, causally linked span tracer for the
+// LIRA pipeline: every stage of the ingest → admit → drain → adapt →
+// evaluate path can open a span, attach key/value arguments, and close
+// it, producing a parent/child tree that explains *why* a record was
+// admitted, shed, or answered late. It is deliberately named spans, not
+// trace — internal/trace is the paper's mobility trace.
+//
+// Determinism contract (the property the 3-seed byte-identity test
+// enforces): span ids are derived from the tracer seed and a montonic
+// counter — never the wall clock, never math/rand — and timestamps come
+// from the tracer's installed clock. Under a simulation clock (model
+// time) two identically seeded runs therefore export byte-identical
+// trace files; under netsvc's wall clock the ids stay deterministic and
+// only the timestamps are physical. Callers on deterministic paths must
+// create spans from a single coordinator goroutine (the evaluation
+// driver, the adaptation cycle) so counter assignment order is itself
+// reproducible; parallel phase *workers* are attributed with
+// runtime/pprof labels instead of spans for exactly this reason.
+//
+// Cost model: a disabled tracer ((*Tracer)(nil), or an unsampled root)
+// costs one nil/flag check per operation and allocates nothing, keeping
+// the telemetry passivity budget intact. An enabled span costs one
+// atomic counter increment at Start and one short mutex hold at End
+// (ring append). Storage is a fixed-capacity ring: the newest spans win,
+// and evictions are counted, never silent.
+//
+// Export is Chrome trace-event JSON ("ph":"X" complete events), directly
+// loadable in Perfetto or chrome://tracing: one lane (tid) per category,
+// parent ids in args, microsecond timestamps scaled from the clock's
+// seconds.
+package spans
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Clock supplies timestamps in seconds. Simulation installs model time
+// (via telemetry.Hub.SetSpans); daemons leave the wall clock.
+type Clock func() float64
+
+// maxArgs bounds the per-span argument list; setters beyond it are
+// dropped (spans are summaries, not logs).
+const maxArgs = 6
+
+// Arg is one key/value argument attached to a span. Either Num or Str is
+// meaningful, per IsStr.
+type Arg struct {
+	Key   string
+	Num   float64
+	Str   string
+	IsStr bool
+}
+
+// Span is one completed operation: a named interval with a category
+// lane, causal parent, and bounded argument list. Times are in the
+// tracer clock's seconds.
+type Span struct {
+	ID     uint64
+	Parent uint64 // 0 for roots
+	Name   string
+	Cat    string
+	Start  float64
+	Dur    float64
+	Args   [maxArgs]Arg
+	NArgs  int
+}
+
+// Config parameterizes a Tracer.
+type Config struct {
+	// Capacity is the span ring size; 0 selects 8192.
+	Capacity int
+	// Sample keeps 1 of every Sample root spans (children inherit the
+	// root's verdict — head-based sampling). 0 and 1 keep everything.
+	Sample int
+	// Seed is folded into every span id, so traces from differently
+	// seeded runs never alias.
+	Seed uint64
+	// Clock supplies timestamps; nil selects a zero clock (callers
+	// normally install one via SetClock / telemetry.Hub.SetSpans).
+	Clock Clock
+}
+
+// Tracer records completed spans into a fixed ring. All methods are
+// goroutine-safe and nil-safe: every operation on a nil *Tracer is a
+// cheap no-op, so instrumented code needs no tracing-enabled branches.
+type Tracer struct {
+	seed    uint64
+	sample  uint64
+	counter atomic.Uint64 // span id counter
+	roots   atomic.Uint64 // root count, drives head sampling
+	evicted atomic.Int64
+
+	mu    sync.Mutex
+	clock Clock
+	buf   []Span
+	start int
+	size  int
+}
+
+// New returns a Tracer with the given configuration.
+func New(cfg Config) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 8192
+	}
+	if cfg.Sample < 1 {
+		cfg.Sample = 1
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = func() float64 { return 0 }
+	}
+	return &Tracer{
+		seed:   cfg.Seed,
+		sample: uint64(cfg.Sample),
+		clock:  clock,
+		buf:    make([]Span, cfg.Capacity),
+	}
+}
+
+// SetClock installs the timestamp source (no-op on nil).
+func (t *Tracer) SetClock(c Clock) {
+	if t == nil || c == nil {
+		return
+	}
+	t.mu.Lock()
+	t.clock = c
+	t.mu.Unlock()
+}
+
+func (t *Tracer) now() float64 {
+	t.mu.Lock()
+	c := t.clock
+	t.mu.Unlock()
+	return c()
+}
+
+// nextID derives a deterministic span id: the tracer seed in the high
+// bits, the monotone counter in the low. No wall clock, no rand.
+func (t *Tracer) nextID() uint64 {
+	return t.seed<<32 + t.counter.Add(1)
+}
+
+// Ctx is a live span handle. The zero Ctx (and any Ctx from a disabled
+// or unsampled Start) is inert: Child returns another inert Ctx, the
+// argument setters and End do nothing. Ctx is a value type — copy it
+// freely, but call End exactly once per recorded span.
+type Ctx struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	cat    string
+	start  float64
+	args   [maxArgs]Arg
+	nargs  int
+}
+
+// Start opens a root span. The head-sampling decision happens here: an
+// unsampled root returns an inert Ctx whose whole subtree is skipped.
+func (t *Tracer) Start(name, cat string) Ctx {
+	if t == nil {
+		return Ctx{}
+	}
+	if r := t.roots.Add(1); t.sample > 1 && (r-1)%t.sample != 0 {
+		return Ctx{}
+	}
+	return Ctx{t: t, id: t.nextID(), name: name, cat: cat, start: t.now()}
+}
+
+// Enabled reports whether the span is live (sampled and recording).
+func (c Ctx) Enabled() bool { return c.t != nil }
+
+// Child opens a sub-span causally under c.
+func (c Ctx) Child(name, cat string) Ctx {
+	if c.t == nil {
+		return Ctx{}
+	}
+	return Ctx{t: c.t, id: c.t.nextID(), parent: c.id, name: name, cat: cat, start: c.t.now()}
+}
+
+// Num attaches a numeric argument, returning the updated handle.
+func (c Ctx) Num(key string, v float64) Ctx {
+	if c.t == nil || c.nargs >= maxArgs {
+		return c
+	}
+	c.args[c.nargs] = Arg{Key: key, Num: v}
+	c.nargs++
+	return c
+}
+
+// Str attaches a string argument, returning the updated handle.
+func (c Ctx) Str(key, v string) Ctx {
+	if c.t == nil || c.nargs >= maxArgs {
+		return c
+	}
+	c.args[c.nargs] = Arg{Key: key, Str: v, IsStr: true}
+	c.nargs++
+	return c
+}
+
+// End closes the span and commits it to the ring.
+func (c Ctx) End() {
+	if c.t == nil {
+		return
+	}
+	t := c.t
+	end := t.now()
+	sp := Span{ID: c.id, Parent: c.parent, Name: c.name, Cat: c.cat, Start: c.start, Dur: end - c.start, Args: c.args, NArgs: c.nargs}
+	t.mu.Lock()
+	if t.size < len(t.buf) {
+		t.buf[(t.start+t.size)%len(t.buf)] = sp
+		t.size++
+	} else {
+		t.buf[t.start] = sp
+		t.start = (t.start + 1) % len(t.buf)
+		t.evicted.Add(1)
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained spans (0 on nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.size
+}
+
+// Evicted returns how many spans the ring overwrote (0 on nil).
+func (t *Tracer) Evicted() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.evicted.Load()
+}
+
+// Roots returns how many root spans were started, sampled or not (0 on
+// nil). The sampled fraction is Roots/Sample rounded up.
+func (t *Tracer) Roots() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.roots.Load()
+}
+
+// Snapshot copies the retained spans, oldest first (nil on nil tracer).
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, t.size)
+	for i := 0; i < t.size; i++ {
+		out[i] = t.buf[(t.start+i)%len(t.buf)]
+	}
+	return out
+}
+
+// Reset drops every retained span and restarts the id and sampling
+// counters (no-op on nil). Tests use it between measured sections.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.start, t.size = 0, 0
+	t.mu.Unlock()
+	t.counter.Store(0)
+	t.roots.Store(0)
+	t.evicted.Store(0)
+}
+
+// WriteJSON renders the retained spans as a Chrome trace-event file
+// (the {"traceEvents": [...]} wrapper, "ph":"X" complete events),
+// loadable in Perfetto. Output is deterministic: spans appear in ring
+// order, categories get stable lane (tid) numbers in first-appearance
+// order, and floats use the shortest round-trip formatting. Timestamps
+// are scaled to microseconds as the format requires.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	spans := t.Snapshot()
+	lanes := map[string]int{}
+	for _, sp := range spans {
+		if _, ok := lanes[sp.Cat]; !ok {
+			lanes[sp.Cat] = len(lanes) + 1
+		}
+	}
+	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	for i, sp := range spans {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if err := writeEvent(w, sp, lanes[sp.Cat]); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, `],"displayTimeUnit":"ms"}`+"\n")
+	return err
+}
+
+func writeEvent(w io.Writer, sp Span, tid int) error {
+	if _, err := fmt.Fprintf(w, `{"name":%s,"cat":%s,"ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d,"id":"0x%x"`,
+		quote(sp.Name), quote(sp.Cat), num(sp.Start*1e6), num(sp.Dur*1e6), tid, sp.ID); err != nil {
+		return err
+	}
+	if sp.NArgs > 0 || sp.Parent != 0 {
+		if _, err := io.WriteString(w, `,"args":{`); err != nil {
+			return err
+		}
+		first := true
+		if sp.Parent != 0 {
+			if _, err := fmt.Fprintf(w, `"parent":"0x%x"`, sp.Parent); err != nil {
+				return err
+			}
+			first = false
+		}
+		for i := 0; i < sp.NArgs; i++ {
+			a := sp.Args[i]
+			if !first {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			first = false
+			v := num(a.Num)
+			if a.IsStr {
+				v = quote(a.Str)
+			}
+			if _, err := fmt.Fprintf(w, "%s:%s", quote(a.Key), v); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "}"); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}")
+	return err
+}
+
+// num formats a float deterministically for JSON (no exponent surprises
+// across runs: shortest round-trip form, NaN/Inf mapped to 0 — the
+// trace format has no tokens for them).
+func num(v float64) string {
+	if v != v || v > 1e308 || v < -1e308 {
+		return "0"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// quote renders a JSON string literal. Span names and categories are
+// code-chosen identifiers, but args may carry arbitrary values, so the
+// escaping is complete for the control and quote characters.
+func quote(s string) string {
+	buf := make([]byte, 0, len(s)+2)
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			buf = append(buf, '\\', c)
+		case c == '\n':
+			buf = append(buf, '\\', 'n')
+		case c == '\t':
+			buf = append(buf, '\\', 't')
+		case c < 0x20:
+			buf = append(buf, []byte(fmt.Sprintf(`\u%04x`, c))...)
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return string(append(buf, '"'))
+}
+
+// ByCategory returns retained span counts per category, sorted by
+// category name — the shape /debug/lira/spans reports alongside the
+// trace for quick sanity checks.
+func (t *Tracer) ByCategory() []CatCount {
+	counts := map[string]int{}
+	for _, sp := range t.Snapshot() {
+		counts[sp.Cat]++
+	}
+	out := make([]CatCount, 0, len(counts))
+	for cat, n := range counts {
+		out = append(out, CatCount{Cat: cat, N: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cat < out[j].Cat })
+	return out
+}
+
+// CatCount is one category's retained span count.
+type CatCount struct {
+	Cat string `json:"cat"`
+	N   int    `json:"n"`
+}

@@ -1,0 +1,298 @@
+package spans
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilTracerIsInert proves the nil-safety contract: every operation
+// on a nil *Tracer (and on the inert Ctx it hands out) is a no-op.
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x", "y")
+	if sp.Enabled() {
+		t.Fatal("nil tracer produced an enabled span")
+	}
+	sp = sp.Num("k", 1).Str("s", "v")
+	child := sp.Child("c", "y")
+	if child.Enabled() {
+		t.Fatal("child of inert span is enabled")
+	}
+	child.End()
+	sp.End()
+	if tr.Len() != 0 || tr.Evicted() != 0 || tr.Roots() != 0 {
+		t.Fatal("nil tracer accumulated state")
+	}
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("nil tracer snapshot = %v, want nil", got)
+	}
+	tr.SetClock(func() float64 { return 1 })
+	tr.Reset()
+}
+
+// TestDeterministicIDs proves ids depend only on seed and call order.
+func TestDeterministicIDs(t *testing.T) {
+	mk := func(seed uint64) []uint64 {
+		tr := New(Config{Seed: seed, Capacity: 16})
+		root := tr.Start("root", "c")
+		a := root.Child("a", "c")
+		b := root.Child("b", "c")
+		a.End()
+		b.End()
+		root.End()
+		ids := []uint64{}
+		for _, sp := range tr.Snapshot() {
+			ids = append(ids, sp.ID, sp.Parent)
+		}
+		return ids
+	}
+	one, two := mk(7), mk(7)
+	for i := range one {
+		if one[i] != two[i] {
+			t.Fatalf("run divergence at %d: %x vs %x", i, one[i], two[i])
+		}
+	}
+	other := mk(8)
+	if one[0] == other[0] {
+		t.Fatal("different seeds produced identical span ids")
+	}
+}
+
+// TestParentLinkage checks the causal chain root → child → grandchild.
+func TestParentLinkage(t *testing.T) {
+	tr := New(Config{Seed: 1, Capacity: 16})
+	root := tr.Start("root", "c")
+	child := root.Child("child", "c")
+	grand := child.Child("grand", "c")
+	grand.End()
+	child.End()
+	root.End()
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("len = %d, want 3", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	if byName["root"].Parent != 0 {
+		t.Errorf("root parent = %x, want 0", byName["root"].Parent)
+	}
+	if byName["child"].Parent != byName["root"].ID {
+		t.Errorf("child parent = %x, want %x", byName["child"].Parent, byName["root"].ID)
+	}
+	if byName["grand"].Parent != byName["child"].ID {
+		t.Errorf("grand parent = %x, want %x", byName["grand"].Parent, byName["child"].ID)
+	}
+}
+
+// TestHeadSampling: with Sample=3, roots 1, 4, 7, … are kept and the
+// children of an unsampled root are skipped wholesale.
+func TestHeadSampling(t *testing.T) {
+	tr := New(Config{Seed: 1, Capacity: 64, Sample: 3})
+	kept := 0
+	for i := 0; i < 9; i++ {
+		root := tr.Start("r", "c")
+		if root.Enabled() {
+			kept++
+			root.Child("ch", "c").End()
+		} else if root.Child("ch", "c").Enabled() {
+			t.Fatal("child of unsampled root is enabled")
+		}
+		root.End()
+	}
+	if kept != 3 {
+		t.Fatalf("kept %d of 9 roots at Sample=3, want 3", kept)
+	}
+	if tr.Len() != 6 { // 3 roots + 3 children
+		t.Fatalf("retained %d spans, want 6", tr.Len())
+	}
+	if tr.Roots() != 9 {
+		t.Fatalf("Roots() = %d, want 9 (sampling must not hide demand)", tr.Roots())
+	}
+}
+
+// TestRingEviction: the ring keeps the newest spans and counts evictions.
+func TestRingEviction(t *testing.T) {
+	tr := New(Config{Seed: 1, Capacity: 4})
+	for i := 0; i < 10; i++ {
+		tr.Start("s", "c").End()
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Evicted() != 6 {
+		t.Fatalf("Evicted = %d, want 6", tr.Evicted())
+	}
+	spans := tr.Snapshot()
+	// Newest-wins: the retained ids are the last four allocated.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].ID != spans[i-1].ID+1 {
+			t.Fatalf("ring order broken: %x after %x", spans[i].ID, spans[i-1].ID)
+		}
+	}
+}
+
+// TestClock: timestamps come from the installed clock, durations from
+// its delta.
+func TestClock(t *testing.T) {
+	now := 10.0
+	tr := New(Config{Seed: 1, Capacity: 4, Clock: func() float64 { return now }})
+	sp := tr.Start("s", "c")
+	now = 12.5
+	sp.End()
+	got := tr.Snapshot()[0]
+	if got.Start != 10 || got.Dur != 2.5 {
+		t.Fatalf("span time = (%v, %v), want (10, 2.5)", got.Start, got.Dur)
+	}
+}
+
+// TestWriteJSONShape: the export parses as standard JSON, carries the
+// traceEvents wrapper, complete-event phase, per-category lanes, and
+// hex-linked parents, and is byte-identical across repeated exports.
+func TestWriteJSONShape(t *testing.T) {
+	tr := New(Config{Seed: 3, Capacity: 16})
+	root := tr.Start("evaluate", "engine").Num("k", 4)
+	child := root.Child("phase1_predict", "engine").Str("mode", "full")
+	child.End()
+	root.End()
+	tr.Start("adapt", "controlplane").End()
+
+	var a, b bytes.Buffer
+	if err := tr.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("repeated exports differ")
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Cat  string                 `json:"cat"`
+			Ph   string                 `json:"ph"`
+			Tid  int                    `json:"tid"`
+			ID   string                 `json:"id"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, a.String())
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("events = %d, want 3", len(doc.TraceEvents))
+	}
+	lanes := map[string]int{}
+	var rootID string
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if !strings.HasPrefix(ev.ID, "0x") {
+			t.Errorf("event %q id = %q, want 0x-prefixed", ev.Name, ev.ID)
+		}
+		if prev, ok := lanes[ev.Cat]; ok && prev != ev.Tid {
+			t.Errorf("category %q spread over lanes %d and %d", ev.Cat, prev, ev.Tid)
+		}
+		lanes[ev.Cat] = ev.Tid
+		if ev.Name == "evaluate" {
+			rootID = ev.ID
+		}
+	}
+	if lanes["engine"] == lanes["controlplane"] {
+		t.Error("distinct categories share a lane")
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "phase1_predict" {
+			if ev.Args["parent"] != rootID {
+				t.Errorf("child parent arg = %v, want %v", ev.Args["parent"], rootID)
+			}
+			if ev.Args["mode"] != "full" {
+				t.Errorf("string arg lost: %v", ev.Args)
+			}
+		}
+		if ev.Name == "evaluate" && ev.Args["k"] != 4.0 {
+			t.Errorf("numeric arg lost: %v", ev.Args)
+		}
+	}
+}
+
+// TestQuoteEscapes: arbitrary argument strings survive JSON encoding.
+func TestQuoteEscapes(t *testing.T) {
+	tr := New(Config{Seed: 1, Capacity: 4})
+	tr.Start("s", "c").Str("v", "a\"b\\c\nd\te\x01f").End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("escaping broke JSON: %v\n%s", err, buf.String())
+	}
+	ev := doc["traceEvents"].([]interface{})[0].(map[string]interface{})
+	if got := ev["args"].(map[string]interface{})["v"]; got != "a\"b\\c\nd\te\x01f" {
+		t.Fatalf("round-trip = %q", got)
+	}
+}
+
+// TestArgOverflowDropped: setters beyond maxArgs are dropped, not
+// panicking or reallocating.
+func TestArgOverflowDropped(t *testing.T) {
+	tr := New(Config{Seed: 1, Capacity: 4})
+	sp := tr.Start("s", "c")
+	for i := 0; i < maxArgs+3; i++ {
+		sp = sp.Num("k", float64(i))
+	}
+	sp.End()
+	if got := tr.Snapshot()[0].NArgs; got != maxArgs {
+		t.Fatalf("NArgs = %d, want %d", got, maxArgs)
+	}
+}
+
+// TestConcurrentEnd: ring appends from many goroutines race-cleanly
+// (ordering is the caller's concern; integrity is the tracer's).
+func TestConcurrentEnd(t *testing.T) {
+	tr := New(Config{Seed: 1, Capacity: 128})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Start("s", "c").End()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 128 {
+		t.Fatalf("Len = %d, want 128", tr.Len())
+	}
+	if tr.Evicted() != 800-128 {
+		t.Fatalf("Evicted = %d, want %d", tr.Evicted(), 800-128)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("concurrent export is invalid JSON")
+	}
+}
+
+// TestByCategory: counts group by category, sorted.
+func TestByCategory(t *testing.T) {
+	tr := New(Config{Seed: 1, Capacity: 16})
+	tr.Start("a", "zeta").End()
+	tr.Start("b", "alpha").End()
+	tr.Start("c", "alpha").End()
+	got := tr.ByCategory()
+	if len(got) != 2 || got[0].Cat != "alpha" || got[0].N != 2 || got[1].Cat != "zeta" || got[1].N != 1 {
+		t.Fatalf("ByCategory = %+v", got)
+	}
+}

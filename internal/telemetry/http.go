@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // MetricsHandler serves the hub in the Prometheus text exposition format
@@ -15,6 +16,10 @@ func MetricsHandler(h *Hub) http.Handler {
 	})
 }
 
+// maxTail caps the ?tail= override: journals retain a bounded ring
+// anyway, so anything larger only wastes encoder work.
+const maxTail = 65536
+
 // DebugHandler serves a JSON introspection snapshot: the hub snapshot
 // (registry, net counters, last journalTail journal records) plus, when
 // state is non-nil, a pipeline view supplied by the serving layer (current
@@ -23,16 +28,14 @@ func MetricsHandler(h *Hub) http.Handler {
 func DebugHandler(h *Hub, state func() any, journalTail int) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		tail := journalTail
+		// strconv.Atoi rejects overflow (a hand-rolled digit loop would
+		// silently wrap on huge values and could go negative); maxTail
+		// bounds the response size against hostile ?tail= values.
 		if q := r.URL.Query().Get("tail"); q != "" {
-			var n int
-			for _, c := range q {
-				if c < '0' || c > '9' {
-					n = -1
-					break
+			if n, err := strconv.Atoi(q); err == nil && n >= 0 {
+				if n > maxTail {
+					n = maxTail
 				}
-				n = n*10 + int(c-'0')
-			}
-			if n >= 0 {
 				tail = n
 			}
 		}
@@ -50,13 +53,32 @@ func DebugHandler(h *Hub, state func() any, journalTail int) http.Handler {
 	})
 }
 
-// NewMux returns an http.ServeMux serving /metrics and /debug/lira, and —
-// only when enablePprof is set — the net/http/pprof handlers under
+// SpansHandler serves the hub's attached span tracer as a Chrome
+// trace-event JSON document (loadable in Perfetto / chrome://tracing).
+// With no tracer attached it answers 404, so scrapers can distinguish
+// "tracing off" from "no spans yet" (an attached-but-empty tracer
+// serves an empty traceEvents array).
+func SpansHandler(h *Hub) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t := h.Spans()
+		if t == nil {
+			http.Error(w, "span tracing not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.WriteJSON(w)
+	})
+}
+
+// NewMux returns an http.ServeMux serving /metrics, /debug/lira, and
+// /debug/lira/spans (404 until a tracer is attached via Hub.SetSpans),
+// and — only when enablePprof is set — the net/http/pprof handlers under
 // /debug/pprof/. state may be nil when no pipeline view is available.
 func NewMux(h *Hub, state func() any, enablePprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(h))
 	mux.Handle("/debug/lira", DebugHandler(h, state, 64))
+	mux.Handle("/debug/lira/spans", SpansHandler(h))
 	if enablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"lira/internal/spans"
+)
+
+// TestDebugHandlerTailParsing pins the ?tail= override semantics: valid
+// values replace the configured default, zero selects the whole retained
+// journal (the Snapshot convention), and everything malformed — negative,
+// non-numeric, or large enough to overflow int — falls back to the
+// default instead of erroring or wrapping. Oversized values clamp to
+// maxTail, which still returns the full (smaller) journal here.
+func TestDebugHandlerTailParsing(t *testing.T) {
+	h := NewHub(32)
+	const stored = 10
+	for i := 0; i < stored; i++ {
+		h.Record(Record{Kind: KindThrotloop, Throtloop: &ThrotloopEvent{Rho: float64(i)}})
+	}
+	const def = 3
+	handler := DebugHandler(h, nil, def)
+
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{"", def},
+		{"?tail=1", 1},
+		{"?tail=7", 7},
+		{"?tail=0", stored}, // <= 0 at the snapshot layer means "all"
+		{"?tail=-4", def},   // negative: rejected, default kept
+		{"?tail=abc", def},
+		{"?tail=99999999999999999999999", def}, // overflows int: Atoi rejects
+		{"?tail=1000000", stored},              // clamps to maxTail, journal is smaller
+		{"?tail=" + "65537", stored},           // one past the clamp
+		{"?tail=" + "00000000000000000007", 7}, // leading zeros still parse
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/lira"+c.query, nil))
+		if rec.Code != 200 {
+			t.Errorf("%q: status %d", c.query, rec.Code)
+			continue
+		}
+		var payload struct {
+			Journal []Record `json:"journal"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+			t.Errorf("%q: body not JSON: %v", c.query, err)
+			continue
+		}
+		if len(payload.Journal) != c.want {
+			t.Errorf("%q: journal tail = %d records, want %d", c.query, len(payload.Journal), c.want)
+		}
+	}
+}
+
+// TestSpansHandler pins the arming contract: without an attached tracer
+// the endpoint answers 404 (so scrapers can tell "tracing off" from "no
+// spans yet"), and with one it serves parseable Chrome trace-event JSON.
+func TestSpansHandler(t *testing.T) {
+	h := NewHub(0)
+	mux := NewMux(h, nil, false)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/lira/spans", nil))
+	if rec.Code != 404 || !strings.Contains(rec.Body.String(), "span tracing not enabled") {
+		t.Fatalf("unarmed: %d %q", rec.Code, rec.Body.String())
+	}
+
+	tr := spans.New(spans.Config{Seed: 7})
+	h.SetSpans(tr)
+	root := tr.Start("tick", "netsvc")
+	root.Child("drain", "netsvc").Num("applied", 3).End()
+	root.End()
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/lira/spans", nil))
+	if rec.Code != 200 {
+		t.Fatalf("armed: status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Errorf("traceEvents = %d, want 2", len(doc.TraceEvents))
+	}
+
+	// Detaching disarms the endpoint again.
+	h.SetSpans(nil)
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/lira/spans", nil))
+	if rec.Code != 404 {
+		t.Errorf("detached: status %d, want 404", rec.Code)
+	}
+}
+
+// TestHubSnapshotConcurrentJournal drives Snapshot and WritePrometheus
+// from reader goroutines while writers append journal records and bump
+// registry metrics. Run under -race this pins the lock discipline of the
+// snapshot path; the final sequence number checks nothing was lost.
+func TestHubSnapshotConcurrentJournal(t *testing.T) {
+	h := NewHub(64)
+	h.SetClock(func() float64 { return 1 })
+	const writers, perW = 4, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Snapshot(8)
+				if len(s.Journal) > 8 {
+					t.Errorf("snapshot tail = %d records, want <= 8", len(s.Journal))
+					return
+				}
+				_ = h.WritePrometheus(io.Discard)
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		ww.Add(1)
+		go func() {
+			defer ww.Done()
+			c := h.Registry.Counter("lira_snap_test_total")
+			for i := 0; i < perW; i++ {
+				h.Record(Record{Kind: KindThrotloop, Throtloop: &ThrotloopEvent{Rho: float64(i)}})
+				c.Inc()
+			}
+		}()
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := h.Journal.Seq(); got != writers*perW {
+		t.Errorf("journal seq = %d, want %d", got, writers*perW)
+	}
+	if got := h.Registry.Counter("lira_snap_test_total").Value(); got != writers*perW {
+		t.Errorf("counter = %d, want %d", got, writers*perW)
+	}
+}
+
+// TestEscapeLabel pins the exposition-format escaping rules for label
+// values: backslash, double-quote, and newline are backslash-escaped,
+// and clean strings pass through without copying.
+func TestEscapeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"0.25", "0.25"},
+		{"+Inf", "+Inf"},
+		{`back\slash`, `back\\slash`},
+		{`qu"ote`, `qu\"ote`},
+		{"new\nline", `new\nline`},
+		{"\\\"\n", `\\\"\n`},
+		{`a\b"c` + "\n" + "d", `a\\b\"c\nd`},
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// A value that escapes must survive a round trip through the
+	// exposition encoder's quoting convention (JSON-compatible here).
+	var buf bytes.Buffer
+	buf.WriteByte('"')
+	buf.WriteString(escapeLabel(`le"1\2` + "\n"))
+	buf.WriteByte('"')
+	var back string
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("escaped label not parseable: %v (%s)", err, buf.String())
+	}
+	if back != `le"1\2`+"\n" {
+		t.Errorf("round trip = %q", back)
+	}
+}

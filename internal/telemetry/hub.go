@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"lira/internal/metrics"
+	"lira/internal/spans"
 )
 
 // Hub bundles one Registry and one Journal with the simulation clock they
@@ -22,6 +24,12 @@ type Hub struct {
 	mu    sync.RWMutex
 	clock func() float64
 	nc    *metrics.NetCounters
+
+	// tracer is the optional span tracer (see internal/spans). It rides
+	// an atomic pointer so hot paths read it with one load, and it is
+	// kept off the Hub's public surface: components reach it through
+	// Spans(), which is nil-safe like everything else here.
+	tracer atomic.Pointer[spans.Tracer]
 }
 
 // NewHub returns a hub with an empty registry and a journal retaining the
@@ -82,6 +90,28 @@ func (h *Hub) Record(rec Record) {
 	}
 	rec.Tick = h.Now()
 	h.Journal.Append(rec)
+}
+
+// SetSpans attaches a span tracer to the hub and slaves the tracer's
+// clock to the hub clock, so spans and journal records share one
+// timebase (model time in simulation, wall seconds in daemons). Passing
+// nil detaches tracing; on a nil hub this is a no-op.
+func (h *Hub) SetSpans(t *spans.Tracer) {
+	if h == nil {
+		return
+	}
+	t.SetClock(h.Now)
+	h.tracer.Store(t)
+}
+
+// Spans returns the attached tracer, or nil (also on a nil hub). The
+// returned *spans.Tracer is itself nil-safe, so callers may chain
+// h.Spans().Start(...) unconditionally.
+func (h *Hub) Spans() *spans.Tracer {
+	if h == nil {
+		return nil
+	}
+	return h.tracer.Load()
 }
 
 // BindNetCounters attaches the deployment layer's counter block. The same

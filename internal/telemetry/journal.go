@@ -27,6 +27,10 @@ const (
 	// KindAdmission is one admission-control tick: the sampled health
 	// signals and the degradation-ladder state they produced.
 	KindAdmission Kind = "admission"
+	// KindSLO is one service-level-objective burn observation: an SLO's
+	// multi-window burn rates and alert state (recorded on alert
+	// transitions and on a sparse heartbeat, never every tick).
+	KindSLO Kind = "slo"
 )
 
 // ThrotloopEvent records one feedback-controller observation (ρ, z, B).
@@ -95,6 +99,24 @@ type AdmissionEvent struct {
 	ZCap float64 `json:"z_cap"`
 }
 
+// SLOEvent records one SLO burn observation: the measured value against
+// its target, the short- and long-window burn rates (error-budget
+// consumption speed: 1.0 = exactly on budget), and whether the
+// multi-window alert is firing.
+type SLOEvent struct {
+	Name string `json:"name"`
+	// Value is the sampled indicator; Target its configured bound; Good
+	// whether this tick met the objective.
+	Value  float64 `json:"value"`
+	Target float64 `json:"target"`
+	Good   bool    `json:"good"`
+	// BurnShort/BurnLong are the burn rates over the two windows;
+	// Alerting is the multi-window verdict (both windows over threshold).
+	BurnShort float64 `json:"burn_short"`
+	BurnLong  float64 `json:"burn_long"`
+	Alerting  bool    `json:"alerting"`
+}
+
 // Record is one journal entry. Exactly one of the event pointers is
 // non-nil, selected by Kind. Seq is assigned by the journal; Tick is the
 // simulation time of the decision (never wall clock in simulation mode).
@@ -108,6 +130,7 @@ type Record struct {
 	Assign      *AssignEvent      `json:"assign,omitempty"`
 	Net         *NetEvent         `json:"net,omitempty"`
 	Admission   *AdmissionEvent   `json:"admission,omitempty"`
+	SLO         *SLOEvent         `json:"slo,omitempty"`
 }
 
 // Journal is a bounded in-memory ring of decision records with an

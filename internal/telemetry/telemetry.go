@@ -452,7 +452,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		cum := int64(0)
 		for i, b := range h.Bounds {
 			cum += h.Counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", n, formatFloat(b), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", n, escapeLabel(formatFloat(b)), cum); err != nil {
 				return err
 			}
 		}
@@ -468,4 +468,37 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a Prometheus label value per the text exposition
+// format: backslash, double-quote, and newline must be backslash-escaped
+// (exposition-format spec §"Comments, help text, and type information").
+// Today's only label values are formatted floats, which never contain
+// those bytes, but every label write goes through here so a future
+// label (an SLO name, a shard tag) cannot corrupt the exposition.
+func escapeLabel(s string) string {
+	needs := false
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == '\\' || c == '"' || c == '\n' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return s
+	}
+	buf := make([]byte, 0, len(s)+4)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '"':
+			buf = append(buf, '\\', '"')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return string(buf)
 }

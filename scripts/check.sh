@@ -80,4 +80,7 @@ sh scripts/obs_smoke.sh
 echo "== admission smoke (degradation ladder round trip over sockets) =="
 sh scripts/admission_smoke.sh
 
+echo "== spans smoke (trace endpoint, ledger conservation, SLO gauges) =="
+sh scripts/spans_smoke.sh
+
 echo "check: OK"
