@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt-gate wiring-guard doc-gate build test race fuzz-smoke chaos bench-smoke shard-smoke policy-smoke obs-smoke obs-demo allocs-gate saturate-smoke admission-smoke spans-smoke bench-report bench-report-obs bench-report-shard bench-report-policy bench-report-saturate bench-report-admission bench-report-spans clean
+.PHONY: check vet fmt-gate wiring-guard doc-gate build test race fuzz-smoke chaos bench-smoke shard-smoke policy-smoke obs-smoke obs-demo allocs-gate saturate-smoke admission-smoke spans-smoke plan-smoke bench-report bench-report-obs bench-report-shard bench-report-policy bench-report-saturate bench-report-admission bench-report-spans bench-report-plan clean
 
-check: vet fmt-gate wiring-guard doc-gate build race allocs-gate fuzz-smoke chaos bench-smoke shard-smoke policy-smoke saturate-smoke obs-smoke admission-smoke spans-smoke
+check: vet fmt-gate wiring-guard doc-gate build race allocs-gate fuzz-smoke chaos bench-smoke shard-smoke policy-smoke saturate-smoke obs-smoke admission-smoke spans-smoke plan-smoke
 
 vet:
 	$(GO) vet ./...
@@ -109,6 +109,11 @@ admission-smoke:
 spans-smoke:
 	sh scripts/spans_smoke.sh
 
+# Capacity-planner smoke: liraplan over a tiny grid — a feasible,
+# replay-verified plan with a stable schema and a byte-identical rerun.
+plan-smoke:
+	sh scripts/plan_smoke.sh
+
 # Interactive observability demo: boots lirad with /metrics and
 # /debug/lira (plus pprof) on :17401 and leaves it running — curl away,
 # ^C to stop. See README "Observability" for a sample session.
@@ -151,6 +156,11 @@ bench-report-admission:
 # the output-identity and export-determinism verdicts.
 bench-report-spans:
 	$(GO) run ./cmd/lirabench -spansoverhead -spansjson BENCH_PR8.json
+
+# Regenerate the capacity-plan artifact: the default K × z × policy grid
+# over the full scenario catalog against the default SLO.
+bench-report-plan:
+	$(GO) run ./cmd/liraplan -q -json BENCH_PR9.json
 
 clean:
 	$(GO) clean ./...

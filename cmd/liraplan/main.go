@@ -1,0 +1,157 @@
+// Command liraplan is the deterministic capacity planner: given a fleet
+// size, a baseline report rate, and an SLO, it sweeps shard count K ×
+// throttle clamp z × controlplane policy across the named scenario
+// catalog (SCENARIOS.md) and reports the cheapest configuration whose
+// worst case still meets the SLO.
+//
+// Usage:
+//
+//	liraplan                                  # default grid, plan table on stdout
+//	liraplan -nodes 2000 -rate 200 \
+//	         -slo-p99ms 2500 -slo-inacc 8 -slo-rung warning
+//	liraplan -json BENCH_PR9.json             # also write the JSON artifact
+//	liraplan -scenarios blackout,query-churn  # restrict the catalog
+//	liraplan -ks 1,2,4,8 -zclamps 1,0.7,0.4   # widen the grid
+//
+// Every run is a pure function of (seed, flags): the same invocation
+// emits a byte-identical artifact, and the recommendation is re-simulated
+// in-process before it is reported (the "verified" field).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lira/internal/plan"
+)
+
+func main() {
+	var (
+		nodes   = flag.Int("nodes", 2000, "fleet size (mobile nodes)")
+		rate    = flag.Float64("rate", 0, "baseline aggregate report rate, updates/tick (0 = nodes/10)")
+		service = flag.Float64("service", 0, "per-shard drain capacity, updates/tick (0 = rate: one shard exactly keeps up with the baseline)")
+		side    = flag.Float64("side", 6000, "monitored square side, meters")
+		seed    = flag.Uint64("seed", 1, "scenario + thinning seed")
+		regions = flag.Int("l", 13, "shedding-region count L")
+
+		ks      = flag.String("ks", "1,2,4", "comma-separated shard counts to sweep")
+		zclamps = flag.String("zclamps", "1,0.7,0.4", "comma-separated throttle clamps to sweep")
+		pols    = flag.String("policies", "", "comma-separated controlplane policies (empty = all)")
+		scens   = flag.String("scenarios", "", "comma-separated catalog scenarios (empty = all; see SCENARIOS.md)")
+
+		sloP99   = flag.Float64("slo-p99ms", 2500, "SLO: p99 modeled Evaluate latency bound, ms")
+		sloInacc = flag.Float64("slo-inacc", 8, "SLO: query-weighted mean inaccuracy bound, meters")
+		sloRung  = flag.String("slo-rung", "warning", "SLO: maximum admission rung (healthy|warning|shed|critical)")
+
+		jsonOut = flag.String("json", "", "write the BENCH_PR9 JSON artifact to this path")
+		quiet   = flag.Bool("q", false, "suppress per-cell progress on stderr")
+	)
+	flag.Parse()
+	if err := run(*nodes, *rate, *service, *side, *seed, *regions,
+		*ks, *zclamps, *pols, *scens, *sloP99, *sloInacc, *sloRung, *jsonOut, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "liraplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nodes int, rate, service, side float64, seed uint64, regions int,
+	ks, zclamps, pols, scens string, sloP99, sloInacc float64, sloRung, jsonOut string, quiet bool) error {
+	if rate <= 0 {
+		rate = float64(nodes) / 10
+		if rate < 1 {
+			rate = 1
+		}
+	}
+	rung, err := plan.RungFromName(sloRung)
+	if err != nil {
+		return err
+	}
+	shards, err := parseInts(ks)
+	if err != nil {
+		return fmt.Errorf("-ks: %w", err)
+	}
+	clamps, err := parseFloats(zclamps)
+	if err != nil {
+		return fmt.Errorf("-zclamps: %w", err)
+	}
+	cfg := plan.Config{
+		Nodes:           nodes,
+		Rate:            rate,
+		ServicePerShard: service,
+		SpaceSide:       side,
+		Seed:            seed,
+		L:               regions,
+		Shards:          shards,
+		ZClamps:         clamps,
+		Policies:        splitList(pols),
+		Scenarios:       splitList(scens),
+		Objective:       plan.SLO{P99LatencyMS: sloP99, MaxInaccuracyM: sloInacc, MaxRung: rung},
+	}
+	if !quiet {
+		cfg.Progress = func(done, total int, o *plan.Outcome) {
+			fmt.Fprintf(os.Stderr, "\r[%d/%d] K=%d z=%.2f %s %s        ",
+				done, total, o.Shards, o.ZClamp, o.Policy, o.Scenario)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	rep, err := plan.Plan(cfg)
+	if err != nil {
+		return err
+	}
+	rep.Command = strings.Join(append([]string{"liraplan"}, os.Args[1:]...), " ")
+	if jsonOut != "" {
+		data, err := rep.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (feasible=%v verified=%v)\n", jsonOut, rep.Feasible, rep.Verified)
+	}
+	_, err = os.Stdout.WriteString(rep.Table())
+	return err
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

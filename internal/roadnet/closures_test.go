@@ -1,0 +1,97 @@
+package roadnet
+
+import (
+	"testing"
+
+	"lira/internal/rng"
+)
+
+// TestTopVolumeEdges: returns even twin ids, sorted by volume descending,
+// deterministically.
+func TestTopVolumeEdges(t *testing.T) {
+	net := Generate(Config{Seed: 7})
+	top := net.TopVolumeEdges(10)
+	if len(top) != 10 {
+		t.Fatalf("got %d ids, want 10", len(top))
+	}
+	for i, id := range top {
+		if id%2 != 0 {
+			t.Errorf("id %d at rank %d is an odd twin", id, i)
+		}
+		if i > 0 && net.Edges[top[i-1]].Volume < net.Edges[id].Volume {
+			t.Errorf("rank %d volume %v > rank %d volume %v", i,
+				net.Edges[id].Volume, i-1, net.Edges[top[i-1]].Volume)
+		}
+	}
+	again := net.TopVolumeEdges(10)
+	for i := range top {
+		if top[i] != again[i] {
+			t.Fatalf("TopVolumeEdges not deterministic at rank %d: %d vs %d", i, top[i], again[i])
+		}
+	}
+	if got := net.TopVolumeEdges(len(net.Edges) * 2); len(got) != len(net.Edges)/2 {
+		t.Errorf("oversized k returned %d ids, want %d", len(got), len(net.Edges)/2)
+	}
+}
+
+// TestWithClosures: the clone zeroes both twins of each closed road,
+// leaves the original untouched, keeps geometry identical, and routing on
+// the clone never picks a closed edge except as a forced U-turn.
+func TestWithClosures(t *testing.T) {
+	net := Generate(Config{Seed: 7})
+	closedIDs := net.TopVolumeEdges(5)
+	closed := net.WithClosures(closedIDs)
+
+	for _, id := range closedIDs {
+		if closed.Edges[id].Volume != 0 || closed.Edges[closed.Edges[id].Reverse].Volume != 0 {
+			t.Errorf("edge %d or its twin still has volume on the clone", id)
+		}
+		if net.Edges[id].Volume == 0 {
+			t.Errorf("original edge %d was mutated", id)
+		}
+	}
+	if len(closed.Edges) != len(net.Edges) || len(closed.Nodes) != len(net.Nodes) {
+		t.Fatal("clone changed topology size")
+	}
+	for i := range closed.Edges {
+		if closed.Edges[i].From != net.Edges[i].From ||
+			closed.Edges[i].To != net.Edges[i].To ||
+			closed.Edges[i].Length != net.Edges[i].Length {
+			t.Fatalf("edge %d geometry differs between clone and original", i)
+		}
+	}
+
+	isClosed := make(map[int]bool, 2*len(closedIDs))
+	for _, id := range closedIDs {
+		isClosed[id] = true
+		isClosed[closed.Edges[id].Reverse] = true
+	}
+	r := rng.New(3)
+	for trial := 0; trial < 2000; trial++ {
+		e := closed.SampleEdge(r)
+		if isClosed[e] {
+			t.Fatalf("SampleEdge drew closed edge %d", e)
+		}
+		next := closed.NextEdge(e, r)
+		if isClosed[next] && next != closed.Edges[e].Reverse {
+			t.Fatalf("NextEdge chose closed edge %d from %d (not a forced U-turn)", next, e)
+		}
+		if ml := closed.MostLikelyNext(e); isClosed[ml] && ml != closed.Edges[e].Reverse {
+			t.Fatalf("MostLikelyNext chose closed edge %d from %d", ml, e)
+		}
+	}
+
+	// Closing the busiest roads must change at least one deterministic
+	// routing decision — that divergence is what breaks dead-reckoning
+	// predictions in the rush-hour scenario.
+	same := true
+	for e := 0; e < len(net.Edges); e++ {
+		if net.MostLikelyNext(e) != closed.MostLikelyNext(e) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("closing the top-5 roads changed no routing decision anywhere")
+	}
+}

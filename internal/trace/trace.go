@@ -118,6 +118,17 @@ func (s *Source) Config() Config { return s.cfg }
 // Tick returns the number of Step calls since the last Reset.
 func (s *Source) Tick() int { return s.tick }
 
+// SetNetwork swaps the road network mid-run — the mechanism behind
+// road-closure scenarios, where traffic volumes change (closed roads drop
+// to zero) while the geometry stays fixed. The new network must share the
+// old one's topology: identical edge ids, endpoints, and lengths (e.g. a
+// roadnet.WithClosures clone), otherwise car edge/offset state becomes
+// meaningless. Determinism is preserved: the swap consumes no randomness,
+// and a re-run swapping at the same tick replays identically.
+func (s *Source) SetNetwork(net *roadnet.Network) {
+	s.net = net
+}
+
 // Positions returns the current car positions. The returned slice is owned
 // by the source and is overwritten by Step; callers must not retain it
 // across steps.

@@ -1,0 +1,101 @@
+package workload
+
+import "fmt"
+
+// Phase is one linear segment of a rate envelope: over Ticks ticks the
+// aggregate report rate moves linearly from From to To (updates per
+// emitted tick). A flat segment has From == To.
+type Phase struct {
+	From, To float64
+	Ticks    int
+}
+
+// Envelope is a piecewise-linear aggregate-rate schedule — the shape of
+// an overload. It generalizes the flash crowd's hard-coded
+// base → ramp → peak-hold → decay profile so the scenario catalog can
+// express variants (double peaks, cliffs, slow burns) purely in config,
+// with no new generator code. Rate is a pure function of the phase list,
+// so two generators sharing an envelope and a seed emit byte-identical
+// schedules.
+type Envelope []Phase
+
+// Validate checks that every phase has a positive length and non-negative
+// rates.
+func (e Envelope) Validate() error {
+	if len(e) == 0 {
+		return fmt.Errorf("workload: empty envelope")
+	}
+	for i, p := range e {
+		if p.Ticks <= 0 {
+			return fmt.Errorf("workload: envelope phase %d has non-positive length %d", i, p.Ticks)
+		}
+		if p.From < 0 || p.To < 0 {
+			return fmt.Errorf("workload: envelope phase %d has negative rate", i)
+		}
+	}
+	return nil
+}
+
+// Ticks returns the total envelope length (the sum of phase lengths).
+func (e Envelope) Ticks() int {
+	total := 0
+	for _, p := range e {
+		total += p.Ticks
+	}
+	return total
+}
+
+// Base returns the rate before the first phase begins (the first phase's
+// starting rate), or 0 for an empty envelope.
+func (e Envelope) Base() float64 {
+	if len(e) == 0 {
+		return 0
+	}
+	return e[0].From
+}
+
+// Peak returns the highest rate the envelope reaches.
+func (e Envelope) Peak() float64 {
+	peak := 0.0
+	for _, p := range e {
+		if p.From > peak {
+			peak = p.From
+		}
+		if p.To > peak {
+			peak = p.To
+		}
+	}
+	return peak
+}
+
+// Rate returns the aggregate rate at tick t: Base before the envelope
+// starts, linear interpolation inside each phase (phase p spanning ticks
+// (start, start+p.Ticks] reaches p.To exactly at its last tick), and the
+// final phase's To rate after the envelope ends.
+func (e Envelope) Rate(t int) float64 {
+	if len(e) == 0 {
+		return 0
+	}
+	if t <= 0 {
+		return e[0].From
+	}
+	start := 0
+	for _, p := range e {
+		if t <= start+p.Ticks {
+			return p.From + (p.To-p.From)*float64(t-start)/float64(p.Ticks)
+		}
+		start += p.Ticks
+	}
+	return e[len(e)-1].To
+}
+
+// RampHoldDecay builds the canonical flash-crowd envelope: a linear climb
+// from base to peak over ramp ticks, a hold at peak for hold ticks, and a
+// linear decay back to base over decay ticks.
+func RampHoldDecay(base, peak float64, ramp, hold, decay int) Envelope {
+	return Envelope{
+		{From: base, To: peak, Ticks: ramp},
+		{From: peak, To: peak, Ticks: hold},
+		{From: peak, To: base, Ticks: decay},
+	}
+}

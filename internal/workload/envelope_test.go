@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"testing"
+
+	"lira/internal/geo"
+)
+
+// TestEnvelopeRate: the piecewise-linear schedule interpolates inside
+// phases, holds flat segments, and clamps to the boundary rates outside
+// the envelope.
+func TestEnvelopeRate(t *testing.T) {
+	e := RampHoldDecay(10, 40, 10, 5, 20)
+	if got := e.Rate(-3); got != 10 {
+		t.Errorf("Rate(-3) = %v, want base 10", got)
+	}
+	if got := e.Rate(5); got != 25 {
+		t.Errorf("Rate(5) = %v, want mid-ramp 25", got)
+	}
+	if got := e.Rate(12); got != 40 {
+		t.Errorf("Rate(12) = %v, want hold 40", got)
+	}
+	if got := e.Rate(25); got != 25 {
+		t.Errorf("Rate(25) = %v, want mid-decay 25", got)
+	}
+	if got := e.Rate(99); got != 10 {
+		t.Errorf("Rate(99) = %v, want trailing base 10", got)
+	}
+	if got := e.Ticks(); got != 35 {
+		t.Errorf("Ticks = %d, want 35", got)
+	}
+	if got := e.Base(); got != 10 {
+		t.Errorf("Base = %v, want 10", got)
+	}
+	if got := e.Peak(); got != 40 {
+		t.Errorf("Peak = %v, want 40", got)
+	}
+}
+
+// TestEnvelopeValidate: empty envelopes, non-positive phase lengths, and
+// negative rates are rejected.
+func TestEnvelopeValidate(t *testing.T) {
+	if err := (Envelope{}).Validate(); err == nil {
+		t.Error("empty envelope should fail validation")
+	}
+	if err := (Envelope{{From: 1, To: 2, Ticks: 0}}).Validate(); err == nil {
+		t.Error("zero-length phase should fail validation")
+	}
+	if err := (Envelope{{From: -1, To: 2, Ticks: 5}}).Validate(); err == nil {
+		t.Error("negative rate should fail validation")
+	}
+	if err := RampHoldDecay(1, 4, 2, 2, 2).Validate(); err != nil {
+		t.Errorf("canonical envelope failed validation: %v", err)
+	}
+}
+
+// TestFlashCrowdCustomEnvelope: a double-peak profile expressed purely in
+// config drives the generator — no new code per variant — and the
+// emission counts track the schedule.
+func TestFlashCrowdCustomEnvelope(t *testing.T) {
+	space := geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	env := Envelope{
+		{From: 10, To: 40, Ticks: 5},
+		{From: 40, To: 10, Ticks: 5},
+		{From: 10, To: 40, Ticks: 5},
+		{From: 40, To: 10, Ticks: 5},
+	}
+	f, err := NewFlashCrowd(space, FlashCrowdConfig{Nodes: 100, Envelope: env, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Ticks(); got != env.Ticks()+2 {
+		t.Fatalf("Ticks = %d, want %d", got, env.Ticks()+2)
+	}
+	if got := f.Rate(5); got != 40 {
+		t.Errorf("Rate(5) = %v, want first peak 40", got)
+	}
+	if got := f.Rate(10); got != 10 {
+		t.Errorf("Rate(10) = %v, want trough 10", got)
+	}
+	if got := f.Rate(15); got != 40 {
+		t.Errorf("Rate(15) = %v, want second peak 40", got)
+	}
+	counts := make([]int, f.Ticks())
+	for tick := 0; tick < f.Ticks(); tick++ {
+		f.Emit(float64(tick), func(int, geo.Point, geo.Vector) { counts[tick]++ })
+	}
+	// Emission counts are round(Rate(t)).
+	for _, tk := range []int{5, 10, 15} {
+		if want := int(f.Rate(tk) + 0.5); counts[tk] != want {
+			t.Errorf("tick %d emitted %d reports, want %d", tk, counts[tk], want)
+		}
+	}
+	// A malformed explicit envelope is rejected at construction.
+	if _, err := NewFlashCrowd(space, FlashCrowdConfig{
+		Nodes: 10, Envelope: Envelope{{From: 1, To: 1, Ticks: -1}},
+	}); err == nil {
+		t.Error("NewFlashCrowd accepted a malformed envelope")
+	}
+}

@@ -24,11 +24,16 @@ type FlashCrowdConfig struct {
 	// emitted tick, before and at the height of the crowd. BaseRate zero
 	// selects Nodes/10; PeakRate zero selects 4×BaseRate.
 	BaseRate, PeakRate float64
-	// RampTicks, HoldTicks, DecayTicks shape the envelope: rate climbs
-	// linearly from BaseRate to PeakRate over RampTicks, holds at
+	// RampTicks, HoldTicks, DecayTicks shape the default envelope: rate
+	// climbs linearly from BaseRate to PeakRate over RampTicks, holds at
 	// PeakRate for HoldTicks, then decays linearly back over DecayTicks.
-	// Zeros select 20/20/30.
+	// Zeros select 20/20/30. Ignored when Envelope is set explicitly.
 	RampTicks, HoldTicks, DecayTicks int
+	// Envelope overrides the canonical ramp-hold-decay profile with an
+	// arbitrary piecewise-linear rate schedule, so catalog variants
+	// (double peaks, cliffs, slow burns) are pure config. Empty selects
+	// RampHoldDecay(BaseRate, PeakRate, RampTicks, HoldTicks, DecayTicks).
+	Envelope Envelope
 	// Speed is the node speed magnitude (units per second). Zero selects
 	// one percent of the space diagonal per second.
 	Speed float64
@@ -64,6 +69,10 @@ func (c *FlashCrowdConfig) fillDefaults(space geo.Rect) {
 			Dist(geo.Point{X: space.MaxX, Y: space.MaxY})
 		c.Speed = diag / 100
 	}
+	if len(c.Envelope) == 0 {
+		c.Envelope = RampHoldDecay(c.BaseRate, c.PeakRate,
+			c.RampTicks, c.HoldTicks, c.DecayTicks)
+	}
 }
 
 // FlashCrowd is a deterministic overload generator. Each call to Emit
@@ -85,12 +94,15 @@ type FlashCrowd struct {
 }
 
 // NewFlashCrowd builds a generator over space. It returns an error when
-// the population is non-positive.
+// the population is non-positive or an explicit envelope is malformed.
 func NewFlashCrowd(space geo.Rect, cfg FlashCrowdConfig) (*FlashCrowd, error) {
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("workload: flash crowd needs a positive population, got %d", cfg.Nodes)
 	}
 	cfg.fillDefaults(space)
+	if err := cfg.Envelope.Validate(); err != nil {
+		return nil, err
+	}
 	f := &FlashCrowd{
 		cfg:   cfg,
 		space: space,
@@ -115,30 +127,17 @@ func NewFlashCrowd(space geo.Rect, cfg FlashCrowdConfig) (*FlashCrowd, error) {
 // Hotspot returns the crowd's convergence point.
 func (f *FlashCrowd) Hotspot() geo.Point { return f.hotspot }
 
-// Ticks returns the total envelope length: ramp + hold + decay, plus one
-// leading and one trailing base-rate tick.
+// Ticks returns the total envelope length, plus one leading and one
+// trailing baseline tick.
 func (f *FlashCrowd) Ticks() int {
-	return f.cfg.RampTicks + f.cfg.HoldTicks + f.cfg.DecayTicks + 2
+	return f.cfg.Envelope.Ticks() + 2
 }
 
-// Rate returns the envelope's aggregate report rate at tick t: BaseRate
-// before the ramp, a linear climb to PeakRate, a hold, a linear decay,
-// and BaseRate after.
+// Rate returns the envelope's aggregate report rate at tick t: the
+// envelope's base before it starts, the piecewise-linear schedule inside
+// it, and its final rate after.
 func (f *FlashCrowd) Rate(t int) float64 {
-	c := &f.cfg
-	switch {
-	case t <= 0:
-		return c.BaseRate
-	case t <= c.RampTicks:
-		return c.BaseRate + (c.PeakRate-c.BaseRate)*float64(t)/float64(c.RampTicks)
-	case t <= c.RampTicks+c.HoldTicks:
-		return c.PeakRate
-	case t <= c.RampTicks+c.HoldTicks+c.DecayTicks:
-		into := t - c.RampTicks - c.HoldTicks
-		return c.PeakRate - (c.PeakRate-c.BaseRate)*float64(into)/float64(c.DecayTicks)
-	default:
-		return c.BaseRate
-	}
+	return f.cfg.Envelope.Rate(t)
 }
 
 // Emit advances one tick and calls emit once per report this tick
@@ -152,7 +151,7 @@ func (f *FlashCrowd) Emit(now float64, emit func(node int, pos geo.Point, vel ge
 	rate := f.Rate(t)
 	n := int(rate + 0.5)
 	crowdN := int(float64(f.cfg.Nodes) * f.cfg.HotspotFrac)
-	surge := rate > f.cfg.BaseRate
+	surge := rate > f.cfg.Envelope.Base()
 	for i := 0; i < n; i++ {
 		var node int
 		if surge && crowdN > 0 && f.r.Bool(f.cfg.HotspotFrac) {

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"lira/internal/geo"
+	"lira/internal/rng"
+)
+
+// Scenario is one named, seeded overload shape from the catalog: a closed
+// generator of position reports plus the continuous-query set they are
+// evaluated against. Every scenario is a pure function of
+// (space, nodes, rate, seed) — two instances built with equal arguments
+// emit byte-identical report and query sequences, the same reproducibility
+// contract every other subsystem honors. The driving contract: call Emit
+// exactly Ticks() times with now = float64(tick), tick = 0,1,2,…; one tick
+// models one second. Call Queries(tick) once per tick before Emit; it
+// returns (set, true) on ticks where the registered query set changes
+// (always at tick 0) and (nil, false) otherwise.
+type Scenario interface {
+	// Name returns the catalog name the scenario was built under.
+	Name() string
+	// Nodes returns the population size (node ids are 0..Nodes()-1).
+	Nodes() int
+	// Ticks returns the scenario length in ticks.
+	Ticks() int
+	// Emit produces this tick's position reports.
+	Emit(now float64, emit func(node int, pos geo.Point, vel geo.Vector))
+	// Queries returns the query set taking effect at tick, or ok=false
+	// when the set is unchanged from the previous tick.
+	Queries(tick int) (qs []geo.Rect, ok bool)
+}
+
+// BuildFunc constructs a scenario instance over an origin-anchored square
+// space. rate is the target baseline aggregate report rate in updates per
+// tick; each scenario shapes its overload relative to it. seed drives all
+// randomness.
+type BuildFunc func(space geo.Rect, nodes int, rate float64, seed uint64) (Scenario, error)
+
+// ScenarioSpec is one catalog entry.
+type ScenarioSpec struct {
+	// Name is the stable catalog key (used by liraplan flags and docs).
+	Name string
+	// About is a one-line description of the overload shape.
+	About string
+	// Build constructs an instance.
+	Build BuildFunc
+}
+
+var catalog = map[string]ScenarioSpec{}
+
+// RegisterScenario adds a scenario to the catalog. It panics on duplicate
+// or empty names — registration happens in init, so a collision is a
+// programming error, not a runtime condition.
+func RegisterScenario(spec ScenarioSpec) {
+	if spec.Name == "" || spec.Build == nil {
+		panic("workload: scenario registration needs a name and a builder")
+	}
+	if _, dup := catalog[spec.Name]; dup {
+		panic("workload: duplicate scenario " + spec.Name)
+	}
+	catalog[spec.Name] = spec
+}
+
+// Catalog returns every registered scenario, sorted by name so iteration
+// order is deterministic.
+func Catalog() []ScenarioSpec {
+	specs := make([]ScenarioSpec, 0, len(catalog))
+	for _, s := range catalog {
+		specs = append(specs, s)
+	}
+	sort.Slice(specs, func(a, b int) bool { return specs[a].Name < specs[b].Name })
+	return specs
+}
+
+// BuildScenario instantiates the named catalog scenario.
+func BuildScenario(name string, space geo.Rect, nodes int, rate float64, seed uint64) (Scenario, error) {
+	spec, ok := catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown scenario %q (catalog: %v)", name, CatalogNames())
+	}
+	if nodes <= 0 {
+		return nil, fmt.Errorf("workload: scenario %q needs a positive population, got %d", name, nodes)
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("workload: scenario %q needs a positive rate, got %v", name, rate)
+	}
+	return spec.Build(space, nodes, rate, seed)
+}
+
+// CatalogNames returns the sorted catalog names.
+func CatalogNames() []string {
+	names := make([]string, 0, len(catalog))
+	for name := range catalog {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// heartbeatEvery converts a target aggregate rate into a per-node
+// heartbeat interval: with nodes reporting every h ticks (staggered by
+// node id), the aggregate is nodes/h ≈ rate.
+func heartbeatEvery(nodes int, rate float64) int {
+	h := int(float64(nodes)/rate + 0.5)
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// walkers is a population of random-walking nodes with lazy position
+// advance: a node's position is only rolled forward when it is observed,
+// consuming exactly (tick − lastObserved) draws from that node's private
+// rng stream. Observation order therefore cannot perturb trajectories —
+// the trick that keeps blackout reconnect herds byte-reproducible no
+// matter which nodes stayed silent.
+type walkers struct {
+	space geo.Rect
+	speed float64
+	pos   []geo.Point
+	vel   []geo.Vector
+	last  []int
+	rs    []*rng.Rand
+}
+
+func newWalkers(space geo.Rect, n int, speed float64, root *rng.Rand) *walkers {
+	w := &walkers{
+		space: space,
+		speed: speed,
+		pos:   make([]geo.Point, n),
+		vel:   make([]geo.Vector, n),
+		last:  make([]int, n),
+		rs:    make([]*rng.Rand, n),
+	}
+	place := root.Split(1)
+	for i := range w.pos {
+		w.pos[i] = geo.Point{
+			X: place.Range(space.MinX, space.MaxX),
+			Y: place.Range(space.MinY, space.MaxY),
+		}
+		w.rs[i] = root.Split(uint64(1000 + i))
+	}
+	return w
+}
+
+// at advances node i to tick and returns its position and velocity there.
+func (w *walkers) at(i, tick int) (geo.Point, geo.Vector) {
+	for w.last[i] < tick {
+		w.last[i]++
+		v := geo.Vector{
+			X: w.rs[i].Range(-w.speed, w.speed),
+			Y: w.rs[i].Range(-w.speed, w.speed),
+		}
+		w.pos[i] = w.space.ClampPoint(w.pos[i].Add(v))
+		w.vel[i] = v
+	}
+	return w.pos[i], w.vel[i]
+}
+
+// scenarioQueryCount sizes the registered query set relative to the
+// population, floored so tiny smoke-test populations still exercise
+// evaluation.
+func scenarioQueryCount(nodes int) int {
+	m := nodes / 25
+	if m < 8 {
+		m = 8
+	}
+	return m
+}

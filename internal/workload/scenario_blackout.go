@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"lira/internal/geo"
+	"lira/internal/rng"
+)
+
+func init() {
+	RegisterScenario(ScenarioSpec{
+		Name:  "blackout",
+		About: "citywide outage silences most of the fleet, then a reconnect herd floods the server",
+		Build: newBlackout,
+	})
+}
+
+// Blackout timeline: steady heartbeats, then an outage window during which
+// the affected fraction goes dark (they keep moving — the server just
+// stops hearing from them), then a reconnect flush where every affected
+// node transmits its buffered state within a few ticks. The flush is the
+// overload: affectedFrac·nodes/flushTicks reports per tick on top of the
+// recovered baseline — the thundering-herd shape a faultnet-style
+// transport partition produces when connectivity returns.
+const (
+	blackoutTicks        = 80
+	blackoutStart        = 25
+	blackoutEnd          = 45
+	blackoutFlushTicks   = 2
+	blackoutAffectedFrac = 0.6
+)
+
+type blackoutScenario struct {
+	walk      *walkers
+	beat      int
+	affectedN int
+	queries   []geo.Rect
+}
+
+func newBlackout(space geo.Rect, nodes int, rate float64, seed uint64) (Scenario, error) {
+	root := rng.New(seed)
+	speed := space.Width() / 100
+	qs, err := GenerateQueries(space, nil, QueryConfig{
+		Count:      scenarioQueryCount(nodes),
+		SideLength: space.Width() / 16,
+		Seed:       seed + 0xb1ac,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &blackoutScenario{
+		walk:      newWalkers(space, nodes, speed, root),
+		beat:      heartbeatEvery(nodes, rate),
+		affectedN: int(float64(nodes) * blackoutAffectedFrac),
+		queries:   qs,
+	}, nil
+}
+
+func (s *blackoutScenario) Name() string { return "blackout" }
+func (s *blackoutScenario) Nodes() int   { return len(s.walk.pos) }
+func (s *blackoutScenario) Ticks() int   { return blackoutTicks }
+
+// OutageWindow reports the ticks during which affected nodes are dark —
+// exported for tests and docs so the timeline is not a magic number.
+func (s *blackoutScenario) OutageWindow() (start, end int) {
+	return blackoutStart, blackoutEnd
+}
+
+func (s *blackoutScenario) Emit(now float64, emit func(int, geo.Point, geo.Vector)) {
+	tick := int(now)
+	dark := tick >= blackoutStart && tick < blackoutEnd
+	flushing := tick >= blackoutEnd && tick < blackoutEnd+blackoutFlushTicks
+	for i := 0; i < len(s.walk.pos); i++ {
+		affected := i < s.affectedN
+		switch {
+		case affected && dark:
+			continue // node keeps moving; walkers advance it lazily on reconnect
+		case affected && flushing:
+			// Reconnect herd: node i flushes in slot i mod flushTicks.
+			if i%blackoutFlushTicks == tick-blackoutEnd {
+				pos, vel := s.walk.at(i, tick)
+				emit(i, pos, vel)
+			}
+		default:
+			if (tick+i)%s.beat == 0 {
+				pos, vel := s.walk.at(i, tick)
+				emit(i, pos, vel)
+			}
+		}
+	}
+}
+
+func (s *blackoutScenario) Queries(tick int) ([]geo.Rect, bool) {
+	if tick == 0 {
+		return s.queries, true
+	}
+	return nil, false
+}

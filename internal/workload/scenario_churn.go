@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"lira/internal/geo"
+	"lira/internal/rng"
+)
+
+func init() {
+	RegisterScenario(ScenarioSpec{
+		Name:  "query-churn",
+		About: "steady report load while the registered query set is replaced repeatedly — overload lands on re-registration, not ingest",
+		Build: newQueryChurn,
+	})
+}
+
+// Query-churn timeline: report load holds flat at the baseline rate the
+// whole run; the stress is control-plane-shaped instead. During the storm
+// window the entire query set is re-registered every churnPeriod ticks at
+// double the resting size — the pattern of a dashboard fleet redeploying
+// or an operator mass-editing geofences. Engines pay for it in query
+// (re)installation and partition rebuilds, which is exactly the cost axis
+// the other scenarios leave idle.
+const (
+	churnTicks      = 80
+	churnStormStart = 30
+	churnStormEnd   = 55
+	churnPeriod     = 3
+	churnStormScale = 2
+)
+
+type churnScenario struct {
+	space   geo.Rect
+	walk    *walkers
+	beat    int
+	seed    uint64
+	baseQs  []geo.Rect
+	queries int
+}
+
+func newQueryChurn(space geo.Rect, nodes int, rate float64, seed uint64) (Scenario, error) {
+	root := rng.New(seed)
+	qs, err := GenerateQueries(space, nil, QueryConfig{
+		Count:      scenarioQueryCount(nodes),
+		SideLength: space.Width() / 16,
+		Seed:       seed + 0xc4be,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &churnScenario{
+		space:   space,
+		walk:    newWalkers(space, nodes, space.Width()/100, root),
+		beat:    heartbeatEvery(nodes, rate),
+		seed:    seed,
+		baseQs:  qs,
+		queries: scenarioQueryCount(nodes),
+	}, nil
+}
+
+func (s *churnScenario) Name() string { return "query-churn" }
+func (s *churnScenario) Nodes() int   { return len(s.walk.pos) }
+func (s *churnScenario) Ticks() int   { return churnTicks }
+
+func (s *churnScenario) Emit(now float64, emit func(int, geo.Point, geo.Vector)) {
+	tick := int(now)
+	for i := 0; i < len(s.walk.pos); i++ {
+		if (tick+i)%s.beat == 0 {
+			pos, vel := s.walk.at(i, tick)
+			emit(i, pos, vel)
+		}
+	}
+}
+
+func (s *churnScenario) Queries(tick int) ([]geo.Rect, bool) {
+	switch {
+	case tick == 0:
+		return s.baseQs, true
+	case tick >= churnStormStart && tick < churnStormEnd && (tick-churnStormStart)%churnPeriod == 0:
+		// Each storm wave is an entirely fresh, larger set, deterministic
+		// in (seed, tick) so replays churn identically.
+		qs, err := GenerateQueries(s.space, nil, QueryConfig{
+			Count:      s.queries * churnStormScale,
+			SideLength: s.space.Width() / 16,
+			Seed:       s.seed + 0x5708 + uint64(tick),
+		})
+		if err != nil {
+			return nil, false // unreachable: config is validated at build
+		}
+		return qs, true
+	case tick == churnStormEnd:
+		return s.baseQs, true // storm over: settle back to the resting set
+	}
+	return nil, false
+}

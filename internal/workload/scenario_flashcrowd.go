@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"lira/internal/geo"
+)
+
+func init() {
+	RegisterScenario(ScenarioSpec{
+		Name:  "flash-crowd",
+		About: "canonical ramp-hold-decay surge converging on one hotspot (stadium letting out)",
+		Build: func(space geo.Rect, nodes int, rate float64, seed uint64) (Scenario, error) {
+			return newFlashCrowdScenario("flash-crowd", space, nodes, rate, seed, nil)
+		},
+	})
+	RegisterScenario(ScenarioSpec{
+		Name:  "flash-crowd-double",
+		About: "two back-to-back surges with a deceptive trough between them, pure envelope config",
+		Build: func(space geo.Rect, nodes int, rate float64, seed uint64) (Scenario, error) {
+			// The trough tempts the controller into relaxing early; the
+			// second, taller peak punishes it. Expressed entirely as an
+			// Envelope — no generator code beyond the canonical FlashCrowd.
+			env := Envelope{
+				{From: rate, To: 4 * rate, Ticks: 15},
+				{From: 4 * rate, To: 1.5 * rate, Ticks: 10},
+				{From: 1.5 * rate, To: 5 * rate, Ticks: 15},
+				{From: 5 * rate, To: 5 * rate, Ticks: 10},
+				{From: 5 * rate, To: rate, Ticks: 20},
+			}
+			return newFlashCrowdScenario("flash-crowd-double", space, nodes, rate, seed, env)
+		},
+	})
+}
+
+// flashCrowdScenario adapts FlashCrowd to the catalog interface: the crowd
+// generator supplies motion and load; the query set is fixed at tick 0.
+type flashCrowdScenario struct {
+	name    string
+	crowd   *FlashCrowd
+	queries []geo.Rect
+}
+
+func newFlashCrowdScenario(name string, space geo.Rect, nodes int, rate float64, seed uint64, env Envelope) (Scenario, error) {
+	crowd, err := NewFlashCrowd(space, FlashCrowdConfig{
+		Nodes:    nodes,
+		BaseRate: rate,
+		PeakRate: 4 * rate,
+		Envelope: env,
+		Seed:     seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	qs, err := GenerateQueries(space, nil, QueryConfig{
+		Count:      scenarioQueryCount(nodes),
+		SideLength: space.Width() / 16,
+		Seed:       seed + 0x71a5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &flashCrowdScenario{name: name, crowd: crowd, queries: qs}, nil
+}
+
+func (s *flashCrowdScenario) Name() string { return s.name }
+func (s *flashCrowdScenario) Nodes() int   { return s.crowd.cfg.Nodes }
+func (s *flashCrowdScenario) Ticks() int   { return s.crowd.Ticks() }
+
+func (s *flashCrowdScenario) Emit(now float64, emit func(int, geo.Point, geo.Vector)) {
+	s.crowd.Emit(now, emit)
+}
+
+func (s *flashCrowdScenario) Queries(tick int) ([]geo.Rect, bool) {
+	if tick == 0 {
+		return s.queries, true
+	}
+	return nil, false
+}

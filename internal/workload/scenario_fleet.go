@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"math"
+
+	"lira/internal/geo"
+	"lira/internal/rng"
+	"lira/internal/roadnet"
+	"lira/internal/trace"
+)
+
+func init() {
+	RegisterScenario(ScenarioSpec{
+		Name:  "mixed-fleet",
+		About: "pedestrians, road-bound cars, and fast drones share one server; a drone-heavy surge skews load toward the fastest movers",
+		Build: newMixedFleet,
+	})
+}
+
+// Mixed-fleet population split and dynamics. Pedestrians random-walk
+// slowly, cars follow the road network, drones fly straight lines and
+// bounce off the space boundary at many times road speed. During the
+// surge, report selection skews toward drones — fast movers defeat
+// dead-reckoning suppression first, so they dominate real overloads.
+const (
+	fleetPedFrac   = 0.5
+	fleetCarFrac   = 0.4
+	fleetPedSpeed  = 1.4  // m/s, walking pace
+	fleetDroneMin  = 15.0 // m/s
+	fleetDroneMax  = 30.0
+	fleetSurgeBias = 0.6 // fraction of surge reports drawn from drones
+)
+
+type mixedFleetScenario struct {
+	space geo.Rect
+	env   Envelope
+	r     *rng.Rand
+	tick  int
+
+	peds   *walkers
+	cars   *trace.Source
+	pedN   int
+	carN   int
+	droneN int
+
+	dronePos []geo.Point
+	droneVel []geo.Vector
+
+	queries []geo.Rect
+}
+
+func newMixedFleet(space geo.Rect, nodes int, rate float64, seed uint64) (Scenario, error) {
+	pedN := int(float64(nodes) * fleetPedFrac)
+	carN := int(float64(nodes) * fleetCarFrac)
+	droneN := nodes - pedN - carN
+	if pedN < 1 || carN < 1 || droneN < 1 {
+		pedN, carN, droneN = 1, 1, nodes-2
+		if droneN < 1 {
+			droneN = 1
+			pedN = nodes - 2*droneN
+			if pedN < 1 {
+				pedN, carN, droneN = nodes, 0, 0
+			}
+		}
+	}
+	root := rng.New(seed)
+	side := space.Width()
+	if space.Height() < side {
+		side = space.Height()
+	}
+	var cars *trace.Source
+	if carN > 0 {
+		net := roadnet.Generate(roadnet.Config{
+			Side:            side,
+			GridStep:        side / 24,
+			ArterialEvery:   4,
+			ExpresswayEvery: 8,
+			Centers:         2,
+			CenterRadius:    side / 6,
+			Seed:            seed + 0xf1ee,
+		})
+		cars = trace.NewSource(net, trace.Config{N: carN, Seed: seed + 0xca5})
+	}
+	droneR := root.Split(2)
+	dronePos := make([]geo.Point, droneN)
+	droneVel := make([]geo.Vector, droneN)
+	for i := range dronePos {
+		dronePos[i] = geo.Point{
+			X: droneR.Range(space.MinX, space.MaxX),
+			Y: droneR.Range(space.MinY, space.MaxY),
+		}
+		speed := droneR.Range(fleetDroneMin, fleetDroneMax)
+		dir := droneR.Range(0, 2*math.Pi)
+		droneVel[i] = geo.Vector{X: speed * math.Cos(dir), Y: speed * math.Sin(dir)}
+	}
+	env := Envelope{
+		{From: rate, To: rate, Ticks: 15},
+		{From: rate, To: 3 * rate, Ticks: 20},
+		{From: 3 * rate, To: 3 * rate, Ticks: 15},
+		{From: 3 * rate, To: rate, Ticks: 15},
+	}
+	s := &mixedFleetScenario{
+		space:    space,
+		env:      env,
+		r:        root.Split(3),
+		peds:     newWalkers(space, pedN, fleetPedSpeed, root),
+		cars:     cars,
+		pedN:     pedN,
+		carN:     carN,
+		droneN:   droneN,
+		dronePos: dronePos,
+		droneVel: droneVel,
+	}
+	var positions []geo.Point
+	if cars != nil {
+		positions = cars.Positions()
+	}
+	qs, err := GenerateQueries(space, positions, QueryConfig{
+		Count:        scenarioQueryCount(nodes),
+		SideLength:   side / 16,
+		Distribution: Proportional,
+		Seed:         seed + 0xd0e,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.queries = qs
+	return s, nil
+}
+
+func (s *mixedFleetScenario) Name() string { return "mixed-fleet" }
+func (s *mixedFleetScenario) Nodes() int   { return s.pedN + s.carN + s.droneN }
+func (s *mixedFleetScenario) Ticks() int   { return s.env.Ticks() + 2 }
+
+func (s *mixedFleetScenario) Emit(now float64, emit func(int, geo.Point, geo.Vector)) {
+	t := s.tick
+	s.tick++
+	if s.cars != nil {
+		s.cars.Step(1)
+	}
+	for i := range s.dronePos {
+		p := s.dronePos[i].Add(s.droneVel[i])
+		// Reflect off the boundary so drones stay in the space.
+		if p.X < s.space.MinX || p.X > s.space.MaxX {
+			s.droneVel[i].X = -s.droneVel[i].X
+		}
+		if p.Y < s.space.MinY || p.Y > s.space.MaxY {
+			s.droneVel[i].Y = -s.droneVel[i].Y
+		}
+		s.dronePos[i] = s.space.ClampPoint(s.dronePos[i].Add(s.droneVel[i]))
+	}
+
+	rate := s.env.Rate(t)
+	n := int(rate + 0.5)
+	surge := rate > s.env.Base()
+	for k := 0; k < n; k++ {
+		var node int
+		switch {
+		case surge && s.droneN > 0 && s.r.Bool(fleetSurgeBias):
+			node = s.pedN + s.carN + s.r.Intn(s.droneN)
+		default:
+			node = s.r.Intn(s.Nodes())
+		}
+		switch {
+		case node < s.pedN:
+			pos, vel := s.peds.at(node, t)
+			emit(node, pos, vel)
+		case node < s.pedN+s.carN:
+			i := node - s.pedN
+			emit(node, s.cars.Positions()[i], s.cars.Velocities()[i])
+		default:
+			i := node - s.pedN - s.carN
+			emit(node, s.dronePos[i], s.droneVel[i])
+		}
+	}
+}
+
+func (s *mixedFleetScenario) Queries(tick int) ([]geo.Rect, bool) {
+	if tick == 0 {
+		return s.queries, true
+	}
+	return nil, false
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"lira/internal/geo"
+	"lira/internal/roadnet"
+	"lira/internal/routemodel"
+	"lira/internal/trace"
+)
+
+func init() {
+	RegisterScenario(ScenarioSpec{
+		Name:  "rush-hour-closure",
+		About: "road-following fleet; closing the busiest roads mid-run breaks route predictions and triggers a report storm",
+		Build: newRushHour,
+	})
+}
+
+// Rush-hour timeline and calibration constants. The closure lands a third
+// of the way in so the planner sees a calm baseline, a developing storm,
+// and a long closed-network tail.
+const (
+	rushHourTicks   = 90
+	rushHourCloseAt = rushHourTicks / 3
+	// rushHourClosureFrac closes the busiest fraction of roads — the
+	// arteries that carry (and whose volumes steer) most of the fleet, so
+	// stale predictions keep routing into roads real traffic now avoids.
+	rushHourClosureFrac = 0.15
+	// rushHourDelta is the route-model suppression threshold in meters:
+	// small enough that closure-induced mispredictions fire within ~10
+	// ticks at arterial speeds, large enough that ordinary probabilistic
+	// branching stays mostly suppressed.
+	rushHourDelta = 200
+)
+
+// rushHourScenario drives a trace.Source fleet over a generated road
+// network while each car runs a client-side routemodel.Reckoner that keeps
+// predicting on the ORIGINAL network. At rushHourCloseAt the source swaps
+// to a WithClosures clone — traffic diverts around the closed arteries,
+// the stale predictions walk off the real trajectories, and suppression
+// failures surge into a report storm that decays as reckoners refresh.
+type rushHourScenario struct {
+	space   geo.Rect
+	source  *trace.Source
+	closed  *roadnet.Network
+	recks   []*routemodel.Reckoner
+	started bool
+	beat    int
+	ticks   int
+	queries []geo.Rect
+}
+
+func newRushHour(space geo.Rect, nodes int, rate float64, seed uint64) (Scenario, error) {
+	side := space.Width()
+	if space.Height() < side {
+		side = space.Height()
+	}
+	net := roadnet.Generate(roadnet.Config{
+		Side:            side,
+		GridStep:        side / 24,
+		ArterialEvery:   4,
+		ExpresswayEvery: 8,
+		Centers:         3,
+		CenterRadius:    side / 6,
+		Seed:            seed + 0xad,
+	})
+	source := trace.NewSource(net, trace.Config{N: nodes, Seed: seed + 0xcab})
+	pred := routemodel.NewPredictor(net) // predictions stay on the pre-closure network
+	recks := make([]*routemodel.Reckoner, nodes)
+	for i := range recks {
+		recks[i] = routemodel.NewReckoner(pred)
+	}
+	qs, err := GenerateQueries(space, source.Positions(), QueryConfig{
+		Count:        scenarioQueryCount(nodes),
+		SideLength:   side / 16,
+		Distribution: Proportional,
+		Seed:         seed + 0x9e37,
+	})
+	if err != nil {
+		return nil, err
+	}
+	closures := int(float64(len(net.Edges)/2) * rushHourClosureFrac)
+	if closures < 4 {
+		closures = 4
+	}
+	return &rushHourScenario{
+		space:   space,
+		source:  source,
+		closed:  net.WithClosures(net.TopVolumeEdges(closures)),
+		recks:   recks,
+		beat:    heartbeatEvery(nodes, rate),
+		ticks:   rushHourTicks,
+		queries: qs,
+	}, nil
+}
+
+func (s *rushHourScenario) Name() string { return "rush-hour-closure" }
+func (s *rushHourScenario) Nodes() int   { return s.source.N() }
+func (s *rushHourScenario) Ticks() int   { return s.ticks }
+
+func (s *rushHourScenario) Emit(now float64, emit func(int, geo.Point, geo.Vector)) {
+	tick := s.source.Tick()
+	if !s.started {
+		// Tick 0: every car transmits its initial route-model report.
+		s.started = true
+		for i := range s.recks {
+			edge, offset := s.source.EdgeState(i)
+			s.recks[i].Start(edge, offset, s.source.Speed(i), now)
+			emit(i, s.source.Positions()[i], s.source.Velocities()[i])
+		}
+		s.source.Step(1)
+		return
+	}
+	if tick == rushHourCloseAt {
+		s.source.SetNetwork(s.closed)
+	}
+	pos, vel := s.source.Positions(), s.source.Velocities()
+	for i := range s.recks {
+		edge, offset := s.source.EdgeState(i)
+		if _, send := s.recks[i].Observe(edge, offset, s.source.Speed(i), pos[i], now, rushHourDelta); send {
+			emit(i, pos[i], vel[i])
+			continue
+		}
+		if (tick+i)%s.beat == 0 { // staggered keep-alive baseline
+			emit(i, pos[i], vel[i])
+		}
+	}
+	s.source.Step(1)
+}
+
+func (s *rushHourScenario) Queries(tick int) ([]geo.Rect, bool) {
+	if tick == 0 {
+		return s.queries, true
+	}
+	return nil, false
+}

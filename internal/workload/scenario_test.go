@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"lira/internal/geo"
+)
+
+func scenarioSpace() geo.Rect {
+	return geo.Rect{MinX: 0, MinY: 0, MaxX: 6000, MaxY: 6000}
+}
+
+// runScenario drives a scenario through its full contract and returns an
+// FNV-1a digest of everything it produced: every query rectangle on every
+// changed tick and every (tick, node, pos, vel) report, in order.
+func runScenario(t *testing.T, name string, seed uint64) (digest uint64, reports []int) {
+	t.Helper()
+	s, err := BuildScenario(name, scenarioSpace(), 400, 40, seed)
+	if err != nil {
+		t.Fatalf("BuildScenario(%q): %v", name, err)
+	}
+	h := fnv.New64a()
+	word := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	f := func(v float64) { word(math.Float64bits(v)) }
+	reports = make([]int, s.Ticks())
+	for tick := 0; tick < s.Ticks(); tick++ {
+		if qs, ok := s.Queries(tick); ok {
+			word(uint64(tick))
+			word(uint64(len(qs)))
+			for _, q := range qs {
+				f(q.MinX)
+				f(q.MinY)
+				f(q.MaxX)
+				f(q.MaxY)
+			}
+		} else if qs != nil {
+			t.Fatalf("%s: Queries(%d) returned a set with ok=false", name, tick)
+		}
+		s.Emit(float64(tick), func(node int, pos geo.Point, vel geo.Vector) {
+			reports[tick]++
+			word(uint64(tick))
+			word(uint64(node))
+			f(pos.X)
+			f(pos.Y)
+			f(vel.X)
+			f(vel.Y)
+			if node < 0 || node >= s.Nodes() {
+				t.Fatalf("%s: node id %d outside [0,%d)", name, node, s.Nodes())
+			}
+			if !scenarioSpace().ContainsClosed(pos) {
+				t.Fatalf("%s: position %v outside the space", name, pos)
+			}
+		})
+	}
+	return h.Sum64(), reports
+}
+
+// TestScenarioCatalogComplete: the catalog holds the six named scenarios in
+// sorted order and rejects unknown names and bad arguments.
+func TestScenarioCatalogComplete(t *testing.T) {
+	want := []string{
+		"blackout", "flash-crowd", "flash-crowd-double",
+		"mixed-fleet", "query-churn", "rush-hour-closure",
+	}
+	got := CatalogNames()
+	if len(got) != len(want) {
+		t.Fatalf("catalog = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("catalog = %v, want %v", got, want)
+		}
+	}
+	for _, spec := range Catalog() {
+		if spec.About == "" {
+			t.Errorf("scenario %q has no About line", spec.Name)
+		}
+	}
+	if _, err := BuildScenario("no-such", scenarioSpace(), 10, 1, 1); err == nil {
+		t.Error("unknown scenario name did not error")
+	}
+	if _, err := BuildScenario("blackout", scenarioSpace(), 0, 1, 1); err == nil {
+		t.Error("zero population did not error")
+	}
+	if _, err := BuildScenario("blackout", scenarioSpace(), 10, 0, 1); err == nil {
+		t.Error("zero rate did not error")
+	}
+}
+
+// TestScenarioDeterminism: for every catalog scenario and three seeds, two
+// independently built instances produce byte-identical report and query
+// streams, and a different seed produces a different stream.
+func TestScenarioDeterminism(t *testing.T) {
+	for _, spec := range Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			var digests []uint64
+			for _, seed := range []uint64{1, 42, 31337} {
+				d1, _ := runScenario(t, spec.Name, seed)
+				d2, _ := runScenario(t, spec.Name, seed)
+				if d1 != d2 {
+					t.Fatalf("seed %d: replay digest %x != %x", seed, d2, d1)
+				}
+				digests = append(digests, d1)
+			}
+			if digests[0] == digests[1] && digests[1] == digests[2] {
+				t.Error("all three seeds produced identical streams — seed is ignored")
+			}
+		})
+	}
+}
+
+// TestScenarioShapes: each scenario's report-rate profile has the overload
+// shape its catalog entry promises.
+func TestScenarioShapes(t *testing.T) {
+	sum := func(r []int, lo, hi int) int {
+		total := 0
+		for t := lo; t < hi && t < len(r); t++ {
+			total += r[t]
+		}
+		return total
+	}
+	mean := func(r []int, lo, hi int) float64 {
+		if hi > len(r) {
+			hi = len(r)
+		}
+		if hi <= lo {
+			return 0
+		}
+		return float64(sum(r, lo, hi)) / float64(hi-lo)
+	}
+
+	t.Run("rush-hour-closure", func(t *testing.T) {
+		_, r := runScenario(t, "rush-hour-closure", 7)
+		calm := mean(r, 10, rushHourCloseAt)
+		storm := mean(r, rushHourCloseAt+5, rushHourCloseAt+25)
+		// The keep-alive heartbeat floor is common to both windows; the
+		// storm is the sustained excess above it. Over the 20-tick window
+		// the closures must force an extra report from a sizeable fraction
+		// of the 400-car fleet.
+		if extra := (storm - calm) * 20; extra < 0.15*400 {
+			t.Errorf("closure storm adds only %.0f reports over 20 ticks (calm %.1f/tick, storm %.1f/tick)",
+				extra, calm, storm)
+		}
+	})
+	t.Run("blackout", func(t *testing.T) {
+		_, r := runScenario(t, "blackout", 7)
+		before := mean(r, 5, blackoutStart)
+		dark := mean(r, blackoutStart, blackoutEnd)
+		flush := mean(r, blackoutEnd, blackoutEnd+blackoutFlushTicks)
+		if dark >= before*(1-blackoutAffectedFrac/2) {
+			t.Errorf("outage rate %.1f/tick did not drop from baseline %.1f/tick", dark, before)
+		}
+		if flush < 2*before {
+			t.Errorf("reconnect herd %.1f/tick not clearly above baseline %.1f/tick", flush, before)
+		}
+	})
+	t.Run("flash-crowd-double", func(t *testing.T) {
+		s, err := BuildScenario("flash-crowd-double", scenarioSpace(), 400, 40, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc := s.(*flashCrowdScenario)
+		peak1, trough, peak2 := fc.crowd.Rate(15), fc.crowd.Rate(25), fc.crowd.Rate(40)
+		if !(peak1 > trough && peak2 > peak1) {
+			t.Errorf("double-peak envelope broken: %v, %v, %v", peak1, trough, peak2)
+		}
+	})
+	t.Run("query-churn", func(t *testing.T) {
+		s, err := BuildScenario("query-churn", scenarioSpace(), 400, 40, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		changes := 0
+		for tick := 0; tick < s.Ticks(); tick++ {
+			qs, ok := s.Queries(tick)
+			if !ok {
+				continue
+			}
+			changes++
+			if tick >= churnStormStart && tick < churnStormEnd && len(qs) != churnStormScale*scenarioQueryCount(400) {
+				t.Errorf("storm tick %d set has %d queries, want %d", tick, len(qs), churnStormScale*scenarioQueryCount(400))
+			}
+			if (tick < churnStormStart || tick >= churnStormEnd) && tick != 0 && tick != churnStormEnd {
+				t.Errorf("query set changed outside the storm at tick %d", tick)
+			}
+		}
+		if changes < 5 {
+			t.Errorf("only %d query-set changes across the run; storm missing", changes)
+		}
+	})
+	t.Run("mixed-fleet", func(t *testing.T) {
+		s, err := BuildScenario("mixed-fleet", scenarioSpace(), 400, 40, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet := s.(*mixedFleetScenario)
+		droneReports, total := 0, 0
+		for tick := 0; tick < s.Ticks(); tick++ {
+			s.Queries(tick)
+			s.Emit(float64(tick), func(node int, _ geo.Point, _ geo.Vector) {
+				total++
+				if node >= fleet.pedN+fleet.carN {
+					droneReports++
+				}
+			})
+		}
+		droneFrac := float64(fleet.droneN) / float64(s.Nodes())
+		if got := float64(droneReports) / float64(total); got < 2*droneFrac {
+			t.Errorf("drones are %.0f%% of the fleet but only %.0f%% of reports; surge bias missing",
+				droneFrac*100, got*100)
+		}
+	})
+}

@@ -54,6 +54,7 @@ import (
 	"lira/internal/motion"
 	"lira/internal/netsvc"
 	"lira/internal/partition"
+	"lira/internal/plan"
 	"lira/internal/roadnet"
 	"lira/internal/routemodel"
 	"lira/internal/shedding"
@@ -252,6 +253,49 @@ func NewTraceSource(net *RoadNetwork, cfg TraceConfig) *TraceSource {
 func GenerateQueries(space Rect, nodePositions []Point, cfg QueryConfig) ([]Rect, error) {
 	return workload.GenerateQueries(space, nodePositions, cfg)
 }
+
+// Scenario catalog and capacity planning (see SCENARIOS.md and
+// DESIGN.md §5j).
+type (
+	// Scenario is a named, seeded, byte-reproducible overload scenario.
+	Scenario = workload.Scenario
+	// ScenarioSpec is a catalog entry: name, description, constructor.
+	ScenarioSpec = workload.ScenarioSpec
+	// LoadEnvelope is a piece-wise-linear offered-rate envelope.
+	LoadEnvelope = workload.Envelope
+	// LoadPhase is one linear segment of a LoadEnvelope.
+	LoadPhase = workload.Phase
+	// PlanConfig parameterizes a capacity-planning sweep.
+	PlanConfig = plan.Config
+	// PlanSLO is the objective a plan must meet: p99 modeled Evaluate
+	// latency, query-weighted inaccuracy, and maximum admission rung.
+	PlanSLO = plan.SLO
+	// PlanReport is the sweep's full result (the BENCH_PR9 artifact).
+	PlanReport = plan.Report
+	// PlanCombo is one (K, z-clamp, policy) cell with its worst case.
+	PlanCombo = plan.Combo
+	// ScenarioOutcome is one scenario simulated under one combo.
+	ScenarioOutcome = plan.Outcome
+)
+
+// ScenarioCatalog lists every registered scenario, sorted by name.
+func ScenarioCatalog() []ScenarioSpec { return workload.Catalog() }
+
+// BuildScenario constructs a catalog scenario by name.
+func BuildScenario(name string, space Rect, nodes int, rate float64, seed uint64) (Scenario, error) {
+	return workload.BuildScenario(name, space, nodes, rate, seed)
+}
+
+// RampHoldDecay returns the canonical flash-crowd envelope: base →
+// peak over ramp ticks, hold, then decay back to base.
+func RampHoldDecay(base, peak float64, ramp, hold, decay int) LoadEnvelope {
+	return workload.RampHoldDecay(base, peak, ramp, hold, decay)
+}
+
+// PlanCapacity sweeps K × z-clamp × policy across the scenario catalog
+// and recommends the cheapest configuration meeting cfg.Objective; the
+// recommendation is re-simulated before it is reported (Report.Verified).
+func PlanCapacity(cfg PlanConfig) (*PlanReport, error) { return plan.Plan(cfg) }
 
 // Historic/snapshot query support and the road-network motion model.
 type (

@@ -83,4 +83,7 @@ sh scripts/admission_smoke.sh
 echo "== spans smoke (trace endpoint, ledger conservation, SLO gauges) =="
 sh scripts/spans_smoke.sh
 
+echo "== plan smoke (liraplan tiny grid; feasible + verified + byte-deterministic) =="
+sh scripts/plan_smoke.sh
+
 echo "check: OK"
