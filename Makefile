@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmt-gate wiring-guard doc-gate build test race fuzz-smoke chaos bench-smoke shard-smoke policy-smoke obs-smoke obs-demo allocs-gate saturate-smoke admission-smoke spans-smoke plan-smoke bench-report bench-report-obs bench-report-shard bench-report-policy bench-report-saturate bench-report-admission bench-report-spans bench-report-plan clean
+.PHONY: check vet fmt-gate wiring-guard doc-gate build test race fuzz-smoke chaos bench-smoke shard-smoke policy-smoke obs-smoke obs-demo allocs-gate saturate-smoke admission-smoke spans-smoke plan-smoke measured-smoke bench-report bench-report-obs bench-report-shard bench-report-policy bench-report-saturate bench-report-admission bench-report-spans bench-report-plan bench-report-measured clean
 
-check: vet fmt-gate wiring-guard doc-gate build race allocs-gate fuzz-smoke chaos bench-smoke shard-smoke policy-smoke saturate-smoke obs-smoke admission-smoke spans-smoke plan-smoke
+check: vet fmt-gate wiring-guard doc-gate build race allocs-gate fuzz-smoke chaos bench-smoke shard-smoke policy-smoke saturate-smoke obs-smoke admission-smoke spans-smoke plan-smoke measured-smoke
 
 vet:
 	$(GO) vet ./...
@@ -77,8 +77,9 @@ bench-smoke:
 shard-smoke:
 	$(GO) run ./cmd/lirabench -shards 1,4 -nodes 400 -duration 40
 
-# One-seed run of the §4-style policy comparison: LIRA vs the baseline
-# policies at equal throttle fraction over a spatially skewed workload.
+# One-seed run of the §4-style measured policy comparison: every registry
+# policy vs LIRA on measured E^C/E^P at equal throttle fraction, over the
+# road-network trace and a named scenario.
 policy-smoke:
 	$(GO) run ./cmd/lirabench -policy -nodes 600 -duration 60
 
@@ -114,6 +115,12 @@ spans-smoke:
 plan-smoke:
 	sh scripts/plan_smoke.sh
 
+# Measured-evaluation smoke: the shrunk measured policy comparison plus
+# liraplan -measured — schema-complete artifacts, lira no worse than the
+# region-oblivious baselines on measured E^C, byte-identical reruns.
+measured-smoke:
+	sh scripts/measured_smoke.sh
+
 # Interactive observability demo: boots lirad with /metrics and
 # /debug/lira (plus pprof) on :17401 and leaves it running — curl away,
 # ^C to stop. See README "Observability" for a sample session.
@@ -135,10 +142,13 @@ bench-report-obs:
 bench-report-shard:
 	$(GO) run ./cmd/lirabench -shards 1,2,4,8 -shardjson BENCH_PR4.json
 
-# Regenerate the policy-comparison artifact (modeled inaccuracy of LIRA
-# vs uniform-Δ vs single-Δ at equal z).
-bench-report-policy:
-	$(GO) run ./cmd/lirabench -policy -policyjson BENCH_PR5.json
+# Regenerate the measured policy-comparison artifact: every registry
+# policy's measured E^C/E^P per (workload, z) — the successor of the
+# modeled-objective BENCH_PR5 table.
+bench-report-policy: bench-report-measured
+
+bench-report-measured:
+	$(GO) run ./cmd/lirabench -policy -policyjson BENCH_PR10.json
 
 # Regenerate the ingest-saturation artifact: offered-rate ramp to the
 # knee plus the single-core per-update-vs-batched path comparison.

@@ -11,7 +11,7 @@
 //	lirabench -parallel 4              # 4 sweep workers, same tables
 //	lirabench -json BENCH_PR1.json     # serial-vs-parallel timing report
 //	lirabench -shards 1,2,4,8 -shardjson BENCH_PR4.json
-//	lirabench -policy -policyjson BENCH_PR5.json
+//	lirabench -policy -policyjson BENCH_PR10.json
 //	lirabench -exp fig9 -expshards 4   # same tables on the K=4 sharded engine
 //	lirabench -admission -admissionjson BENCH_PR7.json
 //
@@ -53,8 +53,8 @@ func main() {
 		obs      = flag.Bool("obs", false, "measure telemetry overhead and print the Evaluate-latency histogram and per-stage breakdown (embedded in the -json report when both are set)")
 		shards   = flag.String("shards", "", "shard-scaling mode: comma-separated shard counts (e.g. 1,2,4,8); compares shard.Server at each K against the unsharded server on one deterministic workload")
 		shardOut = flag.String("shardjson", "", "write the shard-scaling JSON report (BENCH_PR4.json) to this path; implies nothing unless -shards is set")
-		policy   = flag.Bool("policy", false, "policy-comparison mode: evaluate every control-plane shedding policy (single-delta, uniform-delta, uniform-grid, lira) over one warmed statistics grid at equal throttle fractions")
-		polOut   = flag.String("policyjson", "", "write the policy-comparison JSON report (BENCH_PR5.json) to this path; implies nothing unless -policy is set")
+		policy   = flag.Bool("policy", false, "measured policy-comparison mode: run every canonical-registry policy (random-drop through hysteresis) through full reference-vs-candidate simulations over the road trace and a flash-crowd scenario, reporting measured E^C/E^P at equal throttle fractions")
+		polOut   = flag.String("policyjson", "", "write the measured policy-comparison JSON report (BENCH_PR10.json) to this path; implies nothing unless -policy is set")
 		saturate = flag.Bool("saturate", false, "saturation mode: ramp the offered update rate against the batched ingest hot path and report achieved throughput, p99 Evaluate latency, and GC stats per step, plus the single-core per-update-vs-batch path comparison")
 		satOut   = flag.String("saturatejson", "", "write the saturation JSON report (BENCH_PR6.json) to this path; stdout when empty")
 		satBase  = flag.Float64("satbase", 100000, "saturation mode: offered rate of the first ramp step, updates/sec (doubles each step)")
@@ -113,14 +113,14 @@ func main() {
 	}
 
 	if *policy {
-		pNodes, pTicks := 2000, 120
+		pNodes, pTicks := 1200, 120
 		if *nodes > 0 {
 			pNodes = *nodes
 		}
 		if *duration > 0 {
 			pTicks = *duration
 		}
-		if err := runPolicyBench(pNodes, pTicks, 100, *seed, *polOut); err != nil {
+		if err := runPolicyBench(pNodes, pTicks, 22, *seed, *parallel, *polOut); err != nil {
 			fatal(err)
 		}
 		return

@@ -271,7 +271,7 @@ func TestTelemetryPassive(t *testing.T) {
 }
 
 func TestPoliciesCatalog(t *testing.T) {
-	want := []string{"single-delta", "uniform-delta", "uniform-grid", "lira"}
+	want := []string{"single-delta", "uniform-delta", "uniform-grid", "lira", "hysteresis"}
 	pols := Policies()
 	if len(pols) != len(want) {
 		t.Fatalf("got %d policies, want %d", len(pols), len(want))
@@ -280,6 +280,40 @@ func TestPoliciesCatalog(t *testing.T) {
 		if pol.Name() != want[i] {
 			t.Errorf("policy %d: got %s, want %s", i, pol.Name(), want[i])
 		}
+		if _, serverSide := pol.(AdmitProber); serverSide {
+			t.Errorf("policy %s: AdmitProber policies are not engine-enactable", pol.Name())
+		}
+	}
+}
+
+func TestRegistryViews(t *testing.T) {
+	names := RegisteredNames()
+	want := []string{"random-drop", "single-delta", "uniform-delta", "uniform-grid", "lira", "hysteresis"}
+	if len(names) != len(want) {
+		t.Fatalf("registry = %v, want %v", names, want)
+	}
+	for i, n := range names {
+		if n != want[i] {
+			t.Fatalf("registry = %v, want %v", names, want)
+		}
+	}
+	for _, reg := range Registered() {
+		pol, ok := NewPolicy(reg.Name)
+		if !ok {
+			t.Fatalf("NewPolicy(%q) not found", reg.Name)
+		}
+		if pol.Name() != reg.Name {
+			t.Errorf("NewPolicy(%q).Name() = %q", reg.Name, pol.Name())
+		}
+	}
+	if _, ok := NewPolicy("no-such-policy"); ok {
+		t.Error("NewPolicy accepted an unknown name")
+	}
+	// Stateful policies must come out as private instances.
+	a, _ := NewPolicy("hysteresis")
+	b, _ := NewPolicy("hysteresis")
+	if a.(*HysteresisPolicy) == b.(*HysteresisPolicy) {
+		t.Error("NewPolicy shared a stateful instance")
 	}
 }
 

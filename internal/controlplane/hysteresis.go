@@ -1,0 +1,138 @@
+package controlplane
+
+import (
+	"math"
+
+	"lira/internal/geo"
+	"lira/internal/partition"
+	"lira/internal/statgrid"
+	"lira/internal/throttler"
+)
+
+// Hysteresis defaults: hold the geometry while the throttle fraction
+// stays within ZTolerance of the one it was partitioned for and less than
+// ChurnFrac of the freshly drilled regions differ from the held ones.
+const (
+	defaultZTolerance = 0.1
+	defaultChurnFrac  = 0.5
+)
+
+// HysteresisPolicy damps region churn between adaptations. Each cycle it
+// drills a fresh GRIDREDUCE partitioning, but only adopts it when the
+// throttle fraction moved materially or the geometry diverged past a
+// churn threshold; otherwise it keeps the held region geometry, rebinding
+// its statistics to the current grid so GREEDYINCREMENT still assigns
+// thresholds against fresh densities. Damping the geometry keeps
+// base-station broadcasts and node-side index recompiles stable across
+// consecutive re-adaptations — the cost axis raw GRIDREDUCE ignores.
+//
+// The policy is stateful across adaptations by design (that is its whole
+// point), which is why the registry constructs a private instance per
+// consumer. Decisions remain deterministic: the held state is a pure
+// function of the adaptation sequence the instance has seen.
+type HysteresisPolicy struct {
+	// ZTolerance is how far z may drift from the held partitioning's z
+	// before a fresh geometry is adopted; ChurnFrac is the fraction of
+	// fresh regions that must differ from the held ones to force
+	// adoption. Zero values select the defaults.
+	ZTolerance float64
+	ChurnFrac  float64
+
+	held  *partition.Partitioning
+	heldZ float64
+}
+
+// NewHysteresisPolicy returns a hysteresis policy with default damping.
+func NewHysteresisPolicy() *HysteresisPolicy {
+	return &HysteresisPolicy{ZTolerance: defaultZTolerance, ChurnFrac: defaultChurnFrac}
+}
+
+// Name implements Policy.
+func (h *HysteresisPolicy) Name() string { return "hysteresis" }
+
+// Partition implements Policy: GRIDREDUCE with geometry damping.
+func (h *HysteresisPolicy) Partition(g *statgrid.Grid, z float64, env Env) (*partition.Partitioning, error) {
+	fresh, err := LiraPolicy{}.Partition(g, z, env)
+	if err != nil {
+		return nil, err
+	}
+	zTol, churnMax := h.ZTolerance, h.ChurnFrac
+	if zTol <= 0 {
+		zTol = defaultZTolerance
+	}
+	if churnMax <= 0 {
+		churnMax = defaultChurnFrac
+	}
+	if h.held != nil && math.Abs(z-h.heldZ) <= zTol && churnFraction(h.held, fresh) <= churnMax {
+		kept := rebindStats(h.held, g)
+		h.held = kept
+		return kept, nil
+	}
+	h.held, h.heldZ = fresh, z
+	return fresh, nil
+}
+
+// Assign implements Policy via GREEDYINCREMENT, like LiraPolicy.
+func (h *HysteresisPolicy) Assign(p *partition.Partitioning, z float64, env Env) (*throttler.Result, error) {
+	return LiraPolicy{}.Assign(p, z, env)
+}
+
+// churnFraction is the fraction of fresh regions whose geometry is absent
+// from the held partitioning. GRIDREDUCE rects are quad-tree aligned, so
+// exact rect equality is the right identity.
+func churnFraction(held, fresh *partition.Partitioning) float64 {
+	if len(fresh.Regions) == 0 {
+		return 0
+	}
+	have := make(map[geo.Rect]bool, len(held.Regions))
+	for _, r := range held.Regions {
+		have[r.Area] = true
+	}
+	changed := 0
+	for _, r := range fresh.Regions {
+		if !have[r.Area] {
+			changed++
+		}
+	}
+	return float64(changed) / float64(len(fresh.Regions))
+}
+
+// rebindStats keeps the held region geometry but recomputes every
+// region's (N, M, S) from the current grid, aggregating cells by center
+// containment — the same convention partition.Uniform uses.
+func rebindStats(held *partition.Partitioning, g *statgrid.Grid) *partition.Partitioning {
+	out := &partition.Partitioning{Space: held.Space}
+	out.Regions = make([]partition.Region, len(held.Regions))
+	for i, r := range held.Regions {
+		out.Regions[i] = partition.Region{Area: r.Area}
+	}
+	type agg struct{ n, m, sw, sn, cells float64 }
+	aggs := make([]agg, len(out.Regions))
+	alpha := g.Alpha()
+	for j := 0; j < alpha; j++ {
+		for i := 0; i < alpha; i++ {
+			ri := out.Locate(g.CellRect(i, j).Center())
+			if ri < 0 {
+				continue
+			}
+			n, m, s := g.Cell(i, j)
+			a := &aggs[ri]
+			a.n += n
+			a.m += m
+			a.sw += n * s
+			a.sn += s
+			a.cells++
+		}
+	}
+	for i := range out.Regions {
+		a := aggs[i]
+		s := 0.0
+		if a.n > 0 {
+			s = a.sw / a.n
+		} else if a.cells > 0 {
+			s = a.sn / a.cells
+		}
+		out.Regions[i].N, out.Regions[i].M, out.Regions[i].S = a.n, a.m, s
+	}
+	return out
+}

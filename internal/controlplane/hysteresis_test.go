@@ -1,0 +1,104 @@
+package controlplane
+
+import (
+	"testing"
+)
+
+func TestHysteresisHoldsGeometry(t *testing.T) {
+	g := warmGrid(5)
+	env := testEnv()
+	h := NewHysteresisPolicy()
+
+	first, err := h.Partition(g, 0.5, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same grid, same z: zero churn, zero z drift — the held geometry
+	// must survive (the returned cover is a rebind, not a fresh drill).
+	second, err := h.Partition(g, 0.5, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Regions) != len(second.Regions) {
+		t.Fatalf("held partitioning changed region count: %d -> %d",
+			len(first.Regions), len(second.Regions))
+	}
+	for i := range first.Regions {
+		if first.Regions[i].Area != second.Regions[i].Area {
+			t.Fatalf("region %d geometry changed with no churn and no z drift", i)
+		}
+	}
+
+	// A z move past ZTolerance must adopt a fresh drill-down for the new
+	// budget and re-anchor the deadband there.
+	if _, err := h.Partition(g, 0.2, env); err != nil {
+		t.Fatal(err)
+	}
+	if h.heldZ != 0.2 {
+		t.Fatalf("heldZ = %v after adoption, want 0.2", h.heldZ)
+	}
+
+	// A churn overflow must adopt too: with a near-zero churn threshold,
+	// any geometry difference against a freshly drilled cover passes
+	// through, so the held geometry equals the fresh drill's.
+	h2 := &HysteresisPolicy{ZTolerance: 1, ChurnFrac: 0.0001}
+	if _, err := h2.Partition(g, 0.5, env); err != nil {
+		t.Fatal(err)
+	}
+	g2 := warmGrid(99)
+	got, err := h2.Partition(g2, 0.5, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := LiraPolicy{}.Partition(g2, 0.5, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Regions) != len(fresh.Regions) {
+		t.Fatalf("churn overflow kept a stale cover: %d vs %d regions",
+			len(got.Regions), len(fresh.Regions))
+	}
+	for i := range fresh.Regions {
+		if got.Regions[i].Area != fresh.Regions[i].Area {
+			t.Fatalf("region %d: churn overflow kept stale geometry", i)
+		}
+	}
+
+	// Fresh instances never share state.
+	if NewHysteresisPolicy().held != nil {
+		t.Fatal("new instance holds state")
+	}
+}
+
+func TestHysteresisRebindTracksGrid(t *testing.T) {
+	env := testEnv()
+	h := NewHysteresisPolicy()
+	g := warmGrid(5)
+	if _, err := h.Partition(g, 0.5, env); err != nil {
+		t.Fatal(err)
+	}
+	held, err := h.Partition(g, 0.5, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebinding over the same grid must conserve total mass: the held
+	// cover is disjoint and space-filling, so Σ N over regions equals the
+	// grid total.
+	var totalN float64
+	for _, r := range held.Regions {
+		totalN += r.N
+	}
+	gridN, _ := g.Totals()
+	if diff := totalN - gridN; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("rebind lost node mass: regions Σ=%v grid=%v", totalN, gridN)
+	}
+
+	// Assign must run GREEDYINCREMENT over the held cover.
+	res, err := h.Assign(held, 0.5, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deltas) != len(held.Regions) {
+		t.Fatalf("%d deltas for %d regions", len(res.Deltas), len(held.Regions))
+	}
+}

@@ -19,11 +19,64 @@ type Policy interface {
 	Assign(p *partition.Partitioning, z float64, env Env) (*throttler.Result, error)
 }
 
-// Policies lists the built-in policies in comparison order: the paper's
-// baselines first, the full region-aware system last.
+// Policies lists the engine-enactable policies in comparison order: the
+// paper's baselines first, the full region-aware system and its
+// extensions last. It is a view of the canonical registry that excludes
+// AdmitProber policies — random drop sheds at the server, so an engine's
+// control plane cannot enact it. Instances are freshly constructed per
+// call: stateful policies (hysteresis) must never be shared between
+// engines.
 func Policies() []Policy {
-	return []Policy{SingleDeltaPolicy{}, UniformDeltaPolicy{}, UniformGridPolicy{}, LiraPolicy{}}
+	var out []Policy
+	for _, reg := range registry {
+		pol := reg.New()
+		if _, serverSide := pol.(AdmitProber); serverSide {
+			continue
+		}
+		out = append(out, pol)
+	}
+	return out
 }
+
+// AdmitProber marks policies that shed by server-side random admission
+// instead of source-side throttling: the base-station layer broadcasts
+// Δ⊢ everywhere and the server admits each arriving update with the
+// probability the policy returns. Configuration paths special-case these
+// policies — there is nothing for an engine's adaptation pipeline to
+// enact.
+type AdmitProber interface {
+	// AdmitProbability returns the server-side admission probability at
+	// throttle fraction z.
+	AdmitProbability(z float64) float64
+}
+
+// RandomDropPolicy is the paper's Random Drop baseline expressed on the
+// Policy axis: no source-side throttling at all — one space-wide region
+// at the curve's minimum threshold Δ⊢, with the server randomly admitting
+// a z fraction of the arrivals. It exists so every §4 strategy lives in
+// the one canonical registry; engines cannot enact it (see AdmitProber).
+type RandomDropPolicy struct{}
+
+// Name implements Policy.
+func (RandomDropPolicy) Name() string { return "random-drop" }
+
+// Partition implements Policy: the whole space as one region.
+func (RandomDropPolicy) Partition(g *statgrid.Grid, z float64, env Env) (*partition.Partitioning, error) {
+	return partition.Single(g), nil
+}
+
+// Assign implements Policy: Δ⊢ everywhere. The budget is always met —
+// random admission drops exactly the excess fraction by construction —
+// so the analytic feasibility check (which would compare f(Δ⊢) = 1
+// against z) is overridden.
+func (RandomDropPolicy) Assign(p *partition.Partitioning, z float64, env Env) (*throttler.Result, error) {
+	res := analyticResult(p.Stats(), []float64{env.Curve.MinDelta()}, z, env)
+	res.BudgetMet = true
+	return res, nil
+}
+
+// AdmitProbability implements AdmitProber: admit a z fraction.
+func (RandomDropPolicy) AdmitProbability(z float64) float64 { return z }
 
 // LiraPolicy is the paper's full region-aware pipeline: GRIDREDUCE
 // (α,l)-partitioning followed by GREEDYINCREMENT throttler setting.

@@ -1,0 +1,64 @@
+package controlplane
+
+// Registration is one entry of the canonical policy registry — the single
+// source of truth for every policy ordering the codebase exposes. Both
+// Policies() (the engine-enactable policies) and shedding.Kinds() (the
+// legacy strategy enum's comparison order, derived through LegacyKind)
+// are views of this one list, so the two can never drift apart.
+type Registration struct {
+	// Name is the registry key; it equals Policy.Name() of instances the
+	// entry constructs.
+	Name string
+	// LegacyKind is the shedding.Kind string this entry backs in the
+	// paper's original four-strategy comparison, or "" for policies that
+	// postdate the legacy enum. Note the paper's "uniform-delta" strategy
+	// maps to the single-delta policy (one space-wide threshold); the
+	// policy named "uniform-delta" (per-region copies of that threshold)
+	// has no legacy counterpart.
+	LegacyKind string
+	// New constructs a fresh policy instance. Policies may be stateful
+	// across adaptations (hysteresis holds its previous partitioning), so
+	// every consumer gets a private instance; for the stateless built-ins
+	// the constructor returns a zero-size value at no cost.
+	New func() Policy
+}
+
+// registry lists every policy in the paper's §4 comparison order:
+// region-oblivious baselines first, the full region-aware system after
+// them, post-paper extensions last.
+var registry = []Registration{
+	{Name: "random-drop", LegacyKind: "random-drop", New: func() Policy { return RandomDropPolicy{} }},
+	{Name: "single-delta", LegacyKind: "uniform-delta", New: func() Policy { return SingleDeltaPolicy{} }},
+	{Name: "uniform-delta", New: func() Policy { return UniformDeltaPolicy{} }},
+	{Name: "uniform-grid", LegacyKind: "lira-grid", New: func() Policy { return UniformGridPolicy{} }},
+	{Name: "lira", LegacyKind: "lira", New: func() Policy { return LiraPolicy{} }},
+	{Name: "hysteresis", New: func() Policy { return NewHysteresisPolicy() }},
+}
+
+// Registered returns a copy of the canonical registry in comparison
+// order. Measured comparisons iterate it directly — unlike Policies() it
+// includes the admission-probability policies that cannot be enacted
+// through an engine's control plane.
+func Registered() []Registration {
+	return append([]Registration(nil), registry...)
+}
+
+// RegisteredNames returns every registry name in comparison order.
+func RegisteredNames() []string {
+	names := make([]string, len(registry))
+	for i, reg := range registry {
+		names[i] = reg.Name
+	}
+	return names
+}
+
+// NewPolicy constructs a fresh instance of the named policy; ok is false
+// for names outside the registry.
+func NewPolicy(name string) (Policy, bool) {
+	for _, reg := range registry {
+		if reg.Name == name {
+			return reg.New(), true
+		}
+	}
+	return nil, false
+}

@@ -339,8 +339,13 @@ func TestPoliciesAgreeAcrossEngines(t *testing.T) {
 	warm(un)
 	warm(sh)
 	for _, pol := range controlplane.Policies() {
-		un.ControlPlane().SetPolicy(pol)
-		sh.ControlPlane().SetPolicy(pol)
+		// Stateful policies (hysteresis) must not be shared between
+		// engines: give each its own instance so held state from one
+		// engine's adaptations cannot leak into the other's.
+		upol, _ := controlplane.NewPolicy(pol.Name())
+		spol, _ := controlplane.NewPolicy(pol.Name())
+		un.ControlPlane().SetPolicy(upol)
+		sh.ControlPlane().SetPolicy(spol)
 		for _, z := range []float64{0.7, 0.4} {
 			ua, err := un.Adapt(z)
 			if err != nil {

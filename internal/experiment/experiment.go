@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"lira/internal/basestation"
+	"lira/internal/controlplane"
 	"lira/internal/cqserver"
 	"lira/internal/engine"
 	"lira/internal/fmodel"
@@ -136,8 +137,29 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 
 // RunConfig parameterizes one simulation run against an Env.
 type RunConfig struct {
-	// Strategy selects the shedding strategy.
+	// Strategy selects the shedding strategy by its legacy enum. It is
+	// the Kind-shaped view of Policy: when Policy is empty, the strategy
+	// resolves through the canonical registry to the policy that backs
+	// it. Ignored when Policy is set.
 	Strategy shedding.Kind
+	// Policy, when non-empty, selects any canonical-registry policy by
+	// name (controlplane.RegisteredNames lists them) — including
+	// post-paper policies like "hysteresis" that have no Strategy enum
+	// value. One fresh instance is constructed per run, so a stateful
+	// policy's damping spans the run's re-adaptations but never leaks
+	// across runs.
+	Policy string
+	// Workload, when non-empty, replaces the Env's road-network trace
+	// with the named internal/workload catalog scenario as the motion
+	// source: the same three-layer simulation, reference system, and
+	// measured metrics, driven by the scenario's overload trajectory.
+	// Requires Dt = 1 (scenario ticks are one second). The scenario seed
+	// is derived from Seed, so repeats sweep it like everything else.
+	Workload string
+	// WorkloadRate is the scenario's baseline aggregate report rate in
+	// updates per tick; 0 selects nodes/10. Only meaningful with
+	// Workload.
+	WorkloadRate float64
 	// Z is the throttle fraction.
 	Z float64
 	// L is the number of shedding regions; Alpha the statistics-grid
@@ -247,6 +269,12 @@ func (c *RunConfig) fillDefaults() {
 // Result summarizes one run.
 type Result struct {
 	Strategy shedding.Kind
+	// Policy is the registry name of the policy the run enacted (set
+	// whether the run was configured by Policy or by Strategy).
+	Policy string
+	// Workload names the catalog scenario that drove motion, or "" for
+	// the Env's road-network trace.
+	Workload string
 	Z        float64
 
 	// Metrics holds the §4.1 accuracy metrics against the Δ⊢ reference.
@@ -280,6 +308,35 @@ type Result struct {
 	Handoffs                 int64
 }
 
+// traffic is the motion-source slice of the simulation: the Env's
+// road-network trace by default, or a workload.Traffic scenario adapter
+// when RunConfig.Workload names one.
+type traffic interface {
+	Reset()
+	Step(dt float64)
+	Positions() []geo.Point
+	Velocities() []geo.Vector
+}
+
+// policyFor resolves the run's shedding policy: by registry name when
+// cfg.Policy is set, through the legacy Strategy enum otherwise. The
+// instance is fresh — private to the run.
+func policyFor(cfg RunConfig) (controlplane.Policy, error) {
+	if cfg.Policy != "" {
+		pol, ok := controlplane.NewPolicy(cfg.Policy)
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown policy %q (registry: %v)",
+				cfg.Policy, controlplane.RegisteredNames())
+		}
+		return pol, nil
+	}
+	pol, ok := shedding.PolicyForKind(cfg.Strategy)
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown strategy %v", cfg.Strategy)
+	}
+	return pol, nil
+}
+
 // Run executes one simulation against env. The env's trace source is
 // Reset; runs against one Env are sequential, never concurrent. To execute
 // runs in parallel, give each goroutine its own Env.Fork — every other
@@ -293,6 +350,10 @@ func Run(env *Env, cfg RunConfig) (*Result, error) {
 		if cfg.QueryCount < 1 {
 			cfg.QueryCount = 1
 		}
+	}
+	pol, err := policyFor(cfg)
+	if err != nil {
+		return nil, err
 	}
 	runRng := rng.New(cfg.Seed)
 	admitRng := runRng.Split(1)
@@ -326,7 +387,22 @@ func Run(env *Env, cfg RunConfig) (*Result, error) {
 		return nil, err
 	}
 
-	src := env.Src
+	var src traffic = env.Src
+	if cfg.Workload != "" {
+		if env.Cfg.Dt != 1 {
+			return nil, fmt.Errorf("experiment: workload %q needs Dt = 1, env has %v",
+				cfg.Workload, env.Cfg.Dt)
+		}
+		rate := cfg.WorkloadRate
+		if rate <= 0 {
+			rate = float64(n) / 10
+		}
+		tr, err := workload.NewTraffic(cfg.Workload, env.Space, n, rate, cfg.Seed^0x117a)
+		if err != nil {
+			return nil, err
+		}
+		src = tr
+	}
 	src.Reset()
 	dt := env.Cfg.Dt
 	minDelta := env.Cfg.MinDelta
@@ -375,14 +451,15 @@ func Run(env *Env, cfg RunConfig) (*Result, error) {
 	srvCand.RegisterQueries(queries)
 	srvRef.RegisterQueries(queries)
 
-	// Configure the shedding strategy.
+	// Configure the shedding policy. The same instance serves every
+	// re-adaptation below, so stateful policies damp across them.
 	shedOpts := shedding.Options{
 		L:        cfg.L,
 		Curve:    env.Curve,
 		Fairness: cfg.Fairness,
 		UseSpeed: cfg.UseSpeed,
 	}
-	out, err := shedding.Configure(cfg.Strategy, srvCand, cfg.Z, shedOpts)
+	out, err := shedding.ConfigurePolicy(pol, srvCand, cfg.Z, shedOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -415,7 +492,9 @@ func Run(env *Env, cfg RunConfig) (*Result, error) {
 	now = float64(cfg.WarmupTicks) * dt
 	pos, vel := src.Positions(), src.Velocities()
 	res := &Result{
-		Strategy:                 cfg.Strategy,
+		Strategy:                 out.Kind,
+		Policy:                   out.Policy,
+		Workload:                 cfg.Workload,
 		Z:                        cfg.Z,
 		ConfigElapsed:            out.Elapsed,
 		BudgetMet:                out.BudgetMet,
@@ -453,7 +532,7 @@ func Run(env *Env, cfg RunConfig) (*Result, error) {
 			srvCand.ObserveStatistics(pos, speeds)
 		}
 		if cfg.ReAdaptEvery > 0 && tick%cfg.ReAdaptEvery == 0 {
-			out, err = shedding.Configure(cfg.Strategy, srvCand, cfg.Z, shedOpts)
+			out, err = shedding.ConfigurePolicy(pol, srvCand, cfg.Z, shedOpts)
 			if err != nil {
 				return nil, err
 			}

@@ -216,8 +216,11 @@ func Figure3(env *Env, cfg RunConfig) (*Figure, *partition.Partitioning, error) 
 	return f, p, nil
 }
 
-// strategyLabels order the per-strategy columns of Figures 4–7.
-var strategyLabels = []shedding.Kind{shedding.RandomDrop, shedding.UniformDelta, shedding.LiraGrid, shedding.Lira}
+// strategyLabels order the per-strategy columns of Figures 4–7. The
+// order is shedding.Kinds() — itself a view of the canonical policy
+// registry — so the figures, the enum, and the registry share one
+// comparison order instead of three hand-maintained copies.
+var strategyLabels = shedding.Kinds()
 
 // Figures4and5 reproduces the throttle-fraction sweep under the
 // Proportional query distribution: mean position error (Figure 4) and mean

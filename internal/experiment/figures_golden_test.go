@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lira/internal/workload"
+)
+
+// goldenSweep is a fixed micro-sweep for the figure-regression golden: it
+// must never track tinySweep or QuickSweep — the golden pins the rendered
+// bytes of every paper figure across refactors of the harness, so its
+// parameters are frozen here.
+func goldenSweep() Sweep {
+	base := DefaultRunConfig()
+	base.L = 22
+	base.WarmupTicks = 40
+	base.DurationTicks = 120
+	base.EvalEvery = 30
+	return Sweep{
+		Base:       base,
+		Zs:         []float64{0.75, 0.4},
+		Ls:         []int{13, 49},
+		Fairness:   []float64{10, 95},
+		FairnessZs: []float64{0.5},
+		MOverNs:    []float64{0.01, 0.1},
+		Ws:         []float64{500, 1500},
+		Radii:      []float64{800, 1600},
+		Repeats:    2,
+	}
+}
+
+// renderGoldenFigures produces the rendered bytes of every deterministic
+// paper figure (Figure 14 is excluded: its rows are wall-clock
+// measurements; its structure is covered by TestFigure14Structure).
+func renderGoldenFigures(t *testing.T, env *Env, sw Sweep) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	Figure1(env).Render(&buf)
+	f3, _, err := Figure3(env, sw.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3.Render(&buf)
+	f4, f5, err := Figures4and5(env, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4.Render(&buf)
+	f5.Render(&buf)
+	for _, dist := range []workload.Distribution{workload.Inverse, workload.Random} {
+		f, err := Figure6or7(env, sw, dist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Render(&buf)
+	}
+	for _, gen := range []func(*Env, Sweep) (*Figure, error){
+		Figure8, Figure9, Figure10, Figure11, Figure12, Figure13, Table3,
+	} {
+		f, err := gen(env, sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Render(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestFiguresGolden pins the rendered output of Figures 1–13 and Table 3
+// byte-for-byte against testdata/figures_golden.txt. The golden was
+// generated before the harness moved onto the controlplane.Policy axis,
+// so a diff here means a refactor changed what the paper figures report.
+// Regenerate deliberately with UPDATE_FIGURES_GOLDEN=1.
+func TestFiguresGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep; skipped with -short")
+	}
+	env := tinyEnv(t)
+	got := renderGoldenFigures(t, env, goldenSweep())
+	path := filepath.Join("testdata", "figures_golden.txt")
+	if os.Getenv("UPDATE_FIGURES_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with UPDATE_FIGURES_GOLDEN=1 to generate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("figure output diverged from golden (%d vs %d bytes).\n"+
+			"If the change is intentional, regenerate with UPDATE_FIGURES_GOLDEN=1.\n--- got ---\n%s",
+			len(got), len(want), got)
+	}
+}
+
+// TestFigure14Structure covers the one figure the golden excludes: the
+// configuration-cost table's shape is deterministic even though its cells
+// are wall-clock milliseconds.
+func TestFigure14Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep; skipped with -short")
+	}
+	env := tinyEnv(t)
+	sw := goldenSweep()
+	sw.CostLs = []int{13, 49}
+	sw.CostAlphas = []int{32}
+	f, err := Figure14(env, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != len(sw.CostLs) {
+		t.Fatalf("fig14 rows = %d, want %d", len(f.Rows), len(sw.CostLs))
+	}
+	for i, l := range sw.CostLs {
+		if f.Rows[i][0] != float64(l) {
+			t.Errorf("row %d: l = %v, want %d", i, f.Rows[i][0], l)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package experiment
+
+import (
+	"fmt"
+
+	"lira/internal/controlplane"
+)
+
+// MeasuredConfig parameterizes a MeasuredComparison: the cross product
+// of workloads × throttle fractions × policies, each cell one full
+// reference-vs-candidate simulation.
+type MeasuredConfig struct {
+	// Base is the per-run template; Policy, Workload, and Z are
+	// overridden per cell (everything else — duration, L, seed, query
+	// shape — applies to every cell).
+	Base RunConfig
+	// Zs are the throttle fractions to measure at. Empty selects the
+	// Base Z alone.
+	Zs []float64
+	// Policies are registry names; empty selects every registered policy
+	// in comparison order.
+	Policies []string
+	// Workloads name the traffic sources: "" is the Env's road-network
+	// trace, anything else a workload catalog scenario. Empty selects
+	// {"" , "flash-crowd"} — the paper's trace plus one named overload.
+	Workloads []string
+	// Parallel is the worker count for the grid (≤0 selects GOMAXPROCS).
+	Parallel int
+}
+
+// MeasuredCell is one (workload, z, policy) measurement: the §4.1
+// accuracy metrics of a full simulated run, not the optimizer's modeled
+// objective.
+type MeasuredCell struct {
+	// Workload is "" for the road-network trace, else the scenario name.
+	Workload string  `json:"workload"`
+	Policy   string  `json:"policy"`
+	Z        float64 `json:"z"`
+	// EC and EP are the measured mean containment and position errors
+	// against the Δ⊢ reference.
+	EC float64 `json:"ec"`
+	EP float64 `json:"ep_m"`
+	// RelECLira and RelEPLira are this cell's errors relative to the
+	// lira policy's at the same (workload, z); 1 for lira itself, 0 when
+	// lira's error is 0.
+	RelECLira float64 `json:"rel_ec_lira"`
+	RelEPLira float64 `json:"rel_ep_lira"`
+	// AchievedFraction is admitted/reference update volume — how closely
+	// the realized shedding matched z.
+	AchievedFraction float64 `json:"achieved_fraction"`
+	// BudgetMet mirrors the optimizer's feasibility flag.
+	BudgetMet bool `json:"budget_met"`
+}
+
+// MeasuredComparison holds the full measured grid, cells ordered
+// workload-major, then z, then policy — the deterministic order the
+// cells were run in.
+type MeasuredComparison struct {
+	Workloads []string       `json:"workloads"`
+	Policies  []string       `json:"policies"`
+	Zs        []float64      `json:"zs"`
+	Cells     []MeasuredCell `json:"cells"`
+}
+
+// Measure runs the full measured comparison: for every workload, every
+// z, and every policy, one complete reference-vs-candidate simulation
+// (Run), with the measured E^C/E^P recorded per cell. Cells are
+// byte-deterministic per Base.Seed and independent of Parallel.
+func Measure(env *Env, cfg MeasuredConfig) (*MeasuredComparison, error) {
+	if len(cfg.Zs) == 0 {
+		base := cfg.Base
+		base.fillDefaults()
+		cfg.Zs = []float64{base.Z}
+	}
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = controlplane.RegisteredNames()
+	}
+	for _, name := range cfg.Policies {
+		if _, ok := controlplane.NewPolicy(name); !ok {
+			return nil, fmt.Errorf("experiment: unknown policy %q in measured comparison", name)
+		}
+	}
+	if len(cfg.Workloads) == 0 {
+		cfg.Workloads = []string{"", "flash-crowd"}
+	}
+	jobs := make([]RunConfig, 0, len(cfg.Workloads)*len(cfg.Zs)*len(cfg.Policies))
+	for _, w := range cfg.Workloads {
+		for _, z := range cfg.Zs {
+			for _, pol := range cfg.Policies {
+				c := cfg.Base
+				c.Workload = w
+				c.Z = z
+				c.Policy = pol
+				jobs = append(jobs, c)
+			}
+		}
+	}
+	results, err := runGrid(env, cfg.Parallel, jobs)
+	if err != nil {
+		return nil, err
+	}
+	mc := &MeasuredComparison{
+		Workloads: cfg.Workloads,
+		Policies:  cfg.Policies,
+		Zs:        cfg.Zs,
+		Cells:     make([]MeasuredCell, len(results)),
+	}
+	for i, res := range results {
+		mc.Cells[i] = MeasuredCell{
+			Workload:         jobs[i].Workload,
+			Policy:           jobs[i].Policy,
+			Z:                jobs[i].Z,
+			EC:               res.Metrics.MeanContainment,
+			EP:               res.Metrics.MeanPosition,
+			AchievedFraction: res.AchievedFraction,
+			BudgetMet:        res.BudgetMet,
+		}
+	}
+	// Relative-to-lira columns, per (workload, z) group.
+	for i := range mc.Cells {
+		c := &mc.Cells[i]
+		if lira, ok := mc.Cell(c.Workload, c.Z, "lira"); ok {
+			c.RelECLira = rel(c.EC, lira.EC)
+			c.RelEPLira = rel(c.EP, lira.EP)
+		}
+	}
+	return mc, nil
+}
+
+// Cell returns the cell at (workload, z, policy).
+func (m *MeasuredComparison) Cell(workload string, z float64, policy string) (MeasuredCell, bool) {
+	for _, c := range m.Cells {
+		if c.Workload == workload && c.Z == z && c.Policy == policy {
+			return c, true
+		}
+	}
+	return MeasuredCell{}, false
+}
+
+// LiraBeatsBaselines reports whether lira's measured containment error
+// is no worse than every region-oblivious baseline's (random-drop and
+// single-delta) at every measured (workload, z) — the paper's §4
+// headline, checked on measurements instead of the model.
+func (m *MeasuredComparison) LiraBeatsBaselines() bool {
+	for _, w := range m.Workloads {
+		for _, z := range m.Zs {
+			lira, ok := m.Cell(w, z, "lira")
+			if !ok {
+				return false
+			}
+			for _, base := range []string{"random-drop", "single-delta"} {
+				if b, ok := m.Cell(w, z, base); ok && lira.EC > b.EC {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMeasureGrid pins the measured comparison: full cell grid in
+// deterministic order, rel-to-lira columns anchored at 1, and parallel
+// execution byte-identical to serial.
+func TestMeasureGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-run grid; skipped in -short")
+	}
+	env := tinyEnv(t)
+	base := DefaultRunConfig()
+	base.L = 22
+	base.WarmupTicks = 20
+	base.DurationTicks = 60
+	base.EvalEvery = 20
+	cfg := MeasuredConfig{
+		Base:      base,
+		Zs:        []float64{0.6},
+		Policies:  []string{"random-drop", "single-delta", "lira", "hysteresis"},
+		Workloads: []string{"", "blackout"},
+		Parallel:  1,
+	}
+	serial, err := Measure(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(cfg.Workloads) * len(cfg.Zs) * len(cfg.Policies)
+	if len(serial.Cells) != wantCells {
+		t.Fatalf("cells = %d, want %d", len(serial.Cells), wantCells)
+	}
+	for _, w := range cfg.Workloads {
+		lira, ok := serial.Cell(w, 0.6, "lira")
+		if !ok {
+			t.Fatalf("missing lira cell for workload %q", w)
+		}
+		if lira.EC > 0 && lira.RelECLira != 1 {
+			t.Errorf("lira rel_ec = %v, want 1", lira.RelECLira)
+		}
+		rd, ok := serial.Cell(w, 0.6, "random-drop")
+		if !ok || rd.AchievedFraction <= 0 {
+			t.Errorf("workload %q: random-drop cell missing or empty: %+v", w, rd)
+		}
+	}
+	cfg.Parallel = 4
+	par, err := Measure(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Error("parallel measured grid diverged from serial")
+	}
+}

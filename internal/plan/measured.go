@@ -1,0 +1,186 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"lira/internal/controlplane"
+	"lira/internal/experiment"
+)
+
+// MeasuredSLO bounds the *measured* §4.1 accuracy of a full
+// reference-vs-candidate simulation, not the capacity model's modeled
+// inaccuracy: MaxEC caps the mean containment error (fraction of
+// query-result rows wrong against the Δ⊢ reference) and MaxEPM the mean
+// position error in meters.
+type MeasuredSLO struct {
+	MaxEC  float64 `json:"max_ec"`
+	MaxEPM float64 `json:"max_ep_m"`
+}
+
+// MeasuredPlanConfig parameterizes PlanMeasured. The caller supplies the
+// simulation environment (road network + calibrated f curve) and a base
+// RunConfig; the planner sweeps Zs × Policies, judging each combo by its
+// worst measured error across Workloads.
+type MeasuredPlanConfig struct {
+	// Env is the experiment environment every cell runs in.
+	Env *experiment.Env
+	// Base is the per-run template; Policy, Workload, and Z are
+	// overridden per cell.
+	Base experiment.RunConfig
+	// Zs are the throttle fractions to sweep, cheapest (lowest) first:
+	// a configuration that meets the SLO while admitting less traffic
+	// needs less capacity. Empty selects {0.3, 0.5, 0.7}.
+	Zs []float64
+	// Policies are registry names; empty selects every registered policy
+	// in comparison order.
+	Policies []string
+	// Workloads name the traffic sources judged against the SLO ("" is
+	// the road-network trace). Empty selects {"", "blackout"}.
+	Workloads []string
+	// Objective is the measured-error SLO.
+	Objective MeasuredSLO
+	// Parallel is the grid worker count (≤0 selects GOMAXPROCS).
+	Parallel int
+}
+
+// MeasuredCombo is one (z, policy) candidate with its per-workload
+// measured cells and worst-case errors.
+type MeasuredCombo struct {
+	Z        float64 `json:"z"`
+	Policy   string  `json:"policy"`
+	Feasible bool    `json:"feasible"`
+	// WorstEC / WorstEPM are the combo's worst measured errors across
+	// workloads — what the SLO is checked against.
+	WorstEC  float64                   `json:"worst_ec"`
+	WorstEPM float64                   `json:"worst_ep_m"`
+	Cells    []experiment.MeasuredCell `json:"cells"`
+}
+
+// MeasuredReport is the liraplan -measured artifact: the full measured
+// sweep, the recommendation, and the embedded replay verification.
+// Marshaling is deterministic — fixed field order, no maps, no
+// wall-clock fields — so equal (seed, config) runs emit byte-identical
+// artifacts.
+type MeasuredReport struct {
+	// Command records the invoking command line (set by liraplan).
+	Command string `json:"command"`
+
+	Nodes int    `json:"nodes"`
+	Seed  uint64 `json:"seed"`
+	L     int    `json:"regions"`
+
+	SLO       MeasuredSLO `json:"slo"`
+	Workloads []string    `json:"workloads"`
+	Policies  []string    `json:"policies"`
+	Zs        []float64   `json:"zs"`
+
+	Combos []*MeasuredCombo `json:"combos"`
+
+	// Feasible reports whether any combo met the SLO on every workload;
+	// Recommended is the cheapest such combo (sweep order). Verified is
+	// the embedded replay check: every cell of the recommendation was
+	// re-simulated and its measured errors matched exactly while still
+	// meeting the SLO.
+	Feasible    bool           `json:"feasible"`
+	Recommended *MeasuredCombo `json:"recommended"`
+	Verified    bool           `json:"verified"`
+}
+
+// meetsSLO checks one measured cell against the objective.
+func (s MeasuredSLO) meetsSLO(c experiment.MeasuredCell) bool {
+	return c.EC <= s.MaxEC && c.EP <= s.MaxEPM
+}
+
+// PlanMeasured sweeps throttle fraction × policy on *measured* error:
+// every cell is one full reference-vs-candidate simulation
+// (experiment.Measure), and a combo is feasible when its measured E^C
+// and E^P meet the SLO on every workload. The sweep order is
+// cheapest-first — z ascending (a config that satisfies the SLO while
+// admitting less traffic needs less downstream capacity), then policy
+// in controlplane registry order — and the first feasible combo is the
+// recommendation, replay-verified like the modeled planner's.
+func PlanMeasured(cfg MeasuredPlanConfig) (*MeasuredReport, error) {
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("plan: measured planning needs an experiment environment")
+	}
+	if len(cfg.Zs) == 0 {
+		cfg.Zs = []float64{0.3, 0.5, 0.7}
+	}
+	zs := append([]float64(nil), cfg.Zs...)
+	sort.Float64s(zs)
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = controlplane.RegisteredNames()
+	}
+	if len(cfg.Workloads) == 0 {
+		cfg.Workloads = []string{"", "blackout"}
+	}
+
+	mc, err := experiment.Measure(cfg.Env, experiment.MeasuredConfig{
+		Base:      cfg.Base,
+		Zs:        zs,
+		Policies:  cfg.Policies,
+		Workloads: cfg.Workloads,
+		Parallel:  cfg.Parallel,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &MeasuredReport{
+		Nodes:     cfg.Env.Cfg.Nodes,
+		Seed:      cfg.Base.Seed,
+		L:         cfg.Base.L,
+		SLO:       cfg.Objective,
+		Workloads: cfg.Workloads,
+		Policies:  cfg.Policies,
+		Zs:        zs,
+	}
+	for _, z := range zs {
+		for _, pol := range cfg.Policies {
+			combo := &MeasuredCombo{Z: z, Policy: pol, Feasible: true}
+			for _, w := range cfg.Workloads {
+				cell, ok := mc.Cell(w, z, pol)
+				if !ok {
+					return nil, fmt.Errorf("plan: missing measured cell (%q, %v, %q)", w, z, pol)
+				}
+				combo.Cells = append(combo.Cells, cell)
+				combo.Feasible = combo.Feasible && cfg.Objective.meetsSLO(cell)
+				if cell.EC > combo.WorstEC {
+					combo.WorstEC = cell.EC
+				}
+				if cell.EP > combo.WorstEPM {
+					combo.WorstEPM = cell.EP
+				}
+			}
+			rep.Combos = append(rep.Combos, combo)
+			if combo.Feasible && rep.Recommended == nil {
+				rep.Recommended = combo
+			}
+		}
+	}
+	rep.Feasible = rep.Recommended != nil
+
+	// Replay verification: re-run every cell of the recommendation
+	// through the single-run path and require the measured errors to
+	// reproduce exactly while still meeting the SLO.
+	if rep.Recommended != nil {
+		rep.Verified = true
+		for _, cell := range rep.Recommended.Cells {
+			run := cfg.Base
+			run.Workload = cell.Workload
+			run.Z = cell.Z
+			run.Policy = cell.Policy
+			res, err := experiment.Run(cfg.Env, run)
+			if err != nil {
+				return nil, err
+			}
+			if res.Metrics.MeanContainment != cell.EC ||
+				res.Metrics.MeanPosition != cell.EP ||
+				!cfg.Objective.meetsSLO(cell) {
+				rep.Verified = false
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,124 @@
+package plan
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"lira/internal/experiment"
+	"lira/internal/roadnet"
+)
+
+// measuredEnv builds a small experiment environment for the measured
+// planner tests: plumbing fidelity only — the full-scale artifact is
+// liraplan's job.
+func measuredEnv(t *testing.T) *experiment.Env {
+	t.Helper()
+	netCfg := roadnet.DefaultConfig()
+	netCfg.Side = 3000
+	netCfg.GridStep = 400
+	netCfg.Centers = 2
+	netCfg.CenterRadius = 700
+	env, err := experiment.NewEnv(experiment.EnvConfig{
+		Net:        netCfg,
+		Nodes:      200,
+		CalibNodes: 120,
+		CalibTicks: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// TestPlanMeasured pins the measured planner: cheapest-first sweep
+// order, a replay-verified recommendation that meets the SLO on every
+// workload, and a fully deterministic report.
+func TestPlanMeasured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-run measured sweep; skipped in -short")
+	}
+	env := measuredEnv(t)
+	base := experiment.DefaultRunConfig()
+	base.L = 13
+	base.WarmupTicks = 20
+	base.DurationTicks = 40
+	base.EvalEvery = 20
+	cfg := MeasuredPlanConfig{
+		Env:       env,
+		Base:      base,
+		Zs:        []float64{0.7, 0.4},
+		Policies:  []string{"single-delta", "lira"},
+		Workloads: []string{"", "blackout"},
+		// Loose bounds so at least the lightest-shedding combo passes.
+		Objective: MeasuredSLO{MaxEC: 0.2, MaxEPM: 50},
+	}
+	rep, err := PlanMeasured(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Combos) != len(cfg.Zs)*len(cfg.Policies) {
+		t.Fatalf("combos = %d, want %d", len(rep.Combos), len(cfg.Zs)*len(cfg.Policies))
+	}
+	// Sweep order: z ascending, then policy order.
+	if rep.Combos[0].Z != 0.4 || rep.Combos[0].Policy != "single-delta" ||
+		rep.Combos[1].Policy != "lira" || rep.Combos[2].Z != 0.7 {
+		t.Errorf("sweep order wrong: %+v", rep.Combos)
+	}
+	if !rep.Feasible || rep.Recommended == nil {
+		t.Fatal("expected a feasible recommendation under the loose SLO")
+	}
+	if !rep.Verified {
+		t.Error("recommendation did not replay-verify")
+	}
+	for _, combo := range rep.Combos {
+		if combo.Feasible && (combo.WorstEC > cfg.Objective.MaxEC || combo.WorstEPM > cfg.Objective.MaxEPM) {
+			t.Errorf("combo z=%v %s marked feasible but violates SLO: %+v", combo.Z, combo.Policy, combo)
+		}
+		if len(combo.Cells) != len(cfg.Workloads) {
+			t.Errorf("combo z=%v %s has %d cells, want %d", combo.Z, combo.Policy, len(combo.Cells), len(cfg.Workloads))
+		}
+	}
+	// The first feasible combo in sweep order is the recommendation.
+	for _, combo := range rep.Combos {
+		if combo.Feasible {
+			if rep.Recommended != combo {
+				t.Error("recommendation is not the cheapest feasible combo")
+			}
+			break
+		}
+	}
+
+	rep2, err := PlanMeasured(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := rep2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Error("measured plan artifact is not byte-deterministic")
+	}
+	if !reflect.DeepEqual(rep, rep2) {
+		t.Error("measured plan report is not deterministic")
+	}
+
+	table := rep.Table()
+	for _, want := range []string{"recommended", "SLO (measured)", "blackout", "trace"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("measured table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestPlanMeasuredValidation pins the error paths.
+func TestPlanMeasuredValidation(t *testing.T) {
+	if _, err := PlanMeasured(MeasuredPlanConfig{}); err == nil {
+		t.Error("nil env accepted")
+	}
+}

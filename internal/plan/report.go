@@ -50,6 +50,68 @@ func (r *Report) Marshal() ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
+// Marshal is the artifact encoding for the measured-mode report:
+// indented JSON with a trailing newline, the same deliberate schema
+// surface as Report.Marshal (scripts/measured_smoke.sh greps it).
+func (r *MeasuredReport) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Table renders the human-readable measured plan: one row per (z,
+// policy) combo with its worst measured errors, the recommendation
+// marked, followed by the recommended combo's per-workload breakdown.
+func (r *MeasuredReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "measured capacity plan: %d nodes, L=%d, seed %d\n", r.Nodes, r.L, r.Seed)
+	fmt.Fprintf(&b, "SLO (measured): E^C ≤ %.4f, E^P ≤ %.1f m\n", r.SLO.MaxEC, r.SLO.MaxEPM)
+	names := make([]string, len(r.Workloads))
+	for i, w := range r.Workloads {
+		if w == "" {
+			w = "trace"
+		}
+		names[i] = w
+	}
+	fmt.Fprintf(&b, "workloads: %s\n\n", strings.Join(names, ", "))
+
+	fmt.Fprintf(&b, "%-6s %-14s %10s %12s %-8s\n",
+		"z", "policy", "worst EC", "worst EP", "meets")
+	for _, c := range r.Combos {
+		mark := ""
+		if r.Recommended == c {
+			mark = "  ← recommended"
+		}
+		feas := "no"
+		if c.Feasible {
+			feas = "yes"
+		}
+		fmt.Fprintf(&b, "%-6.2f %-14s %10.4f %10.1f m %-8s%s\n",
+			c.Z, c.Policy, c.WorstEC, c.WorstEPM, feas, mark)
+	}
+
+	b.WriteString("\n")
+	if r.Recommended == nil {
+		b.WriteString("no feasible configuration on this grid — raise z, relax the SLO, or widen the grid\n")
+		return b.String()
+	}
+	c := r.Recommended
+	fmt.Fprintf(&b, "recommended: z=%.2f policy=%s (verified=%v)\n", c.Z, c.Policy, r.Verified)
+	fmt.Fprintf(&b, "%-22s %10s %12s %10s %-8s\n",
+		"workload", "EC", "EP", "achieved", "budget")
+	for _, cell := range c.Cells {
+		w := cell.Workload
+		if w == "" {
+			w = "trace"
+		}
+		fmt.Fprintf(&b, "%-22s %10.4f %10.1f m %10.3f %-8v\n",
+			w, cell.EC, cell.EP, cell.AchievedFraction, cell.BudgetMet)
+	}
+	return b.String()
+}
+
 // Table renders the human-readable plan: one row per combo with its
 // worst-case measurements, the recommendation marked, followed by the
 // recommended combo's per-scenario breakdown.

@@ -10,13 +10,13 @@
 //   - RandomDrop — no source-side throttling at all: every node reports
 //     at Δ⊢ and the server randomly admits a z fraction.
 //
-// The throttler-based strategies are thin wrappers over the control
-// plane's pluggable policies (internal/controlplane): Lira runs the
-// engine's own adaptation (LiraPolicy through its Plane, stepping
-// telemetry), LiraGrid evaluates UniformGridPolicy statelessly, and
-// UniformDelta evaluates SingleDeltaPolicy. RandomDrop is the one
-// strategy with no source-side policy at all — it sheds at the server —
-// so it stays special-cased here.
+// Every strategy is a thin adapter over the control plane's pluggable
+// policies (internal/controlplane): Configure resolves the legacy Kind
+// to its registry policy and runs ConfigurePolicy, which either drives
+// the engine's own adaptation pipeline (SetPolicy + Adapt, stepping
+// telemetry) or — for AdmitProber policies like random drop, which shed
+// at the server rather than at the sources — computes the space-wide
+// admit-probability outcome directly from the statistics grid.
 package shedding
 
 import (
@@ -58,8 +58,55 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
-// Kinds lists every strategy in the paper's comparison order.
-func Kinds() []Kind { return []Kind{RandomDrop, UniformDelta, LiraGrid, Lira} }
+// kindForLegacy maps a registry LegacyKind string back to the enum.
+func kindForLegacy(s string) (Kind, bool) {
+	for _, k := range []Kind{Lira, LiraGrid, UniformDelta, RandomDrop} {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Kinds lists every strategy in the paper's comparison order. The order
+// is derived from the canonical policy registry — the registry rows that
+// carry a LegacyKind, in registry order — so the enum's comparison order
+// and the policy comparison order can never drift apart.
+func Kinds() []Kind {
+	var ks []Kind
+	for _, reg := range controlplane.Registered() {
+		if reg.LegacyKind == "" {
+			continue
+		}
+		k, ok := kindForLegacy(reg.LegacyKind)
+		if !ok {
+			panic(fmt.Sprintf("shedding: registry legacy kind %q has no enum value", reg.LegacyKind))
+		}
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// PolicyNameForKind resolves a legacy strategy to the registry name of
+// the controlplane.Policy that backs it.
+func PolicyNameForKind(k Kind) (string, bool) {
+	for _, reg := range controlplane.Registered() {
+		if reg.LegacyKind == k.String() {
+			return reg.Name, true
+		}
+	}
+	return "", false
+}
+
+// PolicyForKind constructs a fresh instance of the policy backing a
+// legacy strategy.
+func PolicyForKind(k Kind) (controlplane.Policy, bool) {
+	name, ok := PolicyNameForKind(k)
+	if !ok {
+		return nil, false
+	}
+	return controlplane.NewPolicy(name)
+}
 
 // Options carries the strategy parameters that do not live on the server.
 type Options struct {
@@ -73,10 +120,12 @@ type Options struct {
 	UseSpeed bool
 }
 
-// Target is the slice of an engine Configure needs: the Lira strategy
-// runs the engine's own adaptation, the rest read the statistics grid.
-// Both engine.Engine implementations satisfy it.
+// Target is the slice of an engine ConfigurePolicy needs: the control
+// plane to install the policy on, the adaptation entry point to run it,
+// and the statistics grid for server-side (AdmitProber) policies. Both
+// engine.Engine implementations satisfy it.
 type Target interface {
+	ControlPlane() *controlplane.Plane
 	Adapt(z float64) (*controlplane.Adaptation, error)
 	StatsGrid() *statgrid.Grid
 }
@@ -84,8 +133,13 @@ type Target interface {
 // Outcome is a configured shedding policy, ready for distribution to the
 // base-station layer.
 type Outcome struct {
+	// Kind is the legacy strategy enum value, or -1 when the configured
+	// policy has no legacy counterpart (post-paper policies reached
+	// through ConfigurePolicy directly).
 	Kind Kind
-	Z    float64
+	// Policy is the registry name of the configured policy.
+	Policy string
+	Z      float64
 	// Partitioning and Deltas define the region-dependent inaccuracy
 	// thresholds. For RandomDrop and UniformDelta the partitioning is a
 	// single space-wide region.
@@ -102,9 +156,34 @@ type Outcome struct {
 	Elapsed time.Duration
 }
 
-// Configure computes the shedding policy of the given kind at throttle
-// fraction z using the target engine's statistics grid.
+// Configure computes the shedding policy of the given legacy kind at
+// throttle fraction z. It is a thin adapter: the kind resolves through
+// the canonical registry to a controlplane.Policy and ConfigurePolicy
+// does the work.
 func Configure(kind Kind, t Target, z float64, opts Options) (*Outcome, error) {
+	pol, ok := PolicyForKind(kind)
+	if !ok {
+		return nil, fmt.Errorf("shedding: unknown kind %v", kind)
+	}
+	out, err := ConfigurePolicy(pol, t, z, opts)
+	if err != nil {
+		return nil, err
+	}
+	out.Kind = kind
+	return out, nil
+}
+
+// ConfigurePolicy configures any registry policy at throttle fraction z.
+// Engine-enactable policies are installed on the target's control plane
+// and run through its adaptation pipeline (journaling and spans
+// included), exactly as the engine would enact them live. AdmitProber
+// policies shed at the server instead, so there is nothing for the
+// pipeline to enact: the outcome is the space-wide Δ⊢ partitioning with
+// the policy's admission probability, computed without touching the
+// plane. Stateful policies keep their held state on the instance — reuse
+// one instance across re-adaptations to get damping, pass a fresh one to
+// reset it.
+func ConfigurePolicy(pol controlplane.Policy, t Target, z float64, opts Options) (*Outcome, error) {
 	if z < 0 || z > 1 {
 		return nil, fmt.Errorf("shedding: throttle fraction %v outside [0,1]", z)
 	}
@@ -112,50 +191,37 @@ func Configure(kind Kind, t Target, z float64, opts Options) (*Outcome, error) {
 		return nil, fmt.Errorf("shedding: nil curve")
 	}
 	start := time.Now()
-	out := &Outcome{Kind: kind, Z: z, AdmitProbability: 1}
-	env := controlplane.Env{
-		L: opts.L, Curve: opts.Curve, Fairness: opts.Fairness, UseSpeed: opts.UseSpeed,
+	out := &Outcome{Kind: -1, Policy: pol.Name(), Z: z, AdmitProbability: 1}
+	if k, ok := kindForLegacy(legacyKindForPolicy(pol.Name())); ok {
+		out.Kind = k
 	}
-	switch kind {
-	case Lira:
-		ad, err := t.Adapt(z)
-		if err != nil {
-			return nil, err
-		}
-		out.Partitioning = ad.Partitioning
-		out.Deltas = ad.Deltas
-		out.BudgetMet = ad.BudgetMet
-		out.Elapsed = ad.Elapsed
-
-	case LiraGrid:
-		plan, err := controlplane.Evaluate(controlplane.UniformGridPolicy{}, t.StatsGrid(), z, env)
-		if err != nil {
-			return nil, err
-		}
-		out.Partitioning = plan.Partitioning
-		out.Deltas = plan.Result.Deltas
-		out.BudgetMet = plan.Result.BudgetMet
-		out.Elapsed = time.Since(start)
-
-	case UniformDelta:
-		plan, err := controlplane.Evaluate(controlplane.SingleDeltaPolicy{}, t.StatsGrid(), z, env)
-		if err != nil {
-			return nil, err
-		}
-		out.Partitioning = plan.Partitioning
-		out.Deltas = plan.Result.Deltas
-		out.BudgetMet = plan.Result.BudgetMet
-		out.Elapsed = time.Since(start)
-
-	case RandomDrop:
+	if ap, serverSide := pol.(controlplane.AdmitProber); serverSide {
 		out.Partitioning = partition.Single(t.StatsGrid())
 		out.Deltas = []float64{opts.Curve.MinDelta()}
-		out.AdmitProbability = z
+		out.AdmitProbability = ap.AdmitProbability(z)
 		out.BudgetMet = true
 		out.Elapsed = time.Since(start)
-
-	default:
-		return nil, fmt.Errorf("shedding: unknown kind %v", kind)
+		return out, nil
 	}
+	t.ControlPlane().SetPolicy(pol)
+	ad, err := t.Adapt(z)
+	if err != nil {
+		return nil, err
+	}
+	out.Partitioning = ad.Partitioning
+	out.Deltas = ad.Deltas
+	out.BudgetMet = ad.BudgetMet
+	out.Elapsed = ad.Elapsed
 	return out, nil
+}
+
+// legacyKindForPolicy is the inverse registry lookup: policy name to
+// LegacyKind string ("" when the policy postdates the enum).
+func legacyKindForPolicy(name string) string {
+	for _, reg := range controlplane.Registered() {
+		if reg.Name == name {
+			return reg.LegacyKind
+		}
+	}
+	return ""
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"lira/internal/controlplane"
 	"lira/internal/cqserver"
 	"lira/internal/fmodel"
 	"lira/internal/geo"
@@ -119,6 +120,92 @@ func TestConfigureRandomDrop(t *testing.T) {
 	}
 	if !out.BudgetMet {
 		t.Error("RandomDrop always meets its budget")
+	}
+}
+
+// TestKindsMatchRegistry pins the derivation of the legacy enum from the
+// canonical controlplane registry: the registry rows carrying a
+// LegacyKind produce exactly the paper's comparison order, every kind
+// resolves to a policy whose instance is constructible, and the
+// engine-enactable Policies() view is the non-AdmitProber registry tail.
+// If the registry and the enum ever drift, this fails.
+func TestKindsMatchRegistry(t *testing.T) {
+	want := []Kind{RandomDrop, UniformDelta, LiraGrid, Lira}
+	got := Kinds()
+	if len(got) != len(want) {
+		t.Fatalf("Kinds() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Kinds()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	wantPolicy := map[Kind]string{
+		RandomDrop: "random-drop", UniformDelta: "single-delta",
+		LiraGrid: "uniform-grid", Lira: "lira",
+	}
+	for k, name := range wantPolicy {
+		got, ok := PolicyNameForKind(k)
+		if !ok || got != name {
+			t.Errorf("PolicyNameForKind(%v) = %q,%v, want %q", k, got, ok, name)
+		}
+		pol, ok := PolicyForKind(k)
+		if !ok || pol.Name() != name {
+			t.Errorf("PolicyForKind(%v) constructs %v", k, pol)
+		}
+	}
+	if _, ok := PolicyNameForKind(Kind(42)); ok {
+		t.Error("unknown kind must not resolve")
+	}
+	// The enactable-policy view must be the registry minus AdmitProbers,
+	// in registry order.
+	var wantNames []string
+	for _, reg := range controlplane.Registered() {
+		if _, server := reg.New().(controlplane.AdmitProber); !server {
+			wantNames = append(wantNames, reg.Name)
+		}
+	}
+	pols := controlplane.Policies()
+	if len(pols) != len(wantNames) {
+		t.Fatalf("Policies() has %d entries, want %d", len(pols), len(wantNames))
+	}
+	for i, p := range pols {
+		if p.Name() != wantNames[i] {
+			t.Errorf("Policies()[%d] = %q, want %q", i, p.Name(), wantNames[i])
+		}
+	}
+}
+
+// TestConfigurePolicyMatchesConfigure pins the adapter: for every legacy
+// kind, ConfigurePolicy over the registry policy produces the same
+// outcome values as Configure over the enum.
+func TestConfigurePolicyMatchesConfigure(t *testing.T) {
+	for _, k := range Kinds() {
+		s, curve := testServer(t)
+		legacy, err := Configure(k, s, 0.5, opts(curve))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, _ := testServer(t)
+		pol, _ := PolicyForKind(k)
+		byPol, err := ConfigurePolicy(pol, s2, 0.5, opts(curve))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if byPol.Kind != k || byPol.Policy != pol.Name() || legacy.Policy != pol.Name() {
+			t.Errorf("%v: kind/policy labels diverged: %+v vs %+v", k, legacy, byPol)
+		}
+		if len(legacy.Deltas) != len(byPol.Deltas) {
+			t.Fatalf("%v: delta counts diverged", k)
+		}
+		for i := range legacy.Deltas {
+			if legacy.Deltas[i] != byPol.Deltas[i] {
+				t.Errorf("%v: Δ[%d] diverged: %v vs %v", k, i, legacy.Deltas[i], byPol.Deltas[i])
+			}
+		}
+		if legacy.AdmitProbability != byPol.AdmitProbability || legacy.BudgetMet != byPol.BudgetMet {
+			t.Errorf("%v: outcome diverged: %+v vs %+v", k, legacy, byPol)
+		}
 	}
 }
 

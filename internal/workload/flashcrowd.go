@@ -127,6 +127,16 @@ func NewFlashCrowd(space geo.Rect, cfg FlashCrowdConfig) (*FlashCrowd, error) {
 // Hotspot returns the crowd's convergence point.
 func (f *FlashCrowd) Hotspot() geo.Point { return f.hotspot }
 
+// Motions visits every node's current position and velocity. It reads
+// the motion arrays without touching the generator's rng stream, so a
+// dense read between Emit calls cannot perturb the emitted sequence —
+// the property the scenario traffic adapters rely on.
+func (f *FlashCrowd) Motions(visit func(node int, pos geo.Point, vel geo.Vector)) {
+	for i := range f.pos {
+		visit(i, f.pos[i], f.vel[i])
+	}
+}
+
 // Ticks returns the total envelope length, plus one leading and one
 // trailing baseline tick.
 func (f *FlashCrowd) Ticks() int {

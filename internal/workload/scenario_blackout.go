@@ -88,6 +88,17 @@ func (s *blackoutScenario) Emit(now float64, emit func(int, geo.Point, geo.Vecto
 	}
 }
 
+// Motions implements MotionSource. Eagerly advancing a walker is safe:
+// each node draws from its private rng stream, so the catch-up consumes
+// exactly the draws a lazy reconnect would have — dark nodes keep moving
+// identically whether or not anyone watches them.
+func (s *blackoutScenario) Motions(tick int, visit func(int, geo.Point, geo.Vector)) {
+	for i := 0; i < len(s.walk.pos); i++ {
+		pos, vel := s.walk.at(i, tick)
+		visit(i, pos, vel)
+	}
+}
+
 func (s *blackoutScenario) Queries(tick int) ([]geo.Rect, bool) {
 	if tick == 0 {
 		return s.queries, true

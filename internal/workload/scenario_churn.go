@@ -71,6 +71,15 @@ func (s *churnScenario) Emit(now float64, emit func(int, geo.Point, geo.Vector))
 	}
 }
 
+// Motions implements MotionSource; see blackoutScenario.Motions for why
+// the eager walker advance is emission-safe.
+func (s *churnScenario) Motions(tick int, visit func(int, geo.Point, geo.Vector)) {
+	for i := 0; i < len(s.walk.pos); i++ {
+		pos, vel := s.walk.at(i, tick)
+		visit(i, pos, vel)
+	}
+}
+
 func (s *churnScenario) Queries(tick int) ([]geo.Rect, bool) {
 	switch {
 	case tick == 0:

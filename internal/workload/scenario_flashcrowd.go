@@ -69,6 +69,13 @@ func (s *flashCrowdScenario) Emit(now float64, emit func(int, geo.Point, geo.Vec
 	s.crowd.Emit(now, emit)
 }
 
+// Motions implements MotionSource: the crowd generator's positions
+// advance only on emission draws, so the dense read is the last-emitted
+// state and consumes no randomness.
+func (s *flashCrowdScenario) Motions(tick int, visit func(int, geo.Point, geo.Vector)) {
+	s.crowd.Motions(visit)
+}
+
 func (s *flashCrowdScenario) Queries(tick int) ([]geo.Rect, bool) {
 	if tick == 0 {
 		return s.queries, true

@@ -175,6 +175,25 @@ func (s *mixedFleetScenario) Emit(now float64, emit func(int, geo.Point, geo.Vec
 	}
 }
 
+// Motions implements MotionSource: pedestrians advance through their
+// private walker streams, while cars and drones are already dense — Emit
+// steps them every tick regardless of who reports.
+func (s *mixedFleetScenario) Motions(tick int, visit func(int, geo.Point, geo.Vector)) {
+	for i := 0; i < s.pedN; i++ {
+		pos, vel := s.peds.at(i, tick)
+		visit(i, pos, vel)
+	}
+	if s.cars != nil {
+		pos, vel := s.cars.Positions(), s.cars.Velocities()
+		for i := 0; i < s.carN; i++ {
+			visit(s.pedN+i, pos[i], vel[i])
+		}
+	}
+	for i := 0; i < s.droneN; i++ {
+		visit(s.pedN+s.carN+i, s.dronePos[i], s.droneVel[i])
+	}
+}
+
 func (s *mixedFleetScenario) Queries(tick int) ([]geo.Rect, bool) {
 	if tick == 0 {
 		return s.queries, true

@@ -127,6 +127,17 @@ func (s *rushHourScenario) Emit(now float64, emit func(int, geo.Point, geo.Vecto
 	s.source.Step(1)
 }
 
+// Motions implements MotionSource. The source steps at the end of Emit,
+// so the dense read is one tick ahead of the emitted reports; it is
+// internally consistent across Steps, which is all the traffic adapter
+// needs — the adapter discards the report stream entirely.
+func (s *rushHourScenario) Motions(tick int, visit func(int, geo.Point, geo.Vector)) {
+	pos, vel := s.source.Positions(), s.source.Velocities()
+	for i := 0; i < s.source.N(); i++ {
+		visit(i, pos[i], vel[i])
+	}
+}
+
 func (s *rushHourScenario) Queries(tick int) ([]geo.Rect, bool) {
 	if tick == 0 {
 		return s.queries, true

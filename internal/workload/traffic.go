@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+
+	"lira/internal/geo"
+)
+
+// MotionSource is the dense-motion facet a catalog scenario may expose:
+// after a tick's Emit, Motions reports every node's position and
+// velocity at that tick. Implementations must not consume any emission
+// randomness — a dense read between Emit calls cannot perturb the
+// emitted report sequence. All catalog scenarios implement it.
+type MotionSource interface {
+	Scenario
+	// Motions visits every node's position and velocity at tick. The
+	// call is idempotent and must be made with non-decreasing ticks.
+	Motions(tick int, visit func(node int, pos geo.Point, vel geo.Vector))
+}
+
+// Traffic adapts a catalog scenario into the trace.Source-shaped motion
+// interface the experiment harness consumes: Reset / Step / Positions /
+// Velocities. Each Step runs one scenario tick's Emit (discarding the
+// report stream — the harness's dead-reckoners decide reporting) and
+// snapshots the dense motion state, so the nodes move exactly as they
+// do under the scenario's own overload shape. Scenario ticks are one
+// second; Step's dt is ignored, so drive it with Dt = 1. Stepping past
+// the scenario's nominal Ticks() is allowed: generators keep their
+// final-phase behavior, which lets a fixed-length measurement interval
+// run over any catalog entry.
+type Traffic struct {
+	name  string
+	space geo.Rect
+	nodes int
+	rate  float64
+	seed  uint64
+
+	src  MotionSource
+	tick int
+	pos  []geo.Point
+	vel  []geo.Vector
+}
+
+// NewTraffic builds the named catalog scenario as a motion source.
+// Rebuilding with equal arguments — or calling Reset — reproduces the
+// identical trajectory, the same contract trace.Source honors.
+func NewTraffic(name string, space geo.Rect, nodes int, rate float64, seed uint64) (*Traffic, error) {
+	t := &Traffic{name: name, space: space, nodes: nodes, rate: rate, seed: seed}
+	if err := t.rebuild(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Traffic) rebuild() error {
+	sc, err := BuildScenario(t.name, t.space, t.nodes, t.rate, t.seed)
+	if err != nil {
+		return err
+	}
+	ms, ok := sc.(MotionSource)
+	if !ok {
+		return fmt.Errorf("workload: scenario %q does not expose dense motion", t.name)
+	}
+	t.src = ms
+	t.tick = 0
+	t.pos = make([]geo.Point, sc.Nodes())
+	t.vel = make([]geo.Vector, sc.Nodes())
+	// Initial placement, before any Emit: tick 0 with no draws consumed.
+	ms.Motions(0, t.record)
+	return nil
+}
+
+func (t *Traffic) record(node int, pos geo.Point, vel geo.Vector) {
+	t.pos[node] = pos
+	t.vel[node] = vel
+}
+
+// Name returns the catalog name the traffic was built from.
+func (t *Traffic) Name() string { return t.name }
+
+// Scenario returns the underlying catalog scenario instance.
+func (t *Traffic) Scenario() Scenario { return t.src }
+
+// Reset rebuilds the scenario from its construction arguments; because
+// scenarios are pure functions of (space, nodes, rate, seed), the replay
+// is byte-identical.
+func (t *Traffic) Reset() {
+	if err := t.rebuild(); err != nil {
+		// rebuild succeeded at construction with the same arguments, so
+		// it cannot fail here.
+		panic(fmt.Sprintf("workload: traffic reset: %v", err))
+	}
+}
+
+// Step advances one scenario tick. dt is ignored (ticks are one second).
+func (t *Traffic) Step(dt float64) {
+	t.src.Emit(float64(t.tick), func(int, geo.Point, geo.Vector) {})
+	t.src.Motions(t.tick, t.record)
+	t.tick++
+}
+
+// Positions returns every node's current position. The slice is reused
+// across Steps, matching trace.Source.
+func (t *Traffic) Positions() []geo.Point { return t.pos }
+
+// Velocities returns every node's current velocity, aliased like
+// Positions.
+func (t *Traffic) Velocities() []geo.Vector { return t.vel }

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"testing"
+
+	"lira/internal/geo"
+)
+
+func trafficSpace() geo.Rect { return geo.NewRect(0, 0, 4000, 4000) }
+
+// TestTrafficDeterministicReplay pins the adapter's trace.Source
+// contract for every catalog scenario: Reset replays the identical
+// trajectory, and two adapters built with equal arguments agree.
+func TestTrafficDeterministicReplay(t *testing.T) {
+	for _, name := range CatalogNames() {
+		t.Run(name, func(t *testing.T) {
+			a, err := NewTraffic(name, trafficSpace(), 120, 12, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewTraffic(name, trafficSpace(), 120, 12, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const ticks = 30
+			trajA := make([]geo.Point, 0, ticks*120)
+			for k := 0; k < ticks; k++ {
+				a.Step(1)
+				b.Step(1)
+				pa, pb := a.Positions(), b.Positions()
+				va, vb := a.Velocities(), b.Velocities()
+				for i := range pa {
+					if pa[i] != pb[i] || va[i] != vb[i] {
+						t.Fatalf("tick %d node %d: twin adapters diverged", k, i)
+					}
+					trajA = append(trajA, pa[i])
+				}
+			}
+			a.Reset()
+			at := 0
+			for k := 0; k < ticks; k++ {
+				a.Step(1)
+				for _, p := range a.Positions() {
+					if p != trajA[at] {
+						t.Fatalf("tick %d: Reset replay diverged", k)
+					}
+					at++
+				}
+			}
+		})
+	}
+}
+
+// TestTrafficDoesNotPerturbEmission pins the MotionSource no-randomness
+// contract: a scenario driven with dense Motions reads interleaved emits
+// the byte-identical report stream of one driven without them.
+func TestTrafficDoesNotPerturbEmission(t *testing.T) {
+	type report struct {
+		node int
+		pos  geo.Point
+	}
+	for _, name := range CatalogNames() {
+		t.Run(name, func(t *testing.T) {
+			build := func() MotionSource {
+				sc, err := BuildScenario(name, trafficSpace(), 120, 12, 9)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ms, ok := sc.(MotionSource)
+				if !ok {
+					t.Fatalf("scenario %q lacks dense motion", name)
+				}
+				return ms
+			}
+			plain, dense := build(), build()
+			for tick := 0; tick < plain.Ticks(); tick++ {
+				var a, b []report
+				plain.Emit(float64(tick), func(n int, p geo.Point, _ geo.Vector) {
+					a = append(a, report{n, p})
+				})
+				dense.Emit(float64(tick), func(n int, p geo.Point, _ geo.Vector) {
+					b = append(b, report{n, p})
+				})
+				dense.Motions(tick, func(int, geo.Point, geo.Vector) {})
+				if len(a) != len(b) {
+					t.Fatalf("tick %d: report counts diverged: %d vs %d", tick, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("tick %d report %d: dense reads perturbed emission", tick, i)
+					}
+				}
+			}
+		})
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"net/http"
 
 	"lira/internal/basestation"
+	"lira/internal/controlplane"
 	"lira/internal/cqserver"
 	"lira/internal/experiment"
 	"lira/internal/faultnet"
@@ -215,6 +216,35 @@ func Configure(kind Strategy, s *Server, z float64, opts StrategyOptions) (*Outc
 	return shedding.Configure(kind, s, z, opts)
 }
 
+// Pluggable control-plane policies. The canonical registry
+// (controlplane) is the single source of the comparison order: both
+// Strategies and PolicyNames derive from it.
+type (
+	// Policy is a pluggable partition/assign strategy for the control
+	// plane; post-paper policies (e.g. "hysteresis") implement it.
+	Policy = controlplane.Policy
+	// PolicyRegistration is one canonical-registry row: name,
+	// constructor, and the legacy strategy it backs (if any).
+	PolicyRegistration = controlplane.Registration
+)
+
+// PolicyCatalog lists every canonical-registry row in comparison order.
+func PolicyCatalog() []PolicyRegistration { return controlplane.Registered() }
+
+// PolicyNames lists every registered policy name in comparison order.
+func PolicyNames() []string { return controlplane.RegisteredNames() }
+
+// NewPolicy constructs a fresh registered policy by name. Policies may
+// be stateful; construct one instance per concurrent run.
+func NewPolicy(name string) (Policy, bool) { return controlplane.NewPolicy(name) }
+
+// ConfigurePolicy computes the shedding outcome for any registry policy
+// at throttle fraction z — the generalization of Configure to policies
+// with no legacy Strategy counterpart.
+func ConfigurePolicy(pol Policy, s *Server, z float64, opts StrategyOptions) (*Outcome, error) {
+	return shedding.ConfigurePolicy(pol, s, z, opts)
+}
+
 // Simulation substrate.
 type (
 	// RoadNetwork is a synthetic hierarchical road network.
@@ -296,6 +326,23 @@ func RampHoldDecay(base, peak float64, ramp, hold, decay int) LoadEnvelope {
 // and recommends the cheapest configuration meeting cfg.Objective; the
 // recommendation is re-simulated before it is reported (Report.Verified).
 func PlanCapacity(cfg PlanConfig) (*PlanReport, error) { return plan.Plan(cfg) }
+
+// Measured-error planning (liraplan -measured).
+type (
+	// MeasuredPlanConfig parameterizes a measured-error planning sweep.
+	MeasuredPlanConfig = plan.MeasuredPlanConfig
+	// MeasuredSLO bounds measured E^C/E^P instead of modeled inaccuracy.
+	MeasuredSLO = plan.MeasuredSLO
+	// MeasuredPlanReport is the measured sweep's full result.
+	MeasuredPlanReport = plan.MeasuredReport
+)
+
+// PlanMeasured sweeps throttle fraction × policy on measured error and
+// recommends the cheapest combo whose measured E^C/E^P meet the SLO on
+// every workload, replay-verified like PlanCapacity's recommendation.
+func PlanMeasured(cfg MeasuredPlanConfig) (*MeasuredPlanReport, error) {
+	return plan.PlanMeasured(cfg)
+}
 
 // Historic/snapshot query support and the road-network motion model.
 type (
@@ -433,7 +480,19 @@ type (
 	Sweep = experiment.Sweep
 	// FigureResult is one reproduced table or figure.
 	FigureResult = experiment.Figure
+	// MeasuredConfig parameterizes a measured policy comparison.
+	MeasuredConfig = experiment.MeasuredConfig
+	// MeasuredCell is one (workload, z, policy) measured-error cell.
+	MeasuredCell = experiment.MeasuredCell
+	// MeasuredComparison is the full measured grid.
+	MeasuredComparison = experiment.MeasuredComparison
 )
+
+// Measure runs the §4-style measured policy comparison: one full
+// reference-vs-candidate simulation per (workload, z, policy) cell.
+func Measure(env *Env, cfg MeasuredConfig) (*MeasuredComparison, error) {
+	return experiment.Measure(env, cfg)
+}
 
 // NewEnv generates the road network, trace source, and calibrated f(Δ).
 func NewEnv(cfg EnvConfig) (*Env, error) { return experiment.NewEnv(cfg) }

@@ -68,7 +68,7 @@ go test -run '^$' -bench Fig04 -benchtime 1x .
 echo "== shard smoke (K sweep, byte-identical results enforced) =="
 go run ./cmd/lirabench -shards 1,4 -nodes 400 -duration 40
 
-echo "== policy smoke (baseline policies, one seed) =="
+echo "== policy smoke (measured policy comparison, one seed) =="
 go run ./cmd/lirabench -policy -nodes 600 -duration 60
 
 echo "== saturate smoke (tiny ramp; schema + monotone offered rates) =="
@@ -85,5 +85,8 @@ sh scripts/spans_smoke.sh
 
 echo "== plan smoke (liraplan tiny grid; feasible + verified + byte-deterministic) =="
 sh scripts/plan_smoke.sh
+
+echo "== measured smoke (measured comparison + liraplan -measured; lira beats baselines, byte-deterministic) =="
+sh scripts/measured_smoke.sh
 
 echo "check: OK"

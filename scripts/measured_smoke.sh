@@ -1,0 +1,104 @@
+#!/bin/sh
+# Measured-evaluation smoke: run the shrunk measured policy comparison
+# (lirabench -policy) and the measured-error planner (liraplan -measured)
+# and assert their contracts — stable JSON schemas, lira no worse than
+# the region-oblivious baselines on measured E^C at every (workload, z),
+# a feasible replay-verified recommendation, and byte-identical artifacts
+# from identical invocations. This gates the harness; the real artifact
+# comes from `make bench-report-measured`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/lirabench" ./cmd/lirabench
+go build -o "$TMP/liraplan" ./cmd/liraplan
+
+# --- measured policy comparison -------------------------------------
+
+run_bench() {
+	# cd so argv (recorded in the artifact's "command" field) is identical
+	# across runs — the byte-identity check depends on it.
+	(cd "$1" && "$TMP/lirabench" -policy -nodes 600 -duration 60 \
+		-policyjson bench.json >bench.txt 2>/dev/null)
+}
+
+mkdir -p "$TMP/a" "$TMP/b"
+run_bench "$TMP/a"
+BENCH="$TMP/a/bench.json"
+
+for field in '"command"' '"nodes"' '"warmup_ticks"' '"duration_ticks"' \
+	'"seed"' '"workloads"' '"policies"' '"zs"' '"cells"' \
+	'"workload"' '"policy"' '"z"' '"ec"' '"ep_m"' '"rel_ec_lira"' \
+	'"rel_ep_lira"' '"achieved_fraction"' '"budget_met"' \
+	'"lira_beats_baselines"'; do
+	grep -q "$field" "$BENCH" || {
+		echo "measured bench artifact missing field $field" >&2
+		cat "$BENCH" >&2
+		exit 1
+	}
+done
+
+# The paper's §4 headline, checked on measurements: lira's measured
+# containment error is no worse than random-drop's and single-delta's at
+# every (workload, z).
+grep -q '"lira_beats_baselines": true' "$BENCH" || {
+	echo "lira lost to a region-oblivious baseline on measured E^C" >&2
+	cat "$BENCH" >&2
+	exit 1
+}
+
+run_bench "$TMP/b"
+cmp -s "$BENCH" "$TMP/b/bench.json" || {
+	echo "identical lirabench -policy invocations produced different artifacts" >&2
+	exit 1
+}
+
+# --- measured-error planner -----------------------------------------
+
+run_plan() {
+	(cd "$1" && "$TMP/liraplan" -measured -nodes 300 -side 4000 -ticks 60 \
+		-zs 0.4,0.6 -workloads trace,blackout -policies single-delta,lira \
+		-slo-ec 0.05 -slo-ep 10 \
+		-json plan.json >plan.txt 2>/dev/null)
+}
+
+run_plan "$TMP/a"
+PLAN="$TMP/a/plan.json"
+
+for field in '"command"' '"nodes"' '"regions"' '"slo"' '"max_ec"' \
+	'"max_ep_m"' '"workloads"' '"policies"' '"zs"' '"combos"' \
+	'"worst_ec"' '"worst_ep_m"' '"cells"' '"feasible"' '"recommended"' \
+	'"verified"'; do
+	grep -q "$field" "$PLAN" || {
+		echo "measured plan artifact missing field $field" >&2
+		cat "$PLAN" >&2
+		exit 1
+	}
+done
+
+grep -q '"feasible": true' "$PLAN" || {
+	echo "measured planner found no feasible configuration on the smoke grid" >&2
+	cat "$PLAN" >&2
+	exit 1
+}
+grep -q '"verified": true' "$PLAN" || {
+	echo "measured planner replay verification failed" >&2
+	cat "$PLAN" >&2
+	exit 1
+}
+grep -q 'recommended' "$TMP/a/plan.txt" || {
+	echo "measured plan table is missing the recommendation line" >&2
+	cat "$TMP/a/plan.txt" >&2
+	exit 1
+}
+
+run_plan "$TMP/b"
+cmp -s "$PLAN" "$TMP/b/plan.json" || {
+	echo "identical liraplan -measured invocations produced different artifacts" >&2
+	exit 1
+}
+
+echo "measured smoke: OK (lira beats baselines, plan feasible + verified, both artifacts byte-deterministic)"
